@@ -1,0 +1,97 @@
+// Command bench regenerates the tables and figures of the paper's
+// evaluation (Section IV). Each experiment prints the rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shadowdb/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|all")
+	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
+	flag.Parse()
+
+	todo := map[string]bool{}
+	switch *experiment {
+	case "all":
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations"} {
+			todo[e] = true
+		}
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations":
+		todo[*experiment] = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		return 2
+	}
+
+	start := time.Now()
+	out := os.Stdout
+	if todo["table1"] {
+		bench.RenderTable1(out, bench.Table1())
+		fmt.Fprintln(out)
+	}
+	if todo["fig8"] {
+		cfg := bench.DefaultFig8()
+		if *quick {
+			cfg = bench.QuickFig8()
+		}
+		bench.RenderFig8(out, bench.Fig8(cfg))
+		fmt.Fprintln(out)
+	}
+	if todo["fig9a"] {
+		cfg := bench.DefaultFig9a()
+		if *quick {
+			cfg = bench.QuickFig9a()
+		}
+		bench.RenderFig9(out, "Fig. 9(a) — micro-benchmark: latency vs committed transactions/sec", bench.Fig9a(cfg))
+		fmt.Fprintln(out)
+	}
+	if todo["fig9b"] {
+		cfg := bench.DefaultFig9b()
+		if *quick {
+			cfg = bench.QuickFig9b()
+		}
+		bench.RenderFig9(out, "Fig. 9(b) — TPC-C: latency vs committed transactions/sec", bench.Fig9b(cfg))
+		fmt.Fprintln(out)
+	}
+	if todo["fig10a"] {
+		cfg := bench.DefaultFig10a()
+		if *quick {
+			cfg = bench.QuickFig10a()
+		}
+		bench.RenderFig10a(out, bench.Fig10a(cfg))
+		fmt.Fprintln(out)
+	}
+	if todo["fig10b"] {
+		cfg := bench.DefaultFig10b()
+		if *quick {
+			cfg = bench.QuickFig10b()
+		}
+		bench.RenderFig10b(out, bench.Fig10b(cfg))
+		fmt.Fprintln(out)
+	}
+	if todo["ablations"] {
+		rows := []bench.AblationResult{
+			bench.AblationBatching(16, 300, 5_000),
+			bench.AblationOverlap(50_000),
+		}
+		bench.RenderAblations(out, rows)
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "total bench time: %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,195 @@
+// Command shadowdb-client submits transactions to a running ShadowDB
+// deployment over TCP and prints the results.
+//
+//	shadowdb-client -cluster "$DIR" -mode pbr -tx deposit -args 1,10 -n 100
+//	shadowdb-client -cluster "$DIR" -mode smr -tx balance -args 1
+//
+// PBR replicas answer over the client's own connection, so the client
+// needs no directory entry. SMR answers come from the replicas (the
+// request reaches them via the broadcast service), so in SMR mode the
+// client's id=host:port must appear in the shared -cluster directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	cluster := flag.String("cluster", "", "comma-separated id=host:port directory (must include this client)")
+	id := flag.String("id", "cli", "this client's location id")
+	addr := flag.String("listen", "127.0.0.1:0", "listen address for answers")
+	mode := flag.String("mode", "pbr", "pbr|smr")
+	tx := flag.String("tx", "deposit", "transaction type")
+	argsFlag := flag.String("args", "", "comma-separated transaction arguments (ints, floats, strings)")
+	n := flag.Int("n", 1, "how many times to run the transaction")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-transaction timeout")
+	flag.Parse()
+
+	dir, err := parseDirectory(*cluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	dir[msg.Loc(*id)] = *addr
+
+	core.RegisterWireTypes()
+	broadcast.RegisterWireTypes()
+	tr, err := network.NewTCP(msg.Loc(*id), dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = tr.Close() }()
+
+	replicas, bcast := splitRoles(dir)
+	cli := &core.Client{
+		Slf: msg.Loc(*id), Replicas: replicas, BcastNodes: bcast, Retry: 2 * time.Second,
+	}
+	if *mode == "smr" {
+		cli.Mode = core.ModeSMR
+	} else {
+		cli.Mode = core.ModePBR
+	}
+	args := parseArgs(*argsFlag)
+
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		res, err := runOne(tr, cli, *tx, args, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		printResult(res)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d transactions in %v (%.0f tx/s, %d retries)\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), cli.Retries)
+	return 0
+}
+
+// runOne submits one transaction and waits for its answer, feeding the
+// client's state machine from the transport.
+func runOne(tr network.Transport, cli *core.Client, tx string, args []any, timeout time.Duration) (core.TxResult, error) {
+	emit := func(outs []msg.Directive) {
+		for _, o := range outs {
+			o := o
+			if o.Delay > 0 {
+				time.AfterFunc(o.Delay, func() {
+					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+				})
+				continue
+			}
+			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+		}
+	}
+	emit(cli.Submit(tx, args))
+	deadline := time.After(timeout)
+	for {
+		select {
+		case env, ok := <-tr.Receive():
+			if !ok {
+				return core.TxResult{}, fmt.Errorf("transport closed")
+			}
+			res, outs := cli.Handle(env.M)
+			emit(outs)
+			if res != nil {
+				return *res, nil
+			}
+		case <-deadline:
+			return core.TxResult{}, fmt.Errorf("transaction %s timed out after %v", tx, timeout)
+		}
+	}
+}
+
+func printResult(res core.TxResult) {
+	switch {
+	case res.Err != "":
+		fmt.Printf("error: %s\n", res.Err)
+	case res.Aborted:
+		fmt.Println("aborted")
+	case len(res.Rows) > 0:
+		fmt.Println(strings.Join(res.Cols, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+	default:
+		fmt.Println("ok")
+	}
+}
+
+// parseArgs converts "1,2.5,abc" to typed values.
+func parseArgs(s string) []any {
+	if s == "" {
+		return nil
+	}
+	var out []any
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if v, err := strconv.ParseInt(part, 10, 64); err == nil {
+			out = append(out, v)
+			continue
+		}
+		if v, err := strconv.ParseFloat(part, 64); err == nil {
+			out = append(out, v)
+			continue
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+// parseDirectory parses "id=addr,...".
+func parseDirectory(s string) (map[msg.Loc]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -cluster directory")
+	}
+	dir := make(map[msg.Loc]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q", part)
+		}
+		dir[msg.Loc(kv[0])] = kv[1]
+	}
+	return dir, nil
+}
+
+func splitRoles(dir map[msg.Loc]string) (replicas, bcast []msg.Loc) {
+	for l := range dir {
+		switch {
+		case strings.HasPrefix(string(l), "b"):
+			bcast = append(bcast, l)
+		case strings.HasPrefix(string(l), "r"):
+			replicas = append(replicas, l)
+		}
+	}
+	sortLocs(replicas)
+	sortLocs(bcast)
+	return replicas, bcast
+}
+
+func sortLocs(ls []msg.Loc) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

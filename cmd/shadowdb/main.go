@@ -1,0 +1,187 @@
+// Command shadowdb runs one node of a ShadowDB deployment over TCP: a
+// PBR/SMR database replica, or a total-order-broadcast service node.
+//
+// Example three-machine PBR deployment plus broadcast service (each
+// command on its own machine or terminal):
+//
+//	shadowdb -id b1 -role broadcast -cluster "$DIR"
+//	shadowdb -id b2 -role broadcast -cluster "$DIR"
+//	shadowdb -id b3 -role broadcast -cluster "$DIR"
+//	shadowdb -id r1 -role pbr -engine h2     -rows 50000 -cluster "$DIR"
+//	shadowdb -id r2 -role pbr -engine hsqldb -rows 50000 -cluster "$DIR"
+//	shadowdb -id r3 -role pbr -engine derby  -spare -cluster "$DIR"
+//
+// where DIR is a directory string like
+// "r1=host1:7001,r2=host2:7001,r3=host3:7001,b1=host1:7101,b2=host2:7101,b3=host3:7101".
+// Use -registry tpcc for the TPC-C procedures instead of the bank ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"shadowdb/internal/bench/tpcc"
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/runtime"
+	"shadowdb/internal/sqldb"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	id := flag.String("id", "", "this node's location id (must appear in -cluster)")
+	role := flag.String("role", "pbr", "pbr|smr|broadcast")
+	cluster := flag.String("cluster", "", "comma-separated id=host:port directory")
+	engine := flag.String("engine", "h2", "database engine: h2|hsqldb|derby|mysql-mem|mysql-innodb")
+	registry := flag.String("registry", "bank", "transaction registry: bank|tpcc")
+	rows := flag.Int("rows", 10_000, "initial bank rows (bank registry, non-spare)")
+	spare := flag.Bool("spare", false, "start with an empty database (PBR spare)")
+	members := flag.Int("members", 2, "initial PBR configuration size")
+	flag.Parse()
+
+	dir, err := parseDirectory(*cluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "missing -id")
+		return 2
+	}
+	if _, ok := dir[msg.Loc(*id)]; !ok {
+		fmt.Fprintf(os.Stderr, "id %q not in -cluster directory\n", *id)
+		return 2
+	}
+
+	core.RegisterWireTypes()
+	broadcast.RegisterWireTypes()
+
+	tr, err := network.NewTCP(msg.Loc(*id), dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = tr.Close() }()
+
+	replicaLocs, bcastLocs := splitRoles(dir)
+	host, err := buildHost(buildConfig{
+		id: msg.Loc(*id), role: *role, engine: *engine, registry: *registry,
+		rows: *rows, spare: *spare, members: *members,
+		replicas: replicaLocs, bcast: bcastLocs, tr: tr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	host.Start()
+	defer func() { _ = host.Close() }()
+	fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
+		*id, *role, tr.Addr(), replicaLocs, bcastLocs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return 0
+}
+
+type buildConfig struct {
+	id       msg.Loc
+	role     string
+	engine   string
+	registry string
+	rows     int
+	spare    bool
+	members  int
+	replicas []msg.Loc
+	bcast    []msg.Loc
+	tr       network.Transport
+}
+
+func buildHost(c buildConfig) (*runtime.Host, error) {
+	reg := core.BankRegistry()
+	setup := func(db *sqldb.DB) error { return core.BankSetup(db, c.rows) }
+	if c.registry == "tpcc" {
+		sc := tpcc.Full()
+		reg = tpcc.Registry(sc)
+		setup = tpcc.SetupFunc(sc)
+	}
+	switch c.role {
+	case "broadcast":
+		cfg := broadcast.Config{Nodes: c.bcast, Subscribers: c.replicas}
+		return runtime.NewHost(c.id, c.tr, broadcast.Spec(cfg).Generator()(c.id)), nil
+	case "pbr":
+		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))
+		if err != nil {
+			return nil, err
+		}
+		if !c.spare {
+			if err := setup(db); err != nil {
+				return nil, err
+			}
+		}
+		dep := core.PBRDeployment{
+			Pool:           c.replicas,
+			InitialMembers: c.members,
+			BcastNodes:     c.bcast,
+			Timing:         core.DefaultTiming(),
+		}
+		r := core.NewPBRReplica(c.id, db, reg, dep)
+		h := runtime.NewHost(c.id, c.tr, r)
+		h.Emit(r.Start())
+		return h, nil
+	case "smr":
+		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))
+		if err != nil {
+			return nil, err
+		}
+		if err := setup(db); err != nil {
+			return nil, err
+		}
+		return runtime.NewHost(c.id, c.tr, core.NewSMRReplica(c.id, db, reg)), nil
+	default:
+		return nil, fmt.Errorf("unknown role %q", c.role)
+	}
+}
+
+// parseDirectory parses "id=addr,id=addr,...".
+func parseDirectory(s string) (map[msg.Loc]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -cluster directory")
+	}
+	dir := make(map[msg.Loc]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q (want id=host:port)", part)
+		}
+		dir[msg.Loc(kv[0])] = kv[1]
+	}
+	return dir, nil
+}
+
+// splitRoles partitions the directory into replica ids (r*) and broadcast
+// ids (b*), sorted for deterministic configuration.
+func splitRoles(dir map[msg.Loc]string) (replicas, bcast []msg.Loc) {
+	for l := range dir {
+		switch {
+		case strings.HasPrefix(string(l), "b"):
+			bcast = append(bcast, l)
+		case strings.HasPrefix(string(l), "r"):
+			replicas = append(replicas, l)
+		}
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	sort.Slice(bcast, func(i, j int) bool { return bcast[i] < bcast[j] })
+	return replicas, bcast
+}

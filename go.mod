@@ -1,0 +1,3 @@
+module shadowdb
+
+go 1.22

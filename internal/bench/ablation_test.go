@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	b := AblationBatching(8, 100, 1000)
+	t.Logf("batching: %s", b)
+	if b.WithOn <= b.WithOff {
+		t.Errorf("batching did not help: on=%f off=%f", b.WithOn, b.WithOff)
+	}
+	o := AblationOverlap(50_000)
+	t.Logf("overlap: %s", o)
+	if o.WithOn < 0 || o.WithOff < 0 {
+		t.Fatalf("recovery never completed: %+v", o)
+	}
+	if o.WithOn >= o.WithOff {
+		t.Errorf("overlap did not shorten recovery: on=%fs off=%fs", o.WithOn, o.WithOff)
+	}
+}

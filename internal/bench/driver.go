@@ -1,0 +1,202 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Section IV). Experiments run on the
+// discrete-event simulator: protocol and database code executes for real,
+// while CPU service times, link latencies, lock waiting and crashes play
+// out in virtual time. Broadcast-service costs are measured from the real
+// term interpreter and native implementations, then scaled uniformly to
+// the paper's Lisp-service operating point (see DESIGN.md,
+// "Substitutions").
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/des"
+	"shadowdb/internal/msg"
+)
+
+// Workload produces the next transaction for a client.
+type Workload func() (string, []any)
+
+// MicroWorkload returns the bank micro-benchmark generator: deposits on
+// uniformly random accounts (Section IV-B).
+func MicroWorkload(rows int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	return func() (string, []any) {
+		return "deposit", []any{int64(rng.Intn(rows)), int64(1)}
+	}
+}
+
+// CurvePoint is one data point of a latency/throughput curve.
+type CurvePoint struct {
+	Clients    int
+	Throughput float64 // committed transactions per second
+	MeanLatMs  float64
+	P99LatMs   float64
+	Aborts     int64
+}
+
+// String renders the point as a table row.
+func (p CurvePoint) String() string {
+	return fmt.Sprintf("%8d %12.0f %12.3f %12.3f %8d",
+		p.Clients, p.Throughput, p.MeanLatMs, p.P99LatMs, p.Aborts)
+}
+
+// loadStats aggregates what the client fleet observed.
+type loadStats struct {
+	lat       des.LatencyRecorder
+	committed int64
+	aborted   int64
+	finished  int
+	lastDone  time.Duration
+	// timeline, when set, receives a mark per commit (Fig. 10a).
+	timeline *des.Timeline
+}
+
+func (s *loadStats) commit(at time.Duration) {
+	s.committed++
+	if s.timeline != nil {
+		s.timeline.Mark(at)
+	}
+}
+
+func (s *loadStats) point(clients int) CurvePoint {
+	elapsed := s.lastDone
+	if elapsed <= 0 {
+		elapsed = time.Second
+	}
+	return CurvePoint{
+		Clients:    clients,
+		Throughput: des.Throughput(int(s.committed), elapsed),
+		MeanLatMs:  float64(s.lat.Mean()) / float64(time.Millisecond),
+		P99LatMs:   float64(s.lat.Percentile(99)) / float64(time.Millisecond),
+		Aborts:     s.aborted,
+	}
+}
+
+// shadowClients attaches n closed-loop ShadowDB clients (PBR or SMR mode)
+// to the cluster, each running txPerClient transactions from its
+// workload. Aborted transactions count as completions but not commits.
+func shadowClients(clu *des.Cluster, stats *loadStats, n, txPerClient int,
+	mode core.ClientMode, replicas, bcast []msg.Loc, retry time.Duration, mkWork func(i int) Workload) {
+	for i := 0; i < n; i++ {
+		loc := msg.Loc(fmt.Sprintf("client%d", i))
+		cli := &core.Client{
+			Slf: loc, Mode: mode, Replicas: replicas, BcastNodes: bcast, Retry: retry,
+		}
+		work := mkWork(i)
+		remaining := txPerClient
+		var started time.Duration
+		sim := clu.Sim
+		submit := func() []msg.Directive {
+			typ, args := work()
+			started = sim.Now()
+			return cli.Submit(typ, args)
+		}
+		clu.AddNode(loc, 1, nil, func(env des.Envelope) []msg.Directive {
+			res, outs := cli.Handle(env.M)
+			if res == nil {
+				return outs
+			}
+			stats.lat.Add(sim.Now() - started)
+			stats.lastDone = sim.Now()
+			if res.Aborted || res.Err != "" {
+				stats.aborted++
+			} else {
+				stats.commit(sim.Now())
+			}
+			remaining--
+			if remaining <= 0 {
+				stats.finished++
+				return outs
+			}
+			return append(outs, submit()...)
+		})
+		sim.After(0, func() {
+			for _, d := range submit() {
+				clu.SendAfter(d.Delay, loc, d.Dest, d.M)
+			}
+		})
+	}
+}
+
+// directClients attaches closed-loop clients that speak plain
+// request/response to a fixed server (the baseline systems).
+func directClients(clu *des.Cluster, stats *loadStats, n, txPerClient int,
+	server msg.Loc, mkWork func(i int) Workload) {
+	for i := 0; i < n; i++ {
+		loc := msg.Loc(fmt.Sprintf("client%d", i))
+		work := mkWork(i)
+		remaining := txPerClient
+		seq := int64(0)
+		var started time.Duration
+		sim := clu.Sim
+		submit := func() []msg.Directive {
+			typ, args := work()
+			seq++
+			started = sim.Now()
+			return []msg.Directive{msg.Send(server, msg.M(core.HdrTx, core.TxRequest{
+				Client: loc, Seq: seq, Type: typ, Args: args,
+			}))}
+		}
+		clu.AddNode(loc, 1, nil, func(env des.Envelope) []msg.Directive {
+			res, ok := env.M.Body.(core.TxResult)
+			if !ok {
+				return nil
+			}
+			stats.lat.Add(sim.Now() - started)
+			stats.lastDone = sim.Now()
+			if res.Aborted || res.Err != "" {
+				stats.aborted++
+			} else {
+				stats.commit(sim.Now())
+			}
+			remaining--
+			if remaining <= 0 {
+				stats.finished++
+				return nil
+			}
+			return submit()
+		})
+		sim.After(0, func() {
+			for _, d := range submit() {
+				clu.SendAfter(d.Delay, loc, d.Dest, d.M)
+			}
+		})
+	}
+}
+
+// lanLink is the evaluation cluster's network: a gigabit switch.
+func lanLink(msg.Loc, msg.Loc) des.LinkSpec {
+	return des.LinkSpec{Latency: 100 * time.Microsecond, Bandwidth: 125_000_000} // 1 Gb/s
+}
+
+// wireSize approximates serialized message sizes for bandwidth modeling.
+func wireSize(m msg.Msg) int {
+	switch body := m.Body.(type) {
+	case core.SnapBatch:
+		n := 64
+		for _, row := range body.Rows {
+			n += rowWire(row)
+		}
+		return n
+	default:
+		return 200
+	}
+}
+
+func rowWire(row []any) int {
+	n := 8
+	for _, v := range row {
+		switch x := v.(type) {
+		case string:
+			n += len(x)
+		default:
+			n += 8
+		}
+	}
+	return n
+}

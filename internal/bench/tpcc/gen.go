@@ -1,0 +1,143 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/sqldb"
+)
+
+// Generator produces the TPC-C transaction mix with all randomness
+// resolved into the argument list, so the resulting requests are
+// deterministic procedures.
+type Generator struct {
+	sc  Scale
+	rng *rand.Rand
+	// Mix is cumulative percentages for NewOrder / Payment / OrderStatus
+	// / Delivery / StockLevel; the standard mix is used by default.
+	counts map[string]int
+}
+
+// NewGenerator creates a generator with a seed (per client).
+func NewGenerator(sc Scale, seed int64) *Generator {
+	return &Generator{sc: sc, rng: rand.New(rand.NewSource(seed)), counts: make(map[string]int)}
+}
+
+// Counts reports how many of each type were generated.
+func (g *Generator) Counts() map[string]int { return g.counts }
+
+// Next returns the next transaction (type name and argument list)
+// following the standard mix: 45% NewOrder, 43% Payment, 4% each for the
+// rest.
+func (g *Generator) Next() (string, []any) {
+	p := g.rng.Intn(100)
+	var typ string
+	var args []any
+	switch {
+	case p < 45:
+		typ, args = g.newOrder()
+	case p < 88:
+		typ, args = g.payment()
+	case p < 92:
+		typ, args = g.orderStatus()
+	case p < 96:
+		typ, args = g.delivery()
+	default:
+		typ, args = g.stockLevel()
+	}
+	g.counts[typ]++
+	return typ, args
+}
+
+// nonUniform is the TPC-C NURand-style skew: low ids are hotter.
+func (g *Generator) nonUniform(n int) int64 {
+	a := g.rng.Intn(n) + 1
+	b := g.rng.Intn(n) + 1
+	if a < b {
+		return int64(a)
+	}
+	return int64(b)
+}
+
+func (g *Generator) warehouse() int64 { return int64(g.rng.Intn(g.sc.Warehouses) + 1) }
+func (g *Generator) district() int64  { return int64(g.rng.Intn(g.sc.DistrictsPerW) + 1) }
+func (g *Generator) customer() int64  { return g.nonUniform(g.sc.CustomersPerD) }
+
+func (g *Generator) newOrder() (string, []any) {
+	w := g.warehouse()
+	d := g.district()
+	c := g.customer()
+	n := int64(5 + g.rng.Intn(11))
+	args := []any{w, d, c, n}
+	for l := int64(0); l < n; l++ {
+		item := int64(g.rng.Intn(g.sc.Items) + 1)
+		if l == n-1 && g.rng.Intn(100) == 0 {
+			item = -1 // the 1% rollback case
+		}
+		args = append(args, item, w, int64(1+g.rng.Intn(10)))
+	}
+	return "new_order", args
+}
+
+func (g *Generator) payment() (string, []any) {
+	w := g.warehouse()
+	d := g.district()
+	return "payment", []any{w, d, w, d, g.customer(), 1.0 + float64(g.rng.Intn(5000))/100}
+}
+
+func (g *Generator) orderStatus() (string, []any) {
+	return "order_status", []any{g.warehouse(), g.district(), g.customer()}
+}
+
+func (g *Generator) delivery() (string, []any) {
+	return "delivery", []any{g.warehouse(), int64(1 + g.rng.Intn(10))}
+}
+
+func (g *Generator) stockLevel() (string, []any) {
+	return "stock_level", []any{g.warehouse(), g.district(), int64(10 + g.rng.Intn(11))}
+}
+
+// Locks is the baseline lock specification for TPC-C. Table-locked
+// engines take the tables each type touches; row-locked engines take the
+// warehouse/district/customer rows that are the real contention points.
+func Locks(req core.TxRequest, mode sqldb.LockMode) []string {
+	argAt := func(i int) any {
+		if i < len(req.Args) {
+			return req.Args[i]
+		}
+		return 0
+	}
+	if mode == sqldb.TableLock {
+		switch req.Type {
+		case "new_order":
+			return []string{"district", "new_order", "order_line", "orders", "stock"}
+		case "payment":
+			return []string{"customer", "district", "history", "warehouse"}
+		case "order_status":
+			return []string{"customer", "order_line", "orders"}
+		case "delivery":
+			return []string{"customer", "new_order", "order_line", "orders"}
+		default:
+			return []string{"district", "order_line", "stock"}
+		}
+	}
+	w := argAt(0)
+	d := argAt(1)
+	switch req.Type {
+	case "new_order":
+		return []string{fmt.Sprintf("district/%v/%v", w, d)}
+	case "payment":
+		return []string{
+			fmt.Sprintf("customer/%v/%v/%v", argAt(2), argAt(3), argAt(4)),
+			fmt.Sprintf("district/%v/%v", w, d),
+			fmt.Sprintf("warehouse/%v", w),
+		}
+	case "order_status":
+		return []string{fmt.Sprintf("customer/%v/%v/%v", w, d, argAt(2))}
+	case "delivery":
+		return []string{fmt.Sprintf("delivery/%v", w)}
+	default:
+		return []string{fmt.Sprintf("district/%v/%v", w, d)}
+	}
+}

@@ -1,0 +1,165 @@
+// Package tpcc implements the TPC-C benchmark workload of the paper's
+// evaluation (Section IV-B): the nine-table schema, the population
+// loader, and all five transaction types (NewOrder, Payment, OrderStatus,
+// Delivery, StockLevel) as deterministic ShadowDB procedures. All
+// randomness lives in the workload generator — procedure arguments carry
+// every random choice — so replicas execute identically, as state machine
+// replication requires.
+package tpcc
+
+import (
+	"fmt"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/sqldb"
+)
+
+// Scale sets the population sizes. Full() is the TPC-C scale for one
+// warehouse as in the paper ("TPC-C benchmark configured with 1
+// warehouse, or the equivalent of about 100MB of data"); Small() keeps
+// unit tests fast.
+type Scale struct {
+	Warehouses    int
+	DistrictsPerW int
+	CustomersPerD int
+	Items         int
+	OrdersPerD    int
+}
+
+// Full returns the standard single-warehouse scale.
+func Full() Scale {
+	return Scale{Warehouses: 1, DistrictsPerW: 10, CustomersPerD: 3000, Items: 100_000, OrdersPerD: 3000}
+}
+
+// Small returns a reduced scale for tests.
+func Small() Scale {
+	return Scale{Warehouses: 1, DistrictsPerW: 2, CustomersPerD: 30, Items: 100, OrdersPerD: 20}
+}
+
+// schema is the nine TPC-C tables in our dialect.
+var schema = []string{
+	`CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_tax FLOAT, w_ytd FLOAT)`,
+	`CREATE TABLE district (d_w_id INT, d_id INT, d_name TEXT, d_tax FLOAT, d_ytd FLOAT,
+		d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))`,
+	`CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_first TEXT, c_last TEXT,
+		c_balance FLOAT, c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT,
+		c_data TEXT, PRIMARY KEY (c_w_id, c_d_id, c_id))`,
+	`CREATE TABLE history (h_c_w_id INT, h_c_d_id INT, h_c_id INT, h_seq INT,
+		h_d_id INT, h_w_id INT, h_amount FLOAT, h_data TEXT,
+		PRIMARY KEY (h_c_w_id, h_c_d_id, h_c_id, h_seq))`,
+	`CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_carrier_id INT,
+		o_ol_cnt INT, PRIMARY KEY (o_w_id, o_d_id, o_id))`,
+	`CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT,
+		PRIMARY KEY (no_w_id, no_d_id, no_o_id))`,
+	`CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT,
+		ol_i_id INT, ol_supply_w_id INT, ol_quantity INT, ol_amount FLOAT, ol_dist_info TEXT,
+		PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))`,
+	`CREATE TABLE item (i_id INT PRIMARY KEY, i_name TEXT, i_price FLOAT, i_data TEXT)`,
+	`CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, s_ytd INT, s_order_cnt INT,
+		s_remote_cnt INT, s_dist_01 TEXT, PRIMARY KEY (s_w_id, s_i_id))`,
+}
+
+// Setup creates the schema and loads the population for the scale. It
+// returns a function usable as the replay setup of the validators.
+func Setup(db *sqldb.DB, sc Scale) error {
+	for _, s := range schema {
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("tpcc schema: %w", err)
+		}
+	}
+	for w := 1; w <= sc.Warehouses; w++ {
+		if _, err := db.Exec("INSERT INTO warehouse VALUES (?, ?, ?, ?)",
+			w, fmt.Sprintf("W%d", w), 0.05+float64(w%10)/100, 300000.0); err != nil {
+			return err
+		}
+		for i := 1; i <= sc.Items; i++ {
+			if w == 1 {
+				if _, err := db.Exec("INSERT INTO item VALUES (?, ?, ?, ?)",
+					i, fmt.Sprintf("item-%d", i), 1.0+float64(i%100), itemData(i)); err != nil {
+					return err
+				}
+			}
+			if _, err := db.Exec("INSERT INTO stock VALUES (?, ?, ?, ?, ?, ?, ?)",
+				w, i, 50+(i%50), 0, 0, 0, distInfo(w, i)); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= sc.DistrictsPerW; d++ {
+			if _, err := db.Exec("INSERT INTO district VALUES (?, ?, ?, ?, ?, ?)",
+				w, d, fmt.Sprintf("D%d-%d", w, d), 0.03+float64(d)/100, 30000.0,
+				sc.OrdersPerD+1); err != nil {
+				return err
+			}
+			for c := 1; c <= sc.CustomersPerD; c++ {
+				if _, err := db.Exec("INSERT INTO customer VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+					w, d, c, fmt.Sprintf("first%d", c), lastName(c),
+					-10.0, 10.0, 1, 0, custData(c)); err != nil {
+					return err
+				}
+				if _, err := db.Exec("INSERT INTO history VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+					w, d, c, 0, d, w, 10.0, "init"); err != nil {
+					return err
+				}
+			}
+			for o := 1; o <= sc.OrdersPerD; o++ {
+				cid := (o-1)%sc.CustomersPerD + 1
+				olCnt := 5 + o%6
+				carrier := o % 10
+				if o > sc.OrdersPerD*7/10 {
+					carrier = 0 // undelivered tail
+				}
+				if _, err := db.Exec("INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?)",
+					w, d, o, cid, carrier, olCnt); err != nil {
+					return err
+				}
+				if o > sc.OrdersPerD*7/10 {
+					if _, err := db.Exec("INSERT INTO new_order VALUES (?, ?, ?)", w, d, o); err != nil {
+						return err
+					}
+				}
+				for l := 1; l <= olCnt; l++ {
+					item := (o*7+l*13)%sc.Items + 1
+					if _, err := db.Exec("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+						w, d, o, l, item, w, 5, float64(l)*3.0, distInfo(w, l)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SetupFunc adapts Setup for the serializability validator.
+func SetupFunc(sc Scale) func(*sqldb.DB) error {
+	return func(db *sqldb.DB) error { return Setup(db, sc) }
+}
+
+func itemData(i int) string {
+	if i%10 == 0 {
+		return "ORIGINALxxxxxxxxxxxxxx"
+	}
+	return fmt.Sprintf("data-%d-padding-padding", i)
+}
+
+func distInfo(w, i int) string { return fmt.Sprintf("dist-%02d-%06d-xxxxxxxxxxxxxxxx", w, i) }
+func custData(c int) string    { return fmt.Sprintf("customer-data-%d-padding-padding-padding", c) }
+
+// lastName builds the TPC-C style syllable last name.
+func lastName(c int) string {
+	syll := []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+	n := c % 1000
+	return syll[n/100] + syll[(n/10)%10] + syll[n%10]
+}
+
+// Registry returns the five TPC-C transaction procedures, bound to a
+// scale (needed for a few derived limits).
+func Registry(sc Scale) core.Registry {
+	return core.Registry{
+		"new_order":    newOrderProc(sc),
+		"payment":      paymentProc(),
+		"order_status": orderStatusProc(),
+		"delivery":     deliveryProc(sc),
+		"stock_level":  stockLevelProc(),
+	}
+}

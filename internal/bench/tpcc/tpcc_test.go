@@ -1,0 +1,258 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/sqldb"
+)
+
+func setupSmall(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db, err := sqldb.Open("h2:mem:tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Setup(db, Small()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSetupPopulation(t *testing.T) {
+	db := setupSmall(t)
+	sc := Small()
+	checks := []struct {
+		table string
+		want  int
+	}{
+		{"warehouse", sc.Warehouses},
+		{"district", sc.Warehouses * sc.DistrictsPerW},
+		{"customer", sc.Warehouses * sc.DistrictsPerW * sc.CustomersPerD},
+		{"item", sc.Items},
+		{"stock", sc.Warehouses * sc.Items},
+		{"orders", sc.Warehouses * sc.DistrictsPerW * sc.OrdersPerD},
+	}
+	for _, c := range checks {
+		if n, ok := db.TableLen(c.table); !ok || n != c.want {
+			t.Errorf("%s rows = %d (ok=%v), want %d", c.table, n, ok, c.want)
+		}
+	}
+	// The undelivered tail is in new_order.
+	if n, _ := db.TableLen("new_order"); n == 0 {
+		t.Error("no undelivered orders loaded")
+	}
+}
+
+func run(t *testing.T, db *sqldb.DB, typ string, args []any) core.TxResult {
+	t.Helper()
+	reg := Registry(Small())
+	res := core.RunProc(db, reg, core.TxRequest{Client: "t", Seq: 1, Type: typ, Args: args})
+	if res.Err != "" {
+		t.Fatalf("%s: %s", typ, res.Err)
+	}
+	return res
+}
+
+func TestNewOrder(t *testing.T) {
+	db := setupSmall(t)
+	before, _ := db.TableLen("orders")
+	res := run(t, db, "new_order", []any{
+		int64(1), int64(1), int64(5), int64(2),
+		int64(10), int64(1), int64(3),
+		int64(20), int64(1), int64(2),
+	})
+	if res.Aborted {
+		t.Fatal("valid new_order aborted")
+	}
+	after, _ := db.TableLen("orders")
+	if after != before+1 {
+		t.Errorf("orders %d -> %d", before, after)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if total := res.Rows[0][1].(float64); total <= 0 {
+		t.Errorf("order total = %v", total)
+	}
+	// Stock was decremented for item 10.
+	sres, err := db.Exec("SELECT s_ytd FROM stock WHERE s_w_id = 1 AND s_i_id = 10")
+	if err != nil || sres.Rows[0][0].(int64) != 3 {
+		t.Errorf("stock ytd = %v (%v)", sres.Rows, err)
+	}
+}
+
+func TestNewOrderRollback(t *testing.T) {
+	db := setupSmall(t)
+	before, _ := db.TableLen("orders")
+	reg := Registry(Small())
+	res := core.RunProc(db, reg, core.TxRequest{Type: "new_order", Args: []any{
+		int64(1), int64(1), int64(5), int64(1),
+		int64(-1), int64(1), int64(3), // invalid item -> abort
+	}})
+	if !res.Aborted {
+		t.Fatalf("invalid item did not abort: %+v", res)
+	}
+	after, _ := db.TableLen("orders")
+	if after != before {
+		t.Errorf("aborted new_order leaked an order row (%d -> %d)", before, after)
+	}
+}
+
+func TestPayment(t *testing.T) {
+	db := setupSmall(t)
+	res := run(t, db, "payment", []any{int64(1), int64(1), int64(1), int64(1), int64(3), 42.5})
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	bal := res.Rows[0][0].(float64)
+	if bal != -52.5 { // initial -10 minus 42.5
+		t.Errorf("balance = %v, want -52.5", bal)
+	}
+	wres, _ := db.Exec("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+	if wres.Rows[0][0].(float64) != 300042.5 {
+		t.Errorf("warehouse ytd = %v", wres.Rows[0][0])
+	}
+}
+
+func TestOrderStatus(t *testing.T) {
+	db := setupSmall(t)
+	res := run(t, db, "order_status", []any{int64(1), int64(1), int64(1)})
+	if len(res.Rows) == 0 {
+		t.Error("order_status returned no lines for a populated customer")
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	db := setupSmall(t)
+	before, _ := db.TableLen("new_order")
+	res := run(t, db, "delivery", []any{int64(1), int64(7)})
+	delivered := res.Rows[0][0].(int64)
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	after, _ := db.TableLen("new_order")
+	if after != before-int(delivered) {
+		t.Errorf("new_order %d -> %d after delivering %d", before, after, delivered)
+	}
+}
+
+func TestStockLevel(t *testing.T) {
+	db := setupSmall(t)
+	res := run(t, db, "stock_level", []any{int64(1), int64(1), int64(100)})
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if low := res.Rows[0][0].(int64); low < 0 {
+		t.Errorf("low stock = %d", low)
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	g := NewGenerator(Small(), 42)
+	reg := Registry(Small())
+	for i := 0; i < 2000; i++ {
+		typ, args := g.Next()
+		if _, ok := reg[typ]; !ok {
+			t.Fatalf("generated unknown type %q", typ)
+		}
+		if len(args) == 0 {
+			t.Fatalf("%s generated no args", typ)
+		}
+	}
+	counts := g.Counts()
+	frac := func(typ string) float64 { return float64(counts[typ]) / 2000 }
+	if f := frac("new_order"); f < 0.40 || f > 0.50 {
+		t.Errorf("new_order fraction = %.2f, want ~0.45", f)
+	}
+	if f := frac("payment"); f < 0.38 || f > 0.48 {
+		t.Errorf("payment fraction = %.2f, want ~0.43", f)
+	}
+	for _, typ := range []string{"order_status", "delivery", "stock_level"} {
+		if f := frac(typ); f < 0.02 || f > 0.07 {
+			t.Errorf("%s fraction = %.2f, want ~0.04", typ, f)
+		}
+	}
+}
+
+func TestGeneratedWorkloadExecutes(t *testing.T) {
+	db := setupSmall(t)
+	g := NewGenerator(Small(), 7)
+	reg := Registry(Small())
+	aborts := 0
+	for i := 0; i < 300; i++ {
+		typ, args := g.Next()
+		res := core.RunProc(db, reg, core.TxRequest{Client: "c", Seq: int64(i), Type: typ, Args: args})
+		if res.Err != "" {
+			t.Fatalf("tx %d (%s): %s", i, typ, res.Err)
+		}
+		if res.Aborted {
+			aborts++
+		}
+	}
+	if aborts > 30 {
+		t.Errorf("abort rate too high: %d/300", aborts)
+	}
+}
+
+func TestDeterministicReplicas(t *testing.T) {
+	// Two replicas executing the same generated sequence finish in
+	// identical states — the SMR prerequisite.
+	dbA := setupSmall(t)
+	dbB := setupSmall(t)
+	reg := Registry(Small())
+	g := NewGenerator(Small(), 99)
+	var seq []core.TxRequest
+	for i := 0; i < 150; i++ {
+		typ, args := g.Next()
+		seq = append(seq, core.TxRequest{Client: "c", Seq: int64(i), Type: typ, Args: args})
+	}
+	for _, req := range seq {
+		core.RunProc(dbA, reg, req)
+	}
+	for _, req := range seq {
+		core.RunProc(dbB, reg, req)
+	}
+	if !sqldb.Equal(dbA, dbB) {
+		t.Error("replicas diverged on identical TPC-C input")
+	}
+}
+
+func TestLocks(t *testing.T) {
+	req := core.TxRequest{Type: "payment", Args: []any{int64(1), int64(2), int64(1), int64(2), int64(7), 10.0}}
+	tl := Locks(req, sqldb.TableLock)
+	if len(tl) != 4 {
+		t.Errorf("table locks = %v", tl)
+	}
+	rl := Locks(req, sqldb.RowLock)
+	if len(rl) != 3 || rl[1] != "district/1/2" {
+		t.Errorf("row locks = %v", rl)
+	}
+	no := core.TxRequest{Type: "new_order", Args: []any{int64(1), int64(3)}}
+	if got := Locks(no, sqldb.RowLock); len(got) != 1 || got[0] != "district/1/3" {
+		t.Errorf("new_order row locks = %v", got)
+	}
+}
+
+func TestArgHelpers(t *testing.T) {
+	if v, err := argInt([]any{int64(3)}, 0); err != nil || v != 3 {
+		t.Error("argInt int64")
+	}
+	if v, err := argInt([]any{7}, 0); err != nil || v != 7 {
+		t.Error("argInt int")
+	}
+	if _, err := argInt([]any{"x"}, 0); err == nil {
+		t.Error("argInt accepted string")
+	}
+	if _, err := argInt(nil, 0); !errorsIsMissing(err) {
+		t.Error("argInt missing index")
+	}
+	if v, err := argFloat([]any{2.5}, 0); err != nil || v != 2.5 {
+		t.Error("argFloat")
+	}
+}
+
+func errorsIsMissing(err error) bool {
+	return err != nil && !errors.Is(err, core.ErrAbort)
+}

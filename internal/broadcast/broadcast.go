@@ -1,0 +1,523 @@
+// Package broadcast implements the paper's total order broadcast service
+// (Section II-D): "The total order broadcast service guarantees that the
+// participating processes deliver the same messages and in the same order.
+// The total order broadcast service builds upon consensus protocols, and
+// is able to switch between protocols for different messages."
+//
+// Every service node runs, in parallel composition, the role classes of
+// one or more consensus modules (TwoThird and/or Paxos-Synod) plus a
+// sequencer class that batches client messages into consensus proposals
+// ("All versions of the broadcast service implement batching, that is,
+// multiple messages can be bundled in one Paxos proposal") and delivers
+// decided batches gap-free and in slot order to the subscribers.
+//
+// The whole service is an LoE specification, so it can run natively
+// ("compiled", the analogue of the paper's Lisp translation), as an
+// interpreted term program, or as an optimized term program — the three
+// curves of Fig. 8.
+package broadcast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/interp"
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// Message headers of the service.
+const (
+	// HdrBcast is a client's broadcast request.
+	HdrBcast = "bc.bcast"
+	// HdrDeliver is the total-order delivery notification.
+	HdrDeliver = "bc.deliver"
+)
+
+// Bcast is a client message to broadcast. From+Seq identify the message
+// for deduplication.
+type Bcast struct {
+	From    msg.Loc
+	Seq     int64
+	Payload []byte
+}
+
+// key identifies a Bcast for deduplication.
+func (b Bcast) key() string { return fmt.Sprintf("%s/%d", b.From, b.Seq) }
+
+// Deliver carries one decided batch, tagged with its slot. Subscribers
+// receive Deliver messages in contiguous slot order.
+type Deliver struct {
+	Slot int
+	Msgs []Bcast
+}
+
+// RegisterWireTypes registers the service's bodies with the wire codec.
+func RegisterWireTypes() {
+	msg.RegisterBody(Bcast{})
+	msg.RegisterBody(Deliver{})
+	twothird.RegisterWireTypes()
+	synod.RegisterWireTypes()
+}
+
+// Mode selects the execution mode of the service — the three curves of
+// Fig. 8 in the paper.
+type Mode int
+
+// The execution modes.
+const (
+	// Interpreted runs the generated term program in the λ-calculus
+	// interpreter (the paper's SML/OCaml Nuprl interpreters).
+	Interpreted Mode = iota + 1
+	// InterpretedOpt runs the optimized term program in the interpreter.
+	InterpretedOpt
+	// Compiled runs the class natively (the paper's Lisp translation).
+	Compiled
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Interpreted:
+		return "Interpreted"
+	case InterpretedOpt:
+		return "Inter.-Opt."
+	case Compiled:
+		return "Compiled"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Module abstracts a consensus protocol the service can sequence with.
+type Module interface {
+	// Name identifies the module ("paxos", "twothird").
+	Name() string
+	// Class returns the per-node role class for a group of co-located
+	// consensus nodes whose decisions are announced to learners.
+	Class(nodes, learners []msg.Loc) loe.Class
+	// Propose returns the directives a sequencer at slf emits to propose
+	// val for the given instance.
+	Propose(slf msg.Loc, nodes []msg.Loc, inst int, val string) []msg.Directive
+	// Decide recognizes a decide message body and extracts its instance
+	// and value.
+	Decide(hdr string, body any) (inst int, val string, ok bool)
+}
+
+// ---------------------------------------------------------- paxos module --
+
+type paxosModule struct{}
+
+// Paxos returns the Synod-backed consensus module.
+func Paxos() Module { return paxosModule{} }
+
+func (paxosModule) Name() string { return "paxos" }
+
+func (paxosModule) Class(nodes, learners []msg.Loc) loe.Class {
+	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners}
+	return loe.Parallel(synod.AcceptorClass(cfg), synod.LeaderClass(cfg))
+}
+
+func (paxosModule) Propose(slf msg.Loc, nodes []msg.Loc, inst int, val string) []msg.Directive {
+	// Proposing to the local leader keeps one ballot active in the common
+	// case; dueling proposers are resolved by preemption and backoff.
+	return []msg.Directive{msg.Send(slf, msg.M(synod.HdrPropose, synod.Propose{Inst: inst, Val: val}))}
+}
+
+func (paxosModule) Decide(hdr string, body any) (int, string, bool) {
+	if hdr != synod.HdrDecide {
+		return 0, "", false
+	}
+	d, ok := body.(synod.Decide)
+	if !ok {
+		return 0, "", false
+	}
+	return d.Inst, d.Val, true
+}
+
+// ------------------------------------------------------- twothird module --
+
+type twothirdModule struct{}
+
+// TwoThird returns the TwoThird-Consensus-backed module.
+func TwoThird() Module { return twothirdModule{} }
+
+func (twothirdModule) Name() string { return "twothird" }
+
+func (twothirdModule) Class(nodes, learners []msg.Loc) loe.Class {
+	cfg := twothird.Config{Nodes: nodes, Learners: learners}
+	return twothird.Class(cfg)
+}
+
+func (twothirdModule) Propose(slf msg.Loc, nodes []msg.Loc, inst int, val string) []msg.Directive {
+	return []msg.Directive{msg.Send(slf, msg.M(twothird.HdrPropose, twothird.Propose{Inst: inst, Val: val}))}
+}
+
+func (twothirdModule) Decide(hdr string, body any) (int, string, bool) {
+	if hdr != twothird.HdrDecide {
+		return 0, "", false
+	}
+	d, ok := body.(twothird.Decide)
+	if !ok {
+		return 0, "", false
+	}
+	return d.Inst, d.Val, true
+}
+
+// -------------------------------------------------------------- service --
+
+// Config parameterizes a broadcast service deployment.
+type Config struct {
+	// Nodes are the service (and consensus) locations; Paxos needs three
+	// to tolerate one failure.
+	Nodes []msg.Loc
+	// Subscribers receive a Deliver notification from EVERY service node;
+	// such subscribers must deduplicate by slot (ShadowDB replicas do).
+	Subscribers []msg.Loc
+	// LocalSubscribers maps a service node to subscribers only that node
+	// notifies — the deployment of the paper, where each database replica
+	// is co-located with one broadcast process.
+	LocalSubscribers map[msg.Loc][]msg.Loc
+	// Modules are the available consensus modules; the first is the
+	// default. Nil means Paxos only.
+	Modules []Module
+	// PickModule selects which module decides a slot (index into
+	// Modules). Nil means always module 0. This is the paper's
+	// per-message protocol switching.
+	PickModule func(slot int) int
+	// MaxBatch bounds how many client messages one proposal bundles; 0
+	// means unbounded.
+	MaxBatch int
+	// Sequencer designates the node that proposes batches; the other
+	// nodes forward client messages to it, keeping a single stable
+	// proposer in the common case. Empty means Nodes[0].
+	Sequencer msg.Loc
+}
+
+func (c Config) sequencer() msg.Loc {
+	if c.Sequencer != "" {
+		return c.Sequencer
+	}
+	if len(c.Nodes) > 0 {
+		return c.Nodes[0]
+	}
+	return ""
+}
+
+func (c Config) modules() []Module {
+	if len(c.Modules) == 0 {
+		return []Module{Paxos()}
+	}
+	return c.Modules
+}
+
+func (c Config) pick(slot int) int {
+	if c.PickModule == nil {
+		return 0
+	}
+	i := c.PickModule(slot)
+	if i < 0 || i >= len(c.modules()) {
+		return 0
+	}
+	return i
+}
+
+// seqState is the sequencer state of one service node.
+type seqState struct {
+	pending  []Bcast
+	seen     map[string]bool
+	decided  map[int][]Bcast
+	next     int // next slot to deliver
+	curProp  int // slot of the outstanding proposal, -1 if none
+	propSlot int // highest slot this node ever proposed
+}
+
+// sequencerClass builds the batching/ordering class of one service node.
+func sequencerClass(cfg Config) loe.Class {
+	mods := cfg.modules()
+	bases := []loe.Class{loe.Base(HdrBcast)}
+	// The sequencer listens for every module's decide header.
+	seenHdr := map[string]bool{}
+	for _, m := range mods {
+		for _, hdr := range decideHeaders(m) {
+			if !seenHdr[hdr] {
+				seenHdr[hdr] = true
+				bases = append(bases, loe.Base(hdr))
+			}
+		}
+	}
+	in := loe.Parallel(bases...)
+	init := func(msg.Loc) any {
+		return &seqState{
+			seen:     make(map[string]bool),
+			decided:  make(map[int][]Bcast),
+			curProp:  -1,
+			propSlot: -1,
+		}
+	}
+	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
+		s := state.(*seqState)
+		var outs []msg.Directive
+		if b, ok := input.(Bcast); ok {
+			outs = s.onBcast(cfg, slf, b)
+			return s, outs
+		}
+		// Not a Bcast: try every module's decide recognizer. The input
+		// value arrived through one of the decide base classes.
+		for _, m := range mods {
+			for _, hdr := range decideHeaders(m) {
+				if inst, val, ok := m.Decide(hdr, input); ok {
+					return s, s.onDecide(cfg, slf, inst, val)
+				}
+			}
+		}
+		return s, nil
+	}
+	return loe.Handler("Sequencer", init, step, in)
+}
+
+// decideHeaders lists the headers a module's Decide recognizer accepts.
+func decideHeaders(m Module) []string {
+	switch m.Name() {
+	case "paxos":
+		return []string{synod.HdrDecide}
+	case "twothird":
+		return []string{twothird.HdrDecide}
+	default:
+		return nil
+	}
+}
+
+func (s *seqState) onBcast(cfg Config, slf msg.Loc, b Bcast) []msg.Directive {
+	if s.seen[b.key()] {
+		return nil
+	}
+	s.seen[b.key()] = true
+	if seq := cfg.sequencer(); seq != slf {
+		// Non-sequencer nodes forward to the stable proposer; dueling
+		// proposers would otherwise preempt each other's ballots.
+		return []msg.Directive{msg.Send(seq, msg.M(HdrBcast, b))}
+	}
+	s.pending = append(s.pending, b)
+	return s.maybePropose(cfg, slf)
+}
+
+func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg.Directive {
+	if _, dup := s.decided[inst]; dup || inst < s.next {
+		return nil // duplicate decision announcement
+	}
+	batch, err := DecodeBatch(val)
+	if err != nil {
+		// A corrupt batch cannot happen with honest proposers; deliver
+		// the empty batch to keep slots contiguous.
+		batch = nil
+	}
+	s.decided[inst] = batch
+	if inst == s.curProp {
+		s.curProp = -1
+	}
+	// Drop messages decided by anyone from our pending set.
+	inBatch := make(map[string]bool, len(batch))
+	for _, b := range batch {
+		inBatch[b.key()] = true
+	}
+	if len(inBatch) > 0 {
+		kept := s.pending[:0]
+		for _, p := range s.pending {
+			if !inBatch[p.key()] {
+				kept = append(kept, p)
+			}
+		}
+		s.pending = kept
+	}
+	// Deliver contiguous decided slots.
+	var outs []msg.Directive
+	for {
+		b, ok := s.decided[s.next]
+		if !ok {
+			break
+		}
+		delete(s.decided, s.next)
+		d := Deliver{Slot: s.next, Msgs: b}
+		for _, sub := range cfg.Subscribers {
+			outs = append(outs, msg.Send(sub, msg.M(HdrDeliver, d)))
+		}
+		for _, sub := range cfg.LocalSubscribers[slf] {
+			outs = append(outs, msg.Send(sub, msg.M(HdrDeliver, d)))
+		}
+		s.next++
+	}
+	return append(outs, s.maybePropose(cfg, slf)...)
+}
+
+// maybePropose starts a proposal for the next free slot when none is
+// outstanding and messages are pending.
+func (s *seqState) maybePropose(cfg Config, slf msg.Loc) []msg.Directive {
+	if s.curProp >= 0 || len(s.pending) == 0 {
+		return nil
+	}
+	slot := s.next
+	if s.propSlot >= slot {
+		slot = s.propSlot + 1
+	}
+	for {
+		if _, done := s.decided[slot]; !done {
+			break
+		}
+		slot++
+	}
+	batch := s.pending
+	if cfg.MaxBatch > 0 && len(batch) > cfg.MaxBatch {
+		batch = batch[:cfg.MaxBatch]
+	}
+	val := EncodeBatch(batch)
+	s.curProp = slot
+	s.propSlot = slot
+	mod := cfg.modules()[cfg.pick(slot)]
+	return mod.Propose(slf, cfg.Nodes, slot, val)
+}
+
+// ------------------------------------------------------------- encoding --
+
+// EncodeBatch serializes a batch deterministically for use as a consensus
+// value.
+func EncodeBatch(batch []Bcast) string {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		// Bcast contains only gob-encodable fields; this cannot fail.
+		panic(fmt.Sprintf("broadcast: encode batch: %v", err))
+	}
+	return buf.String()
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(val string) ([]Bcast, error) {
+	var batch []Bcast
+	if err := gob.NewDecoder(bytes.NewReader([]byte(val))).Decode(&batch); err != nil {
+		return nil, fmt.Errorf("broadcast: decode batch: %w", err)
+	}
+	return batch, nil
+}
+
+// ----------------------------------------------------------------- spec --
+
+// Spec builds the full service specification: every node runs the
+// consensus role classes of all configured modules in parallel with the
+// sequencer.
+func Spec(cfg Config) loe.Spec {
+	classes := []loe.Class{sequencerClass(cfg)}
+	for _, m := range cfg.modules() {
+		classes = append(classes, m.Class(cfg.Nodes, cfg.Nodes))
+	}
+	return loe.Spec{
+		Name:   "Broadcast Service",
+		Main:   loe.Parallel(classes...),
+		Locs:   append([]msg.Loc(nil), cfg.Nodes...),
+		Params: 4,
+	}
+}
+
+// Generator compiles the service for the chosen execution mode. For the
+// interpreted modes the shared evaluator is returned so callers can read
+// its step counter; it is nil in compiled mode.
+func Generator(cfg Config, mode Mode) (gpm.Generator, *interp.Evaluator, error) {
+	spec := Spec(cfg)
+	switch mode {
+	case Compiled:
+		return spec.Generator(), nil, nil
+	case Interpreted:
+		ev := &interp.Evaluator{}
+		gen, err := interp.Generator(interp.CompileSpec(spec), spec.Locs, ev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile service to terms: %w", err)
+		}
+		return gen, ev, nil
+	case InterpretedOpt:
+		ev := &interp.Evaluator{}
+		gen, err := interp.Generator(interp.OptimizeSpec(spec), spec.Locs, ev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("optimize service terms: %w", err)
+		}
+		return gen, ev, nil
+	default:
+		return nil, nil, fmt.Errorf("broadcast: unknown mode %v", mode)
+	}
+}
+
+// DeliveriesTo extracts the Deliver bodies sent to one subscriber from a
+// trace, in emission order.
+func DeliveriesTo(trace []gpm.TraceEntry, sub msg.Loc) []Deliver {
+	var out []Deliver
+	for _, e := range trace {
+		for _, o := range e.Outs {
+			if o.Dest == sub && o.M.Hdr == HdrDeliver {
+				out = append(out, o.M.Body.(Deliver))
+			}
+		}
+	}
+	return out
+}
+
+// CheckTotalOrder validates that every subscriber saw the same contiguous
+// slot sequence with identical batches — the service's defining property.
+// Subscribers notified by several nodes see duplicate slots; duplicates
+// must carry identical batches, and deduplicated slots must be contiguous
+// and monotone.
+func CheckTotalOrder(trace []gpm.TraceEntry, subs []msg.Loc) error {
+	ref := make(map[int][]Bcast)
+	for i, sub := range subs {
+		bySlot := make(map[int][]Bcast)
+		high := -1
+		for _, d := range DeliveriesTo(trace, sub) {
+			if prev, dup := bySlot[d.Slot]; dup {
+				if !sameBatch(prev, d.Msgs) {
+					return fmt.Errorf("broadcast: subscriber %s got two batches for slot %d", sub, d.Slot)
+				}
+				continue
+			}
+			bySlot[d.Slot] = d.Msgs
+			if d.Slot > high {
+				high = d.Slot
+			}
+		}
+		for k := 0; k <= high; k++ {
+			if _, ok := bySlot[k]; !ok {
+				return fmt.Errorf("broadcast: subscriber %s has a gap at slot %d", sub, k)
+			}
+		}
+		if i == 0 {
+			ref = bySlot
+			continue
+		}
+		for k, b := range bySlot {
+			if rb, ok := ref[k]; ok && !sameBatch(rb, b) {
+				return fmt.Errorf("broadcast: subscribers %s and %s disagree at slot %d", subs[0], sub, k)
+			}
+		}
+	}
+	return nil
+}
+
+func sameBatch(a, b []Bcast) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i], kb[i] = a[i].key(), b[i].key()
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,549 @@
+// Package synod implements the multi-decree Paxos Synod protocol, "the
+// heart of the same protocol in the Paxos implementation used by Google"
+// (paper, Section II-D), following the role decomposition of Van Renesse's
+// "Paxos Made Moderately Complex" [20]: Leaders drive ballots and delegate
+// to short-lived Scout and Commander sub-processes; Acceptors maintain the
+// fault-tolerant memory of the protocol.
+//
+// The protocol is an LoE specification: leaders are the parallel
+// composition of a core handler and two Delegate combinators (one spawning
+// scouts, one spawning commanders) — the paper's sub-process delegation
+// pattern ("Our LoE delegation combinator allows us to specify distributed
+// programs using a modular or divide and conquer method"). Sub-processes
+// are addressed through self-messages, so the whole protocol stays inside
+// the primitive combinator algebra and can be compiled to term programs
+// and model-checked unchanged.
+//
+// The acceptor-amnesia bug that Google's Paxos extension suffered from
+// (promising a ballot, losing the promise to disk corruption, and
+// accepting lower ballots — Section II-D) is reproducible via
+// Config.Amnesia and is caught by the model checker; see properties.go.
+package synod
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// Message headers of the protocol.
+const (
+	HdrPropose   = "px.propose"
+	HdrP1a       = "px.p1a"
+	HdrP1b       = "px.p1b"
+	HdrP2a       = "px.p2a"
+	HdrP2b       = "px.p2b"
+	HdrAdopted   = "px.adopted"
+	HdrPreempted = "px.preempted"
+	HdrSpawnSct  = "px.spawnscout"
+	HdrSpawnCmd  = "px.spawncmd"
+	HdrWake      = "px.wake"
+	HdrDecide    = "px.decide"
+	HdrCorrupt   = "px.corrupt"
+)
+
+// Ballot is a Paxos ballot number: a round ordered lexicographically with
+// the leader identity as tie-breaker.
+type Ballot struct {
+	N int
+	L msg.Loc
+}
+
+// Less orders ballots.
+func (b Ballot) Less(o Ballot) bool {
+	if b.N != o.N {
+		return b.N < o.N
+	}
+	return b.L < o.L
+}
+
+// Equal reports ballot equality.
+func (b Ballot) Equal(o Ballot) bool { return b == o }
+
+// String implements fmt.Stringer.
+func (b Ballot) String() string { return fmt.Sprintf("(%d,%s)", b.N, b.L) }
+
+// PValue is an accepted proposal: ballot, slot, value.
+type PValue struct {
+	B    Ballot
+	Inst int
+	Val  string
+}
+
+// Protocol message bodies.
+type (
+	// Propose asks the leaders to get Val chosen in instance Inst.
+	Propose struct {
+		Inst int
+		Val  string
+	}
+	// P1a is the scout's phase-1 request.
+	P1a struct {
+		B    Ballot
+		From msg.Loc
+	}
+	// P1b is an acceptor's phase-1 response: its current ballot and all
+	// pvalues it has accepted.
+	P1b struct {
+		From     msg.Loc
+		B        Ballot
+		Accepted []PValue
+	}
+	// P2a is the commander's phase-2 request for one pvalue.
+	P2a struct {
+		B    Ballot
+		Inst int
+		Val  string
+		From msg.Loc
+	}
+	// P2b is an acceptor's phase-2 response.
+	P2b struct {
+		From msg.Loc
+		B    Ballot
+		Inst int
+	}
+	// Adopted is the scout→leader self-message on majority adoption.
+	Adopted struct {
+		B        Ballot
+		Accepted []PValue
+	}
+	// Preempted is the scout/commander→leader self-message on observing a
+	// higher ballot.
+	Preempted struct {
+		B Ballot
+	}
+	// SpawnScout is the leader core→delegate self-message starting a
+	// scout for ballot B.
+	SpawnScout struct {
+		B Ballot
+	}
+	// SpawnCmd is the leader core→delegate self-message starting a
+	// commander for one pvalue.
+	SpawnCmd struct {
+		B    Ballot
+		Inst int
+		Val  string
+	}
+	// Wake retries leadership after a preemption backoff.
+	Wake struct{}
+	// Decide announces a chosen value to learners and leaders.
+	Decide struct {
+		Inst int
+		Val  string
+	}
+	// Corrupt is the fault-injection message of the amnesia variant: the
+	// receiving acceptor forgets everything, as if restarting from a
+	// corrupted disk.
+	Corrupt struct{}
+)
+
+// RegisterWireTypes registers the protocol's bodies with the wire codec.
+func RegisterWireTypes() {
+	for _, v := range []any{
+		Propose{}, P1a{}, P1b{}, P2a{}, P2b{}, Adopted{}, Preempted{},
+		SpawnScout{}, SpawnCmd{}, Wake{}, Decide{}, Corrupt{}, Ballot{}, PValue{},
+	} {
+		msg.RegisterBody(v)
+	}
+}
+
+// Config parameterizes a Synod deployment.
+type Config struct {
+	// Leaders are the proposer locations.
+	Leaders []msg.Loc
+	// Acceptors are the acceptor locations.
+	Acceptors []msg.Loc
+	// Learners receive a Decide for every chosen instance.
+	Learners []msg.Loc
+	// Backoff is the base preemption backoff; a preempted leader retries
+	// after Backoff scaled by its index (deterministic, keeps dueling
+	// leaders apart). Zero means 50ms.
+	Backoff time.Duration
+	// Amnesia re-introduces the Google bug: acceptors honour Corrupt
+	// messages by forgetting their promises. Only the fault-injection
+	// tests enable it.
+	Amnesia bool
+}
+
+// Majority is the acceptor quorum size.
+func (c Config) Majority() int { return len(c.Acceptors)/2 + 1 }
+
+func (c Config) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// ------------------------------------------------------------ acceptor --
+
+// acceptorState is the durable state of an acceptor.
+type acceptorState struct {
+	ballot   Ballot
+	hasB     bool
+	accepted map[int]PValue // slot -> highest-ballot accepted pvalue
+}
+
+// AcceptorClass builds the acceptor event class.
+func AcceptorClass(cfg Config) loe.Class {
+	in := loe.Parallel(loe.Base(HdrP1a), loe.Base(HdrP2a), loe.Base(HdrCorrupt))
+	init := func(msg.Loc) any {
+		return &acceptorState{accepted: make(map[int]PValue)}
+	}
+	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
+		s := state.(*acceptorState)
+		switch b := input.(type) {
+		case P1a:
+			if !s.hasB || s.ballot.Less(b.B) {
+				s.ballot, s.hasB = b.B, true
+			}
+			return s, []msg.Directive{msg.Send(b.From, msg.M(HdrP1b, P1b{
+				From: slf, B: s.ballot, Accepted: s.pvalues(),
+			}))}
+		case P2a:
+			if !s.hasB || !b.B.Less(s.ballot) {
+				// b.B >= current ballot: adopt and accept.
+				s.ballot, s.hasB = b.B, true
+				prev, ok := s.accepted[b.Inst]
+				if !ok || prev.B.Less(b.B) {
+					s.accepted[b.Inst] = PValue{B: b.B, Inst: b.Inst, Val: b.Val}
+				}
+			}
+			return s, []msg.Directive{msg.Send(b.From, msg.M(HdrP2b, P2b{
+				From: slf, B: s.ballot, Inst: b.Inst,
+			}))}
+		case Corrupt:
+			if cfg.Amnesia {
+				// The Google bug: all promises and accepted pvalues are
+				// lost, as after restarting from a corrupted disk.
+				*s = acceptorState{accepted: make(map[int]PValue)}
+			}
+			return s, nil
+		}
+		return s, nil
+	}
+	return loe.Handler("Acceptor", init, step, in)
+}
+
+// pvalues returns the accepted pvalues in deterministic slot order.
+func (s *acceptorState) pvalues() []PValue {
+	slots := make([]int, 0, len(s.accepted))
+	for k := range s.accepted {
+		slots = append(slots, k)
+	}
+	sort.Ints(slots)
+	out := make([]PValue, 0, len(slots))
+	for _, k := range slots {
+		out = append(out, s.accepted[k])
+	}
+	return out
+}
+
+// -------------------------------------------------------------- leader --
+
+// leaderState is the state of the leader core.
+type leaderState struct {
+	idx       int // index in cfg.Leaders, for deterministic backoff
+	ballot    Ballot
+	active    bool
+	scouting  bool
+	proposals map[int]string
+	decided   map[int]string
+}
+
+// LeaderClass builds the leader event class: core handler in parallel with
+// the scout and commander delegates.
+func LeaderClass(cfg Config) loe.Class {
+	core := leaderCore(cfg)
+	scouts := loe.Delegate("Scouts", loe.Base(HdrSpawnSct), func(slf msg.Loc, v any) loe.Class {
+		return scoutClass(cfg, v.(SpawnScout).B)
+	})
+	commanders := loe.Delegate("Commanders", loe.Base(HdrSpawnCmd), func(slf msg.Loc, v any) loe.Class {
+		sc := v.(SpawnCmd)
+		return commanderClass(cfg, sc.B, sc.Inst, sc.Val)
+	})
+	return loe.Parallel(core, scouts, commanders)
+}
+
+func leaderCore(cfg Config) loe.Class {
+	in := loe.Parallel(
+		loe.Base(HdrPropose), loe.Base(HdrAdopted), loe.Base(HdrPreempted),
+		loe.Base(HdrWake), loe.Base(HdrDecide),
+	)
+	init := func(slf msg.Loc) any {
+		idx := 0
+		for i, l := range cfg.Leaders {
+			if l == slf {
+				idx = i
+			}
+		}
+		return &leaderState{
+			idx:       idx,
+			ballot:    Ballot{N: 0, L: slf},
+			proposals: make(map[int]string),
+			decided:   make(map[int]string),
+		}
+	}
+	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
+		s := state.(*leaderState)
+		switch b := input.(type) {
+		case Propose:
+			return s, s.onPropose(cfg, slf, b)
+		case Adopted:
+			return s, s.onAdopted(slf, b)
+		case Preempted:
+			return s, s.onPreempted(cfg, slf, b)
+		case Wake:
+			return s, s.onWake(slf)
+		case Decide:
+			s.decided[b.Inst] = b.Val
+			delete(s.proposals, b.Inst)
+			return s, nil
+		}
+		return s, nil
+	}
+	return loe.Handler("LeaderCore", init, step, in)
+}
+
+func (s *leaderState) onPropose(cfg Config, slf msg.Loc, b Propose) []msg.Directive {
+	if _, done := s.decided[b.Inst]; done {
+		// Already chosen: remind the learners (idempotent; they dedupe).
+		var outs []msg.Directive
+		for _, l := range cfg.Learners {
+			outs = append(outs, msg.Send(l, msg.M(HdrDecide, Decide{Inst: b.Inst, Val: s.decided[b.Inst]})))
+		}
+		return outs
+	}
+	if _, dup := s.proposals[b.Inst]; dup {
+		return nil
+	}
+	s.proposals[b.Inst] = b.Val
+	if s.active {
+		return []msg.Directive{msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{B: s.ballot, Inst: b.Inst, Val: b.Val}))}
+	}
+	if !s.scouting {
+		s.scouting = true
+		return []msg.Directive{msg.Send(slf, msg.M(HdrSpawnSct, SpawnScout{B: s.ballot}))}
+	}
+	return nil
+}
+
+func (s *leaderState) onAdopted(slf msg.Loc, b Adopted) []msg.Directive {
+	if !b.B.Equal(s.ballot) {
+		return nil // stale adoption of an old ballot
+	}
+	s.active = true
+	s.scouting = false
+	// pmax: adopt the highest-ballot accepted value per slot, overriding
+	// our own proposals — the core Paxos safety rule.
+	best := make(map[int]PValue)
+	for _, pv := range b.Accepted {
+		if cur, ok := best[pv.Inst]; !ok || cur.B.Less(pv.B) {
+			best[pv.Inst] = pv
+		}
+	}
+	for inst, pv := range best {
+		if _, done := s.decided[inst]; !done {
+			s.proposals[inst] = pv.Val
+		}
+	}
+	// Command every pending proposal under the adopted ballot.
+	insts := make([]int, 0, len(s.proposals))
+	for inst := range s.proposals {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
+	outs := make([]msg.Directive, 0, len(insts))
+	for _, inst := range insts {
+		outs = append(outs, msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{
+			B: s.ballot, Inst: inst, Val: s.proposals[inst],
+		})))
+	}
+	return outs
+}
+
+func (s *leaderState) onPreempted(cfg Config, slf msg.Loc, b Preempted) []msg.Directive {
+	if !s.ballot.Less(b.B) {
+		return nil
+	}
+	s.active = false
+	s.scouting = false
+	s.ballot = Ballot{N: b.B.N + 1, L: slf}
+	delay := cfg.backoff() * time.Duration(s.idx+1)
+	return []msg.Directive{msg.SendAfter(delay, slf, msg.M(HdrWake, Wake{}))}
+}
+
+func (s *leaderState) onWake(slf msg.Loc) []msg.Directive {
+	if s.active || s.scouting || len(s.proposals) == 0 {
+		return nil
+	}
+	s.scouting = true
+	return []msg.Directive{msg.Send(slf, msg.M(HdrSpawnSct, SpawnScout{B: s.ballot}))}
+}
+
+// --------------------------------------------------------------- scout --
+
+// scoutState tracks a scout's quorum.
+type scoutState struct {
+	waiting  map[msg.Loc]bool
+	accepted []PValue
+	done     bool
+}
+
+// scoutClass builds the sub-process for one ballot. Its spawn event is the
+// SpawnScout message itself, on which it emits the p1a round.
+func scoutClass(cfg Config, b Ballot) loe.Class {
+	in := loe.Parallel(loe.Base(HdrSpawnSct), loe.Base(HdrP1b))
+	init := func(msg.Loc) any {
+		w := make(map[msg.Loc]bool, len(cfg.Acceptors))
+		for _, a := range cfg.Acceptors {
+			w[a] = true
+		}
+		return &scoutState{waiting: w}
+	}
+	step := func(slf msg.Loc, input, state any) (any, []any) {
+		s := state.(*scoutState)
+		if s.done {
+			return s, nil
+		}
+		switch m := input.(type) {
+		case SpawnScout:
+			if !m.B.Equal(b) {
+				return s, nil
+			}
+			outs := make([]any, 0, len(cfg.Acceptors))
+			for _, a := range cfg.Acceptors {
+				outs = append(outs, msg.Send(a, msg.M(HdrP1a, P1a{B: b, From: slf})))
+			}
+			return s, outs
+		case P1b:
+			if b.Less(m.B) {
+				s.done = true
+				return s, []any{msg.Send(slf, msg.M(HdrPreempted, Preempted{B: m.B})), loe.Done{}}
+			}
+			if !m.B.Equal(b) || !s.waiting[m.From] {
+				return s, nil
+			}
+			delete(s.waiting, m.From)
+			s.accepted = append(s.accepted, m.Accepted...)
+			if len(cfg.Acceptors)-len(s.waiting) >= cfg.Majority() {
+				s.done = true
+				return s, []any{msg.Send(slf, msg.M(HdrAdopted, Adopted{B: b, Accepted: s.accepted})), loe.Done{}}
+			}
+			return s, nil
+		}
+		return s, nil
+	}
+	return loe.HandlerRaw(fmt.Sprintf("Scout%s", b), init, step, in)
+}
+
+// ----------------------------------------------------------- commander --
+
+// commanderState tracks a commander's quorum.
+type commanderState struct {
+	waiting map[msg.Loc]bool
+	done    bool
+}
+
+// commanderClass builds the sub-process driving one pvalue to decision.
+func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
+	in := loe.Parallel(loe.Base(HdrSpawnCmd), loe.Base(HdrP2b))
+	init := func(msg.Loc) any {
+		w := make(map[msg.Loc]bool, len(cfg.Acceptors))
+		for _, a := range cfg.Acceptors {
+			w[a] = true
+		}
+		return &commanderState{waiting: w}
+	}
+	step := func(slf msg.Loc, input, state any) (any, []any) {
+		s := state.(*commanderState)
+		if s.done {
+			return s, nil
+		}
+		switch m := input.(type) {
+		case SpawnCmd:
+			if !m.B.Equal(b) || m.Inst != inst {
+				return s, nil
+			}
+			outs := make([]any, 0, len(cfg.Acceptors))
+			for _, a := range cfg.Acceptors {
+				outs = append(outs, msg.Send(a, msg.M(HdrP2a, P2a{B: b, Inst: inst, Val: val, From: slf})))
+			}
+			return s, outs
+		case P2b:
+			if m.Inst != inst {
+				return s, nil
+			}
+			if b.Less(m.B) {
+				s.done = true
+				return s, []any{msg.Send(slf, msg.M(HdrPreempted, Preempted{B: m.B})), loe.Done{}}
+			}
+			if !m.B.Equal(b) || !s.waiting[m.From] {
+				return s, nil
+			}
+			delete(s.waiting, m.From)
+			if len(cfg.Acceptors)-len(s.waiting) >= cfg.Majority() {
+				s.done = true
+				d := Decide{Inst: inst, Val: val}
+				outs := make([]any, 0, len(cfg.Learners)+len(cfg.Leaders)+1)
+				for _, l := range cfg.Learners {
+					outs = append(outs, msg.Send(l, msg.M(HdrDecide, d)))
+				}
+				for _, l := range cfg.Leaders {
+					outs = append(outs, msg.Send(l, msg.M(HdrDecide, d)))
+				}
+				outs = append(outs, loe.Done{})
+				return s, outs
+			}
+			return s, nil
+		}
+		return s, nil
+	}
+	return loe.HandlerRaw(fmt.Sprintf("Cmd%s/%d", b, inst), init, step, in)
+}
+
+// ----------------------------------------------------------------- spec --
+
+// Spec builds the full deployment: acceptors and leaders, each running
+// their role class.
+func Spec(cfg Config) loe.Spec {
+	accSet := make(map[msg.Loc]bool, len(cfg.Acceptors))
+	for _, a := range cfg.Acceptors {
+		accSet[a] = true
+	}
+	// Role dispatch by location: acceptors run the acceptor class, leaders
+	// the leader class. The union class routes on location via Filter.
+	locs := append(append([]msg.Loc(nil), cfg.Leaders...), cfg.Acceptors...)
+	main := loe.Parallel(
+		guard(AcceptorClass(cfg), func(slf msg.Loc) bool { return accSet[slf] }, "at-acceptor"),
+		guard(LeaderClass(cfg), func(slf msg.Loc) bool { return !accSet[slf] }, "at-leader"),
+	)
+	return loe.Spec{Name: "Paxos-Synod", Main: main, Locs: locs, Params: 4}
+}
+
+// guard keeps only the outputs produced at locations satisfying pred,
+// giving per-role deployment within one class.
+func guard(c loe.Class, pred func(msg.Loc) bool, name string) loe.Class {
+	return loe.Filter(name, func(slf msg.Loc, _ any) bool { return pred(slf) }, c)
+}
+
+// DecisionsOf extracts learner decisions from directives, keyed by
+// instance.
+func DecisionsOf(outs []msg.Directive, learners []msg.Loc) map[int][]string {
+	lset := make(map[msg.Loc]bool, len(learners))
+	for _, l := range learners {
+		lset[l] = true
+	}
+	ds := make(map[int][]string)
+	for _, o := range outs {
+		if o.M.Hdr == HdrDecide && lset[o.Dest] {
+			if b, ok := o.M.Body.(Decide); ok {
+				ds[b.Inst] = append(ds[b.Inst], b.Val)
+			}
+		}
+	}
+	return ds
+}

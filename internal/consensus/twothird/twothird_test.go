@@ -1,0 +1,200 @@
+package twothird
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/interp"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/verify"
+)
+
+func TestQuorum(t *testing.T) {
+	tests := []struct {
+		nodes int
+		want  int
+	}{
+		{3, 3}, {4, 3}, {5, 4}, {6, 5}, {7, 5}, {9, 7},
+	}
+	for _, tt := range tests {
+		cfg := Config{Nodes: make([]msg.Loc, tt.nodes)}
+		if got := cfg.Quorum(); got != tt.want {
+			t.Errorf("Quorum(n=%d) = %d, want %d", tt.nodes, got, tt.want)
+		}
+	}
+}
+
+func TestQuorumMajorityProperty(t *testing.T) {
+	// Two quorums always intersect in more than n/3 nodes, the property
+	// the algorithm's agreement rests on.
+	f := func(n uint8) bool {
+		size := int(n%30) + 3
+		cfg := Config{Nodes: make([]msg.Loc, size)}
+		q := cfg.Quorum()
+		return 2*q-size > size/3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimpleDecision(t *testing.T) {
+	cfg := testConfig()
+	r := gpm.NewRunner(Spec(cfg).System())
+	r.Inject("n1", msg.M(HdrPropose, Propose{Inst: 0, Val: "v"}))
+	if _, err := r.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	vals := learnerDecisions(r.Trace())
+	if len(vals[0]) == 0 {
+		t.Fatal("no decision delivered to learner")
+	}
+	for _, v := range vals[0] {
+		if v != "v" {
+			t.Errorf("decided %q, want v", v)
+		}
+	}
+}
+
+func TestConflictingProposalsDecideOneValue(t *testing.T) {
+	cfg := testConfig()
+	r := gpm.NewRunner(Spec(cfg).System())
+	r.Inject("n1", msg.M(HdrPropose, Propose{Inst: 0, Val: "a"}))
+	r.Inject("n2", msg.M(HdrPropose, Propose{Inst: 0, Val: "b"}))
+	r.Inject("n3", msg.M(HdrPropose, Propose{Inst: 0, Val: "c"}))
+	if _, err := r.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	vals := learnerDecisions(r.Trace())
+	if len(vals[0]) == 0 {
+		t.Fatal("no decision")
+	}
+	first := vals[0][0]
+	for _, v := range vals[0] {
+		if v != first {
+			t.Fatalf("learner received decisions %v for one instance", vals[0])
+		}
+	}
+}
+
+func TestMultipleInstancesIndependent(t *testing.T) {
+	cfg := testConfig()
+	r := gpm.NewRunner(Spec(cfg).System())
+	r.Inject("n1", msg.M(HdrPropose, Propose{Inst: 0, Val: "zero"}))
+	r.Inject("n2", msg.M(HdrPropose, Propose{Inst: 1, Val: "one"}))
+	r.Inject("n3", msg.M(HdrPropose, Propose{Inst: 2, Val: "two"}))
+	if _, err := r.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	vals := learnerDecisions(r.Trace())
+	want := map[int]string{0: "zero", 1: "one", 2: "two"}
+	for inst, w := range want {
+		if len(vals[inst]) == 0 {
+			t.Errorf("instance %d undecided", inst)
+			continue
+		}
+		for _, v := range vals[inst] {
+			if v != w {
+				t.Errorf("instance %d decided %q, want %q", inst, v, w)
+			}
+		}
+	}
+}
+
+// learnerDecisions replays the trace and collects learner deliveries.
+func learnerDecisions(trace []gpm.TraceEntry) map[int][]string {
+	out := make(map[int][]string)
+	for _, e := range trace {
+		for inst, vs := range DecisionsOf(e.Outs, []msg.Loc{"learner"}) {
+			out[inst] = append(out[inst], vs...)
+		}
+	}
+	return out
+}
+
+func TestMostFrequentDeterministic(t *testing.T) {
+	rv := map[msg.Loc]string{"a": "y", "b": "x", "c": "y", "d": "x"}
+	v, n := mostFrequent(rv)
+	if v != "x" || n != 2 {
+		t.Errorf("mostFrequent tie = (%q,%d), want smallest value x with 2", v, n)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking is slow")
+	}
+	for _, p := range Properties() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Check(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestInterpretedBisimilarToNative(t *testing.T) {
+	cfg := testConfig()
+	cl := Class(cfg)
+	inputs := []msg.Msg{
+		msg.M(HdrPropose, Propose{Inst: 0, Val: "a"}),
+		msg.M(HdrVote, Vote{Inst: 0, Round: 0, From: "n2", Val: "b"}),
+		msg.M(HdrVote, Vote{Inst: 0, Round: 0, From: "n3", Val: "b"}),
+		msg.M(HdrVote, Vote{Inst: 0, Round: 1, From: "n2", Val: "b"}),
+		msg.M(HdrVote, Vote{Inst: 0, Round: 1, From: "n3", Val: "b"}),
+		msg.M(HdrDecide, Decide{Inst: 0, Val: "b"}),
+	}
+	ev := &interp.Evaluator{MaxSteps: 100_000_000}
+	tp, err := interp.NewProcess(interp.Compile(cl), "n1", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Bisimilar(tp, Spec(cfg).Generator()("n1"), inputs); err != nil {
+		t.Fatalf("interpreted TwoThird diverges from native: %v", err)
+	}
+	op, err := interp.NewProcess(interp.Optimize(cl), "n1", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Bisimilar(op, Spec(cfg).Generator()("n1"), inputs); err != nil {
+		t.Fatalf("optimized TwoThird diverges from native: %v", err)
+	}
+}
+
+func TestLegacyVariantStillDecidesUnderFIFO(t *testing.T) {
+	// FIFO scheduling alone does not expose the liveness bug (the paper
+	// found it by inspection, not by testing); only specific
+	// interleavings stall, which the regression property in
+	// properties.go searches for.
+	cfg := testConfig()
+	cfg.Legacy = true
+	missing, err := runFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("legacy variant stalled under FIFO: %v", missing)
+	}
+}
+
+func TestAgreementUnderFuzzedSchedules(t *testing.T) {
+	cfg := testConfig()
+	m := model(cfg, map[msg.Loc]string{"n1": "a", "n2": "b", "n3": "c"}, 0)
+	if _, err := verify.Fuzz(m, 150, 300, 2026); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecisionsOfIgnoresOtherHeaders(t *testing.T) {
+	outs := []msg.Directive{
+		msg.Send("learner", msg.M(HdrVote, Vote{Inst: 0})),
+		msg.Send("learner", msg.M(HdrDecide, Decide{Inst: 3, Val: "v"})),
+		msg.Send("elsewhere", msg.M(HdrDecide, Decide{Inst: 4, Val: "w"})),
+	}
+	ds := DecisionsOf(outs, []msg.Loc{"learner"})
+	if len(ds) != 1 || len(ds[3]) != 1 || ds[3][0] != "v" {
+		t.Errorf("DecisionsOf = %v", ds)
+	}
+}

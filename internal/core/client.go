@@ -1,0 +1,155 @@
+package core
+
+import (
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/msg"
+)
+
+// Client drives transactions against a ShadowDB deployment. It is a
+// plain state machine (no goroutines, no wall clock): Submit returns the
+// directives to send, Handle consumes incoming messages and retry timers.
+// One transaction is outstanding at a time (the closed-loop client of the
+// paper's benchmarks); exactly-once execution is guaranteed by the
+// (client, sequence-number) pair, so retries are safe.
+
+// HdrClientRetry is the client's retry timer header.
+const HdrClientRetry = "sdb.cliretry"
+
+// ClientRetryBody tags the retry timer with the request it guards.
+type ClientRetryBody struct {
+	Seq int64
+}
+
+// ClientMode selects the protocol the client speaks.
+type ClientMode int
+
+// The client modes.
+const (
+	// ModePBR sends to the primary and follows redirects.
+	ModePBR ClientMode = iota + 1
+	// ModeSMR broadcasts through the total order broadcast service and
+	// takes the first answer.
+	ModeSMR
+)
+
+// Client is a ShadowDB client state machine.
+type Client struct {
+	// Slf is the client's own location (where answers arrive).
+	Slf msg.Loc
+	// Mode selects PBR or SMR.
+	Mode ClientMode
+	// Replicas is the PBR replica pool (first guess first).
+	Replicas []msg.Loc
+	// BcastNodes is the SMR broadcast service membership.
+	BcastNodes []msg.Loc
+	// Retry is the resend timeout (0 = 2s).
+	Retry time.Duration
+
+	seq      int64
+	primary  int
+	home     int // broadcast node the SMR client currently uses
+	inflight *TxRequest
+	// Done counts completed transactions; Retries counts resends.
+	Done    int64
+	Retries int64
+	Aborted int64
+}
+
+func (c *Client) retry() time.Duration {
+	if c.Retry > 0 {
+		return c.Retry
+	}
+	return 2 * time.Second
+}
+
+// Busy reports whether a transaction is outstanding.
+func (c *Client) Busy() bool { return c.inflight != nil }
+
+// Seq returns the last assigned sequence number.
+func (c *Client) Seq() int64 { return c.seq }
+
+// Submit starts a new transaction. It panics if one is already
+// outstanding (the driver must wait for completion).
+func (c *Client) Submit(txType string, args []any) []msg.Directive {
+	if c.inflight != nil {
+		panic("core: client already has a transaction outstanding")
+	}
+	c.seq++
+	req := TxRequest{Client: c.Slf, Seq: c.seq, Type: txType, Args: args}
+	c.inflight = &req
+	return c.send(req)
+}
+
+func (c *Client) send(req TxRequest) []msg.Directive {
+	outs := []msg.Directive{
+		msg.SendAfter(c.retry(), c.Slf, msg.M(HdrClientRetry, ClientRetryBody{Seq: req.Seq})),
+	}
+	switch c.Mode {
+	case ModeSMR:
+		payload, err := EncodeTx(req)
+		if err != nil {
+			return nil
+		}
+		// One service node suffices (it forwards to the sequencer); the
+		// retry path rotates to another node in case it crashed.
+		b := broadcast.Bcast{From: c.Slf, Seq: req.Seq, Payload: payload}
+		outs = append(outs, msg.Send(c.BcastNodes[c.home%len(c.BcastNodes)], msg.M(broadcast.HdrBcast, b)))
+	default:
+		outs = append(outs, msg.Send(c.Replicas[c.primary%len(c.Replicas)], msg.M(HdrTx, req)))
+	}
+	return outs
+}
+
+// Handle consumes one incoming message. When the outstanding transaction
+// completes it returns its result (nil otherwise) plus any directives to
+// send.
+func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
+	switch in.Hdr {
+	case HdrTxResult:
+		res := in.Body.(TxResult)
+		if c.inflight == nil || res.Seq != c.inflight.Seq {
+			return nil, nil // stale or duplicate answer
+		}
+		c.inflight = nil
+		c.Done++
+		if res.Aborted {
+			c.Aborted++
+		}
+		return &res, nil
+	case HdrRedirect:
+		rd := in.Body.(Redirect)
+		if c.inflight == nil || rd.Primary == "" {
+			return nil, nil
+		}
+		for i, r := range c.Replicas {
+			if r == rd.Primary {
+				c.primary = i
+			}
+		}
+		return nil, c.resend()
+	case HdrClientRetry:
+		body := in.Body.(ClientRetryBody)
+		if c.inflight == nil || body.Seq != c.inflight.Seq {
+			return nil, nil // the guarded request already completed
+		}
+		c.Retries++
+		if c.Mode == ModePBR {
+			// Try the next replica: the primary may have crashed.
+			c.primary = (c.primary + 1) % len(c.Replicas)
+		} else {
+			// Try another service node: the home node may have crashed.
+			c.home = (c.home + 1) % len(c.BcastNodes)
+		}
+		return nil, c.resend()
+	}
+	return nil, nil
+}
+
+func (c *Client) resend() []msg.Directive {
+	if c.inflight == nil {
+		return nil
+	}
+	return c.send(*c.inflight)
+}

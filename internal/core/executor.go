@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shadowdb/internal/sqldb"
+)
+
+// The transaction substrate shared by both replication protocols: typed,
+// deterministic procedures executed sequentially against the local
+// database, with per-client deduplication.
+
+// ErrAbort is returned by a procedure to request a deterministic abort.
+// Because transactions are deterministic, every replica aborts the same
+// transactions (footnote 4 of the paper).
+var ErrAbort = errors.New("core: transaction aborted")
+
+// Procedure is a transaction type: a deterministic function of the
+// database state and the request arguments. It runs inside an implicit
+// transaction; returning an error rolls back.
+type Procedure func(db *sqldb.DB, args []any) (ProcResult, error)
+
+// ProcResult is a procedure's result set.
+type ProcResult struct {
+	Cols []string
+	Rows [][]sqldb.Value
+}
+
+// Registry maps transaction type names to procedures. All replicas of a
+// group must share one registry (procedures are code, not data; they
+// cannot travel in messages).
+type Registry map[string]Procedure
+
+// Executor owns a replica's database, its execution log cache, and the
+// per-client deduplication table.
+type Executor struct {
+	DB  *sqldb.DB
+	Reg Registry
+	// Executed is the number of transactions applied (the election
+	// criterion of the recovery protocol).
+	Executed int64
+	// CacheSize bounds the transaction log kept for backup catch-up
+	// ("each replica only caches a limited number of executed
+	// transactions"); 0 means 1024.
+	CacheSize int
+	log       []Repl
+	logStart  int64 // order number of log[0]
+	dedup     map[string]TxResult
+	lastSeq   map[string]int64
+}
+
+// NewExecutor creates an executor over a database.
+func NewExecutor(db *sqldb.DB, reg Registry) *Executor {
+	return &Executor{
+		DB:      db,
+		Reg:     reg,
+		dedup:   make(map[string]TxResult),
+		lastSeq: make(map[string]int64),
+	}
+}
+
+func (e *Executor) cacheSize() int {
+	if e.CacheSize <= 0 {
+		return 1024
+	}
+	return e.CacheSize
+}
+
+// Duplicate returns the cached result when the request was already
+// executed (exactly-once under client retry).
+func (e *Executor) Duplicate(req TxRequest) (TxResult, bool) {
+	if last, ok := e.lastSeq[string(req.Client)]; !ok || req.Seq > last {
+		return TxResult{}, false
+	}
+	res, ok := e.dedup[req.Key()]
+	if !ok {
+		// Older than the last answered sequence number but not cached:
+		// answer with an empty duplicate marker (the client has moved on).
+		return TxResult{Client: req.Client, Seq: req.Seq}, true
+	}
+	return res, true
+}
+
+// Apply executes one ordered transaction and records it in the log cache
+// and the deduplication table. order must be Executed+1.
+func (e *Executor) Apply(order int64, req TxRequest) (TxResult, error) {
+	if order != e.Executed+1 {
+		return TxResult{}, fmt.Errorf("core: applying order %d, expected %d", order, e.Executed+1)
+	}
+	res := e.run(req)
+	e.Executed = order
+	e.appendLog(Repl{Order: order, Req: req})
+	e.dedup[req.Key()] = res
+	if req.Seq > e.lastSeq[string(req.Client)] {
+		e.lastSeq[string(req.Client)] = req.Seq
+	}
+	return res, nil
+}
+
+// run executes the procedure inside a transaction.
+func (e *Executor) run(req TxRequest) TxResult {
+	return RunProc(e.DB, e.Reg, req)
+}
+
+// RunProc executes one procedure inside a transaction against a database,
+// without ordering or deduplication bookkeeping. The replication
+// protocols use Executor.Apply; the baselines and standalone servers use
+// RunProc directly.
+func RunProc(db *sqldb.DB, reg Registry, req TxRequest) TxResult {
+	out := TxResult{Client: req.Client, Seq: req.Seq}
+	proc, ok := reg[req.Type]
+	if !ok {
+		out.Err = fmt.Sprintf("unknown transaction type %q", req.Type)
+		return out
+	}
+	if _, err := db.Exec("BEGIN"); err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	res, err := proc(db, req.Args)
+	if err != nil {
+		if db.InTx() {
+			_, _ = db.Exec("ROLLBACK")
+		}
+		if errors.Is(err, ErrAbort) {
+			out.Aborted = true
+			return out
+		}
+		out.Err = err.Error()
+		return out
+	}
+	if _, err := db.Exec("COMMIT"); err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Cols, out.Rows = res.Cols, res.Rows
+	return out
+}
+
+func (e *Executor) appendLog(r Repl) {
+	if len(e.log) == 0 {
+		e.logStart = r.Order
+	}
+	e.log = append(e.log, r)
+	if len(e.log) > e.cacheSize() {
+		drop := len(e.log) - e.cacheSize()
+		e.log = append([]Repl(nil), e.log[drop:]...)
+		e.logStart += int64(drop)
+	}
+}
+
+// LogFrom returns the cached transactions with order numbers > after, or
+// ok=false when the cache no longer reaches back that far (a snapshot is
+// needed instead).
+func (e *Executor) LogFrom(after int64) ([]Repl, bool) {
+	if after >= e.Executed {
+		return nil, true
+	}
+	if len(e.log) == 0 || after+1 < e.logStart {
+		return nil, false
+	}
+	idx := int(after + 1 - e.logStart)
+	out := make([]Repl, len(e.log)-idx)
+	copy(out, e.log[idx:])
+	return out, true
+}
+
+// InstallSnapshot resets the executor to a transferred state.
+func (e *Executor) InstallSnapshot(order int64) {
+	e.Executed = order
+	e.log = nil
+	e.logStart = 0
+	// The dedup table conservatively clears; duplicate suppression for
+	// older requests is re-established as clients resend with their
+	// latest sequence numbers.
+	e.dedup = make(map[string]TxResult)
+	e.lastSeq = make(map[string]int64)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+func bankExec(t *testing.T, rows int) *Executor {
+	t.Helper()
+	db, err := sqldb.Open("h2:mem:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BankSetup(db, rows); err != nil {
+		t.Fatal(err)
+	}
+	return NewExecutor(db, BankRegistry())
+}
+
+func depositReq(client msg.Loc, seq int64, id, amount int) TxRequest {
+	return TxRequest{Client: client, Seq: seq, Type: "deposit", Args: []any{id, amount}}
+}
+
+func balanceOf(t *testing.T, db *sqldb.DB, id int) int64 {
+	t.Helper()
+	res, err := db.Exec("SELECT balance FROM accounts WHERE id = ?", id)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("balance query: %v %v", res, err)
+	}
+	return res.Rows[0][0].(int64)
+}
+
+func TestExecutorApplyAndDedup(t *testing.T) {
+	e := bankExec(t, 5)
+	req := depositReq("c1", 1, 3, 50)
+	if _, dup := e.Duplicate(req); dup {
+		t.Fatal("fresh request marked duplicate")
+	}
+	res, err := e.Apply(1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted || res.Err != "" {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := balanceOf(t, e.DB, 3); got != 1050 {
+		t.Errorf("balance = %d", got)
+	}
+	// The same request again is a duplicate with the cached result.
+	cached, dup := e.Duplicate(req)
+	if !dup {
+		t.Fatal("retry not detected as duplicate")
+	}
+	if cached.Seq != 1 || cached.Client != "c1" {
+		t.Errorf("cached = %+v", cached)
+	}
+	if got := balanceOf(t, e.DB, 3); got != 1050 {
+		t.Errorf("duplicate changed balance to %d", got)
+	}
+}
+
+func TestExecutorOrderEnforced(t *testing.T) {
+	e := bankExec(t, 2)
+	if _, err := e.Apply(5, depositReq("c", 1, 0, 1)); err == nil {
+		t.Error("out-of-order apply accepted")
+	}
+}
+
+func TestExecutorAbort(t *testing.T) {
+	e := bankExec(t, 2)
+	// Deposit to a nonexistent account aborts deterministically.
+	res, err := e.Apply(1, depositReq("c", 1, 999, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Errorf("result = %+v, want abort", res)
+	}
+	if e.DB.InTx() {
+		t.Error("abort left transaction open")
+	}
+	// Aborted transactions still count as executed (all replicas abort
+	// identically).
+	if e.Executed != 1 {
+		t.Errorf("Executed = %d", e.Executed)
+	}
+}
+
+func TestExecutorUnknownType(t *testing.T) {
+	e := bankExec(t, 1)
+	res, err := e.Apply(1, TxRequest{Client: "c", Seq: 1, Type: "nonsense"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == "" {
+		t.Error("unknown type produced no error")
+	}
+}
+
+func TestExecutorLogCache(t *testing.T) {
+	e := bankExec(t, 10)
+	e.CacheSize = 4
+	for i := int64(1); i <= 10; i++ {
+		if _, err := e.Apply(i, depositReq("c", i, int(i%10), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recent suffix available.
+	txs, ok := e.LogFrom(7)
+	if !ok || len(txs) != 3 || txs[0].Order != 8 {
+		t.Errorf("LogFrom(7) = %v %v", txs, ok)
+	}
+	// Far past evicted.
+	if _, ok := e.LogFrom(2); ok {
+		t.Error("evicted log range reported available")
+	}
+	// Nothing missing.
+	txs, ok = e.LogFrom(10)
+	if !ok || len(txs) != 0 {
+		t.Errorf("LogFrom(10) = %v %v", txs, ok)
+	}
+}
+
+func TestExecutorInstallSnapshot(t *testing.T) {
+	e := bankExec(t, 3)
+	if _, err := e.Apply(1, depositReq("c", 1, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	e.InstallSnapshot(40)
+	if e.Executed != 40 {
+		t.Errorf("Executed = %d", e.Executed)
+	}
+	if _, ok := e.LogFrom(39); ok {
+		t.Error("LogFrom(39) reported available after snapshot wiped the log")
+	}
+}
+
+func TestExecutorResultRows(t *testing.T) {
+	e := bankExec(t, 3)
+	res, err := e.Apply(1, TxRequest{Client: "c", Seq: 1, Type: "balance", Args: []any{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(1000) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestFullLog(t *testing.T) {
+	e := bankExec(t, 3)
+	for i := int64(1); i <= 5; i++ {
+		if _, err := e.Apply(i, depositReq("c", i, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := e.FullLog()
+	if err != nil || len(log) != 5 {
+		t.Fatalf("FullLog = %v, %v", log, err)
+	}
+	e.CacheSize = 2
+	e.appendLog(Repl{Order: 6})
+	if _, err := e.FullLog(); !errors.Is(err, ErrIncompleteLog) {
+		t.Errorf("truncated log: err = %v", err)
+	}
+}

@@ -1,0 +1,688 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+// PBR: primary-backup replication (Section III-A of the paper).
+//
+// Normal case: the client sends T to the primary; the primary executes
+// and commits T, forwards it to the backups; each backup executes,
+// commits and acknowledges; the primary answers the client once every
+// active backup has acknowledged. Execution is sequential at every
+// replica.
+//
+// Recovery: replicas monitor each other with heartbeats. A replica that
+// suspects a crash stops the configuration and proposes a successor
+// configuration through the total order broadcast service, tagged with
+// the current configuration's sequence number so only the first proposal
+// per configuration wins. Members of the new configuration exchange
+// (seq+1, executedSeq); the member with the highest executed sequence
+// number (ties to the smallest identifier) becomes primary, brings the
+// others up to date with cached transactions or a full state transfer,
+// and resumes once the required acknowledgments arrive. With three or
+// more members the primary resumes as soon as one backup is up to date
+// and overlaps the remaining snapshots with normal processing (the
+// paper's state-transfer overlap optimization).
+
+// PBRDeployment is the static description of a PBR group.
+type PBRDeployment struct {
+	// Pool is every replica location, in spare-preference order. The
+	// initial configuration uses the first InitialMembers of them.
+	Pool []msg.Loc
+	// InitialMembers is the initial group size (primary + backups).
+	InitialMembers int
+	// BcastNodes are the total order broadcast service locations used for
+	// recovery proposals.
+	BcastNodes []msg.Loc
+	// Timing holds the failure-detector knobs.
+	Timing Timing
+	// BatchBytes is the state-transfer batch payload target (0 = 50 KiB).
+	BatchBytes int
+}
+
+// InitialConfig returns configuration 0.
+func (d PBRDeployment) InitialConfig() Config {
+	n := d.InitialMembers
+	if n <= 0 || n > len(d.Pool) {
+		n = len(d.Pool)
+	}
+	return Config{Seq: 0, Members: append([]msg.Loc(nil), d.Pool[:n]...)}
+}
+
+// PBRReplica is one replica of a primary-backup group. It implements
+// gpm.Process; all state is single-owner.
+type PBRReplica struct {
+	slf  msg.Loc
+	dep  PBRDeployment
+	exec *Executor
+	cfg  Config
+
+	// stopped marks the configuration halted for recovery.
+	stopped bool
+	// buffered client requests while stopped (primary side).
+	heldReqs []TxRequest
+
+	// failure detector
+	missed    map[msg.Loc]int
+	suspected map[msg.Loc]bool
+	hbStarted bool
+
+	// primary state
+	pending map[int64]*ackWait
+	// syncing marks backups still receiving a snapshot (overlap mode).
+	syncing map[msg.Loc]bool
+	// recovered marks backups that confirmed they are in sync.
+	recovered map[msg.Loc]bool
+
+	// backup state
+	oooRepl   map[int64]Repl
+	snapState *snapAssembly
+
+	// election state
+	electing bool
+	votes    map[msg.Loc]Elect
+
+	// broadcast interaction
+	bseq     int64
+	lastSlot int
+
+	// cost accounting for the simulator (virtual CPU of the last step)
+	stepCost time.Duration
+
+	// DeliveredConfigs counts adopted configurations (observability).
+	DeliveredConfigs int
+}
+
+var _ gpm.Process = (*PBRReplica)(nil)
+
+type ackWait struct {
+	req    TxRequest
+	res    TxResult
+	needed map[msg.Loc]bool
+}
+
+type snapAssembly struct {
+	cfgSeq   int
+	schemas  []sqldb.CreateTable
+	rows     map[string][][]sqldb.Value
+	held     []Repl
+	received int
+	// end holds the SnapEnd when it arrived before all batches.
+	end *SnapEnd
+}
+
+// NewPBRReplica creates a replica. The database starts empty; initial
+// schema/population is installed by the deployment before traffic starts
+// (replicas of a configuration start in the same state).
+func NewPBRReplica(slf msg.Loc, db *sqldb.DB, reg Registry, dep PBRDeployment) *PBRReplica {
+	if dep.Timing == (Timing{}) {
+		dep.Timing = DefaultTiming()
+	}
+	return &PBRReplica{
+		slf:       slf,
+		dep:       dep,
+		exec:      NewExecutor(db, reg),
+		cfg:       dep.InitialConfig(),
+		missed:    make(map[msg.Loc]int),
+		suspected: make(map[msg.Loc]bool),
+		pending:   make(map[int64]*ackWait),
+		syncing:   make(map[msg.Loc]bool),
+		recovered: make(map[msg.Loc]bool),
+		oooRepl:   make(map[int64]Repl),
+		votes:     make(map[msg.Loc]Elect),
+		lastSlot:  -1,
+	}
+}
+
+// Executor exposes the replica's executor (tests and validators).
+func (r *PBRReplica) Executor() *Executor { return r.exec }
+
+// ConfigNow returns the replica's current configuration.
+func (r *PBRReplica) ConfigNow() Config { return r.cfg }
+
+// IsPrimary reports whether this replica is the current primary.
+func (r *PBRReplica) IsPrimary() bool { return r.cfg.Primary() == r.slf }
+
+// Stopped reports whether the configuration is halted for recovery.
+func (r *PBRReplica) Stopped() bool { return r.stopped }
+
+// LastCost returns the virtual CPU cost of the most recent Step, for the
+// simulator's service-time accounting.
+func (r *PBRReplica) LastCost() time.Duration { return r.stepCost }
+
+// Halted implements gpm.Process.
+func (r *PBRReplica) Halted() bool { return false }
+
+// Step implements gpm.Process.
+func (r *PBRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	r.stepCost = 0
+	statsBefore := r.exec.DB.Stats()
+	var outs []msg.Directive
+	switch in.Hdr {
+	case HdrTx:
+		outs = r.onTx(in.Body.(TxRequest))
+	case HdrRepl:
+		outs = r.onRepl(in.Body.(Repl))
+	case HdrReplAck:
+		outs = r.onReplAck(in.Body.(ReplAck))
+	case HdrHeartbeat:
+		hb := in.Body.(Heartbeat)
+		r.missed[hb.From] = 0
+	case HdrHBTick:
+		outs = r.onHBTick()
+	case broadcast.HdrDeliver:
+		outs = r.onDeliver(in.Body.(broadcast.Deliver))
+	case HdrElect:
+		outs = r.onElect(in.Body.(Elect))
+	case HdrCatchup:
+		outs = r.onCatchup(in.Body.(Catchup))
+	case HdrSnapBegin:
+		outs = r.onSnapBegin(in.Body.(SnapBegin))
+	case HdrSnapBatch:
+		outs = r.onSnapBatch(in.Body.(SnapBatch))
+	case HdrSnapEnd:
+		outs = r.onSnapEnd(in.Body.(SnapEnd))
+	case HdrRecovered:
+		outs = r.onRecovered(in.Body.(Recovered))
+	}
+	r.stepCost += r.exec.DB.Engine().CostOf(r.exec.DB.Stats().Sub(statsBefore))
+	return r, outs
+}
+
+// Start returns the directives that boot the replica's failure detector.
+// The deployment sends the returned messages once at time zero.
+func (r *PBRReplica) Start() []msg.Directive {
+	if r.hbStarted {
+		return nil
+	}
+	r.hbStarted = true
+	return []msg.Directive{msg.SendAfter(r.dep.Timing.HeartbeatEvery, r.slf, msg.M(HdrHBTick, HBTick{}))}
+}
+
+// ------------------------------------------------------------ normal case --
+
+func (r *PBRReplica) onTx(req TxRequest) []msg.Directive {
+	if !r.cfg.Contains(r.slf) || r.cfg.Primary() != r.slf {
+		return []msg.Directive{msg.Send(req.Client, msg.M(HdrRedirect, Redirect{
+			Primary: r.cfg.Primary(), CfgSeq: r.cfg.Seq,
+		}))}
+	}
+	if r.stopped {
+		r.heldReqs = append(r.heldReqs, req)
+		return nil
+	}
+	return r.execAsPrimary(req)
+}
+
+func (r *PBRReplica) execAsPrimary(req TxRequest) []msg.Directive {
+	if res, dup := r.exec.Duplicate(req); dup {
+		return []msg.Directive{msg.Send(req.Client, msg.M(HdrTxResult, res))}
+	}
+	order := r.exec.Executed + 1
+	res, err := r.exec.Apply(order, req)
+	if err != nil {
+		res = TxResult{Client: req.Client, Seq: req.Seq, Err: err.Error()}
+		return []msg.Directive{msg.Send(req.Client, msg.M(HdrTxResult, res))}
+	}
+	needed := make(map[msg.Loc]bool)
+	var outs []msg.Directive
+	repl := Repl{CfgSeq: r.cfg.Seq, Order: order, Req: req}
+	for _, b := range r.cfg.Backups() {
+		outs = append(outs, msg.Send(b, msg.M(HdrRepl, repl)))
+		if !r.syncing[b] {
+			needed[b] = true
+		}
+	}
+	if len(needed) == 0 {
+		return append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
+	}
+	r.pending[order] = &ackWait{req: req, res: res, needed: needed}
+	return outs
+}
+
+func (r *PBRReplica) onRepl(rep Repl) []msg.Directive {
+	if rep.CfgSeq != r.cfg.Seq {
+		return nil // backups only accept matching configuration tags
+	}
+	if r.snapState != nil {
+		// Receiving a snapshot: buffer and apply afterwards.
+		r.snapState.held = append(r.snapState.held, rep)
+		return nil
+	}
+	if rep.Order <= r.exec.Executed {
+		return []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrReplAck, ReplAck{
+			CfgSeq: r.cfg.Seq, Order: rep.Order, From: r.slf,
+		}))}
+	}
+	r.oooRepl[rep.Order] = rep
+	return r.drainRepl()
+}
+
+// drainRepl applies contiguously buffered forwards.
+func (r *PBRReplica) drainRepl() []msg.Directive {
+	var outs []msg.Directive
+	for {
+		rep, ok := r.oooRepl[r.exec.Executed+1]
+		if !ok {
+			return outs
+		}
+		delete(r.oooRepl, rep.Order)
+		if _, err := r.exec.Apply(rep.Order, rep.Req); err != nil {
+			return outs
+		}
+		outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrReplAck, ReplAck{
+			CfgSeq: r.cfg.Seq, Order: rep.Order, From: r.slf,
+		})))
+	}
+}
+
+func (r *PBRReplica) onReplAck(ack ReplAck) []msg.Directive {
+	if ack.CfgSeq != r.cfg.Seq {
+		return nil
+	}
+	w, ok := r.pending[ack.Order]
+	if !ok {
+		return nil
+	}
+	delete(w.needed, ack.From)
+	if len(w.needed) > 0 {
+		return nil
+	}
+	delete(r.pending, ack.Order)
+	return []msg.Directive{msg.Send(w.req.Client, msg.M(HdrTxResult, w.res))}
+}
+
+// --------------------------------------------------------- failure detect --
+
+func (r *PBRReplica) onHBTick() []msg.Directive {
+	outs := []msg.Directive{msg.SendAfter(r.dep.Timing.HeartbeatEvery, r.slf, msg.M(HdrHBTick, HBTick{}))}
+	if !r.cfg.Contains(r.slf) {
+		return outs // spares stay passive
+	}
+	hb := Heartbeat{From: r.slf, CfgSeq: r.cfg.Seq}
+	limit := int(r.dep.Timing.SuspectAfter / r.dep.Timing.HeartbeatEvery)
+	for _, m := range r.cfg.Members {
+		if m == r.slf {
+			continue
+		}
+		outs = append(outs, msg.Send(m, msg.M(HdrHeartbeat, hb)))
+		r.missed[m]++
+		if r.missed[m] > limit && !r.suspected[m] && !r.stopped {
+			r.suspected[m] = true
+			outs = append(outs, r.suspect(m)...)
+		}
+	}
+	return outs
+}
+
+// suspect stops the configuration and proposes a successor through the
+// total order broadcast service.
+func (r *PBRReplica) suspect(dead msg.Loc) []msg.Directive {
+	r.stopped = true
+	var members []msg.Loc
+	for _, m := range r.cfg.Members {
+		if m != dead && !r.suspected[m] {
+			members = append(members, m)
+		}
+	}
+	// Refill from spares, preserving pool order.
+	want := len(r.cfg.Members)
+	for _, p := range r.dep.Pool {
+		if len(members) >= want {
+			break
+		}
+		if !r.cfg.Contains(p) && !r.suspected[p] {
+			members = append(members, p)
+		}
+	}
+	prop := NewConfig{OldSeq: r.cfg.Seq, Members: members, Proposer: r.slf}
+	payload := encodeProposal(prop)
+	r.bseq++
+	b := broadcast.Bcast{From: r.slf, Seq: r.bseq, Payload: payload}
+	var outs []msg.Directive
+	for _, n := range r.dep.BcastNodes {
+		outs = append(outs, msg.Send(n, msg.M(broadcast.HdrBcast, b)))
+	}
+	return outs
+}
+
+// ---------------------------------------------------------------- recovery --
+
+func (r *PBRReplica) onDeliver(d broadcast.Deliver) []msg.Directive {
+	if d.Slot <= r.lastSlot {
+		return nil // duplicate notification from another service node
+	}
+	r.lastSlot = d.Slot
+	var outs []msg.Directive
+	for _, b := range d.Msgs {
+		prop, err := decodeProposal(b.Payload)
+		if err != nil {
+			continue
+		}
+		outs = append(outs, r.onNewConfig(prop)...)
+	}
+	return outs
+}
+
+func (r *PBRReplica) onNewConfig(prop NewConfig) []msg.Directive {
+	if prop.OldSeq != r.cfg.Seq {
+		return nil // only the first proposal per configuration counts
+	}
+	r.DeliveredConfigs++
+	r.cfg = Config{Seq: prop.OldSeq + 1, Members: append([]msg.Loc(nil), prop.Members...)}
+	r.stopped = true
+	r.electing = true
+	r.votes = make(map[msg.Loc]Elect)
+	r.pending = make(map[int64]*ackWait)
+	r.oooRepl = make(map[int64]Repl)
+	r.syncing = make(map[msg.Loc]bool)
+	r.recovered = make(map[msg.Loc]bool)
+	r.missed = make(map[msg.Loc]int)
+	r.suspected = make(map[msg.Loc]bool)
+	if !r.cfg.Contains(r.slf) {
+		r.electing = false
+		return nil // excluded: fall back to spare duty
+	}
+	vote := Elect{CfgSeq: r.cfg.Seq, From: r.slf, Executed: r.exec.Executed, HasData: r.hasData()}
+	outs := make([]msg.Directive, 0, len(r.cfg.Members))
+	for _, m := range r.cfg.Members {
+		if m == r.slf {
+			outs = append(outs, r.recordVote(vote)...)
+			continue
+		}
+		outs = append(outs, msg.Send(m, msg.M(HdrElect, vote)))
+	}
+	return outs
+}
+
+// hasData reports whether the replica holds a database copy (fresh spares
+// do not; anything that has executed or restored state does).
+func (r *PBRReplica) hasData() bool {
+	return r.exec.Executed > 0 || r.exec.DB.NumTables() > 0
+}
+
+func (r *PBRReplica) onElect(v Elect) []msg.Directive {
+	if v.CfgSeq != r.cfg.Seq || !r.electing {
+		return nil
+	}
+	return r.recordVote(v)
+}
+
+func (r *PBRReplica) recordVote(v Elect) []msg.Directive {
+	r.votes[v.From] = v
+	if len(r.votes) < len(r.cfg.Members) {
+		return nil
+	}
+	// Every member heard from: elect the candidate with the highest
+	// executed sequence number; ties go to the smallest identifier. Only
+	// replicas holding a full database copy are candidates.
+	members := append([]msg.Loc(nil), r.cfg.Members...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	var primary msg.Loc
+	best := int64(-1)
+	for _, m := range members {
+		v := r.votes[m]
+		if !v.HasData {
+			continue
+		}
+		if v.Executed > best {
+			best, primary = v.Executed, m
+		}
+	}
+	if primary == "" {
+		// No member has data (cannot happen with a sane pool); keep
+		// waiting for another configuration.
+		return nil
+	}
+	ordered := []msg.Loc{primary}
+	for _, m := range r.cfg.Members {
+		if m != primary {
+			ordered = append(ordered, m)
+		}
+	}
+	r.cfg.Members = ordered
+	r.electing = false
+	if r.slf != primary {
+		// Backups wait for catch-up (or resume directly if in sync —
+		// the primary tells them via an empty catch-up).
+		return nil
+	}
+	return r.primarySync()
+}
+
+// primarySync brings every backup up to date: cached transactions where
+// the log cache reaches, a full state transfer otherwise.
+func (r *PBRReplica) primarySync() []msg.Directive {
+	var outs []msg.Directive
+	for _, b := range r.cfg.Backups() {
+		v := r.votes[b]
+		txs, ok := r.exec.LogFrom(v.Executed)
+		if ok && v.HasData {
+			outs = append(outs, msg.Send(b, msg.M(HdrCatchup, Catchup{
+				CfgSeq: r.cfg.Seq, From: v.Executed + 1, Txs: txs,
+			})))
+			continue
+		}
+		outs = append(outs, r.sendSnapshot(b)...)
+		r.syncing[b] = true
+	}
+	if len(r.cfg.Backups()) == 0 {
+		// Sole survivor: resume alone (the crash of all but one replica
+		// can be masked).
+		return append(outs, r.resume()...)
+	}
+	return outs
+}
+
+// sendSnapshot emits a full state transfer to one backup, charging the
+// serialization cost model.
+func (r *PBRReplica) sendSnapshot(to msg.Loc) []msg.Directive {
+	outs, cost := SnapshotDirectives(r.exec.DB, to, r.cfg.Seq, r.exec.Executed, r.dep.BatchBytes)
+	r.stepCost += cost
+	return outs
+}
+
+// SnapshotDirectives builds the full state-transfer message sequence
+// (SnapBegin, batched SnapBatch, SnapEnd) from a database to a
+// destination, returning the modeled sender-side serialization cost —
+// proportional to rows times columns, as the paper observes for TPC-C
+// ("serialization overhead is proportional to the number of table
+// columns").
+func SnapshotDirectives(db *sqldb.DB, to msg.Loc, cfgSeq int, order int64, batchBytes int) ([]msg.Directive, time.Duration) {
+	dumps := db.Snapshot()
+	eng := db.Engine()
+	schemas := make([]sqldb.CreateTable, len(dumps))
+	for i, d := range dumps {
+		schemas[i] = d.Schema
+	}
+	outs := []msg.Directive{msg.Send(to, msg.M(HdrSnapBegin, SnapBegin{
+		CfgSeq: cfgSeq, Schemas: schemas, Order: order,
+	}))}
+	var cost time.Duration
+	n := 0
+	for _, d := range dumps {
+		cols := len(d.Schema.Cols)
+		for _, batch := range sqldb.SplitBatches(d, batchBytes) {
+			outs = append(outs, msg.Send(to, msg.M(HdrSnapBatch, SnapBatch{
+				CfgSeq: cfgSeq, Table: batch.Table, Rows: batch.Rows, N: n,
+			})))
+			n++
+			cost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
+		}
+	}
+	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{
+		CfgSeq: cfgSeq, Order: order, Batches: n,
+	})))
+	return outs, cost
+}
+
+func (r *PBRReplica) onCatchup(c Catchup) []msg.Directive {
+	if c.CfgSeq != r.cfg.Seq {
+		return nil
+	}
+	for _, rep := range c.Txs {
+		if rep.Order <= r.exec.Executed {
+			continue
+		}
+		if _, err := r.exec.Apply(rep.Order, rep.Req); err != nil {
+			return nil
+		}
+	}
+	r.stopped = false
+	return []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
+		CfgSeq: r.cfg.Seq, From: r.slf,
+	}))}
+}
+
+func (r *PBRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
+	if s.CfgSeq != r.cfg.Seq {
+		return nil
+	}
+	r.snapState = &snapAssembly{
+		cfgSeq:  s.CfgSeq,
+		schemas: s.Schemas,
+		rows:    make(map[string][][]sqldb.Value),
+	}
+	return nil
+}
+
+func (r *PBRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
+	if r.snapState == nil || b.CfgSeq != r.cfg.Seq {
+		return nil
+	}
+	r.snapState.rows[b.Table] = append(r.snapState.rows[b.Table], b.Rows...)
+	r.snapState.received++
+	// Row insertion is the state-transfer bottleneck (Fig. 10b); wide
+	// rows pay an additional per-byte cost.
+	r.stepCost += batchRestoreCost(r.exec.DB.Engine(), b.Rows)
+	if end := r.snapState.end; end != nil && r.snapState.received >= end.Batches {
+		return r.onSnapEnd(*end)
+	}
+	return nil
+}
+
+func (r *PBRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
+	if r.snapState == nil || s.CfgSeq != r.cfg.Seq {
+		return nil
+	}
+	if r.snapState.received < s.Batches {
+		// Some batches are still in flight: finish when they arrive.
+		end := s
+		r.snapState.end = &end
+		return nil
+	}
+	dumps := make([]sqldb.TableDump, len(r.snapState.schemas))
+	for i, sc := range r.snapState.schemas {
+		dumps[i] = sqldb.TableDump{Schema: sc, Rows: r.snapState.rows[sc.Name]}
+	}
+	if err := r.exec.DB.Restore(dumps); err != nil {
+		r.snapState = nil
+		return nil
+	}
+	r.exec.InstallSnapshot(s.Order)
+	held := r.snapState.held
+	r.snapState = nil
+	r.stopped = false
+	outs := []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
+		CfgSeq: r.cfg.Seq, From: r.slf,
+	}))}
+	// Apply forwards buffered during the transfer.
+	for _, rep := range held {
+		outs = append(outs, r.onRepl(rep)...)
+	}
+	return outs
+}
+
+func (r *PBRReplica) onRecovered(rec Recovered) []msg.Directive {
+	if rec.CfgSeq != r.cfg.Seq || r.cfg.Primary() != r.slf {
+		return nil
+	}
+	delete(r.syncing, rec.From)
+	r.recovered[rec.From] = true
+	if !r.stopped {
+		return nil // already resumed (overlap mode); the ack set just grew
+	}
+	// Resume once every backup confirmed, or — the paper's overlap
+	// optimization — with three or more members as soon as one backup is
+	// up to date, propagating the remaining snapshots in parallel.
+	allDone := len(r.recovered) == len(r.cfg.Backups())
+	overlap := len(r.cfg.Members) >= 3 && len(r.recovered) >= 1
+	if allDone || overlap {
+		return r.resume()
+	}
+	return nil
+}
+
+// resume re-opens the configuration for client traffic and replays the
+// requests held during recovery.
+func (r *PBRReplica) resume() []msg.Directive {
+	r.stopped = false
+	held := r.heldReqs
+	r.heldReqs = nil
+	var outs []msg.Directive
+	for _, req := range held {
+		outs = append(outs, r.execAsPrimary(req)...)
+	}
+	return outs
+}
+
+// batchRestoreCost models the receive-side insertion cost of one state
+// transfer batch: a per-row floor plus a per-byte component.
+func batchRestoreCost(eng sqldb.Engine, rows [][]sqldb.Value) time.Duration {
+	cost := time.Duration(len(rows)) * eng.RestoreRowCost
+	for _, row := range rows {
+		cost += time.Duration(sqldb.RowBytes(row)) * eng.RestoreByteCost
+	}
+	return cost
+}
+
+// ----------------------------------------------------------------- encode --
+
+func encodeProposal(p NewConfig) []byte {
+	// Proposals travel inside broadcast payloads; reuse the batch codec.
+	members := make([]string, len(p.Members))
+	for i, m := range p.Members {
+		members[i] = string(m)
+	}
+	s := fmt.Sprintf("cfg|%d|%s", p.OldSeq, p.Proposer)
+	for _, m := range members {
+		s += "|" + m
+	}
+	return []byte(s)
+}
+
+func decodeProposal(b []byte) (NewConfig, error) {
+	var p NewConfig
+	parts := splitBytes(b, '|')
+	if len(parts) < 3 || parts[0] != "cfg" {
+		return p, fmt.Errorf("core: not a config proposal")
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &p.OldSeq); err != nil {
+		return p, fmt.Errorf("core: bad proposal seq: %w", err)
+	}
+	p.Proposer = msg.Loc(parts[2])
+	for _, m := range parts[3:] {
+		p.Members = append(p.Members, msg.Loc(m))
+	}
+	return p, nil
+}
+
+func splitBytes(b []byte, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i == len(b) || b[i] == sep {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+// SMR: state machine replication (Section III-B of the paper). Clients
+// broadcast transactions through the total order broadcast service; every
+// replica executes every delivered transaction in slot order and answers
+// the client, who takes the first answer. A replica crash is transparent
+// as long as one replica survives.
+//
+// Reconfiguration: a replica that suspects another broadcasts a
+// reconfiguration request carrying the sequence number of the last
+// ordered transaction (but not the snapshot); the incoming replica
+// fetches the snapshot from the proposer and buffers deliveries made in
+// the meantime.
+
+// SMRAddReplica is the reconfiguration request, ordered through the
+// broadcast service.
+type SMRAddReplica struct {
+	// New is the joining replica, Remove the suspected one (may be
+	// empty), Proposer the replica that will push the snapshot.
+	New      msg.Loc
+	Remove   msg.Loc
+	Proposer msg.Loc
+}
+
+// SMRReplica is one state machine replica. It implements gpm.Process.
+type SMRReplica struct {
+	slf      msg.Loc
+	exec     *Executor
+	lastSlot int
+	// active is false for a joining replica until its snapshot arrives.
+	active bool
+	// buffer holds deliveries made while inactive.
+	buffer []broadcast.Deliver
+	// snap assembles an incoming state transfer.
+	snap *smrSnap
+	// stepCost is the virtual CPU of the last step.
+	stepCost time.Duration
+}
+
+var _ gpm.Process = (*SMRReplica)(nil)
+
+// NewSMRReplica creates an active replica.
+func NewSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry) *SMRReplica {
+	return &SMRReplica{slf: slf, exec: NewExecutor(db, reg), lastSlot: -1, active: true}
+}
+
+// NewJoiningSMRReplica creates a replica that waits for a state transfer
+// before executing.
+func NewJoiningSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry) *SMRReplica {
+	r := NewSMRReplica(slf, db, reg)
+	r.active = false
+	return r
+}
+
+// Executor exposes the replica's executor.
+func (r *SMRReplica) Executor() *Executor { return r.exec }
+
+// Active reports whether the replica executes deliveries.
+func (r *SMRReplica) Active() bool { return r.active }
+
+// LastCost returns the virtual CPU cost of the most recent Step.
+func (r *SMRReplica) LastCost() time.Duration { return r.stepCost }
+
+// Halted implements gpm.Process.
+func (r *SMRReplica) Halted() bool { return false }
+
+// Step implements gpm.Process.
+func (r *SMRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	r.stepCost = 0
+	before := r.exec.DB.Stats()
+	var outs []msg.Directive
+	switch in.Hdr {
+	case broadcast.HdrDeliver:
+		outs = r.onDeliver(in.Body.(broadcast.Deliver))
+	case HdrSnapBegin:
+		outs = r.onSnapBegin(in.Body.(SnapBegin))
+	case HdrSnapBatch:
+		outs = r.onSnapBatch(in.Body.(SnapBatch))
+	case HdrSnapEnd:
+		outs = r.onSnapEnd(in.Body.(SnapEnd))
+	}
+	r.stepCost += r.exec.DB.Engine().CostOf(r.exec.DB.Stats().Sub(before))
+	return r, outs
+}
+
+func (r *SMRReplica) onDeliver(d broadcast.Deliver) []msg.Directive {
+	if d.Slot <= r.lastSlot {
+		return nil // duplicate notification from another service node
+	}
+	r.lastSlot = d.Slot
+	if !r.active {
+		r.buffer = append(r.buffer, d)
+		return nil
+	}
+	return r.applyBatch(d)
+}
+
+func (r *SMRReplica) applyBatch(d broadcast.Deliver) []msg.Directive {
+	var outs []msg.Directive
+	for _, b := range d.Msgs {
+		// Reconfiguration requests ride the same total order.
+		if add, ok := DecodeSMRAdd(b.Payload); ok {
+			outs = append(outs, r.onAdd(add)...)
+			continue
+		}
+		req, err := DecodeTx(b.Payload)
+		if err != nil {
+			continue
+		}
+		if res, dup := r.exec.Duplicate(req); dup {
+			outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
+			continue
+		}
+		res, err := r.exec.Apply(r.exec.Executed+1, req)
+		if err != nil {
+			continue
+		}
+		outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
+	}
+	return outs
+}
+
+// onAdd handles an ordered reconfiguration: the proposer pushes its
+// snapshot (reflecting every transaction up to and including this slot)
+// to the new replica.
+func (r *SMRReplica) onAdd(add SMRAddReplica) []msg.Directive {
+	if r.slf != add.Proposer {
+		return nil
+	}
+	dumps := r.exec.DB.Snapshot()
+	eng := r.exec.DB.Engine()
+	schemas := make([]sqldb.CreateTable, len(dumps))
+	for i, d := range dumps {
+		schemas[i] = d.Schema
+	}
+	outs := []msg.Directive{msg.Send(add.New, msg.M(HdrSnapBegin, SnapBegin{
+		Schemas: schemas, Order: int64(r.lastSlot),
+	}))}
+	n := 0
+	for _, d := range dumps {
+		cols := len(d.Schema.Cols)
+		for _, batch := range sqldb.SplitBatches(d, 0) {
+			outs = append(outs, msg.Send(add.New, msg.M(HdrSnapBatch, SnapBatch{
+				Table: batch.Table, Rows: batch.Rows, N: n,
+			})))
+			n++
+			r.stepCost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
+		}
+	}
+	outs = append(outs, msg.Send(add.New, msg.M(HdrSnapEnd, SnapEnd{Order: int64(r.lastSlot), Batches: n})))
+	return outs
+}
+
+// Snapshot reception at the joining replica. The snapshot's Order field
+// carries the last SLOT it covers.
+
+var errStray = fmt.Errorf("core: stray snapshot message")
+
+type smrSnap struct {
+	schemas  []sqldb.CreateTable
+	rows     map[string][][]sqldb.Value
+	received int
+	end      *SnapEnd
+}
+
+// The joining replica reuses snapState via a minimal local assembly.
+func (r *SMRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
+	r.snap = &smrSnap{schemas: s.Schemas, rows: make(map[string][][]sqldb.Value)}
+	return nil
+}
+
+func (r *SMRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
+	if r.snap == nil {
+		return nil
+	}
+	r.snap.rows[b.Table] = append(r.snap.rows[b.Table], b.Rows...)
+	r.snap.received++
+	r.stepCost += batchRestoreCost(r.exec.DB.Engine(), b.Rows)
+	if end := r.snap.end; end != nil && r.snap.received >= end.Batches {
+		return r.onSnapEnd(*end)
+	}
+	return nil
+}
+
+func (r *SMRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
+	if r.snap == nil {
+		return nil
+	}
+	if r.snap.received < s.Batches {
+		end := s
+		r.snap.end = &end
+		return nil
+	}
+	dumps := make([]sqldb.TableDump, len(r.snap.schemas))
+	for i, sc := range r.snap.schemas {
+		dumps[i] = sqldb.TableDump{Schema: sc, Rows: r.snap.rows[sc.Name]}
+	}
+	if err := r.exec.DB.Restore(dumps); err != nil {
+		r.snap = nil
+		return nil
+	}
+	r.snap = nil
+	r.exec.InstallSnapshot(0)
+	r.active = true
+	coveredSlot := int(s.Order)
+	var outs []msg.Directive
+	for _, d := range r.buffer {
+		if d.Slot <= coveredSlot {
+			continue
+		}
+		outs = append(outs, r.applyBatch(d)...)
+	}
+	r.buffer = nil
+	return outs
+}
+
+// ------------------------------------------------------------- payloads --
+
+// gobBasics registers the basic types that travel inside TxRequest.Args
+// (interface-typed fields need explicit registration).
+var gobBasics = sync.OnceFunc(func() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(int(0))
+	gob.Register(true)
+})
+
+// EncodeTx serializes a transaction request for a broadcast payload.
+func EncodeTx(req TxRequest) ([]byte, error) {
+	gobBasics()
+	var buf bytes.Buffer
+	buf.WriteString("tx|")
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, fmt.Errorf("core: encode tx: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTx reverses EncodeTx.
+func DecodeTx(b []byte) (TxRequest, error) {
+	gobBasics()
+	if len(b) < 3 || string(b[:3]) != "tx|" {
+		return TxRequest{}, errStray
+	}
+	var req TxRequest
+	if err := gob.NewDecoder(bytes.NewReader(b[3:])).Decode(&req); err != nil {
+		return TxRequest{}, fmt.Errorf("core: decode tx: %w", err)
+	}
+	return req, nil
+}
+
+// EncodeSMRAdd serializes a reconfiguration request.
+func EncodeSMRAdd(a SMRAddReplica) []byte {
+	return []byte(fmt.Sprintf("add|%s|%s|%s", a.New, a.Remove, a.Proposer))
+}
+
+// DecodeSMRAdd recognizes a reconfiguration payload.
+func DecodeSMRAdd(b []byte) (SMRAddReplica, bool) {
+	parts := splitBytes(b, '|')
+	if len(parts) != 4 || parts[0] != "add" {
+		return SMRAddReplica{}, false
+	}
+	return SMRAddReplica{
+		New: msg.Loc(parts[1]), Remove: msg.Loc(parts[2]), Proposer: msg.Loc(parts[3]),
+	}, true
+}

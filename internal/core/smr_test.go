@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+// smrHarness wires an SMR deployment (3 broadcast nodes, 3 co-located
+// replicas) plus clients into a runner.
+type smrHarness struct {
+	sys     *SMRSystem
+	runner  *gpm.Runner
+	clients map[msg.Loc]*Client
+	results map[msg.Loc][]TxResult
+}
+
+func newSMRHarness(t *testing.T, rows, clients int) *smrHarness {
+	t.Helper()
+	bnodes := []msg.Loc{"b1", "b2", "b3"}
+	rlocs := []msg.Loc{"r1", "r2", "r3"}
+	mkDB := func(slf msg.Loc) *sqldb.DB {
+		db, err := sqldb.Open("h2:mem:" + string(slf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BankSetup(db, rows); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	sys := NewSMRSystem(bnodes, rlocs, BankRegistry(), mkDB)
+	h := &smrHarness{
+		sys:     sys,
+		clients: make(map[msg.Loc]*Client),
+		results: make(map[msg.Loc][]TxResult),
+	}
+	var cliLocs []msg.Loc
+	for i := 0; i < clients; i++ {
+		loc := msg.Loc(fmt.Sprintf("c%d", i))
+		cliLocs = append(cliLocs, loc)
+		h.clients[loc] = &Client{
+			Slf: loc, Mode: ModeSMR, BcastNodes: bnodes, Retry: 200 * time.Millisecond,
+		}
+	}
+	extra := func(slf msg.Loc) gpm.Process {
+		c, ok := h.clients[slf]
+		if !ok {
+			return gpm.Halt()
+		}
+		loc := slf
+		return ClientProc(c, func(res TxResult) {
+			h.results[loc] = append(h.results[loc], res)
+		})
+	}
+	h.runner = gpm.NewRunner(sys.System(cliLocs, extra))
+	return h
+}
+
+func (h *smrHarness) submit(client msg.Loc, txType string, args ...any) {
+	h.runner.Inject(client, msg.M(HdrSubmit, SubmitBody{Type: txType, Args: args}))
+}
+
+func (h *smrHarness) totalDone() int {
+	n := 0
+	for _, rs := range h.results {
+		n += len(rs)
+	}
+	return n
+}
+
+func TestSMRNormalCase(t *testing.T) {
+	h := newSMRHarness(t, 20, 3)
+	h.submit("c0", "deposit", 1, 10)
+	h.submit("c1", "deposit", 2, 20)
+	h.submit("c2", "balance", 1)
+	ok, err := h.runner.RunUntil(2_000_000, func() bool { return h.totalDone() == 3 })
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v done=%d", ok, err, h.totalDone())
+	}
+	// Every replica executed every transaction in the same order.
+	var dbs []*sqldb.DB
+	for _, r := range h.sys.Replicas {
+		if r.Executor().Executed != 3 {
+			t.Errorf("replica executed %d, want 3", r.Executor().Executed)
+		}
+		dbs = append(dbs, r.Executor().DB)
+	}
+	if err := CheckStateAgreement(dbs...); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMRClientTakesFirstAnswer(t *testing.T) {
+	h := newSMRHarness(t, 5, 1)
+	h.submit("c0", "deposit", 0, 5)
+	ok, err := h.runner.RunUntil(2_000_000, func() bool { return h.totalDone() == 1 })
+	if err != nil || !ok {
+		t.Fatal("transaction did not complete")
+	}
+	// Three answers were produced, but the client completed exactly once.
+	if h.clients["c0"].Done != 1 {
+		t.Errorf("client Done = %d", h.clients["c0"].Done)
+	}
+	if _, err := h.runner.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if h.clients["c0"].Done != 1 {
+		t.Errorf("late duplicate answers bumped Done to %d", h.clients["c0"].Done)
+	}
+}
+
+func TestSMRReplicaCrashTransparent(t *testing.T) {
+	h := newSMRHarness(t, 10, 2)
+	// Crash one replica: clients still complete with no reconfiguration.
+	h.runner.Replace("r1", gpm.Halt())
+	h.submit("c0", "deposit", 1, 5)
+	h.submit("c1", "deposit", 2, 5)
+	ok, err := h.runner.RunUntil(2_000_000, func() bool { return h.totalDone() == 2 })
+	if err != nil || !ok {
+		t.Fatalf("crash was not transparent: done=%d", h.totalDone())
+	}
+	r2, r3 := h.sys.Replicas["r2"], h.sys.Replicas["r3"]
+	if err := CheckStateAgreement(r2.Executor().DB, r3.Executor().DB); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMRExactlyOnceUnderRetry(t *testing.T) {
+	h := newSMRHarness(t, 5, 1)
+	// A very short retry forces at least one resend before delivery.
+	h.clients["c0"].Retry = time.Nanosecond
+	h.submit("c0", "deposit", 3, 100)
+	ok, err := h.runner.RunUntil(5_000_000, func() bool { return h.totalDone() == 1 })
+	if err != nil || !ok {
+		t.Fatal("transaction did not complete under retry")
+	}
+	if _, err := h.runner.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range h.sys.Replicas {
+		if got := balanceOf(t, r.Executor().DB, 3); got != 1100 {
+			t.Errorf("balance = %d, want one deposit exactly", got)
+		}
+	}
+}
+
+func TestSMRAddReplicaStateTransfer(t *testing.T) {
+	h := newSMRHarness(t, 30, 1)
+	// Attach a joining replica r4, subscribed to node b1's deliveries.
+	db4, err := sqldb.Open("derby:mem:r4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := NewJoiningSMRReplica("r4", db4, BankRegistry())
+	h.sys.Bcast.LocalSubscribers["b1"] = append(h.sys.Bcast.LocalSubscribers["b1"], "r4")
+	// Rebuild the runner with the extended subscriber map and r4 hosted.
+	var cliLocs []msg.Loc
+	for loc := range h.clients {
+		cliLocs = append(cliLocs, loc)
+	}
+	extra := func(slf msg.Loc) gpm.Process {
+		if slf == "r4" {
+			return r4
+		}
+		c, ok := h.clients[slf]
+		if !ok {
+			return gpm.Halt()
+		}
+		loc := slf
+		return ClientProc(c, func(res TxResult) {
+			h.results[loc] = append(h.results[loc], res)
+		})
+	}
+	h.runner = gpm.NewRunner(h.sys.System(append(cliLocs, "r4"), extra))
+
+	// Some committed history before the join.
+	h.submit("c0", "deposit", 1, 10)
+	ok, err := h.runner.RunUntil(2_000_000, func() bool { return h.totalDone() == 1 })
+	if err != nil || !ok {
+		t.Fatal("pre-join transaction did not complete")
+	}
+	// Order the reconfiguration: r1 pushes its snapshot to r4.
+	add := broadcast.Bcast{From: "admin", Seq: 1, Payload: EncodeSMRAdd(SMRAddReplica{
+		New: "r4", Proposer: "r1",
+	})}
+	h.runner.Inject("b1", msg.M(broadcast.HdrBcast, add))
+	// More traffic after the reconfiguration.
+	h.submit("c0", "deposit", 2, 20)
+	ok, err = h.runner.RunUntil(5_000_000, func() bool { return h.totalDone() == 2 })
+	if err != nil || !ok {
+		t.Fatal("post-join transaction did not complete")
+	}
+	if _, err := h.runner.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Active() {
+		t.Fatal("joining replica never activated")
+	}
+	if err := CheckStateAgreement(h.sys.Replicas["r1"].Executor().DB, r4.Executor().DB); err != nil {
+		t.Error(err)
+	}
+	if got := balanceOf(t, r4.Executor().DB, 2); got != 1020 {
+		t.Errorf("joined replica balance(2) = %d, want 1020", got)
+	}
+}
+
+func TestSMRPayloadCodecs(t *testing.T) {
+	req := TxRequest{Client: "c1", Seq: 9, Type: "deposit", Args: []any{int64(3), int64(5)}}
+	b, err := EncodeTx(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeTx(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Client != "c1" || out.Seq != 9 || out.Type != "deposit" || len(out.Args) != 2 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if _, err := DecodeTx([]byte("cfg|1|x")); err == nil {
+		t.Error("non-tx payload accepted")
+	}
+	add, ok := DecodeSMRAdd(EncodeSMRAdd(SMRAddReplica{New: "r4", Remove: "r1", Proposer: "r2"}))
+	if !ok || add.New != "r4" || add.Remove != "r1" || add.Proposer != "r2" {
+		t.Errorf("smradd round trip = %+v ok=%v", add, ok)
+	}
+	if _, ok := DecodeSMRAdd([]byte("tx|stuff")); ok {
+		t.Error("non-add payload accepted")
+	}
+}
+
+func TestSMRDeliverDeduplication(t *testing.T) {
+	// Two service nodes notify the same replica; the second notification
+	// of a slot must be ignored.
+	db, err := sqldb.Open("h2:mem:d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BankSetup(db, 5); err != nil {
+		t.Fatal(err)
+	}
+	r := NewSMRReplica("rx", db, BankRegistry())
+	payload, err := EncodeTx(depositReq("c", 1, 0, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := broadcast.Deliver{Slot: 0, Msgs: []broadcast.Bcast{{From: "c", Seq: 1, Payload: payload}}}
+	var p gpm.Process = r
+	p, outs := p.Step(msg.M(broadcast.HdrDeliver, d))
+	if len(outs) != 1 {
+		t.Fatalf("first delivery outputs = %v", outs)
+	}
+	_, outs = p.Step(msg.M(broadcast.HdrDeliver, d))
+	if len(outs) != 0 {
+		t.Errorf("duplicate delivery produced outputs: %v", outs)
+	}
+	if got := balanceOf(t, db, 0); got != 1050 {
+		t.Errorf("balance = %d", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package core implements ShadowDB, the paper's replicated database
+// (Section III). Two replication protocols are provided over the same
+// transaction substrate:
+//
+//   - PBR (pbr.go): primary-backup replication with a hand-written normal
+//     case and recovery driven by the verified total order broadcast
+//     service — new configurations are agreed through the broadcast, the
+//     new primary is the surviving replica with the highest executed
+//     sequence number, and lagging or fresh replicas are brought up to
+//     date with cached transactions or a full state transfer.
+//
+//   - SMR (smr.go): state machine replication where every transaction is
+//     ordered by the broadcast service and executed by every replica; the
+//     client takes the first answer, so replica crashes are transparent.
+//
+// Transactions are typed procedures with parameters ("Submitting a
+// transaction T involves sending T's type and its parameters to a
+// server"), executed deterministically and sequentially against the
+// sqldb substrate. Exactly-once execution under client retry is ensured
+// by per-client sequence numbers, "recording the sequence number of the
+// last transaction submitted by each client" as in the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+// Message headers of ShadowDB.
+const (
+	// HdrTx is a client transaction request (to the PBR primary, or
+	// wrapped in a broadcast for SMR).
+	HdrTx = "sdb.tx"
+	// HdrTxResult is the server's answer to the client.
+	HdrTxResult = "sdb.txresult"
+	// HdrRedirect tells a client which replica is the primary.
+	HdrRedirect = "sdb.redirect"
+	// HdrRepl is the primary->backup transaction forward.
+	HdrRepl = "sdb.repl"
+	// HdrReplAck is the backup's acknowledgment.
+	HdrReplAck = "sdb.replack"
+	// HdrHeartbeat is the mutual liveness probe.
+	HdrHeartbeat = "sdb.hb"
+	// HdrHBTick is the local failure-detector timer.
+	HdrHBTick = "sdb.hbtick"
+	// HdrElect carries (config seq, executed seq) during primary election.
+	HdrElect = "sdb.elect"
+	// HdrCatchup carries missing transactions to a lagging backup.
+	HdrCatchup = "sdb.catchup"
+	// HdrSnapBegin / HdrSnapBatch / HdrSnapEnd carry a state transfer.
+	HdrSnapBegin = "sdb.snapbegin"
+	HdrSnapBatch = "sdb.snapbatch"
+	HdrSnapEnd   = "sdb.snapend"
+	// HdrRecovered is the backup's "I am up to date" signal.
+	HdrRecovered = "sdb.recovered"
+)
+
+// TxRequest is a typed transaction invocation.
+type TxRequest struct {
+	// Client is where the answer goes; Seq is the client's sequence
+	// number for exactly-once execution.
+	Client msg.Loc
+	Seq    int64
+	// Type names a registered procedure; Args are its parameters.
+	Type string
+	Args []any
+}
+
+// Key identifies the request for deduplication.
+func (r TxRequest) Key() string { return fmt.Sprintf("%s/%d", r.Client, r.Seq) }
+
+// TxResult is the transaction outcome returned to the client.
+type TxResult struct {
+	Client msg.Loc
+	Seq    int64
+	// Aborted reports a deterministic transaction abort (not a failure).
+	Aborted bool
+	// Err carries an execution error message ("" when none).
+	Err string
+	// Cols/Rows carry the result set of the procedure, if any.
+	Cols []string
+	Rows [][]sqldb.Value
+}
+
+// Redirect points a client at the current primary.
+type Redirect struct {
+	Primary msg.Loc
+	CfgSeq  int
+}
+
+// Repl is the primary->backup forward of one ordered transaction.
+type Repl struct {
+	CfgSeq int
+	Order  int64 // global execution order number
+	Req    TxRequest
+}
+
+// ReplAck acknowledges execution of an ordered transaction.
+type ReplAck struct {
+	CfgSeq int
+	Order  int64
+	From   msg.Loc
+}
+
+// Heartbeat is the liveness probe.
+type Heartbeat struct {
+	From   msg.Loc
+	CfgSeq int
+}
+
+// HBTick is the local failure-detector timer body.
+type HBTick struct{}
+
+// NewConfig is the recovery proposal, agreed through the total order
+// broadcast service. It is tagged with the sequence number of the
+// configuration it replaces; only the first proposal per configuration
+// wins (Section III-A, step 3).
+type NewConfig struct {
+	OldSeq   int
+	Members  []msg.Loc // surviving replicas + replacement spares
+	Proposer msg.Loc
+}
+
+// Elect carries a member's executed sequence number for the new
+// configuration's primary election.
+type Elect struct {
+	CfgSeq   int
+	From     msg.Loc
+	Executed int64
+	// HasData reports whether the sender holds a full copy of the
+	// database (fresh spares do not).
+	HasData bool
+}
+
+// Catchup carries transactions a lagging backup is missing.
+type Catchup struct {
+	CfgSeq int
+	From   int64 // order number of the first entry
+	Txs    []Repl
+}
+
+// SnapBegin opens a state transfer.
+type SnapBegin struct {
+	CfgSeq  int
+	Schemas []sqldb.CreateTable
+	// Order is the execution order number the snapshot reflects.
+	Order int64
+}
+
+// SnapBatch carries one batch of rows.
+type SnapBatch struct {
+	CfgSeq int
+	Table  string
+	Rows   [][]sqldb.Value
+	// N is the batch index, Last marks the final batch of the table.
+	N int
+}
+
+// SnapEnd closes a state transfer. Batches lets the receiver detect that
+// some batches are still in flight (reordered or delayed) and defer
+// completion until they arrive.
+type SnapEnd struct {
+	CfgSeq  int
+	Order   int64
+	Batches int
+}
+
+// Recovered signals a backup is in sync.
+type Recovered struct {
+	CfgSeq int
+	From   msg.Loc
+}
+
+// RegisterWireTypes registers ShadowDB bodies with the wire codec,
+// including the basic value types that travel inside TxRequest.Args and
+// result rows.
+func RegisterWireTypes() {
+	gobBasics()
+	for _, v := range []any{
+		TxRequest{}, TxResult{}, Redirect{}, Repl{}, ReplAck{}, Heartbeat{}, HBTick{},
+		NewConfig{}, Elect{}, Catchup{}, SnapBegin{}, SnapBatch{}, SnapEnd{}, Recovered{},
+		ClientRetryBody{},
+	} {
+		msg.RegisterBody(v)
+	}
+}
+
+// Config is a replica-group configuration: a sequence number and an
+// ordered member list whose first element is the primary.
+type Config struct {
+	Seq     int
+	Members []msg.Loc
+}
+
+// Primary returns the configuration's primary.
+func (c Config) Primary() msg.Loc {
+	if len(c.Members) == 0 {
+		return ""
+	}
+	return c.Members[0]
+}
+
+// Backups returns the non-primary members.
+func (c Config) Backups() []msg.Loc {
+	if len(c.Members) == 0 {
+		return nil
+	}
+	return c.Members[1:]
+}
+
+// Contains reports membership.
+func (c Config) Contains(l msg.Loc) bool {
+	for _, m := range c.Members {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Timing groups the failure-detection and retry knobs.
+type Timing struct {
+	// HeartbeatEvery is the probe period.
+	HeartbeatEvery time.Duration
+	// SuspectAfter is how long without heartbeats before suspicion; the
+	// paper used 10 s ("detection time is configurable").
+	SuspectAfter time.Duration
+	// ClientRetry is the client's resend timeout.
+	ClientRetry time.Duration
+}
+
+// DefaultTiming mirrors the paper's recovery experiment.
+func DefaultTiming() Timing {
+	return Timing{
+		HeartbeatEvery: 500 * time.Millisecond,
+		SuspectAfter:   10 * time.Second,
+		ClientRetry:    2 * time.Second,
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"shadowdb/internal/sqldb"
+)
+
+func setupBank10(db *sqldb.DB) error { return BankSetup(db, 10) }
+
+// buildHistory runs a few transactions through an executor and returns
+// the answered results.
+func buildHistory(t *testing.T) (*Executor, []TxResult) {
+	t.Helper()
+	e := bankExec(t, 10)
+	var answered []TxResult
+	reqs := []TxRequest{
+		depositReq("a", 1, 0, 5),
+		depositReq("b", 1, 1, 7),
+		depositReq("a", 2, 0, 3),
+		{Client: "c", Seq: 1, Type: "balance", Args: []any{0}},
+	}
+	for i, req := range reqs {
+		res, err := e.Apply(int64(i+1), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answered = append(answered, res)
+	}
+	return e, answered
+}
+
+func TestCheckSerializablePasses(t *testing.T) {
+	e, answered := buildHistory(t)
+	if err := CheckSerializable(BankRegistry(), setupBank10, e, answered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSerializableCatchesStateTampering(t *testing.T) {
+	e, answered := buildHistory(t)
+	// Tamper with the replica's state outside the log.
+	if _, err := e.DB.Exec("UPDATE accounts SET balance = 0 WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckSerializable(BankRegistry(), setupBank10, e, answered)
+	if !errors.Is(err, ErrSerializability) {
+		t.Errorf("err = %v, want ErrSerializability", err)
+	}
+}
+
+func TestCheckSerializableCatchesForgedResult(t *testing.T) {
+	e, answered := buildHistory(t)
+	forged := answered[3]
+	forged.Rows = [][]sqldb.Value{{int64(999999)}}
+	err := CheckSerializable(BankRegistry(), setupBank10, e, []TxResult{forged})
+	if !errors.Is(err, ErrSerializability) {
+		t.Errorf("err = %v, want ErrSerializability", err)
+	}
+}
+
+func TestCheckSerializableCatchesUnloggedAnswer(t *testing.T) {
+	e, _ := buildHistory(t)
+	ghost := TxResult{Client: "ghost", Seq: 1}
+	err := CheckSerializable(BankRegistry(), setupBank10, e, []TxResult{ghost})
+	if !errors.Is(err, ErrDurability) {
+		t.Errorf("err = %v, want ErrDurability", err)
+	}
+}
+
+func TestCheckSerializableCatchesClientOrderViolation(t *testing.T) {
+	e := bankExec(t, 10)
+	if _, err := e.Apply(1, depositReq("a", 5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Manually force a lower client sequence number later in the log.
+	e.log = append(e.log, Repl{Order: 2, Req: depositReq("a", 3, 0, 1)})
+	e.Executed = 2
+	err := CheckSerializable(BankRegistry(), setupBank10, e, nil)
+	if !errors.Is(err, ErrClientOrder) {
+		t.Errorf("err = %v, want ErrClientOrder", err)
+	}
+}
+
+func TestCheckDurability(t *testing.T) {
+	e, answered := buildHistory(t)
+	if err := CheckDurability(answered, e); err != nil {
+		t.Fatal(err)
+	}
+	missing := []TxResult{{Client: "zz", Seq: 9}}
+	if err := CheckDurability(missing, e); !errors.Is(err, ErrDurability) {
+		t.Errorf("err = %v, want ErrDurability", err)
+	}
+}
+
+func TestCheckStateAgreement(t *testing.T) {
+	a := bankExec(t, 5).DB
+	b := bankExec(t, 5).DB
+	if err := CheckStateAgreement(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec("UPDATE accounts SET balance = 1 WHERE id = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStateAgreement(a, b); !errors.Is(err, ErrStateAgreement) {
+		t.Errorf("err = %v, want ErrStateAgreement", err)
+	}
+}

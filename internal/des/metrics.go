@@ -1,0 +1,94 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates request latencies and reports summary
+// statistics — the per-curve data points of Figs. 8 and 9.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Add records one latency sample.
+func (l *LatencyRecorder) Add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the average latency (0 when empty).
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Timeline bins event counts into fixed-width windows of virtual time —
+// the instantaneous-throughput plot of Fig. 10(a).
+type Timeline struct {
+	// Bin is the window width.
+	Bin    time.Duration
+	counts map[int]int
+	maxBin int
+}
+
+// NewTimeline creates a timeline with the given bin width.
+func NewTimeline(bin time.Duration) *Timeline {
+	return &Timeline{Bin: bin, counts: make(map[int]int), maxBin: -1}
+}
+
+// Mark records one event at virtual time t.
+func (t *Timeline) Mark(at time.Duration) {
+	b := int(at / t.Bin)
+	t.counts[b]++
+	if b > t.maxBin {
+		t.maxBin = b
+	}
+}
+
+// Series returns one value per bin from 0 through the last marked bin,
+// scaled to events per second.
+func (t *Timeline) Series() []float64 {
+	if t.maxBin < 0 {
+		return nil
+	}
+	persec := float64(time.Second) / float64(t.Bin)
+	out := make([]float64, t.maxBin+1)
+	for b, n := range t.counts {
+		out[b] = float64(n) * persec
+	}
+	return out
+}
+
+// Throughput converts a completed-operation count over an elapsed virtual
+// duration to operations/second.
+func Throughput(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

@@ -1,0 +1,242 @@
+package gpm
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+// counter returns a process that counts "inc" messages and, on "get",
+// replies to the body location with the count.
+func counter() Process {
+	var rec func(n int) StepFunc
+	rec = func(n int) StepFunc {
+		return func(in msg.Msg) (Process, []msg.Directive) {
+			switch in.Hdr {
+			case "inc":
+				return rec(n + 1), nil
+			case "get":
+				dest := in.Body.(msg.Loc)
+				return rec(n), []msg.Directive{msg.Send(dest, msg.M("count", n))}
+			default:
+				return rec(n), nil
+			}
+		}
+	}
+	return rec(0)
+}
+
+// sink records every message it receives.
+func sink(got *[]msg.Msg) Process {
+	var rec StepFunc
+	rec = func(in msg.Msg) (Process, []msg.Directive) {
+		*got = append(*got, in)
+		return rec, nil
+	}
+	return rec
+}
+
+func TestHalt(t *testing.T) {
+	h := Halt()
+	if !h.Halted() {
+		t.Fatal("Halt().Halted() = false")
+	}
+	next, outs := h.Step(msg.M("x", nil))
+	if !next.Halted() || len(outs) != 0 {
+		t.Error("halted process must stay halted and silent")
+	}
+}
+
+func TestStepFuncNotHalted(t *testing.T) {
+	p := StepFunc(func(in msg.Msg) (Process, []msg.Directive) { return Halt(), nil })
+	if p.Halted() {
+		t.Error("StepFunc.Halted() = true, want false")
+	}
+}
+
+func TestSystemSpawn(t *testing.T) {
+	s := System{
+		Gen:  func(slf msg.Loc) Process { return counter() },
+		Locs: []msg.Loc{"a", "b"},
+	}
+	ps := s.Spawn()
+	if len(ps) != 2 {
+		t.Fatalf("spawned %d processes, want 2", len(ps))
+	}
+	for _, l := range s.Locs {
+		if ps[l] == nil {
+			t.Errorf("no process at %q", l)
+		}
+	}
+}
+
+func TestRunnerCounting(t *testing.T) {
+	var got []msg.Msg
+	s := System{
+		Gen: func(slf msg.Loc) Process {
+			if slf == "ctr" {
+				return counter()
+			}
+			return sink(&got)
+		},
+		Locs: []msg.Loc{"ctr", "obs"},
+	}
+	r := NewRunner(s)
+	for i := 0; i < 5; i++ {
+		r.Inject("ctr", msg.M("inc", nil))
+	}
+	r.Inject("ctr", msg.M("get", msg.Loc("obs")))
+	if _, err := r.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("observer got %d messages, want 1", len(got))
+	}
+	if got[0].Hdr != "count" || got[0].Body != 5 {
+		t.Errorf("observer got %v, want count(5)", got[0])
+	}
+}
+
+func TestRunnerFIFOOrder(t *testing.T) {
+	var got []msg.Msg
+	s := System{
+		Gen:  func(msg.Loc) Process { return sink(&got) },
+		Locs: []msg.Loc{"a"},
+	}
+	r := NewRunner(s)
+	for i := 0; i < 10; i++ {
+		r.Inject("a", msg.M("n", i))
+	}
+	if _, err := r.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range got {
+		if m.Body != i {
+			t.Fatalf("delivery %d carried %v, want %d (FIFO violated)", i, m.Body, i)
+		}
+	}
+}
+
+func TestRunnerDelayedDelivery(t *testing.T) {
+	// A process that echoes with a delay proportional to the body.
+	echo := func() Process {
+		var rec StepFunc
+		rec = func(in msg.Msg) (Process, []msg.Directive) {
+			if in.Hdr == "ping" {
+				d := in.Body.(time.Duration)
+				return rec, []msg.Directive{msg.SendAfter(d, "obs", msg.M("pong", d))}
+			}
+			return rec, nil
+		}
+		return rec
+	}
+	var got []msg.Msg
+	s := System{
+		Gen: func(slf msg.Loc) Process {
+			if slf == "echo" {
+				return echo()
+			}
+			return sink(&got)
+		},
+		Locs: []msg.Loc{"echo", "obs"},
+	}
+	r := NewRunner(s)
+	// Inject long delay first; short delay must still be delivered first.
+	r.Inject("echo", msg.M("ping", 5*time.Second))
+	r.Inject("echo", msg.M("ping", 1*time.Second))
+	if _, err := r.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d messages, want 2", len(got))
+	}
+	if got[0].Body != 1*time.Second || got[1].Body != 5*time.Second {
+		t.Errorf("delayed messages out of order: %v", got)
+	}
+	if r.Now() != 5*time.Second {
+		t.Errorf("virtual clock = %v, want 5s", r.Now())
+	}
+}
+
+func TestRunnerUnknownLocation(t *testing.T) {
+	s := System{Gen: func(msg.Loc) Process { return Halt() }, Locs: []msg.Loc{"a"}}
+
+	t.Run("dropped by default", func(t *testing.T) {
+		r := NewRunner(s)
+		r.Inject("ghost", msg.M("x", nil))
+		if _, err := r.Run(10); err != nil {
+			t.Errorf("Run: %v, want nil (drop)", err)
+		}
+	})
+	t.Run("error when strict", func(t *testing.T) {
+		r := NewRunner(s)
+		r.DropUnknown = false
+		r.Inject("ghost", msg.M("x", nil))
+		if _, err := r.Run(10); err == nil {
+			t.Error("Run succeeded, want unknown-location error")
+		}
+	})
+}
+
+func TestRunnerTraceAndCallback(t *testing.T) {
+	var cb int
+	s := System{Gen: func(msg.Loc) Process { return counter() }, Locs: []msg.Loc{"a"}}
+	r := NewRunner(s)
+	r.OnDeliver = func(TraceEntry) { cb++ }
+	r.Inject("a", msg.M("inc", nil))
+	r.Inject("a", msg.M("inc", nil))
+	n, err := r.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || cb != 2 || len(r.Trace()) != 2 {
+		t.Errorf("n=%d cb=%d trace=%d, want 2 each", n, cb, len(r.Trace()))
+	}
+	if r.Trace()[0].Loc != "a" || r.Trace()[0].In.Hdr != "inc" {
+		t.Errorf("trace entry 0 = %+v", r.Trace()[0])
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var got []msg.Msg
+	s := System{Gen: func(msg.Loc) Process { return sink(&got) }, Locs: []msg.Loc{"a"}}
+	r := NewRunner(s)
+	for i := 0; i < 10; i++ {
+		r.Inject("a", msg.M("n", i))
+	}
+	ok, err := r.RunUntil(100, func() bool { return len(got) == 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("RunUntil did not satisfy predicate")
+	}
+	if len(got) != 3 {
+		t.Errorf("stopped after %d deliveries, want 3", len(got))
+	}
+	if r.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", r.Pending())
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	// A self-perpetuating process: every tick sends itself another tick.
+	loop := func(slf msg.Loc) Process {
+		var rec StepFunc
+		rec = func(in msg.Msg) (Process, []msg.Directive) {
+			return rec, []msg.Directive{msg.Send(slf, msg.M("tick", nil))}
+		}
+		return rec
+	}
+	s := System{Gen: loop, Locs: []msg.Loc{"a"}}
+	r := NewRunner(s)
+	r.Inject("a", msg.M("tick", nil))
+	n, err := r.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("Run executed %d steps, want exactly 50", n)
+	}
+}

@@ -1,0 +1,76 @@
+// Package gpm implements the General Process Model of the paper: a process
+// is a (conceptually tail-recursive) function that consumes one input
+// message and computes a replacement process together with a bag of output
+// directives.
+//
+// This is the operational half of the paper's methodology: EventML/LoE
+// specifications (package loe) compile into GPM processes, which are then
+// either executed natively ("compiled" mode, the analogue of the paper's
+// Lisp translation) or compiled further into λ-terms and evaluated by the
+// term interpreter in package interp ("interpreted" mode).
+package gpm
+
+import (
+	"shadowdb/internal/msg"
+)
+
+// Process is one step of a GPM process: given an input message it returns
+// the process that replaces it and the directives to emit. Mirrors the
+// optimized form of Fig. 7 in the paper:
+//
+//	let rec R(s) = run (λm. ... <R(s'), out>)
+type Process interface {
+	// Step consumes one input and returns the replacement process plus
+	// output directives. Implementations must be deterministic: the model
+	// checker replays steps and compares outputs.
+	Step(in msg.Msg) (Process, []msg.Directive)
+	// Halted reports whether this process ignores all further input.
+	Halted() bool
+}
+
+// StepFunc adapts a function to the Process interface. The function itself
+// returns the next step function, keeping the tail-recursive flavour of the
+// model.
+type StepFunc func(in msg.Msg) (Process, []msg.Directive)
+
+var _ Process = (StepFunc)(nil)
+
+// Step implements Process.
+func (f StepFunc) Step(in msg.Msg) (Process, []msg.Directive) { return f(in) }
+
+// Halted implements Process. A live step function never reports halted.
+func (f StepFunc) Halted() bool { return false }
+
+type haltedProcess struct{}
+
+var _ Process = haltedProcess{}
+
+func (haltedProcess) Step(msg.Msg) (Process, []msg.Directive) { return haltedProcess{}, nil }
+func (haltedProcess) Halted() bool                            { return true }
+
+// Halt returns the halted process: it consumes every input and produces
+// nothing. Generators return it for locations outside the system (Fig. 7,
+// line 10 of the paper).
+func Halt() Process { return haltedProcess{} }
+
+// Generator is a distributed-system generator: it takes a location slf and
+// returns the process meant to run at that location (Fig. 7, line 2).
+type Generator func(slf msg.Loc) Process
+
+// System pairs a generator with the locations it populates; it is the
+// runnable form of an EventML "main Handler @ locs" declaration.
+type System struct {
+	// Gen produces the process for each location.
+	Gen Generator
+	// Locs is the set of populated locations.
+	Locs []msg.Loc
+}
+
+// Spawn instantiates the process for every location in the system.
+func (s System) Spawn() map[msg.Loc]Process {
+	ps := make(map[msg.Loc]Process, len(s.Locs))
+	for _, l := range s.Locs {
+		ps[l] = s.Gen(l)
+	}
+	return ps
+}

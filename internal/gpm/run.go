@@ -1,0 +1,172 @@
+package gpm
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+// Runner executes a System deterministically in virtual time. It is the
+// reference executor used by tests, the verifier, and the examples; the
+// discrete-event simulator (package des) and the real transports (package
+// runtime) host the same Process values in richer environments.
+//
+// Delivery model: directives become pending deliveries ordered by virtual
+// time (injection time + delay), with FIFO tie-breaking by sequence
+// number. This makes runs reproducible, which both the model checker and
+// the refinement checker rely on.
+type Runner struct {
+	procs map[msg.Loc]Process
+	now   time.Duration
+	seq   int
+	queue deliveryHeap
+	trace []TraceEntry
+	// DropUnknown controls what happens to messages addressed to locations
+	// the runner does not host: true drops them silently (the default
+	// network behaviour), false makes Run return an error.
+	DropUnknown bool
+	// OnDeliver, if non-nil, is invoked after each delivery with the
+	// resulting outputs. Used by tests and the refinement checker.
+	OnDeliver func(e TraceEntry)
+}
+
+// TraceEntry records one delivery: the event (location + message) and the
+// outputs the process produced for it. CausedBy is the trace index of the
+// event whose output enqueued this delivery, or -1 for injected messages;
+// it gives the verifier the causal order of the Logic of Events.
+type TraceEntry struct {
+	At       time.Duration
+	Loc      msg.Loc
+	In       msg.Msg
+	Outs     []msg.Directive
+	CausedBy int
+}
+
+type delivery struct {
+	at       time.Duration
+	seq      int
+	to       msg.Loc
+	m        msg.Msg
+	causedBy int
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
+
+// NewRunner spawns the system's processes and returns a runner ready for
+// injection.
+func NewRunner(s System) *Runner {
+	return &Runner{procs: s.Spawn(), DropUnknown: true}
+}
+
+// Now returns the current virtual time.
+func (r *Runner) Now() time.Duration { return r.now }
+
+// Trace returns the deliveries executed so far, in order.
+func (r *Runner) Trace() []TraceEntry { return r.trace }
+
+// Process returns the current process at a location (nil if not hosted).
+func (r *Runner) Process(l msg.Loc) Process { return r.procs[l] }
+
+// Replace swaps the process at a location; Replace(l, Halt()) crashes it.
+func (r *Runner) Replace(l msg.Loc, p Process) { r.procs[l] = p }
+
+// Inject schedules an external message for delivery at the current virtual
+// time.
+func (r *Runner) Inject(to msg.Loc, m msg.Msg) {
+	r.InjectAfter(0, to, m)
+}
+
+// InjectAfter schedules an external message for delivery after a delay of
+// virtual time, letting tests stage fault injections between protocol
+// phases.
+func (r *Runner) InjectAfter(d time.Duration, to msg.Loc, m msg.Msg) {
+	heap.Push(&r.queue, delivery{at: r.now + d, seq: r.seq, to: to, m: m, causedBy: -1})
+	r.seq++
+}
+
+// Pending reports how many deliveries are queued.
+func (r *Runner) Pending() int { return r.queue.Len() }
+
+// StepOne delivers the single earliest pending message. It reports whether
+// a delivery happened.
+func (r *Runner) StepOne() (bool, error) {
+	for r.queue.Len() > 0 {
+		d := heap.Pop(&r.queue).(delivery)
+		r.now = d.at
+		p, ok := r.procs[d.to]
+		if !ok {
+			if r.DropUnknown {
+				continue
+			}
+			return false, fmt.Errorf("gpm: delivery to unknown location %q", d.to)
+		}
+		next, outs := p.Step(d.m)
+		r.procs[d.to] = next
+		eventIdx := len(r.trace)
+		for _, out := range outs {
+			heap.Push(&r.queue, delivery{
+				at: r.now + out.Delay, seq: r.seq, to: out.Dest, m: out.M, causedBy: eventIdx,
+			})
+			r.seq++
+		}
+		entry := TraceEntry{At: r.now, Loc: d.to, In: d.m, Outs: outs, CausedBy: d.causedBy}
+		r.trace = append(r.trace, entry)
+		if r.OnDeliver != nil {
+			r.OnDeliver(entry)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run delivers pending messages until the queue drains or maxSteps
+// deliveries have happened. It returns the number of deliveries executed.
+func (r *Runner) Run(maxSteps int) (int, error) {
+	steps := 0
+	for steps < maxSteps {
+		ok, err := r.StepOne()
+		if err != nil {
+			return steps, err
+		}
+		if !ok {
+			return steps, nil
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// RunUntil delivers pending messages until pred returns true after some
+// delivery, the queue drains, or maxSteps is exhausted. It reports whether
+// pred was satisfied.
+func (r *Runner) RunUntil(maxSteps int, pred func() bool) (bool, error) {
+	if pred() {
+		return true, nil
+	}
+	for steps := 0; steps < maxSteps; steps++ {
+		ok, err := r.StepOne()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return pred(), nil
+		}
+		if pred() {
+			return true, nil
+		}
+	}
+	return pred(), nil
+}

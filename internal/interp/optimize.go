@@ -1,0 +1,420 @@
+package interp
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// The program optimizer. The paper (Section II-C3): "Our optimizer merges
+// nested recursive functions into one and also applies common
+// subexpression elimination. Besides producing more efficient code, the
+// optimized code tends to be easier to read as it is closer to what one
+// would write by hand."
+//
+// Optimize performs exactly those two transformations:
+//
+//  1. Recursion merging: instead of one nested recursive function per
+//     combinator (the shape Compile produces), the whole class DAG becomes
+//     a single recursive function over a flattened state, with each event
+//     class evaluated exactly once per event, in dependency order.
+//  2. CSE: structurally identical stateless sub-classes (base classes
+//     above all — "event classes typically occur more than once in
+//     specifications") are deduplicated, and the generic Simplify passes
+//     remove administrative redexes and fold algebraic identities.
+//
+// Equivalence with the unoptimized program is checked by the bisimulation
+// tester in bisim.go, the analogue of the paper's SqequalProcProve2 proof
+// of Fig. 7.
+
+// Optimize compiles a class into an optimized program term.
+func Optimize(cl loe.Class) Term {
+	o := &optimizer{seen: map[string]*optNode{}}
+	root := o.flatten(cl)
+	return Simplify(o.emit(root))
+}
+
+// OptimizeSpec optimizes a full specification's main class.
+func OptimizeSpec(s loe.Spec) Term { return Optimize(s.Main) }
+
+// optNode is one deduplicated class in the flattened DAG.
+type optNode struct {
+	id       int
+	desc     loe.Desc
+	children []*optNode
+	stateful bool
+}
+
+type optimizer struct {
+	nodes []*optNode
+	seen  map[string]*optNode
+	n     int
+}
+
+func (o *optimizer) fresh(prefix string) string {
+	o.n++
+	return prefix + strconv.Itoa(o.n)
+}
+
+// flatten walks the class tree, deduplicating nodes by structural key.
+// Base classes are stateless and always shareable; other nodes are shared
+// when kind, name and children coincide (combinator names are unique per
+// role in every spec in this repository, so equal keys imply equal
+// embedded functions).
+func (o *optimizer) flatten(cl loe.Class) *optNode {
+	d, ok := cl.(loe.Described)
+	if !ok {
+		panic(fmt.Sprintf("interp: class %q does not describe itself", cl.ClassName()))
+	}
+	desc := d.Describe()
+	children := make([]*optNode, len(desc.Children))
+	key := fmt.Sprintf("%d/%s/%s", desc.Kind, desc.Name, desc.Header)
+	for i, ch := range desc.Children {
+		children[i] = o.flatten(ch)
+		key += ":" + strconv.Itoa(children[i].id)
+	}
+	if n, ok := o.seen[key]; ok {
+		return n
+	}
+	n := &optNode{
+		id:       len(o.nodes),
+		desc:     desc,
+		children: children,
+		stateful: desc.Kind == loe.KindState || desc.Kind == loe.KindOnce || desc.Kind == loe.KindDelegate,
+	}
+	o.nodes = append(o.nodes, n)
+	o.seen[key] = n
+	return n
+}
+
+// emit generates the single merged recursive function:
+//
+//	λslf. fix (λself. λs_1 ... λs_k. λe.
+//	        let o_1 = ... in ... let o_n = ... in
+//	        pair (self s'_1 ... s'_k) o_root) init_1 ... init_k
+func (o *optimizer) emit(root *optNode) Term {
+	slf := "slf"
+	e := "e"
+
+	var stateful []*optNode
+	for _, n := range o.nodes {
+		if n.stateful {
+			stateful = append(stateful, n)
+		}
+	}
+	sVar := func(n *optNode) string { return "s" + strconv.Itoa(n.id) }
+	sVar2 := func(n *optNode) string { return "s'" + strconv.Itoa(n.id) }
+	oVar := func(n *optNode) string { return "o" + strconv.Itoa(n.id) }
+
+	// The recursive call with the updated states, and the final pair.
+	next := A(V("self"))
+	for _, n := range stateful {
+		next = App{Fn: next, Arg: V(sVar2(n))}
+	}
+	body := A(primPair, next, V(oVar(root)))
+
+	// Emit per-node lets in reverse dependency order (nodes is already a
+	// valid topological order: children are appended before parents).
+	for i := len(o.nodes) - 1; i >= 0; i-- {
+		n := o.nodes[i]
+		body = o.emitNode(n, slf, e, sVar, sVar2, oVar, body)
+	}
+
+	inner := Term(Fix{Fn: L(append([]string{"self"}, append(stateVars(stateful, sVar), e)...), body)})
+	out := A(inner)
+	for _, n := range stateful {
+		out = App{Fn: out, Arg: o.initTerm(n, slf)}
+	}
+	return L([]string{slf}, out)
+}
+
+func stateVars(ns []*optNode, f func(*optNode) string) []string {
+	vs := make([]string, len(ns))
+	for i, n := range ns {
+		vs[i] = f(n)
+	}
+	return vs
+}
+
+func (o *optimizer) initTerm(n *optNode, slf string) Term {
+	switch n.desc.Kind {
+	case loe.KindState:
+		d := n.desc
+		initP := Prim{Name: "init:" + d.Name, Arity: 1, Fn: func(_ *Evaluator, args []Value) Value {
+			return d.Init(args[0].(msg.Loc))
+		}}
+		return A(initP, V(slf))
+	case loe.KindOnce:
+		return Lit{Val: false}
+	case loe.KindDelegate:
+		return nilTerm
+	default:
+		panic("interp: initTerm on stateless node")
+	}
+}
+
+// emitNode wraps body with the lets computing node n's output (and new
+// state for stateful nodes).
+func (o *optimizer) emitNode(n *optNode, slf, e string, sVar, sVar2, oVar func(*optNode) string, body Term) Term {
+	d := n.desc
+	switch d.Kind {
+	case loe.KindBase:
+		out := If{
+			Cond: A(primEqS, A(primHdr, V(e)), Lit{Val: d.Header}),
+			Then: A(primCons, A(primBody, V(e)), nilTerm),
+			Else: nilTerm,
+		}
+		return Let(oVar(n), out, body)
+
+	case loe.KindState:
+		updP := Prim{Name: "upd:" + d.Name, Arity: 3, Fn: func(_ *Evaluator, args []Value) Value {
+			return d.Upd(args[0].(msg.Loc), args[1], args[2])
+		}}
+		newState := A(primFold, A(updP, V(slf)), V(sVar(n)), V(oVar(n.children[0])))
+		return Let(sVar2(n), newState,
+			Let(oVar(n), A(primCons, V(sVar2(n)), nilTerm), body))
+
+	case loe.KindCompose:
+		k := len(n.children)
+		fP := Prim{Name: "f:" + d.Name, Arity: 1 + k, Fn: func(_ *Evaluator, args []Value) Value {
+			vals := make([]any, k)
+			for i := range vals {
+				vals[i] = args[1+i]
+			}
+			return toList(d.F(args[0].(msg.Loc), vals))
+		}}
+		anyEmpty := Term(Lit{Val: false})
+		call := A(fP, V(slf))
+		for _, ch := range n.children {
+			anyEmpty = A(primOr, A(primEmpty, V(oVar(ch))), anyEmpty)
+			call = App{Fn: call, Arg: A(primHead, V(oVar(ch)))}
+		}
+		return Let(oVar(n), If{Cond: anyEmpty, Then: nilTerm, Else: call}, body)
+
+	case loe.KindParallel:
+		outs := nilTerm
+		for i := len(n.children) - 1; i >= 0; i-- {
+			outs = A(primAppend, V(oVar(n.children[i])), outs)
+		}
+		return Let(oVar(n), outs, body)
+
+	case loe.KindOnce:
+		child := V(oVar(n.children[0]))
+		return Let(sVar2(n), A(primOr, V(sVar(n)), A(primNot, A(primEmpty, child))),
+			Let(oVar(n), If{Cond: V(sVar(n)), Then: nilTerm, Else: child}, body))
+
+	case loe.KindMap:
+		fP := Prim{Name: "map:" + d.Name, Arity: 2, Fn: func(_ *Evaluator, args []Value) Value {
+			return d.MapF(args[0].(msg.Loc), args[1])
+		}}
+		return Let(oVar(n), A(primMap, A(fP, V(slf)), V(oVar(n.children[0]))), body)
+
+	case loe.KindFilter:
+		fP := Prim{Name: "pred:" + d.Name, Arity: 2, Fn: func(_ *Evaluator, args []Value) Value {
+			return d.Pred(args[0].(msg.Loc), args[1])
+		}}
+		return Let(oVar(n), A(primFilter, A(fP, V(slf)), V(oVar(n.children[0]))), body)
+
+	case loe.KindDelegate:
+		spawnP := Prim{Name: "spawn:" + d.Name, Arity: 3, Fn: func(ev *Evaluator, args []Value) Value {
+			self := args[0].(msg.Loc)
+			vals := asList(ev, args[1])
+			event := args[2]
+			var live, outs []Value
+			for _, v := range vals {
+				// Delegated sub-processes are compiled with the optimizer
+				// too: the whole program runs optimized.
+				prog := Optimize(d.Spawn(self, v))
+				inst := ev.applyValues(ev.eval(prog, nil), self)
+				sub, subOuts, done := stepSub(ev, inst, event)
+				outs = append(outs, subOuts...)
+				if !done {
+					live = append(live, sub)
+				}
+			}
+			return &PairV{Fst: live, Snd: outs}
+		}}
+		st := o.fresh("st")
+		sp := o.fresh("sp")
+		return Let(st, A(primStepSubs, V(sVar(n)), V(e)),
+			Let(sp, A(spawnP, V(slf), V(oVar(n.children[0])), V(e)),
+				Let(sVar2(n), A(primAppend, A(primFst, V(st)), A(primFst, V(sp))),
+					Let(oVar(n), A(primAppend, A(primSnd, V(st)), A(primSnd, V(sp))), body))))
+
+	default:
+		panic(fmt.Sprintf("interp: unknown kind %v", d.Kind))
+	}
+}
+
+// ------------------------------------------------------------ simplify --
+
+// Simplify applies the generic term-level passes until fixpoint:
+// beta-inlining of administrative redexes, dead-let elimination, and
+// algebraic folding of the pure primitives. All terms in this calculus
+// are pure, so the rewrites are unconditionally sound.
+func Simplify(t Term) Term {
+	for i := 0; i < 50; i++ {
+		u := simplify1(t)
+		if equalTerms(u, t) {
+			return u
+		}
+		t = u
+	}
+	return t
+}
+
+func simplify1(t Term) Term {
+	switch n := t.(type) {
+	case App:
+		fn := simplify1(n.Fn)
+		arg := simplify1(n.Arg)
+		if lam, ok := fn.(Lam); ok {
+			uses := countFree(lam.Param, lam.Body)
+			switch {
+			case uses == 0:
+				return lam.Body // dead let (argument is pure)
+			case isAtomic(arg) || uses == 1:
+				return subst(lam.Param, arg, lam.Body)
+			}
+		}
+		return foldPrim(App{Fn: fn, Arg: arg})
+	case Lam:
+		return Lam{Param: n.Param, Body: simplify1(n.Body)}
+	case Fix:
+		return Fix{Fn: simplify1(n.Fn)}
+	case If:
+		cond := simplify1(n.Cond)
+		if lit, ok := cond.(Lit); ok {
+			if b, isBool := lit.Val.(bool); isBool {
+				if b {
+					return simplify1(n.Then)
+				}
+				return simplify1(n.Else)
+			}
+		}
+		return If{Cond: cond, Then: simplify1(n.Then), Else: simplify1(n.Else)}
+	default:
+		return t
+	}
+}
+
+// isAtomic reports whether substituting t multiple times duplicates no
+// work.
+func isAtomic(t Term) bool {
+	switch t.(type) {
+	case Var, Lit, Prim:
+		return true
+	default:
+		return false
+	}
+}
+
+// foldPrim applies algebraic identities of the pure primitives:
+// or(x,false)=x, or(false,x)=x, not(not x)=x, append(nil,x)=x,
+// append(x,nil)=x.
+func foldPrim(t App) Term {
+	name, args := primCall(t)
+	switch name {
+	case "or":
+		if len(args) == 2 {
+			if isLit(args[0], false) {
+				return args[1]
+			}
+			if isLit(args[1], false) {
+				return args[0]
+			}
+			if isLit(args[0], true) || isLit(args[1], true) {
+				return Lit{Val: true}
+			}
+		}
+	case "not":
+		if len(args) == 1 {
+			if inner, iargs := primCallT(args[0]); inner == "not" && len(iargs) == 1 {
+				return iargs[0]
+			}
+		}
+	case "append":
+		if len(args) == 2 {
+			if isNilList(args[0]) {
+				return args[1]
+			}
+			if isNilList(args[1]) {
+				return args[0]
+			}
+		}
+	}
+	return t
+}
+
+func primCall(t App) (string, []Term) { return primCallT(t) }
+
+func primCallT(t Term) (string, []Term) {
+	var args []Term
+	for {
+		app, ok := t.(App)
+		if !ok {
+			break
+		}
+		args = append([]Term{app.Arg}, args...)
+		t = app.Fn
+	}
+	if p, ok := t.(Prim); ok && len(args) == p.Arity {
+		return p.Name, args
+	}
+	return "", nil
+}
+
+func isLit(t Term, v any) bool {
+	l, ok := t.(Lit)
+	return ok && litEqual(l.Val, v)
+}
+
+func isNilList(t Term) bool {
+	l, ok := t.(Lit)
+	if !ok {
+		return false
+	}
+	vs, ok := l.Val.([]Value)
+	return ok && len(vs) == 0
+}
+
+// ------------------------------------------------------- bisimulation --
+
+// Bisimilar drives two processes with the same message sequence and
+// checks that they emit identical directives at every step — the
+// analogue of the paper's proved bisimulation (the ∼ relation of Fig. 7)
+// checked by testing instead of by Nuprl. It returns nil when the
+// processes are indistinguishable on the trace.
+func Bisimilar(a, b gpm.Process, inputs []msg.Msg) error {
+	for i, in := range inputs {
+		var oa, ob []msg.Directive
+		a, oa = a.Step(in)
+		b, ob = b.Step(in)
+		if err := procErr(a); err != nil {
+			return fmt.Errorf("left process failed at step %d: %w", i, err)
+		}
+		if err := procErr(b); err != nil {
+			return fmt.Errorf("right process failed at step %d: %w", i, err)
+		}
+		if len(oa) != len(ob) {
+			return fmt.Errorf("step %d (%s): %d outputs vs %d", i, in.Hdr, len(oa), len(ob))
+		}
+		for k := range oa {
+			if !reflect.DeepEqual(oa[k], ob[k]) {
+				return fmt.Errorf("step %d (%s) output %d: %v vs %v", i, in.Hdr, k, oa[k], ob[k])
+			}
+		}
+	}
+	return nil
+}
+
+func procErr(p gpm.Process) error {
+	if tp, ok := p.(*Process); ok {
+		return tp.Err()
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package interp implements the paper's Nuprl-program layer: an applied,
+// lazy, untyped λ-calculus. LoE classes compile into terms of this
+// calculus (the General Process Model programs of the paper), which are
+// then executed by the environment-machine evaluator in eval.go — the
+// analogue of running Nuprl programs in the SML/OCaml interpreters. The
+// optimizer in optimize.go mirrors the paper's program optimizer
+// (recursion unrolling, inlining, common-subexpression elimination) and is
+// validated by the bisimulation tester.
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a node of the λ-calculus. The constructors mirror Nuprl's
+// programming language: variables, abstractions, applications, a fixpoint
+// operator, literals, primitive operations, and a conditional.
+type Term interface {
+	isTerm()
+}
+
+// Var is a variable reference.
+type Var struct{ Name string }
+
+// Lam is a λ-abstraction with one parameter.
+type Lam struct {
+	Param string
+	Body  Term
+}
+
+// App applies Fn to Arg. Arguments are evaluated lazily (call-by-need).
+type App struct{ Fn, Arg Term }
+
+// Fix is the fixpoint operator: Fix(F) evaluates to F applied to a thunk
+// of Fix(F), giving recursion.
+type Fix struct{ Fn Term }
+
+// Lit is a literal constant (numbers, strings, Go values injected by the
+// compiler).
+type Lit struct{ Val any }
+
+// Prim is a primitive operation implemented natively. Primitives are
+// strict in all arguments and must be pure. Fn receives the evaluator so
+// that higher-order primitives (fold, sub-process stepping) can apply
+// term-level closures.
+type Prim struct {
+	Name  string
+	Arity int
+	Fn    func(ev *Evaluator, args []Value) Value
+}
+
+// If is the conditional; Cond must evaluate to a Go bool.
+type If struct{ Cond, Then, Else Term }
+
+func (Var) isTerm()  {}
+func (Lam) isTerm()  {}
+func (App) isTerm()  {}
+func (Fix) isTerm()  {}
+func (Lit) isTerm()  {}
+func (Prim) isTerm() {}
+func (If) isTerm()   {}
+
+// Convenience constructors used heavily by the compiler.
+
+// V builds a variable reference.
+func V(name string) Term { return Var{Name: name} }
+
+// L builds a λ-abstraction, possibly curried over several parameters.
+func L(params []string, body Term) Term {
+	t := body
+	for i := len(params) - 1; i >= 0; i-- {
+		t = Lam{Param: params[i], Body: t}
+	}
+	return t
+}
+
+// A builds a left-nested application fn a1 a2 ...
+func A(fn Term, args ...Term) Term {
+	t := fn
+	for _, a := range args {
+		t = App{Fn: t, Arg: a}
+	}
+	return t
+}
+
+// Let binds name to val in body; it is sugar for (λname. body) val.
+func Let(name string, val, body Term) Term {
+	return App{Fn: Lam{Param: name, Body: body}, Arg: val}
+}
+
+// Size returns the number of nodes in a term tree — the "AST nodes" metric
+// of Table I for GPM programs.
+func Size(t Term) int {
+	switch n := t.(type) {
+	case Var, Lit, Prim:
+		return 1
+	case Lam:
+		return 1 + Size(n.Body)
+	case App:
+		return 1 + Size(n.Fn) + Size(n.Arg)
+	case Fix:
+		return 1 + Size(n.Fn)
+	case If:
+		return 1 + Size(n.Cond) + Size(n.Then) + Size(n.Else)
+	default:
+		return 1
+	}
+}
+
+// Render pretty-prints a term for debugging and cmd/specstats.
+func Render(t Term) string {
+	var b strings.Builder
+	render(&b, t)
+	return b.String()
+}
+
+func render(b *strings.Builder, t Term) {
+	switch n := t.(type) {
+	case Var:
+		b.WriteString(n.Name)
+	case Lam:
+		fmt.Fprintf(b, "(λ%s.", n.Param)
+		render(b, n.Body)
+		b.WriteString(")")
+	case App:
+		b.WriteString("(")
+		render(b, n.Fn)
+		b.WriteString(" ")
+		render(b, n.Arg)
+		b.WriteString(")")
+	case Fix:
+		b.WriteString("(fix ")
+		render(b, n.Fn)
+		b.WriteString(")")
+	case Lit:
+		fmt.Fprintf(b, "%v", n.Val)
+	case Prim:
+		b.WriteString("#" + n.Name)
+	case If:
+		b.WriteString("(if ")
+		render(b, n.Cond)
+		b.WriteString(" ")
+		render(b, n.Then)
+		b.WriteString(" ")
+		render(b, n.Else)
+		b.WriteString(")")
+	}
+}
+
+// freeIn reports whether name occurs free in t.
+func freeIn(name string, t Term) bool {
+	switch n := t.(type) {
+	case Var:
+		return n.Name == name
+	case Lam:
+		return n.Param != name && freeIn(name, n.Body)
+	case App:
+		return freeIn(name, n.Fn) || freeIn(name, n.Arg)
+	case Fix:
+		return freeIn(name, n.Fn)
+	case If:
+		return freeIn(name, n.Cond) || freeIn(name, n.Then) || freeIn(name, n.Else)
+	default:
+		return false
+	}
+}
+
+// countFree counts free occurrences of name in t.
+func countFree(name string, t Term) int {
+	switch n := t.(type) {
+	case Var:
+		if n.Name == name {
+			return 1
+		}
+		return 0
+	case Lam:
+		if n.Param == name {
+			return 0
+		}
+		return countFree(name, n.Body)
+	case App:
+		return countFree(name, n.Fn) + countFree(name, n.Arg)
+	case Fix:
+		return countFree(name, n.Fn)
+	case If:
+		return countFree(name, n.Cond) + countFree(name, n.Then) + countFree(name, n.Else)
+	default:
+		return 0
+	}
+}
+
+// subst replaces free occurrences of name in t with repl. The compiler
+// generates globally unique binder names, so capture cannot occur; subst
+// refuses shadowed binders defensively.
+func subst(name string, repl, t Term) Term {
+	switch n := t.(type) {
+	case Var:
+		if n.Name == name {
+			return repl
+		}
+		return n
+	case Lam:
+		if n.Param == name {
+			return n
+		}
+		return Lam{Param: n.Param, Body: subst(name, repl, n.Body)}
+	case App:
+		return App{Fn: subst(name, repl, n.Fn), Arg: subst(name, repl, n.Arg)}
+	case Fix:
+		return Fix{Fn: subst(name, repl, n.Fn)}
+	case If:
+		return If{
+			Cond: subst(name, repl, n.Cond),
+			Then: subst(name, repl, n.Then),
+			Else: subst(name, repl, n.Else),
+		}
+	default:
+		return t
+	}
+}
+
+// equalTerms reports structural equality of two terms. Prims compare by
+// name (the compiler never reuses a prim name for different functions
+// within one program).
+func equalTerms(a, b Term) bool {
+	switch x := a.(type) {
+	case Var:
+		y, ok := b.(Var)
+		return ok && x.Name == y.Name
+	case Lam:
+		y, ok := b.(Lam)
+		return ok && x.Param == y.Param && equalTerms(x.Body, y.Body)
+	case App:
+		y, ok := b.(App)
+		return ok && equalTerms(x.Fn, y.Fn) && equalTerms(x.Arg, y.Arg)
+	case Fix:
+		y, ok := b.(Fix)
+		return ok && equalTerms(x.Fn, y.Fn)
+	case Lit:
+		y, ok := b.(Lit)
+		if !ok {
+			return false
+		}
+		return litEqual(x.Val, y.Val)
+	case Prim:
+		y, ok := b.(Prim)
+		return ok && x.Name == y.Name && x.Arity == y.Arity
+	case If:
+		y, ok := b.(If)
+		return ok && equalTerms(x.Cond, y.Cond) && equalTerms(x.Then, y.Then) && equalTerms(x.Else, y.Else)
+	default:
+		return false
+	}
+}
+
+func litEqual(a, b any) bool {
+	defer func() { _ = recover() }() // uncomparable literals are unequal
+	return a == b
+}

@@ -1,0 +1,268 @@
+// Package loe implements the Logic of Events layer of the paper: event
+// classes and their combinators. An event class is a function from events
+// to bags of values; base classes recognize messages, and combinators
+// (State, composition, parallel composition, Once, delegation) build
+// complex classes from simple ones. This is the constructive-specification
+// language the paper's EventML compiles into; here the same class ASTs are
+//
+//   - compiled to GPM processes (package gpm) — the paper's arrow (b),
+//   - rendered as a logical form and counted in AST nodes — Table I,
+//   - evaluated denotationally over event orderings so the verifier can
+//     check that programs implement their specifications — arrow (c),
+//   - compiled to λ-terms for the interpreter (package interp) — the
+//     paper's interpreted execution mode.
+package loe
+
+import (
+	"fmt"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+)
+
+// Event is a point in space/time, as in the Logic of Events. The "space"
+// coordinate is the location; the "time" coordinate is given by the
+// position of the event in an EventOrdering.
+type Event struct {
+	// Loc is the location at which the event occurs.
+	Loc msg.Loc
+	// Msg is the message whose reception triggered the event.
+	Msg msg.Msg
+	// Global is the index of the event in its EventOrdering.
+	Global int
+	// Local is the index of this event among events at Loc.
+	Local int
+	// CausedBy is the Global index of the event that sent Msg, or -1 when
+	// the message came from outside the system.
+	CausedBy int
+}
+
+// Class is an event class: a node in the specification AST. Classes are
+// pure descriptions; Instantiate creates the runtime observer that
+// actually accumulates state. Implementations in this package are the
+// paper's primitive constructors; protocols compose them.
+type Class interface {
+	// ClassName returns the human-readable name of the node.
+	ClassName() string
+	// Children returns the sub-classes this node is built from.
+	Children() []Class
+	// ParamNodes returns the number of AST nodes contributed by embedded
+	// parameters (functions, literals) beyond the node itself, used for
+	// the Table I size statistics.
+	ParamNodes() int
+	// Instantiate creates a fresh observer for the class at location slf.
+	Instantiate(slf msg.Loc) Instance
+}
+
+// Instance is a runtime observer of a class at a fixed location. Observe
+// consumes one event (which must occur at the instance's location) and
+// returns the bag of values the class produces at that event. Instances
+// are mutable and single-owner: to fork an execution, replay events into a
+// fresh instance (the verifier does exactly this).
+type Instance interface {
+	Observe(e Event) []any
+}
+
+// Nodes returns the total AST size of a class, counting one node per
+// combinator plus its parameter nodes — the analogue of the EventML AST
+// node counts reported in Table I of the paper.
+func Nodes(c Class) int {
+	n := 1 + c.ParamNodes()
+	for _, ch := range c.Children() {
+		n += Nodes(ch)
+	}
+	return n
+}
+
+// Render prints the class tree as a compact S-expression, the
+// human-readable "logical form" used by cmd/specstats.
+func Render(c Class) string {
+	kids := c.Children()
+	if len(kids) == 0 {
+		return c.ClassName()
+	}
+	s := "(" + c.ClassName()
+	for _, k := range kids {
+		s += " " + Render(k)
+	}
+	return s + ")"
+}
+
+// Spec is a complete constructive specification: a main class and the
+// locations it runs at — EventML's "main Handler @ locs". Params holds
+// named specification parameters counted in the spec size.
+type Spec struct {
+	// Name identifies the specification (e.g. "CLK", "Paxos-Synod").
+	Name string
+	// Main is the top-level class whose outputs of type msg.Directive are
+	// sent by the runtime.
+	Main Class
+	// Locs is the set of locations populated by the spec.
+	Locs []msg.Loc
+	// Params is the number of declared specification parameters.
+	Params int
+}
+
+// Nodes returns the AST size of the specification.
+func (s Spec) Nodes() int { return Nodes(s.Main) + s.Params }
+
+// System compiles the specification into a runnable GPM system: the
+// paper's arrow (b). Each location gets a process that feeds incoming
+// messages to an instance of Main and emits the msg.Directive outputs.
+func (s Spec) System() gpm.System {
+	return gpm.System{Gen: s.Generator(), Locs: append([]msg.Loc(nil), s.Locs...)}
+}
+
+// Generator returns the distributed-system generator of the spec: the
+// function of Fig. 7 that maps a location to the process running there
+// (halt for locations outside the spec).
+func (s Spec) Generator() gpm.Generator {
+	members := make(map[msg.Loc]bool, len(s.Locs))
+	for _, l := range s.Locs {
+		members[l] = true
+	}
+	return func(slf msg.Loc) gpm.Process {
+		if !members[slf] {
+			return gpm.Halt()
+		}
+		return NewProcess(s.Main, slf)
+	}
+}
+
+// NewProcess compiles a class into a GPM process at a location. The
+// process is the "compiled" execution mode of the paper (native closures,
+// the analogue of the Lisp translation).
+func NewProcess(c Class, slf msg.Loc) gpm.Process {
+	inst := c.Instantiate(slf)
+	local := 0
+	var step gpm.StepFunc
+	step = func(in msg.Msg) (gpm.Process, []msg.Directive) {
+		e := Event{Loc: slf, Msg: in, Local: local, Global: -1, CausedBy: -1}
+		local++
+		outs := inst.Observe(e)
+		dirs := make([]msg.Directive, 0, len(outs))
+		for _, o := range outs {
+			if d, ok := o.(msg.Directive); ok {
+				dirs = append(dirs, d)
+			}
+		}
+		return step, dirs
+	}
+	return step
+}
+
+// Denote evaluates a class denotationally over an event ordering: it
+// instantiates one observer per location mentioned in the ordering and
+// feeds each event to the observer at the event's location, returning the
+// bag of values produced at every event. This is the specification-side
+// semantics that the verifier compares against operational runs.
+func Denote(c Class, eo *EventOrdering) [][]any {
+	insts := make(map[msg.Loc]Instance)
+	outs := make([][]any, len(eo.Events))
+	for i, e := range eo.Events {
+		inst, ok := insts[e.Loc]
+		if !ok {
+			inst = c.Instantiate(e.Loc)
+			insts[e.Loc] = inst
+		}
+		outs[i] = inst.Observe(e)
+	}
+	return outs
+}
+
+// EventOrdering is a finite prefix of a system execution: a global
+// sequence of events consistent with per-location order and causality.
+type EventOrdering struct {
+	Events []Event
+}
+
+// Check validates the well-formedness axioms of an event ordering: local
+// sequence numbers are contiguous per location and causal references
+// point backward in the global order.
+func (eo *EventOrdering) Check() error {
+	local := make(map[msg.Loc]int)
+	for i, e := range eo.Events {
+		if e.Global != i {
+			return fmt.Errorf("loe: event %d has Global=%d", i, e.Global)
+		}
+		if e.Local != local[e.Loc] {
+			return fmt.Errorf("loe: event %d at %s has Local=%d, want %d", i, e.Loc, e.Local, local[e.Loc])
+		}
+		local[e.Loc]++
+		if e.CausedBy >= i {
+			return fmt.Errorf("loe: event %d caused by non-prior event %d", i, e.CausedBy)
+		}
+		if e.CausedBy < -1 {
+			return fmt.Errorf("loe: event %d has invalid CausedBy=%d", i, e.CausedBy)
+		}
+	}
+	return nil
+}
+
+// FromTrace builds an event ordering from a GPM runner trace.
+func FromTrace(trace []gpm.TraceEntry) *EventOrdering {
+	eo := &EventOrdering{Events: make([]Event, 0, len(trace))}
+	local := make(map[msg.Loc]int)
+	for i, t := range trace {
+		eo.Events = append(eo.Events, Event{
+			Loc:      t.Loc,
+			Msg:      t.In,
+			Global:   i,
+			Local:    local[t.Loc],
+			CausedBy: t.CausedBy,
+		})
+		local[t.Loc]++
+	}
+	return eo
+}
+
+// HappensBefore reports the paper's recursive "happened before" relation
+// on two events of an ordering: e1 → e2 iff there is a chain of
+// same-location predecessor steps and message causality links from e1 to
+// e2 (Section II-C2 of the paper).
+func (eo *EventOrdering) HappensBefore(i, j int) bool {
+	if i < 0 || j < 0 || i >= len(eo.Events) || j >= len(eo.Events) {
+		return false
+	}
+	// Breadth-first search backward from j through the two edge kinds:
+	// local predecessor and causal sender.
+	seen := make(map[int]bool)
+	frontier := []int{j}
+	for len(frontier) > 0 {
+		k := frontier[0]
+		frontier = frontier[1:]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		for _, p := range eo.predecessors(k) {
+			if p == i {
+				return true
+			}
+			if p > i { // events before i in every chain have smaller index
+				frontier = append(frontier, p)
+			}
+		}
+	}
+	return false
+}
+
+// predecessors returns the immediate causal predecessors of event k: the
+// previous event at the same location, and the event that sent k's
+// message.
+func (eo *EventOrdering) predecessors(k int) []int {
+	var ps []int
+	e := eo.Events[k]
+	if e.Local > 0 {
+		for p := k - 1; p >= 0; p-- {
+			if eo.Events[p].Loc == e.Loc {
+				ps = append(ps, p)
+				break
+			}
+		}
+	}
+	if e.CausedBy >= 0 {
+		ps = append(ps, e.CausedBy)
+	}
+	return ps
+}

@@ -1,0 +1,97 @@
+package loe
+
+import (
+	"strconv"
+	"strings"
+
+	"shadowdb/internal/msg"
+)
+
+// This file is the paper's running example (Fig. 3): an EventML
+// specification of Lamport's logical clocks, transliterated into the class
+// combinators. It is used by the verifier tests (clock condition), by the
+// interpreter tests (optimization bisimulation), by Table I, and by
+// examples/lamport.
+
+// ClkHeader is the single message header of the CLK protocol.
+const ClkHeader = "msg"
+
+// ClkBody is the body of a CLK message: a value and the sender's logical
+// timestamp ("internal msg : MsgVal x Timestamp", Fig. 3 line 8).
+type ClkBody struct {
+	Val any
+	TS  int
+}
+
+// ClkHandle is the specification parameter "handle": given the local
+// location and the received value it computes the next value and its
+// recipient (Fig. 3 line 5).
+type ClkHandle func(slf msg.Loc, val any) (any, msg.Loc)
+
+// imax is the integer max import of Fig. 3 line 10.
+func imax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClkClock builds the Clock state class: initial state 0; on every message
+// the clock becomes max(message timestamp, clock) + 1 (Fig. 3 lines 11-13).
+func ClkClock() Class {
+	updClock := func(slf msg.Loc, input, state any) any {
+		body := input.(ClkBody)
+		return imax(body.TS, state.(int)) + 1
+	}
+	return State("Clock",
+		func(msg.Loc) any { return 0 },
+		updClock,
+		Base(ClkHeader),
+	)
+}
+
+// CLK builds the complete CLK specification of Fig. 3: a Handler class
+// composed from msg'base and Clock, running at locs.
+func CLK(locs []msg.Loc, handle ClkHandle) Spec {
+	onMsg := func(slf msg.Loc, vals []any) []any {
+		body := vals[0].(ClkBody)
+		clock := vals[1].(int)
+		newval, recipient := handle(slf, body.Val)
+		return []any{msg.Send(recipient, msg.M(ClkHeader, ClkBody{Val: newval, TS: clock}))}
+	}
+	handler := Compose("Handler", onMsg, Base(ClkHeader), ClkClock())
+	return Spec{
+		Name:   "CLK",
+		Main:   handler,
+		Locs:   locs,
+		Params: 3, // locs, MsgVal, handle (Fig. 3 lines 3-5)
+	}
+}
+
+// ClkRing builds the CLK instance used throughout tests and examples: n
+// locations in a ring, each handler forwarding an incremented integer
+// value to the next location.
+func ClkRing(n int) Spec {
+	locs := make([]msg.Loc, n)
+	for i := range locs {
+		locs[i] = RingLoc(i)
+	}
+	handle := func(slf msg.Loc, val any) (any, msg.Loc) {
+		next := locs[(ringIndex(slf)+1)%n]
+		return val.(int) + 1, next
+	}
+	return CLK(locs, handle)
+}
+
+// RingLoc names the i-th location of a CLK ring.
+func RingLoc(i int) msg.Loc {
+	return msg.Loc("clk" + strconv.Itoa(i))
+}
+
+func ringIndex(l msg.Loc) int {
+	i, err := strconv.Atoi(strings.TrimPrefix(string(l), "clk"))
+	if err != nil {
+		return 0
+	}
+	return i
+}

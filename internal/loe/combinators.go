@@ -1,0 +1,387 @@
+package loe
+
+import (
+	"shadowdb/internal/msg"
+)
+
+// The primitive event-class constructors. These mirror the paper's LoE
+// combinators: base classes (msg'base), State, the composition combinator
+// "o", parallel composition "||", Once, and the delegation combinator the
+// paper credits for making "divide and conquer" specifications tractable
+// (Section II-D).
+
+// InitFunc computes the initial state of a State class at a location.
+type InitFunc func(slf msg.Loc) any
+
+// UpdFunc folds one observed input into a State class's state, returning
+// the new state. Implementations may mutate and return the same value;
+// instances are single-owner.
+type UpdFunc func(slf msg.Loc, input, state any) any
+
+// ComposeFunc combines the simultaneous outputs of the input classes of a
+// composition into a bag of outputs.
+type ComposeFunc func(slf msg.Loc, vals []any) []any
+
+// MapFunc transforms a single value.
+type MapFunc func(slf msg.Loc, v any) any
+
+// PredFunc selects values.
+type PredFunc func(slf msg.Loc, v any) bool
+
+// SpawnFunc builds the class delegated to when a trigger value arrives.
+type SpawnFunc func(slf msg.Loc, v any) Class
+
+// Done is the sentinel a delegated sub-class outputs to signal that it has
+// finished and can be discarded by its Delegate parent (the lifecycle of
+// the paper's sub-processes, e.g. Paxos scouts and commanders).
+type Done struct{}
+
+// ---------------------------------------------------------------- Base --
+
+type baseClass struct {
+	hdr string
+}
+
+var _ Class = (*baseClass)(nil)
+
+// Base returns the base class recognizing messages with the given header
+// and producing their bodies — EventML's hdr'base.
+func Base(hdr string) Class { return &baseClass{hdr: hdr} }
+
+func (c *baseClass) ClassName() string { return c.hdr + "'base" }
+func (c *baseClass) Children() []Class { return nil }
+func (c *baseClass) ParamNodes() int   { return 1 }
+
+func (c *baseClass) Instantiate(msg.Loc) Instance { return baseInstance{hdr: c.hdr} }
+
+type baseInstance struct{ hdr string }
+
+func (b baseInstance) Observe(e Event) []any {
+	if e.Msg.Hdr == b.hdr {
+		return []any{e.Msg.Body}
+	}
+	return nil
+}
+
+// --------------------------------------------------------------- State --
+
+type stateClass struct {
+	name string
+	init InitFunc
+	upd  UpdFunc
+	in   Class
+}
+
+var _ Class = (*stateClass)(nil)
+
+// State returns a state-machine class: starting from init, it folds every
+// output of in through upd and produces the (single-valued) current state
+// at every event — EventML's State keyword (Fig. 3, line 13).
+func State(name string, init InitFunc, upd UpdFunc, in Class) Class {
+	return &stateClass{name: name, init: init, upd: upd, in: in}
+}
+
+func (c *stateClass) ClassName() string { return "State:" + c.name }
+func (c *stateClass) Children() []Class { return []Class{c.in} }
+func (c *stateClass) ParamNodes() int   { return 2 }
+
+func (c *stateClass) Instantiate(slf msg.Loc) Instance {
+	return &stateInstance{c: c, slf: slf, st: c.init(slf)}
+}
+
+type stateInstance struct {
+	c   *stateClass
+	slf msg.Loc
+	st  any
+	in  Instance
+}
+
+func (s *stateInstance) Observe(e Event) []any {
+	if s.in == nil {
+		s.in = s.c.in.Instantiate(s.slf)
+	}
+	for _, v := range s.in.Observe(e) {
+		s.st = s.c.upd(s.slf, v, s.st)
+	}
+	return []any{s.st}
+}
+
+// ------------------------------------------------------------- Compose --
+
+type composeClass struct {
+	name string
+	f    ComposeFunc
+	ins  []Class
+}
+
+var _ Class = (*composeClass)(nil)
+
+// Compose returns the composition f o (ins...): at events where every
+// input class produces a value, it applies f to the tuple of their first
+// outputs and produces f's bag of results (Fig. 3, line 18).
+func Compose(name string, f ComposeFunc, ins ...Class) Class {
+	return &composeClass{name: name, f: f, ins: ins}
+}
+
+func (c *composeClass) ClassName() string { return "o:" + c.name }
+func (c *composeClass) Children() []Class { return c.ins }
+func (c *composeClass) ParamNodes() int   { return 1 }
+
+func (c *composeClass) Instantiate(slf msg.Loc) Instance {
+	insts := make([]Instance, len(c.ins))
+	for i, in := range c.ins {
+		insts[i] = in.Instantiate(slf)
+	}
+	return &composeInstance{c: c, slf: slf, ins: insts}
+}
+
+type composeInstance struct {
+	c   *composeClass
+	slf msg.Loc
+	ins []Instance
+}
+
+func (ci *composeInstance) Observe(e Event) []any {
+	vals := make([]any, len(ci.ins))
+	ok := true
+	for i, in := range ci.ins {
+		outs := in.Observe(e)
+		if len(outs) == 0 {
+			ok = false
+			continue // still observe remaining inputs: State classes must see every event
+		}
+		vals[i] = outs[0]
+	}
+	if !ok {
+		return nil
+	}
+	return ci.c.f(ci.slf, vals)
+}
+
+// ------------------------------------------------------------ Parallel --
+
+type parallelClass struct {
+	ins []Class
+}
+
+var _ Class = (*parallelClass)(nil)
+
+// Parallel returns the parallel composition X || Y || ...: it produces the
+// union of the outputs of its components at every event.
+func Parallel(ins ...Class) Class { return &parallelClass{ins: ins} }
+
+func (c *parallelClass) ClassName() string { return "||" }
+func (c *parallelClass) Children() []Class { return c.ins }
+func (c *parallelClass) ParamNodes() int   { return 0 }
+
+func (c *parallelClass) Instantiate(slf msg.Loc) Instance {
+	insts := make([]Instance, len(c.ins))
+	for i, in := range c.ins {
+		insts[i] = in.Instantiate(slf)
+	}
+	return &parallelInstance{ins: insts}
+}
+
+type parallelInstance struct {
+	ins []Instance
+}
+
+func (pi *parallelInstance) Observe(e Event) []any {
+	var out []any
+	for _, in := range pi.ins {
+		out = append(out, in.Observe(e)...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Once --
+
+type onceClass struct {
+	in Class
+}
+
+var _ Class = (*onceClass)(nil)
+
+// Once returns a class that produces the outputs of in at the first event
+// where in produces anything, and nothing afterwards.
+func Once(in Class) Class { return &onceClass{in: in} }
+
+func (c *onceClass) ClassName() string { return "Once" }
+func (c *onceClass) Children() []Class { return []Class{c.in} }
+func (c *onceClass) ParamNodes() int   { return 0 }
+
+func (c *onceClass) Instantiate(slf msg.Loc) Instance {
+	return &onceInstance{in: c.in.Instantiate(slf)}
+}
+
+type onceInstance struct {
+	in    Instance
+	fired bool
+}
+
+func (oi *onceInstance) Observe(e Event) []any {
+	outs := oi.in.Observe(e)
+	if oi.fired {
+		return nil
+	}
+	if len(outs) > 0 {
+		oi.fired = true
+		return outs
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- Map --
+
+type mapClass struct {
+	name string
+	f    MapFunc
+	in   Class
+}
+
+var _ Class = (*mapClass)(nil)
+
+// Map transforms every output of in through f.
+func Map(name string, f MapFunc, in Class) Class {
+	return &mapClass{name: name, f: f, in: in}
+}
+
+func (c *mapClass) ClassName() string { return "Map:" + c.name }
+func (c *mapClass) Children() []Class { return []Class{c.in} }
+func (c *mapClass) ParamNodes() int   { return 1 }
+
+func (c *mapClass) Instantiate(slf msg.Loc) Instance {
+	return &mapInstance{c: c, slf: slf, in: c.in.Instantiate(slf)}
+}
+
+type mapInstance struct {
+	c   *mapClass
+	slf msg.Loc
+	in  Instance
+}
+
+func (mi *mapInstance) Observe(e Event) []any {
+	ins := mi.in.Observe(e)
+	if len(ins) == 0 {
+		return nil
+	}
+	outs := make([]any, len(ins))
+	for i, v := range ins {
+		outs[i] = mi.c.f(mi.slf, v)
+	}
+	return outs
+}
+
+// -------------------------------------------------------------- Filter --
+
+type filterClass struct {
+	name string
+	pred PredFunc
+	in   Class
+}
+
+var _ Class = (*filterClass)(nil)
+
+// Filter keeps only the outputs of in satisfying pred.
+func Filter(name string, pred PredFunc, in Class) Class {
+	return &filterClass{name: name, pred: pred, in: in}
+}
+
+func (c *filterClass) ClassName() string { return "Filter:" + c.name }
+func (c *filterClass) Children() []Class { return []Class{c.in} }
+func (c *filterClass) ParamNodes() int   { return 1 }
+
+func (c *filterClass) Instantiate(slf msg.Loc) Instance {
+	return &filterInstance{c: c, slf: slf, in: c.in.Instantiate(slf)}
+}
+
+type filterInstance struct {
+	c   *filterClass
+	slf msg.Loc
+	in  Instance
+}
+
+func (fi *filterInstance) Observe(e Event) []any {
+	var outs []any
+	for _, v := range fi.in.Observe(e) {
+		if fi.c.pred(fi.slf, v) {
+			outs = append(outs, v)
+		}
+	}
+	return outs
+}
+
+// ------------------------------------------------------------ Delegate --
+
+type delegateClass struct {
+	name    string
+	trigger Class
+	spawn   SpawnFunc
+}
+
+var _ Class = (*delegateClass)(nil)
+
+// Delegate is the paper's delegation combinator: whenever trigger produces
+// a value v, a sub-class spawn(slf, v) is instantiated; the sub-class
+// observes the spawning event and every later event, and its outputs are
+// merged into the delegate's outputs. A sub-class that outputs Done{} is
+// discarded (its remaining outputs at that event are kept, the Done
+// sentinel is filtered out).
+func Delegate(name string, trigger Class, spawn SpawnFunc) Class {
+	return &delegateClass{name: name, trigger: trigger, spawn: spawn}
+}
+
+func (c *delegateClass) ClassName() string { return "Delegate:" + c.name }
+func (c *delegateClass) Children() []Class { return []Class{c.trigger} }
+func (c *delegateClass) ParamNodes() int   { return 1 }
+
+func (c *delegateClass) Instantiate(slf msg.Loc) Instance {
+	return &delegateInstance{c: c, slf: slf, trigger: c.trigger.Instantiate(slf)}
+}
+
+type delegateInstance struct {
+	c       *delegateClass
+	slf     msg.Loc
+	trigger Instance
+	subs    []Instance
+}
+
+func (di *delegateInstance) Observe(e Event) []any {
+	var outs []any
+	// Existing sub-processes observe the event first (they were spawned by
+	// earlier events).
+	live := di.subs[:0]
+	for _, sub := range di.subs {
+		subOuts, done := splitDone(sub.Observe(e))
+		outs = append(outs, subOuts...)
+		if !done {
+			live = append(live, sub)
+		}
+	}
+	di.subs = live
+	// New spawns observe the spawning event as their first event.
+	for _, v := range di.trigger.Observe(e) {
+		sub := di.c.spawn(di.slf, v).Instantiate(di.slf)
+		subOuts, done := splitDone(sub.Observe(e))
+		outs = append(outs, subOuts...)
+		if !done {
+			di.subs = append(di.subs, sub)
+		}
+	}
+	return outs
+}
+
+// splitDone removes Done sentinels from a bag and reports whether one was
+// present.
+func splitDone(vals []any) ([]any, bool) {
+	done := false
+	kept := vals[:0]
+	for _, v := range vals {
+		if _, isDone := v.(Done); isDone {
+			done = true
+			continue
+		}
+		kept = append(kept, v)
+	}
+	return kept, done
+}

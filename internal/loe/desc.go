@@ -1,0 +1,92 @@
+package loe
+
+// Desc exposes the structure of a class AST node so that other layers can
+// translate specifications without this package depending on them. The
+// term compiler in package interp uses it to generate GPM programs — the
+// same role the paper's EventML compiler plays when it emits Nuprl terms.
+
+// Kind identifies the primitive constructor of a class node.
+type Kind int
+
+// The class constructors.
+const (
+	KindBase Kind = iota + 1
+	KindState
+	KindCompose
+	KindParallel
+	KindOnce
+	KindMap
+	KindFilter
+	KindDelegate
+)
+
+// Desc is the public description of a class node. Only the fields
+// relevant to the node's Kind are set.
+type Desc struct {
+	Kind     Kind
+	Name     string
+	Header   string
+	Children []Class
+	Init     InitFunc
+	Upd      UpdFunc
+	F        ComposeFunc
+	MapF     MapFunc
+	Pred     PredFunc
+	Spawn    SpawnFunc
+}
+
+// Described is implemented by every class constructor in this package.
+type Described interface {
+	Describe() Desc
+}
+
+var (
+	_ Described = (*baseClass)(nil)
+	_ Described = (*stateClass)(nil)
+	_ Described = (*composeClass)(nil)
+	_ Described = (*parallelClass)(nil)
+	_ Described = (*onceClass)(nil)
+	_ Described = (*mapClass)(nil)
+	_ Described = (*filterClass)(nil)
+	_ Described = (*delegateClass)(nil)
+)
+
+// Describe implements Described.
+func (c *baseClass) Describe() Desc {
+	return Desc{Kind: KindBase, Name: c.hdr, Header: c.hdr}
+}
+
+// Describe implements Described.
+func (c *stateClass) Describe() Desc {
+	return Desc{Kind: KindState, Name: c.name, Children: []Class{c.in}, Init: c.init, Upd: c.upd}
+}
+
+// Describe implements Described.
+func (c *composeClass) Describe() Desc {
+	return Desc{Kind: KindCompose, Name: c.name, Children: c.ins, F: c.f}
+}
+
+// Describe implements Described.
+func (c *parallelClass) Describe() Desc {
+	return Desc{Kind: KindParallel, Children: c.ins}
+}
+
+// Describe implements Described.
+func (c *onceClass) Describe() Desc {
+	return Desc{Kind: KindOnce, Children: []Class{c.in}}
+}
+
+// Describe implements Described.
+func (c *mapClass) Describe() Desc {
+	return Desc{Kind: KindMap, Name: c.name, Children: []Class{c.in}, MapF: c.f}
+}
+
+// Describe implements Described.
+func (c *filterClass) Describe() Desc {
+	return Desc{Kind: KindFilter, Name: c.name, Children: []Class{c.in}, Pred: c.pred}
+}
+
+// Describe implements Described.
+func (c *delegateClass) Describe() Desc {
+	return Desc{Kind: KindDelegate, Name: c.name, Children: []Class{c.trigger}, Spawn: c.spawn}
+}

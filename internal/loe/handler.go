@@ -1,0 +1,67 @@
+package loe
+
+import (
+	"shadowdb/internal/msg"
+)
+
+// Handler is the derived combinator every protocol in this repository is
+// written with: a state machine that, on each input, updates its state and
+// emits send directives. It is not a new primitive — it expands into
+// State and Compose exactly as a hand-written EventML specification would,
+// so the term compiler and the verifier see only primitive combinators.
+
+// HandlerStep consumes one input value, transforms the state, and returns
+// the directives to emit. Steps may mutate and return the same state
+// value; instances are single-owner.
+type HandlerStep func(slf msg.Loc, input, state any) (any, []msg.Directive)
+
+// RawStep is like HandlerStep but emits arbitrary values, so sub-process
+// handlers can include the Done sentinel among their outputs.
+type RawStep func(slf msg.Loc, input, state any) (any, []any)
+
+// handlerState carries the protocol state plus the values emitted by the
+// most recent input.
+type handlerState struct {
+	s    any
+	outs []any
+}
+
+// Handler builds the composed class
+//
+//	emit o (in, State(init', step', in))
+//
+// where the state machine records each step's directives and emit releases
+// them. The input class must be single-valued per event (one message
+// produces at most one input value), which holds for all base-class unions
+// used in this repository.
+func Handler(name string, init InitFunc, step HandlerStep, in Class) Class {
+	raw := func(slf msg.Loc, input, state any) (any, []any) {
+		s2, dirs := step(slf, input, state)
+		outs := make([]any, len(dirs))
+		for i, d := range dirs {
+			outs[i] = d
+		}
+		return s2, outs
+	}
+	return HandlerRaw(name, init, raw, in)
+}
+
+// HandlerRaw is Handler with arbitrary output values.
+func HandlerRaw(name string, init InitFunc, step RawStep, in Class) Class {
+	st := State(name,
+		func(slf msg.Loc) any { return handlerState{s: init(slf)} },
+		func(slf msg.Loc, input, state any) any {
+			hs := state.(handlerState)
+			s2, outs := step(slf, input, hs.s)
+			return handlerState{s: s2, outs: outs}
+		},
+		in,
+	)
+	emit := func(slf msg.Loc, vals []any) []any {
+		hs := vals[1].(handlerState)
+		return hs.outs
+	}
+	// The first compose input gates emission: the handler only fires at
+	// events where `in` produced a value, guaranteeing hs.outs is fresh.
+	return Compose(name+"/emit", emit, in, st)
+}

@@ -1,0 +1,105 @@
+package loe
+
+import (
+	"testing"
+
+	"shadowdb/internal/msg"
+)
+
+// A tiny ping counter: on "ping" it replies "pong" with the count; on
+// "stop" it emits Done (raw handler only).
+func pingHandler(raw bool) Class {
+	init := func(msg.Loc) any { return 0 }
+	in := Parallel(Base("ping"), Base("stop"))
+	if !raw {
+		step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
+			n := state.(int)
+			if _, isPing := input.(string); isPing || input == nil {
+				n++
+				return n, []msg.Directive{msg.Send("peer", msg.M("pong", n))}
+			}
+			return n, nil
+		}
+		return Handler("ping", init, step, in)
+	}
+	step := func(slf msg.Loc, input, state any) (any, []any) {
+		n := state.(int)
+		if input == "stop" {
+			return n, []any{Done{}}
+		}
+		n++
+		return n, []any{msg.Send("peer", msg.M("pong", n))}
+	}
+	return HandlerRaw("ping", init, step, in)
+}
+
+func TestHandlerEmitsOnlyOnInput(t *testing.T) {
+	c := pingHandler(false)
+	outs := observeAll(c, "x", evsAt("x",
+		msg.M("ping", "a"),
+		msg.M("other", nil), // not an input: no emission, no stale repeat
+		msg.M("ping", "b"),
+	))
+	if len(outs[0]) != 1 {
+		t.Fatalf("event 0 outputs = %v", outs[0])
+	}
+	if len(outs[1]) != 0 {
+		t.Errorf("non-input event re-emitted stale outputs: %v", outs[1])
+	}
+	if len(outs[2]) != 1 {
+		t.Fatalf("event 2 outputs = %v", outs[2])
+	}
+	d := outs[2][0].(msg.Directive)
+	if d.M.Body != 2 {
+		t.Errorf("count = %v, want 2 (state carried across events)", d.M.Body)
+	}
+}
+
+func TestHandlerRawEmitsSentinels(t *testing.T) {
+	c := pingHandler(true)
+	inst := c.Instantiate("x")
+	outs := inst.Observe(Event{Loc: "x", Msg: msg.M("stop", "stop")})
+	if len(outs) != 1 {
+		t.Fatalf("outs = %v", outs)
+	}
+	if _, ok := outs[0].(Done); !ok {
+		t.Errorf("expected Done sentinel, got %T", outs[0])
+	}
+}
+
+func TestHandlerInsideDelegate(t *testing.T) {
+	// The Synod pattern: delegate spawns raw handlers that finish with
+	// Done; the parent must drop them afterwards.
+	spawn := func(_ msg.Loc, v any) Class {
+		return pingHandler(true)
+	}
+	c := Delegate("workers", Base("spawn"), spawn)
+	inst := c.Instantiate("x")
+	// Spawn one worker; it sees the spawn event (no ping header: the raw
+	// handler's input classes don't match, so no output).
+	if outs := inst.Observe(Event{Loc: "x", Msg: msg.M("spawn", 1)}); len(outs) != 0 {
+		t.Fatalf("spawn event outputs = %v", outs)
+	}
+	// Ping it: one pong.
+	outs := inst.Observe(Event{Loc: "x", Msg: msg.M("ping", "p"), Local: 1})
+	if len(outs) != 1 {
+		t.Fatalf("ping outputs = %v", outs)
+	}
+	// Stop it: Done is swallowed by the delegate, worker discarded.
+	if outs := inst.Observe(Event{Loc: "x", Msg: msg.M("stop", "stop"), Local: 2}); len(outs) != 0 {
+		t.Fatalf("stop outputs leaked = %v", outs)
+	}
+	// Further pings go nowhere.
+	if outs := inst.Observe(Event{Loc: "x", Msg: msg.M("ping", "p"), Local: 3}); len(outs) != 0 {
+		t.Errorf("finished worker still responding: %v", outs)
+	}
+}
+
+func TestNodesCountsHandlerExpansion(t *testing.T) {
+	// Handler is sugar over State and Compose: its node count must
+	// reflect the expansion, not a single opaque node.
+	h := pingHandler(false)
+	if n := Nodes(h); n < 6 {
+		t.Errorf("Nodes(handler) = %d, want the expanded combinator count", n)
+	}
+}

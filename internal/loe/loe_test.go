@@ -1,0 +1,351 @@
+package loe
+
+import (
+	"strings"
+	"testing"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+)
+
+// ev builds a simple event list at one location for combinator tests.
+func evsAt(l msg.Loc, ms ...msg.Msg) []Event {
+	evs := make([]Event, len(ms))
+	for i, m := range ms {
+		evs[i] = Event{Loc: l, Msg: m, Global: i, Local: i, CausedBy: -1}
+	}
+	return evs
+}
+
+func observeAll(c Class, l msg.Loc, evs []Event) [][]any {
+	inst := c.Instantiate(l)
+	out := make([][]any, len(evs))
+	for i, e := range evs {
+		out[i] = inst.Observe(e)
+	}
+	return out
+}
+
+func TestBaseClass(t *testing.T) {
+	c := Base("ping")
+	outs := observeAll(c, "a", evsAt("a", msg.M("ping", 1), msg.M("pong", 2), msg.M("ping", 3)))
+	if len(outs[0]) != 1 || outs[0][0] != 1 {
+		t.Errorf("event 0 outputs = %v, want [1]", outs[0])
+	}
+	if len(outs[1]) != 0 {
+		t.Errorf("event 1 outputs = %v, want none (header mismatch)", outs[1])
+	}
+	if len(outs[2]) != 1 || outs[2][0] != 3 {
+		t.Errorf("event 2 outputs = %v, want [3]", outs[2])
+	}
+}
+
+func TestStateClassFolds(t *testing.T) {
+	sum := State("Sum",
+		func(msg.Loc) any { return 0 },
+		func(_ msg.Loc, in, st any) any { return st.(int) + in.(int) },
+		Base("n"),
+	)
+	outs := observeAll(sum, "a", evsAt("a", msg.M("n", 1), msg.M("x", 99), msg.M("n", 2), msg.M("n", 3)))
+	want := []int{1, 1, 3, 6} // state is produced at every event, updated on "n"
+	for i, w := range want {
+		if len(outs[i]) != 1 || outs[i][0] != w {
+			t.Errorf("event %d state = %v, want %d", i, outs[i], w)
+		}
+	}
+}
+
+func TestComposeRequiresAllInputs(t *testing.T) {
+	pair := Compose("Pair",
+		func(_ msg.Loc, vals []any) []any { return []any{[2]any{vals[0], vals[1]}} },
+		Base("a"), Base("b"),
+	)
+	// "a" and "b" never arrive in the same message, so a two-base compose
+	// never fires; compose with a State does.
+	outs := observeAll(pair, "x", evsAt("x", msg.M("a", 1), msg.M("b", 2)))
+	if len(outs[0]) != 0 || len(outs[1]) != 0 {
+		t.Errorf("compose fired without all inputs: %v", outs)
+	}
+
+	last := State("LastA",
+		func(msg.Loc) any { return -1 },
+		func(_ msg.Loc, in, _ any) any { return in },
+		Base("a"),
+	)
+	both := Compose("Both",
+		func(_ msg.Loc, vals []any) []any { return []any{vals[0].(int) + vals[1].(int)} },
+		Base("b"), last,
+	)
+	outs = observeAll(both, "x", evsAt("x", msg.M("a", 10), msg.M("b", 5)))
+	if len(outs[1]) != 1 || outs[1][0] != 15 {
+		t.Errorf("compose(b, LastA) at event 1 = %v, want [15]", outs[1])
+	}
+}
+
+func TestComposeObservesAllInputsEvenWhenSilent(t *testing.T) {
+	// The State input must see every event even if the other input is
+	// silent at it, otherwise its fold would miss updates.
+	sum := State("Sum",
+		func(msg.Loc) any { return 0 },
+		func(_ msg.Loc, in, st any) any { return st.(int) + in.(int) },
+		Base("n"),
+	)
+	c := Compose("Out",
+		func(_ msg.Loc, vals []any) []any { return []any{vals[1]} },
+		Base("q"), sum,
+	)
+	outs := observeAll(c, "x", evsAt("x", msg.M("n", 4), msg.M("n", 5), msg.M("q", 0)))
+	if len(outs[2]) != 1 || outs[2][0] != 9 {
+		t.Errorf("state seen through compose = %v, want [9]", outs[2])
+	}
+}
+
+func TestParallelUnion(t *testing.T) {
+	c := Parallel(Base("a"), Base("a"), Base("b"))
+	outs := observeAll(c, "x", evsAt("x", msg.M("a", 1)))
+	if len(outs[0]) != 2 {
+		t.Errorf("parallel outputs = %v, want two copies of 1", outs[0])
+	}
+}
+
+func TestOnce(t *testing.T) {
+	c := Once(Base("a"))
+	outs := observeAll(c, "x", evsAt("x", msg.M("b", 0), msg.M("a", 1), msg.M("a", 2)))
+	if len(outs[0]) != 0 || len(outs[1]) != 1 || len(outs[2]) != 0 {
+		t.Errorf("Once outputs = %v, want firing only at event 1", outs)
+	}
+}
+
+func TestMapAndFilter(t *testing.T) {
+	c := Map("double", func(_ msg.Loc, v any) any { return v.(int) * 2 },
+		Filter("even", func(_ msg.Loc, v any) bool { return v.(int)%2 == 0 }, Base("n")))
+	outs := observeAll(c, "x", evsAt("x", msg.M("n", 3), msg.M("n", 4)))
+	if len(outs[0]) != 0 {
+		t.Errorf("odd value passed filter: %v", outs[0])
+	}
+	if len(outs[1]) != 1 || outs[1][0] != 8 {
+		t.Errorf("map output = %v, want [8]", outs[1])
+	}
+}
+
+func TestDelegateSpawnsAndFinishes(t *testing.T) {
+	// Each "start" spawns a sub-class that counts two "tick" messages and
+	// then reports and finishes.
+	spawn := func(_ msg.Loc, v any) Class {
+		id := v.(int)
+		return Compose("report",
+			func(_ msg.Loc, vals []any) []any {
+				if vals[0].(int) >= 2 {
+					return []any{[2]int{id, vals[0].(int)}, Done{}}
+				}
+				return nil
+			},
+			State("ticks",
+				func(msg.Loc) any { return 0 },
+				func(_ msg.Loc, _, st any) any { return st.(int) + 1 },
+				Base("tick")),
+		)
+	}
+	c := Delegate("workers", Base("start"), spawn)
+	inst := c.Instantiate("x")
+	evs := evsAt("x",
+		msg.M("start", 7),
+		msg.M("tick", nil),
+		msg.M("tick", nil),
+		msg.M("tick", nil),
+	)
+	var fired [][2]int
+	for _, e := range evs {
+		for _, o := range inst.Observe(e) {
+			fired = append(fired, o.([2]int))
+		}
+	}
+	if len(fired) != 1 || fired[0] != [2]int{7, 2} {
+		t.Errorf("delegate outputs = %v, want [[7 2]] exactly once", fired)
+	}
+}
+
+func TestNodesAndRender(t *testing.T) {
+	spec := ClkRing(3)
+	n := spec.Nodes()
+	if n < 8 {
+		t.Errorf("CLK spec nodes = %d, suspiciously small", n)
+	}
+	r := Render(spec.Main)
+	for _, want := range []string{"o:Handler", "msg'base", "State:Clock"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render = %q, missing %q", r, want)
+		}
+	}
+}
+
+func TestCLKRun(t *testing.T) {
+	spec := ClkRing(3)
+	r := gpm.NewRunner(spec.System())
+	r.Inject(RingLoc(0), msg.M(ClkHeader, ClkBody{Val: 0, TS: 0}))
+	steps, err := r.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 10 {
+		t.Fatalf("ring stopped after %d steps, want a live ring", steps)
+	}
+	// Each hop increments the value by one and the timestamps must be
+	// strictly increasing along the ring (clock condition along a chain).
+	trace := r.Trace()
+	lastTS := -1
+	for i, e := range trace {
+		body := e.In.Body.(ClkBody)
+		if body.Val != i {
+			t.Errorf("hop %d carried value %v, want %d", i, body.Val, i)
+		}
+		if body.TS <= lastTS {
+			t.Errorf("hop %d timestamp %d not greater than %d", i, body.TS, lastTS)
+		}
+		lastTS = body.TS
+	}
+}
+
+func TestCLKClockCondition(t *testing.T) {
+	// Run two interleaved rings' worth of messages and check the full
+	// clock condition over the resulting event ordering: e1 -> e2 implies
+	// LC(e1) < LC(e2), where LC(e) is the Clock value at e.
+	spec := ClkRing(4)
+	r := gpm.NewRunner(spec.System())
+	r.Inject(RingLoc(0), msg.M(ClkHeader, ClkBody{Val: 0, TS: 0}))
+	r.Inject(RingLoc(2), msg.M(ClkHeader, ClkBody{Val: 0, TS: 5}))
+	if _, err := r.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	eo := FromTrace(r.Trace())
+	if err := eo.Check(); err != nil {
+		t.Fatalf("trace produced ill-formed event ordering: %v", err)
+	}
+	clocks := denoteClocks(t, eo)
+	for i := range eo.Events {
+		for j := range eo.Events {
+			if eo.HappensBefore(i, j) && clocks[i] >= clocks[j] {
+				t.Errorf("clock condition violated: e%d -> e%d but LC %d >= %d",
+					i, j, clocks[i], clocks[j])
+			}
+		}
+	}
+}
+
+// denoteClocks evaluates the Clock class denotationally over the ordering.
+func denoteClocks(t *testing.T, eo *EventOrdering) []int {
+	t.Helper()
+	outs := Denote(ClkClock(), eo)
+	clocks := make([]int, len(outs))
+	for i, o := range outs {
+		if len(o) != 1 {
+			t.Fatalf("Clock not single-valued at event %d: %v", i, o)
+		}
+		clocks[i] = o[0].(int)
+	}
+	return clocks
+}
+
+func TestCLKProgressC1(t *testing.T) {
+	// Lamport's condition C1: the clock at one location strictly
+	// increases across its events (a "progress" property in EventML).
+	spec := ClkRing(3)
+	r := gpm.NewRunner(spec.System())
+	r.Inject(RingLoc(0), msg.M(ClkHeader, ClkBody{Val: 0, TS: 0}))
+	if _, err := r.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	eo := FromTrace(r.Trace())
+	clocks := denoteClocks(t, eo)
+	last := make(map[msg.Loc]int)
+	for i, e := range eo.Events {
+		if prev, seen := last[e.Loc]; seen && clocks[i] <= prev {
+			t.Errorf("C1 violated at %s: clock %d after %d", e.Loc, clocks[i], prev)
+		}
+		last[e.Loc] = clocks[i]
+	}
+}
+
+func TestEventOrderingCheckRejectsBadOrders(t *testing.T) {
+	tests := []struct {
+		name string
+		eo   EventOrdering
+	}{
+		{"bad global", EventOrdering{Events: []Event{{Loc: "a", Global: 1, Local: 0, CausedBy: -1}}}},
+		{"bad local", EventOrdering{Events: []Event{{Loc: "a", Global: 0, Local: 1, CausedBy: -1}}}},
+		{"forward cause", EventOrdering{Events: []Event{{Loc: "a", Global: 0, Local: 0, CausedBy: 0}}}},
+		{"invalid cause", EventOrdering{Events: []Event{{Loc: "a", Global: 0, Local: 0, CausedBy: -2}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.eo.Check(); err == nil {
+				t.Error("Check accepted ill-formed ordering")
+			}
+		})
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	// a0 -> a1 (local), a1 -> b0 (causal), hence a0 -> b0 (transitive);
+	// c0 concurrent with all.
+	eo := &EventOrdering{Events: []Event{
+		{Loc: "a", Global: 0, Local: 0, CausedBy: -1},
+		{Loc: "a", Global: 1, Local: 1, CausedBy: -1},
+		{Loc: "c", Global: 2, Local: 0, CausedBy: -1},
+		{Loc: "b", Global: 3, Local: 0, CausedBy: 1},
+	}}
+	if err := eo.Check(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		i, j int
+		want bool
+	}{
+		{0, 1, true}, {1, 3, true}, {0, 3, true},
+		{1, 0, false}, {3, 0, false},
+		{2, 3, false}, {0, 2, false}, {2, 0, false},
+		{0, 0, false},
+	}
+	for _, tt := range tests {
+		if got := eo.HappensBefore(tt.i, tt.j); got != tt.want {
+			t.Errorf("HappensBefore(%d,%d) = %v, want %v", tt.i, tt.j, got, tt.want)
+		}
+	}
+}
+
+func TestSpecGeneratorHaltsOutsiders(t *testing.T) {
+	spec := ClkRing(2)
+	gen := spec.Generator()
+	if !gen("stranger").Halted() {
+		t.Error("generator returned live process for outside location")
+	}
+	if gen(RingLoc(0)).Halted() {
+		t.Error("generator halted a member location")
+	}
+}
+
+func TestDenoteMatchesProcessRun(t *testing.T) {
+	// Arrow (c) of the paper in miniature: the operational outputs of the
+	// compiled process must equal the denotational outputs of the class
+	// over the induced event ordering.
+	spec := ClkRing(3)
+	r := gpm.NewRunner(spec.System())
+	r.Inject(RingLoc(0), msg.M(ClkHeader, ClkBody{Val: 0, TS: 0}))
+	if _, err := r.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	eo := FromTrace(r.Trace())
+	den := Denote(spec.Main, eo)
+	for i, entry := range r.Trace() {
+		if len(den[i]) != len(entry.Outs) {
+			t.Fatalf("event %d: denotation produced %d outputs, process %d",
+				i, len(den[i]), len(entry.Outs))
+		}
+		for k, o := range den[i] {
+			if o.(msg.Directive) != entry.Outs[k] {
+				t.Errorf("event %d output %d: denotation %v != operational %v",
+					i, k, o, entry.Outs[k])
+			}
+		}
+	}
+}

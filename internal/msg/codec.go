@@ -1,0 +1,52 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// The wire codec serializes Msg values with encoding/gob. Because Msg.Body
+// is an interface value, every concrete body type that crosses a real
+// network transport must be registered first. Protocol packages expose a
+// RegisterWireTypes function and binaries call it at startup; in-process
+// transports and the simulator never serialize and need no registration.
+
+var registry sync.Map // reflect-free guard against double registration panics
+
+// RegisterBody registers a concrete message-body type with the wire codec.
+// It is safe to call multiple times with the same value.
+func RegisterBody(v any) {
+	key := fmt.Sprintf("%T", v)
+	if _, dup := registry.LoadOrStore(key, struct{}{}); dup {
+		return
+	}
+	gob.Register(v)
+}
+
+// Envelope is what actually travels on the wire: the message plus its
+// source and destination locations, so receivers can route and reply.
+type Envelope struct {
+	From Loc
+	To   Loc
+	M    Msg
+}
+
+// Encode serializes an envelope.
+func Encode(e Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an envelope produced by Encode.
+func Decode(b []byte) (Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
+	}
+	return e, nil
+}

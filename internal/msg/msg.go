@@ -1,0 +1,80 @@
+// Package msg defines the message vocabulary shared by every layer of the
+// system: locations, headers, messages, and send directives.
+//
+// The vocabulary mirrors the paper's EventML/GPM interface. A process is a
+// function from an input Msg to a replacement process plus a bag of
+// Directives; a Directive is the triple <delay, destination, message> that
+// appears in the Inductive Logical Form of Fig. 4 of the paper ("Variable d
+// ... is a period of time the process must wait before sending the
+// message. These delays are useful, e.g., to implement timers.").
+package msg
+
+import (
+	"fmt"
+	"time"
+)
+
+// Loc identifies a process location ("space" coordinate of an event in the
+// Logic of Events). Locations are opaque names; transports map them to
+// addresses.
+type Loc string
+
+// String implements fmt.Stringer.
+func (l Loc) String() string { return string(l) }
+
+// Msg is a headed message. The header plays the role of EventML's message
+// headers: base classes pattern match on it and extract the body. Bodies
+// are arbitrary Go values; wire transports serialize them with the codec in
+// this package.
+type Msg struct {
+	// Hdr is the message header, e.g. "msg", "p1a", "propose".
+	Hdr string
+	// Body is the message payload.
+	Body any
+}
+
+// M is shorthand for constructing a message.
+func M(hdr string, body any) Msg { return Msg{Hdr: hdr, Body: body} }
+
+// String implements fmt.Stringer.
+func (m Msg) String() string { return fmt.Sprintf("%s(%v)", m.Hdr, m.Body) }
+
+// Directive instructs the runtime to send a message to a destination after
+// an optional delay. A zero delay means "send now"; a positive delay is the
+// timer mechanism of the paper's process model.
+type Directive struct {
+	// Delay is how long the runtime must wait before sending.
+	Delay time.Duration
+	// Dest is the destination location.
+	Dest Loc
+	// M is the message to send.
+	M Msg
+}
+
+// Send builds an immediate send directive, the analogue of EventML's
+// msg'send constructor.
+func Send(dest Loc, m Msg) Directive { return Directive{Dest: dest, M: m} }
+
+// SendAfter builds a delayed send directive (a timer when dest is the
+// sender itself).
+func SendAfter(d time.Duration, dest Loc, m Msg) Directive {
+	return Directive{Delay: d, Dest: dest, M: m}
+}
+
+// String implements fmt.Stringer.
+func (d Directive) String() string {
+	if d.Delay > 0 {
+		return fmt.Sprintf("after %v -> %s: %s", d.Delay, d.Dest, d.M)
+	}
+	return fmt.Sprintf("-> %s: %s", d.Dest, d.M)
+}
+
+// Broadcast builds one immediate directive per destination, a convenience
+// used by the consensus protocols which address quorums.
+func Broadcast(dests []Loc, m Msg) []Directive {
+	out := make([]Directive, 0, len(dests))
+	for _, d := range dests {
+		out = append(out, Send(d, m))
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+// TCP is the distributed transport: one listener for inbound traffic and
+// lazily established, automatically reconnecting outbound connections per
+// destination. Frames are a 4-byte big-endian length followed by a
+// gob-encoded msg.Envelope (bodies must be registered with
+// msg.RegisterBody; the protocol packages expose RegisterWireTypes
+// helpers).
+type TCP struct {
+	self      msg.Loc
+	directory map[msg.Loc]string
+	ln        net.Listener
+	inbox     chan msg.Envelope
+
+	mu      sync.Mutex
+	conns   map[msg.Loc]net.Conn
+	inbound map[net.Conn]bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+var _ Transport = (*TCP)(nil)
+
+// maxFrame bounds a frame to guard against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// NewTCP starts a TCP transport for self, listening on directory[self]
+// and dialing peers through the directory.
+func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
+	addr, ok := directory[self]
+	if !ok {
+		return nil, fmt.Errorf("network: no address for %q in directory", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	dir := make(map[msg.Loc]string, len(directory))
+	for k, v := range directory {
+		dir[k] = v
+	}
+	t := &TCP{
+		self:      self,
+		directory: dir,
+		ln:        ln,
+		inbox:     make(chan msg.Envelope, 4096),
+		conns:     make(map[msg.Loc]net.Conn),
+		inbound:   make(map[net.Conn]bool),
+		done:      make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" directories).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer adds or updates a peer's address, e.g. after ephemeral ports
+// are known.
+func (t *TCP) SetPeer(l msg.Loc, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.directory[l] = addr
+}
+
+// Send implements Transport. Connection failures drop the message (crash
+// model); the next Send re-dials.
+func (t *TCP) Send(env msg.Envelope) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	env.From = t.self
+	if env.To == t.self {
+		// Loopback without a socket.
+		select {
+		case t.inbox <- env:
+		default:
+		}
+		return nil
+	}
+	b, err := msg.Encode(env)
+	if err != nil {
+		return fmt.Errorf("send to %s: %w", env.To, err)
+	}
+	conn, err := t.conn(env.To)
+	if err != nil {
+		return nil // unreachable peer: drop
+	}
+	frame := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(frame, uint32(len(b)))
+	copy(frame[4:], b)
+	if _, err := conn.Write(frame); err != nil {
+		t.dropConn(env.To, conn)
+	}
+	return nil
+}
+
+// Receive implements Transport.
+func (t *TCP) Receive() <-chan msg.Envelope { return t.inbox }
+
+// Close implements Transport. It closes the listener, every outbound
+// connection, and every accepted connection (otherwise readLoops blocked
+// in ReadFull would never exit and Close would deadlock).
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			_ = c.Close()
+		}
+		t.conns = map[msg.Loc]net.Conn{}
+		for c := range t.inbound {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		close(t.inbox)
+	})
+	return nil
+}
+
+func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := t.directory[to]
+	if !ok {
+		return nil, fmt.Errorf("network: unknown destination %q", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	t.conns[to] = c
+	// Connections are bidirectional: the peer may answer over this same
+	// connection (it learns the return route from our envelopes), so the
+	// dialer must read it too.
+	t.wg.Add(1)
+	go t.readLoop(c)
+	return c, nil
+}
+
+func (t *TCP) dropConn(to msg.Loc, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.conns[to]; ok && cur == c {
+		delete(t.conns, to)
+		_ = c.Close()
+	}
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.mu.Lock()
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	hdr := make([]byte, 4)
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > maxFrame {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		env, err := msg.Decode(body)
+		if err != nil {
+			continue // corrupt frame: skip
+		}
+		// Learn the return route: peers not in the directory (clients on
+		// ephemeral ports) are answered over their own inbound
+		// connection. TCP is bidirectional; the first sender wins.
+		if env.From != "" {
+			t.mu.Lock()
+			if _, known := t.conns[env.From]; !known {
+				if _, listed := t.directory[env.From]; !listed {
+					t.conns[env.From] = conn
+				}
+			}
+			t.mu.Unlock()
+		}
+		select {
+		case t.inbox <- env:
+		case <-t.done:
+			return
+		}
+	}
+}

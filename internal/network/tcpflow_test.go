@@ -1,0 +1,44 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
+)
+
+// TestTCPRequestReplyWithLearnedRoute reproduces the CLI deployment shape:
+// the server's directory does NOT list the client; the reply must ride the
+// learned inbound route.
+func TestTCPRequestReplyWithLearnedRoute(t *testing.T) {
+	core.RegisterWireTypes()
+	srv, err := NewTCP("srv", map[msg.Loc]string{"srv": "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	go func() {
+		for env := range srv.Receive() {
+			_ = srv.Send(msg.Envelope{To: env.From, M: msg.M(core.HdrTxResult, core.TxResult{Client: env.From, Seq: 7})})
+		}
+	}()
+	cli, err := NewTCP("cli", map[msg.Loc]string{"cli": "127.0.0.1:0", "srv": srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	if err := cli.Send(msg.Envelope{To: "srv", M: msg.M(core.HdrTx, core.TxRequest{
+		Client: "cli", Seq: 7, Type: "x", Args: []any{int64(3)},
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-cli.Receive():
+		if env.M.Hdr != core.HdrTxResult {
+			t.Fatalf("got %v", env.M)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply over learned route")
+	}
+}

@@ -1,0 +1,110 @@
+// Package runtime hosts GPM processes on real transports: each host runs
+// one process in its own goroutine, feeding it inbound messages and
+// emitting its directives (delayed directives become timers). This is the
+// deployment layer of the cmd binaries; the same processes run unchanged
+// in the reference runner, the model checker, and the simulator.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+)
+
+// Host runs one process at one location over a transport.
+type Host struct {
+	self msg.Loc
+	tr   network.Transport
+	mu   sync.Mutex
+	proc gpm.Process
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	// OnStep, if set before Start, observes every delivery (testing).
+	OnStep func(in msg.Msg, outs []msg.Directive)
+	// Steps counts processed messages.
+	Steps int64
+}
+
+// NewHost creates a host; call Start to begin processing.
+func NewHost(self msg.Loc, tr network.Transport, p gpm.Process) *Host {
+	return &Host{self: self, tr: tr, proc: p, done: make(chan struct{})}
+}
+
+// Self returns the hosted location.
+func (h *Host) Self() msg.Loc { return h.self }
+
+// Start launches the processing goroutine.
+func (h *Host) Start() {
+	h.wg.Add(1)
+	go h.loop()
+}
+
+// Inject feeds a local message to the process (e.g. boot directives).
+func (h *Host) Inject(m msg.Msg) {
+	_ = h.tr.Send(msg.Envelope{From: h.self, To: h.self, M: m})
+}
+
+// Emit sends directives on the host's transport, turning delays into
+// timers.
+func (h *Host) Emit(outs []msg.Directive) {
+	for _, o := range outs {
+		o := o
+		if o.Delay <= 0 {
+			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
+			continue
+		}
+		timer := time.AfterFunc(o.Delay, func() {
+			select {
+			case <-h.done:
+			default:
+				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
+			}
+		})
+		_ = timer // fires once; dropped sends after Close are harmless
+	}
+}
+
+func (h *Host) loop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		case env, ok := <-h.tr.Receive():
+			if !ok {
+				return
+			}
+			h.mu.Lock()
+			next, outs := h.proc.Step(env.M)
+			h.proc = next
+			h.Steps++
+			h.mu.Unlock()
+			if h.OnStep != nil {
+				h.OnStep(env.M, outs)
+			}
+			h.Emit(outs)
+		}
+	}
+}
+
+// Close stops the host and its transport.
+func (h *Host) Close() error {
+	h.once.Do(func() {
+		close(h.done)
+		_ = h.tr.Close()
+		h.wg.Wait()
+	})
+	return nil
+}
+
+// Process returns the current process value (for state inspection in
+// tests after Close).
+func (h *Host) Process() gpm.Process {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.proc
+}

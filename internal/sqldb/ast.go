@@ -1,0 +1,163 @@
+package sqldb
+
+// The statement AST of the SQL dialect. The dialect covers what the
+// paper's workloads need: the bank micro-benchmark, full TPC-C, and
+// ShadowDB state transfer (CREATE TABLE / batched INSERT).
+
+// Stmt is a parsed SQL statement.
+type Stmt interface {
+	isStmt()
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind Kind
+	PK   bool // inline PRIMARY KEY marker
+}
+
+// CreateTable is CREATE TABLE name (cols..., [PRIMARY KEY (a,b,...)]).
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	PrimaryKey  []string
+	IfNotExists bool
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO t [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Select is SELECT exprs FROM t [WHERE ...] [ORDER BY col [DESC]] [LIMIT n].
+type Select struct {
+	Table     string
+	Exprs     []SelectExpr
+	Where     []Cond
+	OrderBy   string
+	Desc      bool
+	Limit     int  // -1 when absent
+	ForUpdate bool // accepted and ignored (locking modeled at the sim layer)
+}
+
+// SelectExpr is one output column: a plain column, * (Star), or an
+// aggregate.
+type SelectExpr struct {
+	Star     bool
+	Col      string
+	Agg      string // "" | "count" | "sum" | "min" | "max"
+	Distinct bool   // COUNT(DISTINCT col)
+}
+
+// Update is UPDATE t SET col = expr, ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []Assign
+	Where []Cond
+}
+
+// Assign is one SET clause.
+type Assign struct {
+	Col string
+	Val Expr
+}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where []Cond
+}
+
+// Begin, Commit, Rollback are the transaction statements.
+type (
+	// Begin starts a transaction.
+	Begin struct{}
+	// Commit commits one.
+	Commit struct{}
+	// Rollback aborts one.
+	Rollback struct{}
+)
+
+func (CreateTable) isStmt() {}
+func (DropTable) isStmt()   {}
+func (Insert) isStmt()      {}
+func (Select) isStmt()      {}
+func (Update) isStmt()      {}
+func (Delete) isStmt()      {}
+func (Begin) isStmt()       {}
+func (Commit) isStmt()      {}
+func (Rollback) isStmt()    {}
+
+// CondOp is a comparison operator in WHERE.
+type CondOp int
+
+// The comparison operators.
+const (
+	OpEq CondOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o CondOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?op"
+	}
+}
+
+// Cond is one conjunct of a WHERE clause: col op expr.
+type Cond struct {
+	Col string
+	Op  CondOp
+	Val Expr
+}
+
+// Expr is a scalar expression: a literal, a parameter, a column
+// reference, or a binary +/- / * on two sub-expressions.
+type Expr interface {
+	isExpr()
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// Param is a ? placeholder, numbered left to right from 0.
+type Param struct{ N int }
+
+// ColRef references a column of the current row.
+type ColRef struct{ Name string }
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+}
+
+func (Lit) isExpr()     {}
+func (Param) isExpr()   {}
+func (ColRef) isExpr()  {}
+func (BinExpr) isExpr() {}

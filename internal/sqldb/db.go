@@ -1,0 +1,755 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is one database instance. Statement execution is serialized by an
+// internal mutex; transactional rollback is implemented with an undo log.
+type DB struct {
+	mu     sync.Mutex
+	eng    Engine
+	tables map[string]*Table
+	inTx   bool
+	undo   []func()
+	cache  map[string]Stmt
+	stats  Stats
+}
+
+// Stats counts work done, the input to the engines' virtual cost models.
+type Stats struct {
+	Statements   int64
+	RowsRead     int64
+	RowsScanned  int64 // rows examined but not matched by a scan
+	RowsWritten  int64
+	RowsInserted int64
+	RowsDeleted  int64
+	Aborts       int64
+}
+
+// Sub returns the difference s - o, for measuring one transaction.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Statements:   s.Statements - o.Statements,
+		RowsRead:     s.RowsRead - o.RowsRead,
+		RowsScanned:  s.RowsScanned - o.RowsScanned,
+		RowsWritten:  s.RowsWritten - o.RowsWritten,
+		RowsInserted: s.RowsInserted - o.RowsInserted,
+		RowsDeleted:  s.RowsDeleted - o.RowsDeleted,
+		Aborts:       s.Aborts - o.Aborts,
+	}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols names the output columns of a SELECT.
+	Cols []string
+	// Rows holds SELECT output.
+	Rows [][]Value
+	// Affected is the number of rows written/deleted/inserted.
+	Affected int
+}
+
+// Sentinel errors.
+var (
+	// ErrNoTable is returned for statements against unknown tables.
+	ErrNoTable = errors.New("sqldb: no such table")
+	// ErrDuplicate is returned on primary-key violations.
+	ErrDuplicate = errors.New("sqldb: duplicate primary key")
+	// ErrNoTx is returned for COMMIT/ROLLBACK outside a transaction.
+	ErrNoTx = errors.New("sqldb: no transaction in progress")
+	// ErrInTx is returned for BEGIN inside a transaction.
+	ErrInTx = errors.New("sqldb: transaction already in progress")
+)
+
+// New creates an empty database with the given engine personality.
+func New(eng Engine) *DB {
+	return &DB{
+		eng:    eng,
+		tables: make(map[string]*Table),
+		cache:  make(map[string]Stmt),
+	}
+}
+
+// Engine returns the database's engine personality.
+func (db *DB) Engine() Engine { return db.eng }
+
+// Stats returns a copy of the cumulative work counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// NumTables returns the number of tables.
+func (db *DB) NumTables() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables)
+}
+
+// TableLen returns a table's row count (0, false when absent).
+func (db *DB) TableLen(name string) (int, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, false
+	}
+	return t.Len(), true
+}
+
+// Exec parses (with a statement cache) and executes one statement.
+func (db *DB) Exec(sql string, args ...Value) (Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, ok := db.cache[sql]
+	if !ok {
+		var err error
+		stmt, err = Parse(sql)
+		if err != nil {
+			return Result{}, err
+		}
+		db.cache[sql] = stmt
+	}
+	return db.execStmt(stmt, args)
+}
+
+// ExecStmt executes a pre-parsed statement.
+func (db *DB) ExecStmt(stmt Stmt, args ...Value) (Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStmt(stmt, args)
+}
+
+func (db *DB) execStmt(stmt Stmt, args []Value) (Result, error) {
+	switch stmt.(type) {
+	case Begin, Commit, Rollback:
+		// Transaction control does no table work and is free in the cost
+		// model.
+	default:
+		db.stats.Statements++
+	}
+	switch st := stmt.(type) {
+	case CreateTable:
+		return db.execCreate(st)
+	case DropTable:
+		return db.execDrop(st)
+	case Insert:
+		return db.execInsert(st, args)
+	case Select:
+		return db.execSelect(st, args)
+	case Update:
+		return db.execUpdate(st, args)
+	case Delete:
+		return db.execDelete(st, args)
+	case Begin:
+		if db.inTx {
+			return Result{}, ErrInTx
+		}
+		db.inTx = true
+		db.undo = db.undo[:0]
+		return Result{}, nil
+	case Commit:
+		if !db.inTx {
+			return Result{}, ErrNoTx
+		}
+		db.inTx = false
+		db.undo = db.undo[:0]
+		return Result{}, nil
+	case Rollback:
+		if !db.inTx {
+			return Result{}, ErrNoTx
+		}
+		db.rollback()
+		return Result{}, nil
+	default:
+		return Result{}, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// InTx reports whether an explicit transaction is open.
+func (db *DB) InTx() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inTx
+}
+
+func (db *DB) rollback() {
+	for i := len(db.undo) - 1; i >= 0; i-- {
+		db.undo[i]()
+	}
+	db.undo = db.undo[:0]
+	db.inTx = false
+	db.stats.Aborts++
+}
+
+// pushUndo records a compensation action when inside a transaction.
+func (db *DB) pushUndo(fn func()) {
+	if db.inTx {
+		db.undo = append(db.undo, fn)
+	}
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (db *DB) execCreate(st CreateTable) (Result, error) {
+	if _, exists := db.tables[st.Name]; exists {
+		if st.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: table %s already exists", st.Name)
+	}
+	t, err := newTable(st)
+	if err != nil {
+		return Result{}, err
+	}
+	db.tables[st.Name] = t
+	db.pushUndo(func() { delete(db.tables, st.Name) })
+	return Result{}, nil
+}
+
+func (db *DB) execDrop(st DropTable) (Result, error) {
+	t, exists := db.tables[st.Name]
+	if !exists {
+		if st.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("%w: %s", ErrNoTable, st.Name)
+	}
+	delete(db.tables, st.Name)
+	db.pushUndo(func() { db.tables[st.Name] = t })
+	return Result{}, nil
+}
+
+func (db *DB) execInsert(st Insert, args []Value) (Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	cols := st.Cols
+	if len(cols) == 0 {
+		cols = make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.Name
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		if colIdx[i], err = t.colIndex(c); err != nil {
+			return Result{}, err
+		}
+	}
+	n := 0
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(cols) {
+			return Result{}, fmt.Errorf("sqldb: %d values for %d columns in %s", len(exprs), len(cols), t.Name)
+		}
+		row := make([]Value, len(t.Cols))
+		for i, e := range exprs {
+			v, err := evalExpr(e, nil, nil, args)
+			if err != nil {
+				return Result{}, err
+			}
+			if row[colIdx[i]], err = coerce(v, t.Cols[colIdx[i]].Kind); err != nil {
+				return Result{}, err
+			}
+		}
+		key := t.key(row)
+		if _, dup := t.rows[key]; dup {
+			return Result{}, fmt.Errorf("%w: %s", ErrDuplicate, t.Name)
+		}
+		t.put(key, row)
+		db.stats.RowsInserted++
+		db.pushUndo(func() { t.del(key) })
+		n++
+	}
+	return Result{Affected: n}, nil
+}
+
+// matchRows returns the keys of rows satisfying the WHERE conjuncts,
+// using the PK index when the conjuncts pin every PK column by equality.
+func (db *DB) matchRows(t *Table, where []Cond, args []Value) ([]string, error) {
+	return db.matchRowsN(t, where, args, -1)
+}
+
+// matchRowsN is matchRows with an optional bound on matches (max < 0 =
+// unbounded). Because scanning follows PK order, a bounded match is the
+// ORDER-BY-PK-prefix LIMIT fast path.
+func (db *DB) matchRowsN(t *Table, where []Cond, args []Value, max int) ([]string, error) {
+	conds := make([]compiledCond, 0, len(where))
+	for _, c := range where {
+		idx, err := t.colIndex(c.Col)
+		if err != nil {
+			return nil, err
+		}
+		v, err := evalExpr(c.Val, nil, nil, args)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, compiledCond{col: idx, op: c.Op, val: v})
+	}
+	// PK fast path: every PK column pinned by equality.
+	if key, ok := pkLookup(t, conds); ok {
+		row, exists := t.rows[key]
+		if !exists {
+			return nil, nil
+		}
+		db.stats.RowsRead++
+		if !rowMatches(row, conds) {
+			return nil, nil
+		}
+		return []string{key}, nil
+	}
+	// PK-prefix range: when the leading PK columns are pinned by
+	// equality, only the matching key range needs scanning (the key
+	// encoding is prefix-ordered), as a clustered-index range scan would.
+	scan := t.sortedKeys()
+	if lo, hi, ok := pkPrefixRange(t, conds); ok {
+		start := sort.SearchStrings(scan, lo)
+		end := sort.SearchStrings(scan, hi)
+		scan = scan[start:end]
+	}
+	// Matched rows count as reads; rows merely examined count as scans,
+	// which the engines price like an indexed range scan (see
+	// Engine.PerRowScan).
+	var keys []string
+	for _, k := range scan {
+		if rowMatches(t.rows[k], conds) {
+			db.stats.RowsRead++
+			keys = append(keys, k)
+			if max >= 0 && len(keys) >= max {
+				break
+			}
+		} else {
+			db.stats.RowsScanned++
+		}
+	}
+	return keys, nil
+}
+
+// pkPrefixRange returns the key range [lo, hi) covering rows whose
+// leading PK columns equal the pinned values, and ok=false when the first
+// PK column is not pinned by equality.
+func pkPrefixRange(t *Table, conds []compiledCond) (lo, hi string, ok bool) {
+	pinned := make(map[int]Value, len(conds))
+	for _, c := range conds {
+		if c.op == OpEq {
+			pinned[c.col] = c.val
+		}
+	}
+	prefix := ""
+	n := 0
+	for _, pk := range t.PK {
+		v, isPinned := pinned[pk]
+		if !isPinned {
+			break
+		}
+		cv, err := coerce(v, t.Cols[pk].Kind)
+		if err != nil {
+			return "", "", false
+		}
+		if n > 0 {
+			prefix += "\x00"
+		}
+		prefix += encodeKeyPart(cv)
+		n++
+	}
+	if n == 0 {
+		return "", "", false
+	}
+	// Keys with this prefix continue with "\x00" (more PK columns) or end
+	// exactly here; "\xff" upper-bounds both since encodeKeyPart output
+	// never starts with bytes >= 0xf8.
+	return prefix, prefix + "\xff", true
+}
+
+type compiledCond struct {
+	col int
+	op  CondOp
+	val Value
+}
+
+// orderFollowsPK reports whether ordering by st.OrderBy ascending is
+// already the PK scan order, i.e. the column is a PK column and every PK
+// column before it is pinned by equality in the WHERE clause.
+func orderFollowsPK(t *Table, st Select) bool {
+	oc, err := t.colIndex(st.OrderBy)
+	if err != nil {
+		return false
+	}
+	pinned := make(map[string]bool, len(st.Where))
+	for _, c := range st.Where {
+		if c.Op == OpEq {
+			pinned[c.Col] = true
+		}
+	}
+	for _, pk := range t.PK {
+		if pk == oc {
+			return true
+		}
+		if !pinned[t.Cols[pk].Name] {
+			return false
+		}
+	}
+	return false
+}
+
+func pkLookup(t *Table, conds []compiledCond) (string, bool) {
+	pinned := make(map[int]Value, len(t.PK))
+	for _, c := range conds {
+		if c.op == OpEq {
+			pinned[c.col] = c.val
+		}
+	}
+	row := make([]Value, len(t.Cols))
+	for _, pk := range t.PK {
+		v, ok := pinned[pk]
+		if !ok {
+			return "", false
+		}
+		cv, err := coerce(v, t.Cols[pk].Kind)
+		if err != nil {
+			return "", false
+		}
+		row[pk] = cv
+	}
+	return t.key(row), true
+}
+
+func rowMatches(row []Value, conds []compiledCond) bool {
+	for _, c := range conds {
+		cmp := compareValues(row[c.col], c.val)
+		ok := false
+		switch c.op {
+		case OpEq:
+			ok = cmp == 0
+		case OpNe:
+			ok = cmp != 0
+		case OpLt:
+			ok = cmp < 0
+		case OpLe:
+			ok = cmp <= 0
+		case OpGt:
+			ok = cmp > 0
+		case OpGe:
+			ok = cmp >= 0
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (db *DB) execSelect(st Select, args []Value) (Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	// LIMIT fast path: scanning follows PK order, so when the ORDER BY
+	// column is the PK column right after the equality-pinned prefix (or
+	// there is no ORDER BY), matching can stop at the limit.
+	max := -1
+	if st.Limit >= 0 && !st.Desc && (st.OrderBy == "" || orderFollowsPK(t, st)) {
+		max = st.Limit
+	}
+	keys, err := db.matchRowsN(t, st.Where, args, max)
+	if err != nil {
+		return Result{}, err
+	}
+	// Aggregate query?
+	if len(st.Exprs) > 0 && st.Exprs[0].Agg != "" {
+		return db.aggregate(t, st, keys)
+	}
+	// Column projection.
+	var proj []int
+	var cols []string
+	for _, se := range st.Exprs {
+		if se.Star {
+			for i, c := range t.Cols {
+				proj = append(proj, i)
+				cols = append(cols, c.Name)
+			}
+			continue
+		}
+		if se.Agg != "" {
+			return Result{}, fmt.Errorf("sqldb: cannot mix aggregates and columns")
+		}
+		i, err := t.colIndex(se.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		proj = append(proj, i)
+		cols = append(cols, se.Col)
+	}
+	if st.OrderBy != "" {
+		oc, err := t.colIndex(st.OrderBy)
+		if err != nil {
+			return Result{}, err
+		}
+		sort.SliceStable(keys, func(i, j int) bool {
+			c := compareValues(t.rows[keys[i]][oc], t.rows[keys[j]][oc])
+			if st.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if st.Limit >= 0 && len(keys) > st.Limit {
+		keys = keys[:st.Limit]
+	}
+	out := make([][]Value, 0, len(keys))
+	for _, k := range keys {
+		row := t.rows[k]
+		r := make([]Value, len(proj))
+		for i, p := range proj {
+			r[i] = row[p]
+		}
+		out = append(out, r)
+	}
+	return Result{Cols: cols, Rows: out}, nil
+}
+
+func (db *DB) aggregate(t *Table, st Select, keys []string) (Result, error) {
+	outs := make([]Value, len(st.Exprs))
+	cols := make([]string, len(st.Exprs))
+	for i, se := range st.Exprs {
+		if se.Agg == "" {
+			return Result{}, fmt.Errorf("sqldb: cannot mix aggregates and columns")
+		}
+		cols[i] = se.Agg
+		switch se.Agg {
+		case "count":
+			if se.Col == "" {
+				outs[i] = int64(len(keys))
+				continue
+			}
+			ci, err := t.colIndex(se.Col)
+			if err != nil {
+				return Result{}, err
+			}
+			if se.Distinct {
+				seen := make(map[string]bool)
+				for _, k := range keys {
+					seen[formatValue(t.rows[k][ci])] = true
+				}
+				outs[i] = int64(len(seen))
+			} else {
+				n := int64(0)
+				for _, k := range keys {
+					if t.rows[k][ci] != nil {
+						n++
+					}
+				}
+				outs[i] = n
+			}
+		case "sum":
+			ci, err := t.colIndex(se.Col)
+			if err != nil {
+				return Result{}, err
+			}
+			var fsum float64
+			var isum int64
+			isInt := t.Cols[ci].Kind == KindInt
+			for _, k := range keys {
+				switch v := t.rows[k][ci].(type) {
+				case int64:
+					isum += v
+					fsum += float64(v)
+				case float64:
+					fsum += v
+				}
+			}
+			if isInt {
+				outs[i] = isum
+			} else {
+				outs[i] = fsum
+			}
+		case "min", "max":
+			ci, err := t.colIndex(se.Col)
+			if err != nil {
+				return Result{}, err
+			}
+			var best Value
+			for _, k := range keys {
+				v := t.rows[k][ci]
+				if v == nil {
+					continue
+				}
+				if best == nil ||
+					(se.Agg == "min" && compareValues(v, best) < 0) ||
+					(se.Agg == "max" && compareValues(v, best) > 0) {
+					best = v
+				}
+			}
+			outs[i] = best
+		default:
+			return Result{}, fmt.Errorf("sqldb: unknown aggregate %q", se.Agg)
+		}
+	}
+	return Result{Cols: cols, Rows: [][]Value{outs}}, nil
+}
+
+func (db *DB) execUpdate(st Update, args []Value) (Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	keys, err := db.matchRows(t, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	type setOp struct {
+		col int
+		val Expr
+	}
+	sets := make([]setOp, len(st.Set))
+	for i, a := range st.Set {
+		ci, err := t.colIndex(a.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, pk := range t.PK {
+			if pk == ci {
+				return Result{}, fmt.Errorf("sqldb: cannot update primary key column %q", a.Col)
+			}
+		}
+		sets[i] = setOp{col: ci, val: a.Val}
+	}
+	for _, k := range keys {
+		row := t.rows[k]
+		old := append([]Value(nil), row...)
+		for _, s := range sets {
+			v, err := evalExpr(s.val, t, row, args)
+			if err != nil {
+				return Result{}, err
+			}
+			if row[s.col], err = coerce(v, t.Cols[s.col].Kind); err != nil {
+				return Result{}, err
+			}
+		}
+		db.stats.RowsWritten++
+		key := k
+		db.pushUndo(func() { t.rows[key] = old })
+	}
+	return Result{Affected: len(keys)}, nil
+}
+
+func (db *DB) execDelete(st Delete, args []Value) (Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	keys, err := db.matchRows(t, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, k := range keys {
+		old := t.rows[k]
+		t.del(k)
+		db.stats.RowsDeleted++
+		key := k
+		db.pushUndo(func() { t.put(key, old) })
+	}
+	return Result{Affected: len(keys)}, nil
+}
+
+// evalExpr evaluates a scalar expression. t/row are nil outside row
+// context (INSERT values, WHERE right-hand sides).
+func evalExpr(e Expr, t *Table, row []Value, args []Value) (Value, error) {
+	switch x := e.(type) {
+	case Lit:
+		return x.V, nil
+	case Param:
+		if x.N >= len(args) {
+			return nil, fmt.Errorf("sqldb: missing argument %d", x.N)
+		}
+		return normalizeArg(args[x.N]), nil
+	case ColRef:
+		if t == nil || row == nil {
+			return nil, fmt.Errorf("sqldb: column %q not allowed here", x.Name)
+		}
+		i, err := t.colIndex(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return row[i], nil
+	case BinExpr:
+		l, err := evalExpr(x.L, t, row, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(x.R, t, row, args)
+		if err != nil {
+			return nil, err
+		}
+		return arith(x.Op, l, r)
+	default:
+		return nil, fmt.Errorf("sqldb: unknown expression %T", e)
+	}
+}
+
+// normalizeArg widens Go integer/float arguments to the engine types.
+func normalizeArg(v Value) Value {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+func arith(op byte, l, r Value) (Value, error) {
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case '+':
+			return li + ri, nil
+		case '-':
+			return li - ri, nil
+		case '*':
+			return li * ri, nil
+		}
+	}
+	lf, lOK := asFloat(l)
+	rf, rOK := asFloat(r)
+	if !lOK || !rOK {
+		return nil, fmt.Errorf("sqldb: arithmetic on non-numeric values %T %c %T", l, op, r)
+	}
+	switch op {
+	case '+':
+		return lf + rf, nil
+	case '-':
+		return lf - rf, nil
+	case '*':
+		return lf * rf, nil
+	}
+	return nil, fmt.Errorf("sqldb: unknown operator %c", op)
+}
+
+func asFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,200 @@
+package sqldb
+
+import (
+	"errors"
+	"testing"
+)
+
+// Additional dialect coverage: the statements the workloads and the state
+// transfer rely on, plus edge cases of the executor.
+
+func TestDropTable(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE d (id INT PRIMARY KEY)")
+	mustExec(t, db, "DROP TABLE d")
+	if _, err := db.Exec("SELECT * FROM d"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("table survived drop: %v", err)
+	}
+	if _, err := db.Exec("DROP TABLE d"); err == nil {
+		t.Error("dropping a missing table succeeded")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS d")
+}
+
+func TestCreateIfNotExists(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE c (id INT PRIMARY KEY)")
+	mustExec(t, db, "CREATE TABLE IF NOT EXISTS c (id INT PRIMARY KEY)")
+	if _, err := db.Exec("CREATE TABLE c (id INT PRIMARY KEY)"); err == nil {
+		t.Error("duplicate CREATE TABLE succeeded")
+	}
+}
+
+func TestSelectForUpdateParsesAndRuns(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 3)
+	res := mustExec(t, db, "SELECT balance FROM accounts WHERE id = 1 FOR UPDATE")
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestMultiRowInsert(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE m (id INT PRIMARY KEY, v INT)")
+	res := mustExec(t, db, "INSERT INTO m VALUES (1, 10), (2, 20), (3, 30)")
+	if res.Affected != 3 {
+		t.Errorf("Affected = %d", res.Affected)
+	}
+	sum := mustExec(t, db, "SELECT SUM(v) FROM m")
+	if sum.Rows[0][0] != int64(60) {
+		t.Errorf("sum = %v", sum.Rows[0][0])
+	}
+}
+
+func TestWhereRangeOperators(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 10)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"id < 3", 3},
+		{"id <= 3", 4},
+		{"id > 7", 2},
+		{"id >= 7", 3},
+		{"id <> 5", 9},
+		{"id >= 2 AND id < 5", 3},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, "SELECT id FROM accounts WHERE "+tt.where)
+		if len(res.Rows) != tt.want {
+			t.Errorf("WHERE %s returned %d rows, want %d", tt.where, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE s (id INT PRIMARY KEY, name TEXT)")
+	mustExec(t, db, "INSERT INTO s VALUES (1, 'alice'), (2, 'bob'), (3, 'carol')")
+	res := mustExec(t, db, "SELECT id FROM s WHERE name = 'bob'")
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(2) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT id FROM s WHERE name > 'alice' ORDER BY name")
+	if len(res.Rows) != 2 || res.Rows[0][0] != int64(2) {
+		t.Errorf("range over strings = %v", res.Rows)
+	}
+}
+
+func TestUpdateMultipleColumns(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 2)
+	mustExec(t, db, "UPDATE accounts SET balance = balance * 2, owner = 'x' WHERE id = 1")
+	res := mustExec(t, db, "SELECT owner, balance FROM accounts WHERE id = 1")
+	if res.Rows[0][0] != "x" || res.Rows[0][1] != int64(200) {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestUpdateWithoutWhereTouchesAll(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 5)
+	res := mustExec(t, db, "UPDATE accounts SET balance = 0")
+	if res.Affected != 5 {
+		t.Errorf("Affected = %d", res.Affected)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 5)
+	mustExec(t, db, "DELETE FROM accounts")
+	if n, _ := db.TableLen("accounts"); n != 0 {
+		t.Errorf("rows left = %d", n)
+	}
+}
+
+func TestOrderByAscendingDefault(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 3)
+	res := mustExec(t, db, "SELECT id FROM accounts ORDER BY id ASC")
+	for i, row := range res.Rows {
+		if row[0] != int64(i) {
+			t.Fatalf("order broken at %d: %v", i, res.Rows)
+		}
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 3)
+	res := mustExec(t, db, "SELECT id FROM accounts LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestNegativeLiteral(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE n (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO n VALUES (1, -5)")
+	res := mustExec(t, db, "SELECT v FROM n WHERE v < 0")
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(-5) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Negative PKs keep their ordering through the key encoding.
+	mustExec(t, db, "INSERT INTO n VALUES (-2, 0), (-1, 0)")
+	res = mustExec(t, db, "SELECT id FROM n ORDER BY id")
+	if res.Rows[0][0] != int64(-2) || res.Rows[1][0] != int64(-1) || res.Rows[2][0] != int64(1) {
+		t.Errorf("ordering with negatives = %v", res.Rows)
+	}
+}
+
+func TestParenthesizedExpressions(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE p (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO p VALUES (1, 10)")
+	mustExec(t, db, "UPDATE p SET v = (v + 2) * 3 WHERE id = 1")
+	res := mustExec(t, db, "SELECT v FROM p WHERE id = 1")
+	if res.Rows[0][0] != int64(36) {
+		t.Errorf("v = %v", res.Rows[0][0])
+	}
+}
+
+func TestStatementCacheReuse(t *testing.T) {
+	db := mustOpen(t)
+	setupAccounts(t, db, 2)
+	// The same SQL text with different args must not interfere.
+	for i := 0; i < 10; i++ {
+		res := mustExec(t, db, "SELECT balance FROM accounts WHERE id = ?", i%2)
+		if len(res.Rows) != 1 {
+			t.Fatalf("iteration %d: rows = %v", i, res.Rows)
+		}
+	}
+}
+
+func TestCoerceIntToFloatColumn(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE f (id INT PRIMARY KEY, v FLOAT)")
+	mustExec(t, db, "INSERT INTO f VALUES (1, 5)") // int literal into float col
+	res := mustExec(t, db, "SELECT v FROM f WHERE id = 1")
+	if res.Rows[0][0] != 5.0 {
+		t.Errorf("v = %v (%T)", res.Rows[0][0], res.Rows[0][0])
+	}
+	// Float with fraction cannot land in an INT column.
+	if _, err := db.Exec("INSERT INTO f (id) VALUES (2.5)"); err == nil {
+		t.Error("fractional PK accepted into INT column")
+	}
+}
+
+func TestMinMaxOverStrings(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE w (id INT PRIMARY KEY, s TEXT)")
+	mustExec(t, db, "INSERT INTO w VALUES (1, 'pear'), (2, 'apple'), (3, 'zu')")
+	res := mustExec(t, db, "SELECT MIN(s), MAX(s) FROM w")
+	if res.Rows[0][0] != "apple" || res.Rows[0][1] != "zu" {
+		t.Errorf("min/max = %v", res.Rows[0])
+	}
+}

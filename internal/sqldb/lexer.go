@@ -1,0 +1,163 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The lexer. Tokens carry their position for error messages.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , * = < > <= >= <> != + - ? .
+)
+
+type token struct {
+	kind tokKind
+	text string // identifier (upper-cased for keywords), punctuation, raw number
+	val  Value  // for numbers and strings
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("(),*=<>+-?.", c) >= 0:
+			l.lexPunct(start)
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		case '-':
+			// -- line comment
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("sqldb: bad number %q at %d: %w", text, start, err)
+		}
+		l.toks = append(l.toks, token{kind: tokNumber, text: text, val: f, pos: start})
+		return nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return fmt.Errorf("sqldb: bad number %q at %d: %w", text, start, err)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, val: n, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), val: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqldb: unterminated string at %d", start)
+}
+
+func (l *lexer) lexPunct(start int) {
+	c := l.src[l.pos]
+	l.pos++
+	text := string(c)
+	if l.pos < len(l.src) {
+		two := text + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			text = two
+			l.pos++
+		}
+	}
+	if text == "!=" {
+		text = "<>"
+	}
+	l.toks = append(l.toks, token{kind: tokPunct, text: text, pos: start})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

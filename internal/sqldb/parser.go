@@ -1,0 +1,555 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The recursive-descent parser for the dialect described in ast.go.
+
+type parser struct {
+	toks   []token
+	pos    int
+	params int
+}
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", truncateSQL(src), err)
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parse %q: trailing input at %q", truncateSQL(src), p.peek().text)
+	}
+	return stmt, nil
+}
+
+func truncateSQL(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("expected %s at %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return fmt.Errorf("expected %q at %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("expected identifier at %q", t.text)
+	}
+	p.pos++
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.keyword("CREATE"):
+		return p.createTable()
+	case p.keyword("DROP"):
+		return p.dropTable()
+	case p.keyword("INSERT"):
+		return p.insert()
+	case p.keyword("SELECT"):
+		return p.selectStmt()
+	case p.keyword("UPDATE"):
+		return p.update()
+	case p.keyword("DELETE"):
+		return p.delete()
+	case p.keyword("BEGIN"), p.keyword("START"):
+		p.keyword("TRANSACTION") // optional
+		return Begin{}, nil
+	case p.keyword("COMMIT"):
+		return Commit{}, nil
+	case p.keyword("ROLLBACK"):
+		return Rollback{}, nil
+	default:
+		return nil, fmt.Errorf("unknown statement at %q", p.peek().text)
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := CreateTable{}
+	if p.keyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.keyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.PrimaryKey = append(st.PrimaryKey, col)
+				if !p.punct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.columnDef()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+		}
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	// Inline PK markers fold into the key list.
+	for _, c := range st.Cols {
+		if c.PK {
+			st.PrimaryKey = append(st.PrimaryKey, c.Name)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) columnDef() (ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ColumnDef{}, fmt.Errorf("expected type after column %s", name)
+	}
+	p.pos++
+	var kind Kind
+	switch strings.ToUpper(t.text) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		kind = KindInt
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		kind = KindFloat
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		kind = KindText
+	default:
+		return ColumnDef{}, fmt.Errorf("unknown type %q for column %s", t.text, name)
+	}
+	// Optional (n) or (n,m) length spec, ignored.
+	if p.punct("(") {
+		for !p.punct(")") {
+			if p.atEOF() {
+				return ColumnDef{}, fmt.Errorf("unterminated type spec for %s", name)
+			}
+			p.pos++
+		}
+	}
+	def := ColumnDef{Name: name, Kind: kind}
+	if p.keyword("PRIMARY") {
+		if err := p.expectKeyword("KEY"); err != nil {
+			return ColumnDef{}, err
+		}
+		def.PK = true
+	}
+	if p.keyword("NOT") {
+		if err := p.expectKeyword("NULL"); err != nil {
+			return ColumnDef{}, err
+		}
+	}
+	return def, nil
+}
+
+func (p *parser) dropTable() (Stmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := DropTable{}
+	if p.keyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) insert() (Stmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	st := Insert{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.punct("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.punct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.punct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.punct(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	st := Select{Limit: -1}
+	for {
+		se, err := p.selectExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Exprs = append(st.Exprs, se)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if st.Where, err = p.whereClause(); err != nil {
+		return nil, err
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = col
+		if p.keyword("DESC") {
+			st.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("expected number after LIMIT")
+		}
+		p.pos++
+		n, ok := t.val.(int64)
+		if !ok {
+			return nil, fmt.Errorf("LIMIT must be an integer")
+		}
+		st.Limit = int(n)
+	}
+	if p.keyword("FOR") {
+		if err := p.expectKeyword("UPDATE"); err != nil {
+			return nil, err
+		}
+		st.ForUpdate = true
+	}
+	return st, nil
+}
+
+func (p *parser) selectExpr() (SelectExpr, error) {
+	if p.punct("*") {
+		return SelectExpr{Star: true}, nil
+	}
+	save := p.save()
+	name, err := p.ident()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "MIN", "MAX":
+		if p.punct("(") {
+			se := SelectExpr{Agg: strings.ToLower(name)}
+			if p.punct("*") {
+				if se.Agg != "count" {
+					return SelectExpr{}, fmt.Errorf("%s(*) is not supported", name)
+				}
+			} else {
+				if p.keyword("DISTINCT") {
+					se.Distinct = true
+				}
+				col, err := p.ident()
+				if err != nil {
+					return SelectExpr{}, err
+				}
+				se.Col = col
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return SelectExpr{}, err
+			}
+			return se, nil
+		}
+		p.restore(save)
+		name, _ = p.ident()
+	}
+	return SelectExpr{Col: name}, nil
+}
+
+func (p *parser) whereClause() ([]Cond, error) {
+	if !p.keyword("WHERE") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokPunct {
+			return nil, fmt.Errorf("expected operator after %s", col)
+		}
+		var op CondOp
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<>":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return nil, fmt.Errorf("unknown operator %q", t.text)
+		}
+		p.pos++
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Col: col, Op: op, Val: val})
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	return conds, nil
+}
+
+func (p *parser) update() (Stmt, error) {
+	st := Update{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assign{Col: col, Val: val})
+		if !p.punct(",") {
+			break
+		}
+	}
+	if st.Where, err = p.whereClause(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := Delete{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if st.Where, err = p.whereClause(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// expr parses additive expressions over terms.
+func (p *parser) expr() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op byte
+		switch {
+		case p.punct("+"):
+			op = '+'
+		case p.punct("-"):
+			op = '-'
+		case p.punct("*"):
+			op = '*'
+		default:
+			return left, nil
+		}
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) term() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber, t.kind == tokString:
+		p.pos++
+		return Lit{V: t.val}, nil
+	case t.kind == tokPunct && t.text == "?":
+		p.pos++
+		e := Param{N: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tokPunct && t.text == "-":
+		p.pos++
+		inner, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: '-', L: Lit{V: int64(0)}, R: inner}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		if strings.EqualFold(t.text, "NULL") {
+			p.pos++
+			return Lit{V: nil}, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return ColRef{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q in expression", t.text)
+	}
+}

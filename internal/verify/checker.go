@@ -1,0 +1,403 @@
+// Package verify is this repository's stand-in for the Nuprl side of the
+// paper's methodology. Where the paper proves properties of LoE
+// specifications interactively in a proof assistant, this package checks
+// the same properties mechanically:
+//
+//   - an exhaustive bounded model checker that explores every delivery
+//     interleaving (optionally with crash injection) of a small instance
+//     and checks an invariant at every reachable state;
+//   - a randomized schedule fuzzer for larger instances;
+//   - a refinement checker that validates that a GPM program implements
+//     its LoE specification (the paper's automatic proof, arrow (c));
+//   - an inductive state-characterization checker in the style of the
+//     Inductive Logical Form (Fig. 5 of the paper);
+//   - a property registry that records which properties are checked fully
+//     automatically and which needed a hand-written harness — the A/M
+//     split of Table I.
+//
+// The substitution (bounded checking for proof) is documented in DESIGN.md.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+)
+
+// Injection is an external message fed to the system before exploration.
+type Injection struct {
+	To msg.Loc
+	M  msg.Msg
+}
+
+// Model describes a finite instance of a distributed system to check.
+type Model struct {
+	// Gen produces the process at each location.
+	Gen gpm.Generator
+	// Locs are the locations to spawn.
+	Locs []msg.Loc
+	// Init are the external messages present initially.
+	Init []Injection
+	// MaxDepth bounds the length of explored schedules; 0 means the
+	// number of initial injections times 16.
+	MaxDepth int
+	// MaxRuns bounds the number of complete schedules explored
+	// exhaustively; 0 means two million.
+	MaxRuns int
+	// CrashLocs lists locations the checker may crash, and Crashes bounds
+	// how many crash choices one schedule may contain.
+	CrashLocs []msg.Loc
+	Crashes   int
+	// Invariant is checked after every delivery of every schedule. It
+	// receives the trace so far. A non-nil error fails the check.
+	Invariant func(trace []gpm.TraceEntry) error
+	// Final, if non-nil, is checked at the end of each maximal schedule
+	// (queue drained or depth bound hit).
+	Final func(trace []gpm.TraceEntry) error
+}
+
+// Stats reports what an exhaustive check covered.
+type Stats struct {
+	// Schedules is the number of maximal schedules explored.
+	Schedules int
+	// Deliveries is the total number of deliveries executed.
+	Deliveries int
+	// Truncated reports whether MaxRuns stopped exploration early.
+	Truncated bool
+}
+
+// CheckError describes an invariant violation, including the schedule that
+// reached it so the failure can be replayed.
+type CheckError struct {
+	// Schedule is the sequence of choice indices that led to the
+	// violation.
+	Schedule []int
+	// Err is the invariant's error.
+	Err error
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("verify: invariant violated on schedule %v: %v", e.Schedule, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *CheckError) Unwrap() error { return e.Err }
+
+// Exhaustive explores every delivery interleaving of the model up to its
+// bounds, checking the invariant at every state. Processes are replayed
+// from the initial state for every schedule prefix, so process
+// implementations may freely mutate internal state.
+func Exhaustive(m Model) (Stats, error) {
+	maxDepth := m.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 16 * len(m.Init)
+	}
+	maxRuns := m.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 2_000_000
+	}
+	st := &Stats{}
+	err := explore(m, nil, maxDepth, maxRuns, st)
+	return *st, err
+}
+
+// choiceCount replays the schedule and returns how many choices are
+// available at its end, plus the trace.
+type replayResult struct {
+	choices int       // pending deliveries
+	crashOK []msg.Loc // locations that may crash next
+	trace   []gpm.TraceEntry
+	err     error
+	deadEnd bool
+	// dup[i] marks pending delivery i as identical to an earlier pending
+	// delivery: delivering either leads to isomorphic states, so the
+	// explorer skips the duplicate (symmetry reduction).
+	dup []bool
+}
+
+// The checker encodes a schedule as a sequence of ints: values
+// 0..choices-1 pick a pending delivery; values >= choices pick a crash of
+// crashOK[v-choices].
+func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
+	if st.Schedules >= maxRuns {
+		st.Truncated = true
+		return nil
+	}
+	res := replay(m, schedule, st)
+	if res.err != nil {
+		return &CheckError{Schedule: append([]int(nil), schedule...), Err: res.err}
+	}
+	total := res.choices + len(res.crashOK)
+	if res.deadEnd || total == 0 || len(schedule) >= maxDepth {
+		st.Schedules++
+		if m.Final != nil {
+			if err := m.Final(res.trace); err != nil {
+				return &CheckError{Schedule: append([]int(nil), schedule...), Err: err}
+			}
+		}
+		return nil
+	}
+	for c := 0; c < total; c++ {
+		if c < len(res.dup) && res.dup[c] {
+			continue // symmetric to an earlier choice at this state
+		}
+		if err := explore(m, append(schedule, c), maxDepth, maxRuns, st); err != nil {
+			return err
+		}
+		if st.Schedules >= maxRuns {
+			st.Truncated = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// replay executes a schedule from the initial state. Pending deliveries
+// are kept in FIFO order of creation; a choice index picks one for
+// delivery. Crashed locations drop all input.
+func replay(m Model, schedule []int, st *Stats) replayResult {
+	procs := make(map[msg.Loc]gpm.Process, len(m.Locs))
+	for _, l := range m.Locs {
+		procs[l] = m.Gen(l)
+	}
+	type pendMsg struct {
+		to msg.Loc
+		m  msg.Msg
+	}
+	var pending []pendMsg
+	for _, in := range m.Init {
+		pending = append(pending, pendMsg{to: in.To, m: in.M})
+	}
+	crashed := make(map[msg.Loc]bool)
+	crashes := 0
+	var trace []gpm.TraceEntry
+
+	crashable := func() []msg.Loc {
+		if crashes >= m.Crashes {
+			return nil
+		}
+		var out []msg.Loc
+		for _, l := range m.CrashLocs {
+			if !crashed[l] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	for _, c := range schedule {
+		if c < len(pending) {
+			d := pending[c]
+			pending = append(pending[:c], pending[c+1:]...)
+			if crashed[d.to] {
+				continue
+			}
+			p, ok := procs[d.to]
+			if !ok {
+				continue
+			}
+			next, outs := p.Step(d.m)
+			procs[d.to] = next
+			st.Deliveries++
+			for _, o := range outs {
+				pending = append(pending, pendMsg{to: o.Dest, m: o.M})
+			}
+			trace = append(trace, gpm.TraceEntry{Loc: d.to, In: d.m, Outs: outs, CausedBy: -1})
+			if m.Invariant != nil {
+				if err := m.Invariant(trace); err != nil {
+					return replayResult{err: err}
+				}
+			}
+		} else {
+			cands := crashable()
+			idx := c - len(pending)
+			if idx >= len(cands) {
+				return replayResult{deadEnd: true, trace: trace}
+			}
+			crashed[cands[idx]] = true
+			crashes++
+		}
+	}
+	dup := make([]bool, len(pending))
+	for i := 1; i < len(pending); i++ {
+		for j := 0; j < i; j++ {
+			if dup[j] {
+				continue
+			}
+			if pending[i].to == pending[j].to && pending[i].m.Hdr == pending[j].m.Hdr &&
+				reflect.DeepEqual(pending[i].m.Body, pending[j].m.Body) {
+				dup[i] = true
+				break
+			}
+		}
+	}
+	return replayResult{choices: len(pending), crashOK: crashable(), trace: trace, dup: dup}
+}
+
+// Fuzz runs n random schedules of up to maxDepth deliveries each, drawing
+// choices uniformly, and checks the invariant at every state. It is the
+// scalable companion to Exhaustive for larger instances. Unlike
+// Exhaustive it executes each schedule incrementally (a single pass), so
+// deep schedules stay cheap; the returned CheckError still carries the
+// whole schedule for a replay-based reproduction.
+func Fuzz(m Model, n int, maxDepth int, seed int64) (Stats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	st := &Stats{}
+	for run := 0; run < n; run++ {
+		schedule, trace, err := fuzzOne(m, maxDepth, rng, st)
+		if err != nil {
+			return *st, &CheckError{Schedule: schedule, Err: err}
+		}
+		st.Schedules++
+		if m.Final != nil {
+			if err := m.Final(trace); err != nil {
+				return *st, &CheckError{Schedule: schedule, Err: err}
+			}
+		}
+	}
+	return *st, nil
+}
+
+// fuzzOne executes one random schedule incrementally, mirroring replay's
+// choice encoding so failures replay identically.
+func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.TraceEntry, error) {
+	procs := make(map[msg.Loc]gpm.Process, len(m.Locs))
+	for _, l := range m.Locs {
+		procs[l] = m.Gen(l)
+	}
+	type pendMsg struct {
+		to msg.Loc
+		m  msg.Msg
+	}
+	var pending []pendMsg
+	for _, in := range m.Init {
+		pending = append(pending, pendMsg{to: in.To, m: in.M})
+	}
+	crashed := make(map[msg.Loc]bool)
+	crashes := 0
+	var trace []gpm.TraceEntry
+	var schedule []int
+
+	for len(schedule) < maxDepth {
+		var crashOK []msg.Loc
+		if crashes < m.Crashes {
+			for _, l := range m.CrashLocs {
+				if !crashed[l] {
+					crashOK = append(crashOK, l)
+				}
+			}
+		}
+		total := len(pending) + len(crashOK)
+		if total == 0 {
+			break
+		}
+		c := rng.Intn(total)
+		schedule = append(schedule, c)
+		if c >= len(pending) {
+			crashed[crashOK[c-len(pending)]] = true
+			crashes++
+			continue
+		}
+		d := pending[c]
+		pending = append(pending[:c], pending[c+1:]...)
+		if crashed[d.to] {
+			continue
+		}
+		p, ok := procs[d.to]
+		if !ok {
+			continue
+		}
+		next, outs := p.Step(d.m)
+		procs[d.to] = next
+		st.Deliveries++
+		for _, o := range outs {
+			pending = append(pending, pendMsg{to: o.Dest, m: o.M})
+		}
+		trace = append(trace, gpm.TraceEntry{Loc: d.to, In: d.m, Outs: outs, CausedBy: -1})
+		if m.Invariant != nil {
+			if err := m.Invariant(trace); err != nil {
+				return schedule, trace, err
+			}
+		}
+	}
+	return schedule, trace, nil
+}
+
+// ErrRefinement is wrapped by CheckRefinement failures.
+var ErrRefinement = errors.New("verify: program does not implement specification")
+
+// Denoter is the specification side of a refinement check: given an event
+// ordering it returns the expected outputs at every event. Package loe's
+// Denote matches this shape.
+type Denoter func(trace []gpm.TraceEntry) [][]msg.Directive
+
+// CheckRefinement runs a system under the reference runner with the given
+// injections and verifies that the operational outputs at every event
+// equal the specification's denotational outputs — the paper's automatic
+// proof that the GPM program implements the LoE specification (arrow (c)).
+func CheckRefinement(sys gpm.System, inject []Injection, maxSteps int, denote Denoter) error {
+	r := gpm.NewRunner(sys)
+	for _, in := range inject {
+		r.Inject(in.To, in.M)
+	}
+	if _, err := r.Run(maxSteps); err != nil {
+		return fmt.Errorf("run system: %w", err)
+	}
+	trace := r.Trace()
+	want := denote(trace)
+	if len(want) != len(trace) {
+		return fmt.Errorf("%w: specification produced %d events, program %d",
+			ErrRefinement, len(want), len(trace))
+	}
+	for i := range trace {
+		if !reflect.DeepEqual(normDirs(trace[i].Outs), normDirs(want[i])) {
+			return fmt.Errorf("%w: event %d at %s: program %v, spec %v",
+				ErrRefinement, i, trace[i].Loc, trace[i].Outs, want[i])
+		}
+	}
+	return nil
+}
+
+func normDirs(ds []msg.Directive) []msg.Directive {
+	if len(ds) == 0 {
+		return nil
+	}
+	return ds
+}
+
+// StateStep is the expected inductive characterization of a single-valued
+// state class (the Fig. 5 equality): the state at an event equals step
+// applied to the state at the location's previous event (or init for the
+// first event).
+type StateStep struct {
+	Init func(slf msg.Loc) any
+	Step func(slf msg.Loc, prev any, in msg.Msg) any
+}
+
+// CheckInductive validates that observed per-event states satisfy the
+// inductive characterization over a trace: state(e) = Step(state(pred e),
+// msg(e)). states[i] must be the class's value at trace[i].
+func CheckInductive(trace []gpm.TraceEntry, states []any, c StateStep) error {
+	if len(states) != len(trace) {
+		return fmt.Errorf("verify: %d states for %d events", len(states), len(trace))
+	}
+	prev := make(map[msg.Loc]any)
+	for i, e := range trace {
+		p, seen := prev[e.Loc]
+		if !seen {
+			p = c.Init(e.Loc)
+		}
+		want := c.Step(e.Loc, p, e.In)
+		if !reflect.DeepEqual(states[i], want) {
+			return fmt.Errorf("verify: event %d at %s: state %v, characterization %v",
+				i, e.Loc, states[i], want)
+		}
+		prev[e.Loc] = states[i]
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/loe"
+	"shadowdb/internal/msg"
+)
+
+// twoCounter is a tiny test system: two counters that each forward "inc"
+// to the other once, so exploration has real interleavings.
+func relayGen(peers map[msg.Loc]msg.Loc) gpm.Generator {
+	return func(slf msg.Loc) gpm.Process {
+		peer, ok := peers[slf]
+		if !ok {
+			return gpm.Halt()
+		}
+		forwarded := false
+		var rec gpm.StepFunc
+		rec = func(in msg.Msg) (gpm.Process, []msg.Directive) {
+			if in.Hdr == "inc" && !forwarded {
+				forwarded = true
+				return rec, []msg.Directive{msg.Send(peer, msg.M("ack", slf))}
+			}
+			return rec, nil
+		}
+		return rec
+	}
+}
+
+func TestExhaustiveExploresAllInterleavings(t *testing.T) {
+	peers := map[msg.Loc]msg.Loc{"a": "b", "b": "a"}
+	m := Model{
+		Gen:  relayGen(peers),
+		Locs: []msg.Loc{"a", "b"},
+		Init: []Injection{
+			{To: "a", M: msg.M("inc", nil)},
+			{To: "b", M: msg.M("inc", nil)},
+		},
+	}
+	st, err := Exhaustive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent initial deliveries → at least 2 distinct maximal
+	// schedules explored.
+	if st.Schedules < 2 {
+		t.Errorf("explored %d schedules, want >= 2", st.Schedules)
+	}
+	if st.Deliveries == 0 {
+		t.Error("no deliveries executed")
+	}
+	if st.Truncated {
+		t.Error("tiny model truncated")
+	}
+}
+
+func TestExhaustiveFindsViolation(t *testing.T) {
+	// Invariant "b never receives ack" is violated only in schedules that
+	// deliver a's inc; the checker must find one.
+	peers := map[msg.Loc]msg.Loc{"a": "b", "b": "a"}
+	m := Model{
+		Gen:  relayGen(peers),
+		Locs: []msg.Loc{"a", "b"},
+		Init: []Injection{{To: "a", M: msg.M("inc", nil)}},
+		Invariant: func(trace []gpm.TraceEntry) error {
+			last := trace[len(trace)-1]
+			if last.Loc == "b" && last.In.Hdr == "ack" {
+				return errors.New("b received ack")
+			}
+			return nil
+		},
+	}
+	_, err := Exhaustive(m)
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CheckError", err)
+	}
+	if len(ce.Schedule) == 0 {
+		t.Error("violation schedule is empty")
+	}
+	// The schedule must replay to the same violation.
+	res := replay(m, ce.Schedule, &Stats{})
+	if res.err == nil {
+		t.Error("replaying the violating schedule did not reproduce the violation")
+	}
+}
+
+func TestExhaustiveCrashInjection(t *testing.T) {
+	// With crash injection enabled, there must exist a schedule where b
+	// crashed and never acked: Final sees traces without any ack at a.
+	peers := map[msg.Loc]msg.Loc{"a": "b", "b": "a"}
+	sawSilent := false
+	m := Model{
+		Gen:       relayGen(peers),
+		Locs:      []msg.Loc{"a", "b"},
+		Init:      []Injection{{To: "a", M: msg.M("inc", nil)}},
+		CrashLocs: []msg.Loc{"b"},
+		Crashes:   1,
+		Final: func(trace []gpm.TraceEntry) error {
+			acked := false
+			for _, e := range trace {
+				if e.Loc == "a" && e.In.Hdr == "ack" {
+					acked = true
+				}
+			}
+			if !acked {
+				sawSilent = true
+			}
+			return nil
+		},
+	}
+	if _, err := Exhaustive(m); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSilent {
+		t.Error("crash injection never produced a schedule without acks")
+	}
+}
+
+func TestFuzzRuns(t *testing.T) {
+	peers := map[msg.Loc]msg.Loc{"a": "b", "b": "a"}
+	m := Model{
+		Gen:  relayGen(peers),
+		Locs: []msg.Loc{"a", "b"},
+		Init: []Injection{
+			{To: "a", M: msg.M("inc", nil)},
+			{To: "b", M: msg.M("inc", nil)},
+		},
+		Invariant: func([]gpm.TraceEntry) error { return nil },
+	}
+	st, err := Fuzz(m, 50, 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schedules != 50 {
+		t.Errorf("fuzz ran %d schedules, want 50", st.Schedules)
+	}
+}
+
+func TestCheckRefinementCLK(t *testing.T) {
+	// The compiled CLK program implements the CLK specification: the
+	// paper's automatic proof, as a check.
+	spec := loe.ClkRing(3)
+	denote := func(trace []gpm.TraceEntry) [][]msg.Directive {
+		eo := loe.FromTrace(trace)
+		den := loe.Denote(spec.Main, eo)
+		out := make([][]msg.Directive, len(den))
+		for i, vals := range den {
+			for _, v := range vals {
+				out[i] = append(out[i], v.(msg.Directive))
+			}
+		}
+		return out
+	}
+	inject := []Injection{{To: loe.RingLoc(0), M: msg.M(loe.ClkHeader, loe.ClkBody{Val: 0, TS: 0})}}
+	if err := CheckRefinement(spec.System(), inject, 30, denote); err != nil {
+		t.Fatalf("CLK refinement failed: %v", err)
+	}
+}
+
+func TestCheckRefinementCatchesDeviation(t *testing.T) {
+	// A program that implements nothing must fail against the CLK spec.
+	spec := loe.ClkRing(2)
+	sys := gpm.System{
+		Gen: func(slf msg.Loc) gpm.Process {
+			var rec gpm.StepFunc
+			rec = func(in msg.Msg) (gpm.Process, []msg.Directive) { return rec, nil } // silent
+			return rec
+		},
+		Locs: spec.Locs,
+	}
+	denote := func(trace []gpm.TraceEntry) [][]msg.Directive {
+		eo := loe.FromTrace(trace)
+		den := loe.Denote(spec.Main, eo)
+		out := make([][]msg.Directive, len(den))
+		for i, vals := range den {
+			for _, v := range vals {
+				out[i] = append(out[i], v.(msg.Directive))
+			}
+		}
+		return out
+	}
+	inject := []Injection{{To: loe.RingLoc(0), M: msg.M(loe.ClkHeader, loe.ClkBody{Val: 3, TS: 0})}}
+	err := CheckRefinement(sys, inject, 30, denote)
+	if !errors.Is(err, ErrRefinement) {
+		t.Fatalf("err = %v, want ErrRefinement", err)
+	}
+}
+
+func TestCheckInductiveCLK(t *testing.T) {
+	// Fig. 5 of the paper: ClockVal@e = imax(ts(e), ClockVal@pred(e)) + 1
+	// on msg events. Validate the characterization against a real run.
+	spec := loe.ClkRing(3)
+	r := gpm.NewRunner(spec.System())
+	r.Inject(loe.RingLoc(0), msg.M(loe.ClkHeader, loe.ClkBody{Val: 0, TS: 0}))
+	if _, err := r.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	trace := r.Trace()
+	den := loe.Denote(loe.ClkClock(), loe.FromTrace(trace))
+	states := make([]any, len(den))
+	for i, vals := range den {
+		states[i] = vals[0]
+	}
+	char := StateStep{
+		Init: func(msg.Loc) any { return 0 },
+		Step: func(_ msg.Loc, prev any, in msg.Msg) any {
+			if in.Hdr != loe.ClkHeader {
+				return prev
+			}
+			ts := in.Body.(loe.ClkBody).TS
+			p := prev.(int)
+			if ts > p {
+				return ts + 1
+			}
+			return p + 1
+		},
+	}
+	if err := CheckInductive(trace, states, char); err != nil {
+		t.Fatalf("CLK inductive characterization failed: %v", err)
+	}
+
+	// A wrong characterization must be rejected.
+	bad := StateStep{
+		Init: char.Init,
+		Step: func(msg.Loc, any, msg.Msg) any { return 0 },
+	}
+	if err := CheckInductive(trace, states, bad); err == nil {
+		t.Error("wrong characterization accepted")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	var s Suite
+	s.Add(
+		Property{Module: "X", Name: "p1", Mode: Auto, Check: func() error { return nil }},
+		Property{Module: "X", Name: "p2", Mode: Manual, Check: func() error { return nil }},
+		Property{Module: "Y", Name: "q", Mode: Auto, Check: func() error { return nil }},
+	)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := s.CountByModule()
+	if counts["X"] != (Counts{Auto: 1, Manual: 1}) {
+		t.Errorf("X counts = %+v", counts["X"])
+	}
+	if counts["X"].String() != "1A/1M" {
+		t.Errorf("X counts string = %q", counts["X"].String())
+	}
+	if got := s.Modules(); len(got) != 2 || got[0] != "X" || got[1] != "Y" {
+		t.Errorf("Modules = %v", got)
+	}
+
+	s.Add(Property{Module: "Z", Name: "fails", Mode: Auto, Check: func() error {
+		return fmt.Errorf("boom")
+	}})
+	if err := s.Run(); err == nil {
+		t.Error("suite with failing property passed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Auto.String() != "A" || Manual.String() != "M" || Mode(0).String() != "?" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestSymmetryPruning(t *testing.T) {
+	// Two identical initial messages: delivering either first leads to
+	// isomorphic states, so the explorer should not branch on them.
+	peers := map[msg.Loc]msg.Loc{"a": "b", "b": "a"}
+	m := Model{
+		Gen:  relayGen(peers),
+		Locs: []msg.Loc{"a", "b"},
+		Init: []Injection{
+			{To: "a", M: msg.M("inc", nil)},
+			{To: "a", M: msg.M("inc", nil)},
+		},
+	}
+	st, err := Exhaustive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without symmetry reduction the root branches over both identical
+	// messages, doubling the tree to 4 maximal schedules; with it, the
+	// duplicate root choice is pruned and only the genuinely distinct
+	// interleavings below remain.
+	if st.Schedules != 2 {
+		t.Errorf("explored %d schedules, want 2 (pruned from 4)", st.Schedules)
+	}
+}

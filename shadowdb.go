@@ -1,0 +1,414 @@
+// Package shadowdb is the public API of this repository: an embeddable,
+// replicated, strictly serializable SQL database in the architecture of
+// the paper "Developing Correctly Replicated Databases Using Formal
+// Tools" (DSN 2014).
+//
+// A Cluster bundles database replicas, a Paxos-backed total order
+// broadcast service, and either primary-backup (PBR) or state machine
+// replication (SMR), all running in-process over the channel network.
+// Transactions are typed, deterministic procedures registered by name;
+// clients get exactly-once execution under retry and strict
+// serializability.
+//
+//	cluster, err := shadowdb.Open(shadowdb.Config{
+//	    Replication: shadowdb.SMR,
+//	    Procedures:  myRegistry,
+//	    Setup:       mySchemaSetup,
+//	})
+//	defer cluster.Close()
+//	cli := cluster.Client()
+//	res, err := cli.Exec("deposit", int64(42), int64(10))
+//
+// The internal packages expose the layers this API is built from: the
+// LoE specification combinators (internal/loe), the term interpreter and
+// optimizer (internal/interp), the verified-by-checking consensus
+// protocols (internal/consensus/...), the broadcast service
+// (internal/broadcast), and the replication core (internal/core).
+package shadowdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/runtime"
+	"shadowdb/internal/sqldb"
+)
+
+// Mode selects the replication protocol.
+type Mode int
+
+// The replication protocols of the paper.
+const (
+	// PBR is primary-backup replication: a hand-written normal case with
+	// recovery driven by the total order broadcast service.
+	PBR Mode = iota + 1
+	// SMR is state machine replication: every transaction is ordered by
+	// the broadcast service and executed by every replica.
+	SMR
+)
+
+// Registry maps transaction type names to procedures; see core.Procedure.
+type Registry = core.Registry
+
+// Procedure is a deterministic transaction body.
+type Procedure = core.Procedure
+
+// ProcResult is a procedure's result set.
+type ProcResult = core.ProcResult
+
+// ErrAbort requests a deterministic transaction abort from a procedure.
+var ErrAbort = core.ErrAbort
+
+// DB is the SQL database handle procedures operate on.
+type DB = sqldb.DB
+
+// Result is a completed transaction's outcome.
+type Result struct {
+	// Aborted reports a deterministic abort (not an error).
+	Aborted bool
+	// Cols and Rows hold the procedure's result set.
+	Cols []string
+	Rows [][]any
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Replication selects PBR or SMR; the default is PBR.
+	Replication Mode
+	// Replicas is the number of database replicas; default 3 (for PBR:
+	// primary + backup + spare).
+	Replicas int
+	// Engines lists the database engine per replica ("h2", "hsqldb",
+	// "derby", ...). Shorter lists repeat the last entry; empty means
+	// the paper's diverse deployment h2/hsqldb/derby.
+	Engines []string
+	// Procedures is the transaction registry shared by all replicas.
+	Procedures Registry
+	// Setup installs the initial schema and population on every replica
+	// that starts with data.
+	Setup func(*DB) error
+	// Timing overrides the failure-detection knobs (zero = defaults).
+	Timing core.Timing
+}
+
+// Errors of the public API.
+var (
+	// ErrTimeout is returned when a transaction gets no answer in time.
+	ErrTimeout = errors.New("shadowdb: transaction timed out")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("shadowdb: cluster closed")
+)
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	cfg   Config
+	hub   *network.Hub
+	hosts []*runtime.Host
+	// stepMu serializes every process step so state inspection is safe.
+	stepMu sync.Mutex
+
+	pbr *core.PBRSystem
+	smr *core.SMRSystem
+
+	mu      sync.Mutex
+	clients int
+	closed  bool
+}
+
+// Open starts a cluster.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Replication == 0 {
+		cfg.Replication = PBR
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = []string{"h2", "hsqldb", "derby"}
+	}
+	if cfg.Procedures == nil {
+		return nil, fmt.Errorf("shadowdb: Config.Procedures is required")
+	}
+	if cfg.Timing == (core.Timing{}) {
+		cfg.Timing = core.Timing{
+			HeartbeatEvery: 50 * time.Millisecond,
+			SuspectAfter:   500 * time.Millisecond,
+			ClientRetry:    500 * time.Millisecond,
+		}
+	}
+
+	c := &Cluster{cfg: cfg, hub: network.NewHub()}
+	engine := func(i int) string {
+		if i < len(cfg.Engines) {
+			return cfg.Engines[i]
+		}
+		return cfg.Engines[len(cfg.Engines)-1]
+	}
+	var rlocs, blocs []msg.Loc
+	for i := 0; i < cfg.Replicas; i++ {
+		rlocs = append(rlocs, msg.Loc(fmt.Sprintf("r%d", i+1)))
+	}
+	for i := 0; i < 3; i++ {
+		blocs = append(blocs, msg.Loc(fmt.Sprintf("b%d", i+1)))
+	}
+	mkDB := func(populate bool) func(msg.Loc) (*sqldb.DB, error) {
+		return func(slf msg.Loc) (*sqldb.DB, error) {
+			idx := 0
+			for i, l := range rlocs {
+				if l == slf {
+					idx = i
+				}
+			}
+			db, err := sqldb.Open(engine(idx) + ":mem:" + string(slf))
+			if err != nil {
+				return nil, err
+			}
+			if populate && cfg.Setup != nil {
+				if err := cfg.Setup(db); err != nil {
+					return nil, err
+				}
+			}
+			return db, nil
+		}
+	}
+
+	switch cfg.Replication {
+	case PBR:
+		dep := core.PBRDeployment{
+			Pool:           rlocs,
+			InitialMembers: min(2, cfg.Replicas),
+			BcastNodes:     blocs,
+			Timing:         cfg.Timing,
+		}
+		var buildErr error
+		c.pbr = core.NewPBRSystem(dep, cfg.Procedures, func(slf msg.Loc) *sqldb.DB {
+			populate := slf == rlocs[0] || (len(rlocs) > 1 && slf == rlocs[1])
+			db, err := mkDB(populate)(slf)
+			if err != nil {
+				buildErr = err
+				return sqldb.New(sqldb.Engine{Name: "broken"})
+			}
+			return db
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		bgen := broadcast.Spec(c.pbr.Bcast).Generator()
+		for _, l := range blocs {
+			if _, err := c.host(l, bgen(l)); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range rlocs {
+			r := c.pbr.Replicas[l]
+			h, err := c.host(l, r)
+			if err != nil {
+				return nil, err
+			}
+			h.Emit(r.Start()) // boot the failure detector
+		}
+	case SMR:
+		var buildErr error
+		c.smr = core.NewSMRSystem(blocs[:min(3, cfg.Replicas)], rlocs[:min(3, cfg.Replicas)],
+			cfg.Procedures, func(slf msg.Loc) *sqldb.DB {
+				db, err := mkDB(true)(slf)
+				if err != nil {
+					buildErr = err
+					return sqldb.New(sqldb.Engine{Name: "broken"})
+				}
+				return db
+			})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		bgen := broadcast.Spec(c.smr.Bcast).Generator()
+		for _, l := range c.smr.Nodes {
+			if _, err := c.host(l, bgen(l)); err != nil {
+				return nil, err
+			}
+		}
+		for l, r := range c.smr.Replicas {
+			if _, err := c.host(l, r); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("shadowdb: unknown replication mode %d", cfg.Replication)
+	}
+	return c, nil
+}
+
+// host registers a location and starts its process, serialized by stepMu.
+func (c *Cluster) host(l msg.Loc, p gpm.Process) (*runtime.Host, error) {
+	tr, err := c.hub.Register(l)
+	if err != nil {
+		return nil, err
+	}
+	h := runtime.NewHost(l, tr, &lockedProc{mu: &c.stepMu, p: p})
+	h.Start()
+	c.hosts = append(c.hosts, h)
+	return h, nil
+}
+
+type lockedProc struct {
+	mu *sync.Mutex
+	p  gpm.Process
+}
+
+func (l *lockedProc) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next, outs := l.p.Step(in)
+	l.p = next
+	return l, outs
+}
+
+func (l *lockedProc) Halted() bool { return l.p.Halted() }
+
+// Close stops the cluster.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, h := range c.hosts {
+		_ = h.Close()
+	}
+	return c.hub.Close()
+}
+
+// Crash kills replica i (0-based), dropping all its traffic — for
+// exercising recovery.
+func (c *Cluster) Crash(i int) error {
+	loc := msg.Loc(fmt.Sprintf("r%d", i+1))
+	for _, h := range c.hosts {
+		if h.Self() == loc {
+			return h.Close()
+		}
+	}
+	return fmt.Errorf("shadowdb: no replica %d", i)
+}
+
+// ReplicaDB exposes replica i's database for inspection (tests, audits).
+// The returned handle is shared with the running replica; use read-only.
+func (c *Cluster) ReplicaDB(i int) (*DB, error) {
+	loc := msg.Loc(fmt.Sprintf("r%d", i+1))
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.pbr != nil {
+		if r, ok := c.pbr.Replicas[loc]; ok {
+			return r.Executor().DB, nil
+		}
+	}
+	if c.smr != nil {
+		if r, ok := c.smr.Replicas[loc]; ok {
+			return r.Executor().DB, nil
+		}
+	}
+	return nil, fmt.Errorf("shadowdb: no replica %d", i)
+}
+
+// Client creates a synchronous client for the cluster. Clients are not
+// safe for concurrent use; create one per goroutine.
+func (c *Cluster) Client() (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.clients++
+	loc := msg.Loc(fmt.Sprintf("client%d", c.clients))
+	tr, err := c.hub.Register(loc)
+	if err != nil {
+		return nil, err
+	}
+	var rlocs, blocs []msg.Loc
+	if c.pbr != nil {
+		rlocs = c.pbr.Dep.Pool
+		blocs = c.pbr.Dep.BcastNodes
+	} else {
+		for l := range c.smr.Replicas {
+			rlocs = append(rlocs, l)
+		}
+		blocs = c.smr.Nodes
+	}
+	mode := core.ModePBR
+	if c.cfg.Replication == SMR {
+		mode = core.ModeSMR
+	}
+	return &Client{
+		tr: tr,
+		sm: &core.Client{
+			Slf: loc, Mode: mode, Replicas: rlocs, BcastNodes: blocs,
+			Retry: c.cfg.Timing.ClientRetry,
+		},
+	}, nil
+}
+
+// Client is a synchronous ShadowDB client.
+type Client struct {
+	tr network.Transport
+	sm *core.Client
+}
+
+// Exec runs one registered transaction and waits for its result.
+func (cl *Client) Exec(txType string, args ...any) (Result, error) {
+	return cl.ExecTimeout(30*time.Second, txType, args...)
+}
+
+// ExecTimeout is Exec with an explicit deadline.
+func (cl *Client) ExecTimeout(timeout time.Duration, txType string, args ...any) (Result, error) {
+	emit := func(outs []msg.Directive) {
+		for _, o := range outs {
+			o := o
+			if o.Delay > 0 {
+				time.AfterFunc(o.Delay, func() {
+					_ = cl.tr.Send(msg.Envelope{From: cl.sm.Slf, To: o.Dest, M: o.M})
+				})
+				continue
+			}
+			_ = cl.tr.Send(msg.Envelope{From: cl.sm.Slf, To: o.Dest, M: o.M})
+		}
+	}
+	emit(cl.sm.Submit(txType, args))
+	deadline := time.After(timeout)
+	for {
+		select {
+		case env, ok := <-cl.tr.Receive():
+			if !ok {
+				return Result{}, ErrClosed
+			}
+			res, outs := cl.sm.Handle(env.M)
+			emit(outs)
+			if res == nil {
+				continue
+			}
+			if res.Err != "" {
+				return Result{}, fmt.Errorf("shadowdb: %s", res.Err)
+			}
+			return Result{Aborted: res.Aborted, Cols: res.Cols, Rows: res.Rows}, nil
+		case <-deadline:
+			return Result{}, fmt.Errorf("%w: %s after %v", ErrTimeout, txType, timeout)
+		}
+	}
+}
+
+// Close releases the client.
+func (cl *Client) Close() error { return cl.tr.Close() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
