@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"shadowdb/internal/bench"
+	"shadowdb/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,18 @@ func main() {
 func run() int {
 	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
+	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	flag.Parse()
+
+	if *admin != "" {
+		srv, addr, err := obs.Serve(*admin, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s\n", addr)
+	}
 
 	todo := map[string]bool{}
 	switch *experiment {

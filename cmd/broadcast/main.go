@@ -1,0 +1,154 @@
+// Command broadcast runs one node of the standalone total-order-broadcast
+// service over TCP — the service of the paper's Section III, deployable
+// on its own (clients Bcast, subscribers receive ordered Delivers) with
+// the observability endpoint for metrics, causal traces, and pprof.
+//
+// Example three-node service ordering for two subscribers:
+//
+//	DIR="b1=host1:7101,b2=host2:7101,b3=host3:7101,s1=host4:7201,s2=host5:7201"
+//	broadcast -id b1 -cluster "$DIR" -admin 127.0.0.1:7171
+//	broadcast -id b2 -cluster "$DIR" -admin 127.0.0.1:7172
+//	broadcast -id b3 -cluster "$DIR" -admin 127.0.0.1:7173
+//
+// Service nodes are the ids named by -nodes (default: every id starting
+// with "b"); every other id is a subscriber. Use -module to pick the
+// ordering protocol per the paper's plug-in design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/runtime"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	id := flag.String("id", "", "this node's location id (must appear in -cluster)")
+	cluster := flag.String("cluster", "", "comma-separated id=host:port directory")
+	nodes := flag.String("nodes", "", "comma-separated service node ids (default: ids starting with 'b')")
+	module := flag.String("module", "paxos", "ordering module: paxos|twothird")
+	batch := flag.Int("batch", 0, "max messages per ordered batch (0 = module default)")
+	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof)")
+	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
+	flag.Parse()
+
+	dir, err := parseDirectory(*cluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	slf := msg.Loc(*id)
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "missing -id")
+		return 2
+	}
+	if _, ok := dir[slf]; !ok {
+		fmt.Fprintf(os.Stderr, "id %q not in -cluster directory\n", *id)
+		return 2
+	}
+	bnodes, subs := splitNodes(dir, *nodes)
+	if len(bnodes) == 0 {
+		fmt.Fprintln(os.Stderr, "no service nodes (see -nodes)")
+		return 2
+	}
+	cfg := broadcast.Config{Nodes: bnodes, Subscribers: subs, MaxBatch: *batch}
+	switch *module {
+	case "paxos":
+		cfg.Modules = []broadcast.Module{broadcast.Paxos()}
+	case "twothird":
+		cfg.Modules = []broadcast.Module{broadcast.TwoThird()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown module %q\n", *module)
+		return 2
+	}
+
+	broadcast.RegisterWireTypes()
+
+	tr, err := network.NewTCP(slf, dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = tr.Close() }()
+
+	host := runtime.NewHost(slf, tr, broadcast.Spec(cfg).Generator()(slf))
+	host.Start()
+	defer func() { _ = host.Close() }()
+	fmt.Printf("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s\n",
+		slf, tr.Addr(), bnodes, subs, *module)
+
+	if *trace {
+		obs.Default.EnableTracing(true)
+	}
+	if *admin != "" {
+		srv, addr, err := obs.Serve(*admin, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json, POST /trace/start /trace/stop, /debug/pprof/)\n", addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return 0
+}
+
+// parseDirectory parses "id=addr,id=addr,...".
+func parseDirectory(s string) (map[msg.Loc]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -cluster directory")
+	}
+	dir := make(map[msg.Loc]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q (want id=host:port)", part)
+		}
+		dir[msg.Loc(kv[0])] = kv[1]
+	}
+	return dir, nil
+}
+
+// splitNodes partitions the directory into service nodes and subscribers.
+// An explicit -nodes list wins; otherwise ids starting with "b" serve.
+func splitNodes(dir map[msg.Loc]string, explicit string) (bnodes, subs []msg.Loc) {
+	serving := make(map[msg.Loc]bool)
+	if explicit != "" {
+		for _, n := range strings.Split(explicit, ",") {
+			serving[msg.Loc(strings.TrimSpace(n))] = true
+		}
+	} else {
+		for l := range dir {
+			if strings.HasPrefix(string(l), "b") {
+				serving[l] = true
+			}
+		}
+	}
+	for l := range dir {
+		if serving[l] {
+			bnodes = append(bnodes, l)
+		} else {
+			subs = append(subs, l)
+		}
+	}
+	sort.Slice(bnodes, func(i, j int) bool { return bnodes[i] < bnodes[j] })
+	sort.Slice(subs, func(i, j int) bool { return subs[i] < subs[j] })
+	return bnodes, subs
+}

@@ -30,6 +30,7 @@ import (
 	"shadowdb/internal/core"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/runtime"
 	"shadowdb/internal/sqldb"
 )
@@ -47,6 +48,8 @@ func run() int {
 	rows := flag.Int("rows", 10_000, "initial bank rows (bank registry, non-spare)")
 	spare := flag.Bool("spare", false, "start with an empty database (PBR spare)")
 	members := flag.Int("members", 2, "initial PBR configuration size")
+	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
+	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	flag.Parse()
 
 	dir, err := parseDirectory(*cluster)
@@ -87,6 +90,19 @@ func run() int {
 	defer func() { _ = host.Close() }()
 	fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
 		*id, *role, tr.Addr(), replicaLocs, bcastLocs)
+
+	if *trace {
+		obs.Default.EnableTracing(true)
+	}
+	if *admin != "" {
+		srv, addr, err := obs.Serve(*admin, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json, POST /trace/start /trace/stop, /debug/pprof/)\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

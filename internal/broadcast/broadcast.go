@@ -235,6 +235,7 @@ type seqState struct {
 	next     int // next slot to deliver
 	curProp  int // slot of the outstanding proposal, -1 if none
 	propSlot int // highest slot this node ever proposed
+	propAt   map[int]int64 // slot -> propose timestamp (observability only)
 }
 
 // sequencerClass builds the batching/ordering class of one service node.
@@ -301,8 +302,10 @@ func (s *seqState) onBcast(cfg Config, slf msg.Loc, b Bcast) []msg.Directive {
 	if seq := cfg.sequencer(); seq != slf {
 		// Non-sequencer nodes forward to the stable proposer; dueling
 		// proposers would otherwise preempt each other's ballots.
+		markBcast(true)
 		return []msg.Directive{msg.Send(seq, msg.M(HdrBcast, b))}
 	}
+	markBcast(false)
 	s.pending = append(s.pending, b)
 	return s.maybePropose(cfg, slf)
 }
@@ -318,6 +321,7 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 		batch = nil
 	}
 	s.decided[inst] = batch
+	mDecides.Inc()
 	if inst == s.curProp {
 		s.curProp = -1
 	}
@@ -343,6 +347,7 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 			break
 		}
 		delete(s.decided, s.next)
+		s.markDelivered(slf, s.next, len(b))
 		d := Deliver{Slot: s.next, Msgs: b}
 		for _, sub := range cfg.Subscribers {
 			outs = append(outs, msg.Send(sub, msg.M(HdrDeliver, d)))
@@ -378,6 +383,7 @@ func (s *seqState) maybePropose(cfg Config, slf msg.Loc) []msg.Directive {
 	val := EncodeBatch(batch)
 	s.curProp = slot
 	s.propSlot = slot
+	s.markProposed(slf, slot, len(batch))
 	mod := cfg.modules()[cfg.pick(slot)]
 	return mod.Propose(slf, cfg.Nodes, slot, val)
 }

@@ -1,0 +1,72 @@
+package synod
+
+import (
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Observability for the Synod protocol: counters on the leader/scout/
+// commander lifecycle and an extractor that publishes each message's
+// slot/ballot coordinates so runtime step events carry them.
+
+var (
+	mProposals  = obs.C("synod.proposals")
+	mScouts     = obs.C("synod.scouts")
+	mCommanders = obs.C("synod.commanders")
+	mAdopted    = obs.C("synod.adoptions")
+	mPreempted  = obs.C("synod.preemptions")
+	mWakes      = obs.C("synod.wakeups")
+	mDecides    = obs.C("synod.decides")
+)
+
+func init() {
+	obs.RegisterExtractor(func(hdr string, body any) (obs.Fields, bool) {
+		f := obs.NoFields()
+		f.Kind = hdr
+		switch b := body.(type) {
+		case Propose:
+			f.Slot = int64(b.Inst)
+		case P1a:
+			f.Ballot = int64(b.B.N)
+		case P1b:
+			f.Ballot = int64(b.B.N)
+		case P2a:
+			f.Slot, f.Ballot = int64(b.Inst), int64(b.B.N)
+		case P2b:
+			f.Slot, f.Ballot = int64(b.Inst), int64(b.B.N)
+		case Adopted:
+			f.Ballot = int64(b.B.N)
+		case Preempted:
+			f.Ballot = int64(b.B.N)
+		case SpawnScout:
+			f.Ballot = int64(b.B.N)
+		case SpawnCmd:
+			f.Slot, f.Ballot = int64(b.Inst), int64(b.B.N)
+		case Decide:
+			f.Slot = int64(b.Inst)
+		default:
+			return obs.Fields{}, false
+		}
+		return f, true
+	})
+}
+
+// tracePreempt records a leader abandoning its ballot for a higher one.
+func tracePreempt(slf msg.Loc, b Ballot) {
+	mPreempted.Inc()
+	if obs.Default.Tracing() {
+		e := obs.Ev(slf, obs.LayerConsensus, "px.preempt")
+		e.Ballot = int64(b.N)
+		obs.Default.Record(e)
+	}
+}
+
+// traceDecide records a commander reaching quorum for an instance.
+func traceDecide(slf msg.Loc, b Ballot, inst int) {
+	mDecides.Inc()
+	if obs.Default.Tracing() {
+		e := obs.Ev(slf, obs.LayerConsensus, "px.chosen")
+		e.Slot, e.Ballot = int64(inst), int64(b.N)
+		obs.Default.Record(e)
+	}
+}

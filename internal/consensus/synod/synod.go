@@ -297,6 +297,7 @@ func leaderCore(cfg Config) loe.Class {
 		case Preempted:
 			return s, s.onPreempted(cfg, slf, b)
 		case Wake:
+			mWakes.Inc()
 			return s, s.onWake(slf)
 		case Decide:
 			s.decided[b.Inst] = b.Val
@@ -321,6 +322,7 @@ func (s *leaderState) onPropose(cfg Config, slf msg.Loc, b Propose) []msg.Direct
 		return nil
 	}
 	s.proposals[b.Inst] = b.Val
+	mProposals.Inc()
 	if s.active {
 		return []msg.Directive{msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{B: s.ballot, Inst: b.Inst, Val: b.Val}))}
 	}
@@ -337,6 +339,7 @@ func (s *leaderState) onAdopted(slf msg.Loc, b Adopted) []msg.Directive {
 	}
 	s.active = true
 	s.scouting = false
+	mAdopted.Inc()
 	// pmax: adopt the highest-ballot accepted value per slot, overriding
 	// our own proposals — the core Paxos safety rule.
 	best := make(map[int]PValue)
@@ -371,6 +374,7 @@ func (s *leaderState) onPreempted(cfg Config, slf msg.Loc, b Preempted) []msg.Di
 	}
 	s.active = false
 	s.scouting = false
+	tracePreempt(slf, b.B)
 	s.ballot = Ballot{N: b.B.N + 1, L: slf}
 	delay := cfg.backoff() * time.Duration(s.idx+1)
 	return []msg.Directive{msg.SendAfter(delay, slf, msg.M(HdrWake, Wake{}))}
@@ -414,6 +418,7 @@ func scoutClass(cfg Config, b Ballot) loe.Class {
 			if !m.B.Equal(b) {
 				return s, nil
 			}
+			mScouts.Inc()
 			outs := make([]any, 0, len(cfg.Acceptors))
 			for _, a := range cfg.Acceptors {
 				outs = append(outs, msg.Send(a, msg.M(HdrP1a, P1a{B: b, From: slf})))
@@ -468,6 +473,7 @@ func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
 			if !m.B.Equal(b) || m.Inst != inst {
 				return s, nil
 			}
+			mCommanders.Inc()
 			outs := make([]any, 0, len(cfg.Acceptors))
 			for _, a := range cfg.Acceptors {
 				outs = append(outs, msg.Send(a, msg.M(HdrP2a, P2a{B: b, Inst: inst, Val: val, From: slf})))
@@ -487,6 +493,7 @@ func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
 			delete(s.waiting, m.From)
 			if len(cfg.Acceptors)-len(s.waiting) >= cfg.Majority() {
 				s.done = true
+				traceDecide(slf, b, inst)
 				d := Decide{Inst: inst, Val: val}
 				outs := make([]any, 0, len(cfg.Learners)+len(cfg.Leaders)+1)
 				for _, l := range cfg.Learners {

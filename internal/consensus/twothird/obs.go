@@ -1,0 +1,45 @@
+package twothird
+
+import (
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Observability for the TwoThird protocol: counters on the round-based
+// lifecycle and an extractor mapping each message to its instance
+// (slot) and round (ballot) coordinates.
+
+var (
+	mProposals = obs.C("twothird.proposals")
+	mVotes     = obs.C("twothird.votes_cast")
+	mRounds    = obs.C("twothird.round_advances")
+	mDecides   = obs.C("twothird.decides")
+)
+
+func init() {
+	obs.RegisterExtractor(func(hdr string, body any) (obs.Fields, bool) {
+		f := obs.NoFields()
+		f.Kind = hdr
+		switch b := body.(type) {
+		case Propose:
+			f.Slot = int64(b.Inst)
+		case Vote:
+			f.Slot, f.Ballot = int64(b.Inst), int64(b.Round)
+		case Decide:
+			f.Slot = int64(b.Inst)
+		default:
+			return obs.Fields{}, false
+		}
+		return f, true
+	})
+}
+
+// traceDecide records a node deciding an instance after round rounds.
+func traceDecide(slf msg.Loc, inst, round int) {
+	mDecides.Inc()
+	if obs.Default.Tracing() {
+		e := obs.Ev(slf, obs.LayerConsensus, "tt.chosen")
+		e.Slot, e.Ballot = int64(inst), int64(round)
+		obs.Default.Record(e)
+	}
+}

@@ -139,6 +139,7 @@ func onPropose(cfg Config, slf msg.Loc, s *nodeState, b Propose) []msg.Directive
 	}
 	st.started = true
 	st.est = b.Val
+	mProposals.Inc()
 	return castVote(cfg, slf, s, b.Inst, st)
 }
 
@@ -147,6 +148,7 @@ func onPropose(cfg Config, slf msg.Loc, s *nodeState, b Propose) []msg.Directive
 // complete a quorum formed by buffered votes).
 func castVote(cfg Config, slf msg.Loc, s *nodeState, inst int, st *instState) []msg.Directive {
 	v := Vote{Inst: inst, Round: st.round, From: slf, Val: st.est}
+	mVotes.Inc()
 	var outs []msg.Directive
 	for _, n := range cfg.Nodes {
 		if n != slf {
@@ -233,6 +235,8 @@ func checkOnce(cfg Config, slf msg.Loc, s *nodeState, inst int, st *instState) (
 	// round.
 	st.est = top
 	st.round++
+	mRounds.Inc()
+	mVotes.Inc()
 	v := Vote{Inst: inst, Round: st.round, From: slf, Val: st.est}
 	var outs []msg.Directive
 	for _, n := range cfg.Nodes {
@@ -267,6 +271,7 @@ func mostFrequent(rv map[msg.Loc]string) (string, int) {
 func decide(cfg Config, slf msg.Loc, st *instState, inst int, val string) []msg.Directive {
 	st.decided = true
 	st.val = val
+	traceDecide(slf, inst, st.round)
 	d := Decide{Inst: inst, Val: val}
 	var outs []msg.Directive
 	if !cfg.Legacy {

@@ -8,6 +8,7 @@ import (
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/sqldb"
 )
 
@@ -97,6 +98,10 @@ type PBRReplica struct {
 	// cost accounting for the simulator (virtual CPU of the last step)
 	stepCost time.Duration
 
+	// recoverAt stamps when this replica entered recovery (observability
+	// only; never read by the protocol).
+	recoverAt int64
+
 	// DeliveredConfigs counts adopted configurations (observability).
 	DeliveredConfigs int
 }
@@ -107,6 +112,7 @@ type ackWait struct {
 	req    TxRequest
 	res    TxResult
 	needed map[msg.Loc]bool
+	at     int64 // submit timestamp (observability only)
 }
 
 type snapAssembly struct {
@@ -226,12 +232,15 @@ func (r *PBRReplica) execAsPrimary(req TxRequest) []msg.Directive {
 	if res, dup := r.exec.Duplicate(req); dup {
 		return []msg.Directive{msg.Send(req.Client, msg.M(HdrTxResult, res))}
 	}
+	mPBRTxs.Inc()
+	t0 := obs.Default.Now()
 	order := r.exec.Executed + 1
 	res, err := r.exec.Apply(order, req)
 	if err != nil {
 		res = TxResult{Client: req.Client, Seq: req.Seq, Err: err.Error()}
 		return []msg.Directive{msg.Send(req.Client, msg.M(HdrTxResult, res))}
 	}
+	gExecuted.Set(r.exec.Executed)
 	needed := make(map[msg.Loc]bool)
 	var outs []msg.Directive
 	repl := Repl{CfgSeq: r.cfg.Seq, Order: order, Req: req}
@@ -242,9 +251,11 @@ func (r *PBRReplica) execAsPrimary(req TxRequest) []msg.Directive {
 		}
 	}
 	if len(needed) == 0 {
+		mPBRCommits.Inc()
+		mPBRNS.Observe(obs.Default.Now() - t0)
 		return append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
 	}
-	r.pending[order] = &ackWait{req: req, res: res, needed: needed}
+	r.pending[order] = &ackWait{req: req, res: res, needed: needed, at: t0}
 	return outs
 }
 
@@ -297,6 +308,8 @@ func (r *PBRReplica) onReplAck(ack ReplAck) []msg.Directive {
 		return nil
 	}
 	delete(r.pending, ack.Order)
+	mPBRCommits.Inc()
+	mPBRNS.Observe(obs.Default.Now() - w.at)
 	return []msg.Directive{msg.Send(w.req.Client, msg.M(HdrTxResult, w.res))}
 }
 
@@ -327,6 +340,9 @@ func (r *PBRReplica) onHBTick() []msg.Directive {
 // total order broadcast service.
 func (r *PBRReplica) suspect(dead msg.Loc) []msg.Directive {
 	r.stopped = true
+	mSuspects.Inc()
+	r.recoverAt = obs.Default.Now()
+	traceRecovery(r.slf, "pbr.suspect", r.cfg.Seq, "dead="+string(dead))
 	var members []msg.Loc
 	for _, m := range r.cfg.Members {
 		if m != dead && !r.suspected[m] {
@@ -377,6 +393,11 @@ func (r *PBRReplica) onNewConfig(prop NewConfig) []msg.Directive {
 		return nil // only the first proposal per configuration counts
 	}
 	r.DeliveredConfigs++
+	mReconfigs.Inc()
+	if r.recoverAt == 0 {
+		r.recoverAt = obs.Default.Now()
+	}
+	traceRecovery(r.slf, "pbr.newconfig", prop.OldSeq+1, "proposer="+string(prop.Proposer))
 	r.cfg = Config{Seq: prop.OldSeq + 1, Members: append([]msg.Loc(nil), prop.Members...)}
 	r.stopped = true
 	r.electing = true
@@ -450,6 +471,8 @@ func (r *PBRReplica) recordVote(v Elect) []msg.Directive {
 	}
 	r.cfg.Members = ordered
 	r.electing = false
+	mElections.Inc()
+	traceRecovery(r.slf, "pbr.elected", r.cfg.Seq, "primary="+string(primary))
 	if r.slf != primary {
 		// Backups wait for catch-up (or resume directly if in sync —
 		// the primary tells them via an empty catch-up).
@@ -537,9 +560,19 @@ func (r *PBRReplica) onCatchup(c Catchup) []msg.Directive {
 		}
 	}
 	r.stopped = false
+	r.markRecovered()
 	return []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
 		CfgSeq: r.cfg.Seq, From: r.slf,
 	}))}
+}
+
+// markRecovered closes this replica's recovery window (observability).
+func (r *PBRReplica) markRecovered() {
+	if r.recoverAt != 0 {
+		mRecoverNS.Observe(obs.Default.Now() - r.recoverAt)
+		r.recoverAt = 0
+	}
+	traceRecovery(r.slf, "pbr.recovered", r.cfg.Seq, "")
 }
 
 func (r *PBRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
@@ -591,6 +624,7 @@ func (r *PBRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
 	held := r.snapState.held
 	r.snapState = nil
 	r.stopped = false
+	r.markRecovered()
 	outs := []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
 		CfgSeq: r.cfg.Seq, From: r.slf,
 	}))}
@@ -625,6 +659,11 @@ func (r *PBRReplica) onRecovered(rec Recovered) []msg.Directive {
 // requests held during recovery.
 func (r *PBRReplica) resume() []msg.Directive {
 	r.stopped = false
+	if r.recoverAt != 0 {
+		mRecoverNS.Observe(obs.Default.Now() - r.recoverAt)
+		r.recoverAt = 0
+	}
+	traceRecovery(r.slf, "pbr.resume", r.cfg.Seq, "")
 	held := r.heldReqs
 	r.heldReqs = nil
 	var outs []msg.Directive

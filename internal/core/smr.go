@@ -10,6 +10,7 @@ import (
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/sqldb"
 )
 
@@ -124,10 +125,14 @@ func (r *SMRReplica) applyBatch(d broadcast.Deliver) []msg.Directive {
 			outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
 			continue
 		}
+		t0 := obs.Default.Now()
 		res, err := r.exec.Apply(r.exec.Executed+1, req)
 		if err != nil {
 			continue
 		}
+		mSMRApplyNS.Observe(obs.Default.Now() - t0)
+		mSMRCommits.Inc()
+		gExecuted.Set(r.exec.Executed)
 		outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
 	}
 	return outs

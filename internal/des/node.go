@@ -5,6 +5,7 @@ import (
 
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 )
 
 // Envelope is a message in flight inside the simulated cluster.
@@ -66,6 +67,12 @@ type Cluster struct {
 	// of nodes stay FIFO (as on a TCP connection) and large transfers
 	// queue behind each other.
 	linkFree map[string]time.Duration
+	// Obs receives step events with virtual timestamps; attach it with
+	// Observe. Nil means no recording.
+	Obs       *obs.Obs
+	processed *obs.Counter
+	dropped   *obs.Counter
+	gQueue    *obs.Gauge
 }
 
 // NewCluster creates an empty cluster on a simulator.
@@ -163,6 +170,7 @@ func (c *Cluster) SendAfter(extra time.Duration, from, to msg.Loc, m msg.Msg) {
 		n, ok := c.nodes[to]
 		if !ok || n.crashed {
 			c.Dropped++
+			c.dropped.Inc()
 			return
 		}
 		n.enqueue(Envelope{From: from, To: to, M: m})
@@ -183,6 +191,7 @@ func (n *Node) QueueLen() int { return len(n.queue) }
 
 func (n *Node) enqueue(env Envelope) {
 	n.queue = append(n.queue, env)
+	n.cluster.gQueue.Set(int64(len(n.queue)))
 	n.pump()
 }
 
@@ -199,6 +208,7 @@ func (n *Node) pump() {
 				n.busy--
 				if !n.crashed {
 					n.Processed++
+					n.cluster.observeStep(n.Name, env, outs)
 					for _, o := range outs {
 						n.cluster.SendAfter(o.Delay, n.Name, o.Dest, o.M)
 					}
@@ -217,6 +227,7 @@ func (n *Node) pump() {
 			if !n.crashed {
 				n.Processed++
 				outs := n.handler(env)
+				n.cluster.observeStep(n.Name, env, outs)
 				for _, o := range outs {
 					n.cluster.SendAfter(o.Delay, n.Name, o.Dest, o.M)
 				}

@@ -1,0 +1,45 @@
+package des
+
+import (
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Observability for the simulator. Observe attaches an Obs to the
+// cluster and installs the virtual clock, so simulated runs emit the
+// same event schema as real deployments — with virtual timestamps —
+// making DES traces and TCP traces diffable and bridge-checkable.
+
+// Observe attaches o to the cluster: step events are recorded with
+// virtual timestamps (when tracing is enabled on o) and queue/processed
+// metrics are registered. Pass a dedicated Obs — Observe repoints o's
+// clock at the simulator, which would corrupt wall-clock latencies if o
+// also serves live hosts.
+func (c *Cluster) Observe(o *obs.Obs) {
+	c.Obs = o
+	// +1 keeps the first event off timestamp zero, which Record treats
+	// as "stamp me".
+	o.SetClock(func() int64 { return int64(c.Sim.Now()) + 1 })
+	c.processed = o.Counter("des.processed")
+	c.dropped = o.Counter("des.dropped")
+	c.gQueue = o.Gauge("des.queue_depth")
+}
+
+// observeStep records one completed handler run.
+func (c *Cluster) observeStep(loc msg.Loc, env Envelope, outs []msg.Directive) {
+	c.processed.Inc()
+	if !c.Obs.Tracing() {
+		return
+	}
+	m := env.M
+	f := obs.Extract(m.Hdr, m.Body)
+	kind := f.Kind
+	if kind == "" {
+		kind = "step"
+	}
+	c.Obs.Record(obs.Event{
+		At: int64(c.Sim.Now()) + 1, Loc: loc, Layer: obs.LayerDES, Kind: kind,
+		Hdr: m.Hdr, Slot: f.Slot, Ballot: f.Ballot, Span: f.Span,
+		M: &m, Outs: outs,
+	})
+}

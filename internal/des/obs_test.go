@@ -1,0 +1,74 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// TestObserveRecordsVirtualTimeEvents attaches an Obs to a simulated
+// cluster and checks that step events carry virtual timestamps and the
+// same schema a live host emits.
+func TestObserveRecordsVirtualTimeEvents(t *testing.T) {
+	var s Sim
+	c := NewCluster(&s)
+	o := obs.New(256)
+	o.EnableTracing(true)
+	c.Observe(o)
+
+	c.AddNode("srv", 1,
+		func(Envelope) time.Duration { return 10 * ms },
+		func(env Envelope) []msg.Directive {
+			if env.M.Hdr == "req" {
+				return []msg.Directive{msg.Send("cli", msg.M("resp", nil))}
+			}
+			return nil
+		})
+	c.AddNode("cli", 1, nil, func(Envelope) []msg.Directive { return nil })
+	c.Inject("srv", msg.M("req", nil))
+	c.Inject("srv", msg.M("req", nil))
+	s.Run(0, 0)
+
+	if got := o.Snapshot().Counters["des.processed"]; got < 3 {
+		t.Errorf("des.processed = %d, want >= 3 (2 reqs + resp)", got)
+	}
+	evs := o.Events()
+	if len(evs) < 3 {
+		t.Fatalf("recorded %d events, want >= 3", len(evs))
+	}
+	// Virtual clock: the two requests complete at 10ms and 20ms, not at
+	// wall-clock nanosecond scale.
+	sawSrv := 0
+	for _, e := range evs {
+		if e.Layer != obs.LayerDES {
+			t.Errorf("event layer = %q, want %q", e.Layer, obs.LayerDES)
+		}
+		if e.M == nil {
+			t.Error("DES step event lost its message")
+		}
+		if e.Loc == "srv" {
+			sawSrv++
+			want := int64(time.Duration(sawSrv)*10*ms) + 1
+			if e.At != want {
+				t.Errorf("srv completion %d at %d, want virtual %d", sawSrv, e.At, want)
+			}
+		}
+	}
+	if sawSrv != 2 {
+		t.Errorf("saw %d srv steps, want 2", sawSrv)
+	}
+
+	// Tracing off: metrics continue, recording stops.
+	o.EnableTracing(false)
+	before := len(o.Events())
+	c.Inject("srv", msg.M("req", nil))
+	s.Run(0, 0)
+	if got := len(o.Events()); got != before {
+		t.Errorf("events grew %d -> %d with tracing off", before, got)
+	}
+	if got := o.Snapshot().Counters["des.processed"]; got < 5 {
+		t.Errorf("des.processed = %d after third request, want >= 5", got)
+	}
+}

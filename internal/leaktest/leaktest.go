@@ -1,0 +1,83 @@
+// Package leaktest asserts that a test leaves no goroutines behind in the
+// packages under test. It is stdlib-only: goroutine stacks come from
+// runtime.Stack, and "ours" is decided by substring match on the stack
+// text, so callers name the package path fragments they own.
+package leaktest
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// stacks returns one stanza per live goroutine, excluding the caller's
+// own goroutine (whose stack would otherwise self-match the test
+// function's package).
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	parts := strings.Split(string(buf), "\n\n")
+	if len(parts) > 0 {
+		parts = parts[1:] // first stanza is the current goroutine
+	}
+	return parts
+}
+
+// leaked returns the goroutine stanzas matching any of the substrings.
+func leaked(substrings []string) []string {
+	var out []string
+	for _, s := range stacks() {
+		for _, sub := range substrings {
+			if strings.Contains(s, sub) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AssertNone fails t when, after a grace period for in-flight shutdowns,
+// any live goroutine's stack mentions one of the substrings. Retrying
+// matters: Close methods signal exit and wait, but the exiting goroutine
+// may still be parked in a read when the test body returns.
+func AssertNone(t TB, substrings ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last []string
+	for {
+		last = leaked(substrings)
+		if len(last) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("leaktest: %d goroutine(s) still running:\n%s",
+		len(last), strings.Join(last, "\n\n"))
+}
+
+// Check registers a cleanup that runs AssertNone when the test finishes —
+// the usual one-liner at the top of a test.
+func Check(t TB, substrings ...string) {
+	t.Helper()
+	t.Cleanup(func() { AssertNone(t, substrings...) })
+}
+
+// TB is the subset of testing.TB leaktest needs; taking the interface
+// keeps the package importable outside tests (e.g. example binaries'
+// self-checks).
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 )
 
 // TCP is the distributed transport: one listener for inbound traffic and
@@ -29,6 +30,19 @@ type TCP struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	// Metrics handles, cached once at construction (obs.Default registry).
+	framesIn  *obs.Counter
+	framesOut *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	dials     *obs.Counter
+	accepts   *obs.Counter
+	drops     *obs.Counter
+	connDrops *obs.Counter
+	gConnsOut *obs.Gauge
+	gConnsIn  *obs.Gauge
+	gInbox    *obs.Gauge
 }
 
 var _ Transport = (*TCP)(nil)
@@ -59,6 +73,18 @@ func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
 		conns:     make(map[msg.Loc]net.Conn),
 		inbound:   make(map[net.Conn]bool),
 		done:      make(chan struct{}),
+
+		framesIn:  obs.C("net.frames_in"),
+		framesOut: obs.C("net.frames_out"),
+		bytesIn:   obs.C("net.bytes_in"),
+		bytesOut:  obs.C("net.bytes_out"),
+		dials:     obs.C("net.dials"),
+		accepts:   obs.C("net.accepts"),
+		drops:     obs.C("net.send_drops"),
+		connDrops: obs.C("net.conn_drops"),
+		gConnsOut: obs.G("net.conns_out"),
+		gConnsIn:  obs.G("net.conns_in"),
+		gInbox:    obs.G("net.inbox_depth"),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -89,7 +115,9 @@ func (t *TCP) Send(env msg.Envelope) error {
 		// Loopback without a socket.
 		select {
 		case t.inbox <- env:
+			t.gInbox.Set(int64(len(t.inbox)))
 		default:
+			t.drops.Inc()
 		}
 		return nil
 	}
@@ -99,14 +127,19 @@ func (t *TCP) Send(env msg.Envelope) error {
 	}
 	conn, err := t.conn(env.To)
 	if err != nil {
+		t.drops.Inc()
 		return nil // unreachable peer: drop
 	}
 	frame := make([]byte, 4+len(b))
 	binary.BigEndian.PutUint32(frame, uint32(len(b)))
 	copy(frame[4:], b)
 	if _, err := conn.Write(frame); err != nil {
+		t.drops.Inc()
 		t.dropConn(env.To, conn)
+		return nil
 	}
+	t.framesOut.Inc()
+	t.bytesOut.Add(int64(len(frame)))
 	return nil
 }
 
@@ -138,6 +171,16 @@ func (t *TCP) Close() error {
 func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Re-check done under mu: Close sweeps t.conns under this same lock,
+	// so a dial registered here either happens before the sweep (and is
+	// closed by it) or observes done closed and aborts. Without this a
+	// Send racing Close could spawn a readLoop on a connection nobody
+	// closes, and Close's wg.Wait would hang forever.
+	select {
+	case <-t.done:
+		return nil, ErrClosed
+	default:
+	}
 	if c, ok := t.conns[to]; ok {
 		return c, nil
 	}
@@ -150,6 +193,8 @@ func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 		return nil, err
 	}
 	t.conns[to] = c
+	t.dials.Inc()
+	t.gConnsOut.Set(int64(len(t.conns)))
 	// Connections are bidirectional: the peer may answer over this same
 	// connection (it learns the return route from our envelopes), so the
 	// dialer must read it too.
@@ -164,6 +209,8 @@ func (t *TCP) dropConn(to msg.Loc, c net.Conn) {
 	if cur, ok := t.conns[to]; ok && cur == c {
 		delete(t.conns, to)
 		_ = c.Close()
+		t.connDrops.Inc()
+		t.gConnsOut.Set(int64(len(t.conns)))
 	}
 }
 
@@ -181,6 +228,8 @@ func (t *TCP) acceptLoop() {
 		}
 		t.mu.Lock()
 		t.inbound[conn] = true
+		t.accepts.Inc()
+		t.gConnsIn.Set(int64(len(t.inbound)))
 		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(conn)
@@ -193,6 +242,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		_ = conn.Close()
 		t.mu.Lock()
 		delete(t.inbound, conn)
+		t.gConnsIn.Set(int64(len(t.inbound)))
 		t.mu.Unlock()
 	}()
 	hdr := make([]byte, 4)
@@ -213,6 +263,8 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
+		t.framesIn.Inc()
+		t.bytesIn.Add(int64(4 + n))
 		env, err := msg.Decode(body)
 		if err != nil {
 			continue // corrupt frame: skip
@@ -231,6 +283,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		select {
 		case t.inbox <- env:
+			t.gInbox.Set(int64(len(t.inbox)))
 		case <-t.done:
 			return
 		}

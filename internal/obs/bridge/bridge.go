@@ -1,0 +1,222 @@
+// Package bridge replays recorded obs traces through the verify property
+// registry — a Derecho-style runtime checker. The invariants the bounded
+// verifier checks over simulated schedules (broadcast total order, synod
+// single-value-per-slot, ShadowDB durability) are checked here against
+// the event stream of a live run: download each node's trace from the
+// admin endpoint, obs.Merge them, and Check.
+package bridge
+
+import (
+	"fmt"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/core"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/verify"
+)
+
+// Options name the deployment facts a trace does not carry.
+type Options struct {
+	// Subscribers are the broadcast subscribers to check total order
+	// across. Empty means infer them from the trace (every location a
+	// Deliver was sent to).
+	Subscribers []msg.Loc
+}
+
+// Suite builds a verify.Suite whose properties check the recorded trace.
+// The same registry type that carries the bounded-verification properties
+// carries these runtime checks, so Table-I style accounting and the
+// Run/CountByModule machinery apply unchanged.
+func Suite(events []obs.Event, opt Options) *verify.Suite {
+	tr := obs.GPMTrace(events)
+	subs := opt.Subscribers
+	if len(subs) == 0 {
+		subs = inferSubscribers(tr)
+	}
+	var s verify.Suite
+	s.Add(
+		verify.Property{
+			Module: "Runtime", Name: "broadcast/total-order", Mode: verify.Manual,
+			Check: func() error { return broadcast.CheckTotalOrder(tr, subs) },
+		},
+		verify.Property{
+			Module: "Runtime", Name: "broadcast/in-order-delivery", Mode: verify.Manual,
+			Check: func() error { return checkInOrderDelivery(tr) },
+		},
+		verify.Property{
+			Module: "Runtime", Name: "consensus/single-value-per-slot", Mode: verify.Manual,
+			Check: func() error { return checkSingleValue(tr) },
+		},
+		verify.Property{
+			Module: "Runtime", Name: "shadowdb/durability", Mode: verify.Manual,
+			Check: func() error { return checkDurability(tr) },
+		},
+	)
+	return &s
+}
+
+// Check runs every bridge property over the trace.
+func Check(events []obs.Event, opt Options) error {
+	return Suite(events, opt).Run()
+}
+
+// inferSubscribers collects every location a Deliver was addressed to.
+func inferSubscribers(tr []gpm.TraceEntry) []msg.Loc {
+	seen := make(map[msg.Loc]bool)
+	var subs []msg.Loc
+	for _, e := range tr {
+		for _, o := range e.Outs {
+			if o.M.Hdr == broadcast.HdrDeliver && !seen[o.Dest] {
+				seen[o.Dest] = true
+				subs = append(subs, o.Dest)
+			}
+		}
+	}
+	return subs
+}
+
+// checkInOrderDelivery validates that each location RECEIVED Deliver
+// notifications in monotone, gap-free slot order (repeats of already-seen
+// slots are fine — subscribers notified by several service nodes see
+// duplicates). This is the receiver-side complement of CheckTotalOrder,
+// and the property a reordered trace violates.
+func checkInOrderDelivery(tr []gpm.TraceEntry) error {
+	high := make(map[msg.Loc]int)
+	for _, e := range tr {
+		if e.In.Hdr != broadcast.HdrDeliver {
+			continue
+		}
+		d, ok := e.In.Body.(broadcast.Deliver)
+		if !ok {
+			continue
+		}
+		h, seen := high[e.Loc]
+		if !seen {
+			h = -1
+		}
+		if d.Slot > h+1 {
+			return fmt.Errorf("bridge: %s received slot %d before slot %d", e.Loc, d.Slot, h+1)
+		}
+		if d.Slot == h+1 {
+			high[e.Loc] = d.Slot
+		}
+	}
+	return nil
+}
+
+// checkSingleValue validates consensus safety as observed on the wire:
+// no instance was ever decided with two different values, across both
+// protocols' Decide announcements (sent or received).
+func checkSingleValue(tr []gpm.TraceEntry) error {
+	type slot struct {
+		proto string
+		inst  int
+	}
+	chosen := make(map[slot]string)
+	note := func(proto string, inst int, val string) error {
+		k := slot{proto, inst}
+		if prev, ok := chosen[k]; ok && prev != val {
+			return fmt.Errorf("bridge: %s instance %d decided twice: %q and %q", proto, inst, prev, val)
+		}
+		chosen[k] = val
+		return nil
+	}
+	scan := func(m msg.Msg) error {
+		switch b := m.Body.(type) {
+		case synod.Decide:
+			if m.Hdr == synod.HdrDecide {
+				return note("synod", b.Inst, b.Val)
+			}
+		case twothird.Decide:
+			if m.Hdr == twothird.HdrDecide {
+				return note("twothird", b.Inst, b.Val)
+			}
+		}
+		return nil
+	}
+	for _, e := range tr {
+		if err := scan(e.In); err != nil {
+			return err
+		}
+		for _, o := range e.Outs {
+			if err := scan(o.M); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkDurability validates the SMR durability property: a replica that
+// executes off the total order may only acknowledge a transaction that
+// was delivered to it in an ordered batch. Locations that never received
+// a transaction-bearing Deliver (PBR replicas, whose replies are covered
+// by the ack protocol instead) are out of scope.
+func checkDurability(tr []gpm.TraceEntry) error {
+	delivered := make(map[msg.Loc]map[string]bool)
+	for _, e := range tr {
+		if e.In.Hdr != broadcast.HdrDeliver {
+			continue
+		}
+		d, ok := e.In.Body.(broadcast.Deliver)
+		if !ok {
+			continue
+		}
+		for _, b := range d.Msgs {
+			req, err := core.DecodeTx(b.Payload)
+			if err != nil {
+				continue
+			}
+			if delivered[e.Loc] == nil {
+				delivered[e.Loc] = make(map[string]bool)
+			}
+			delivered[e.Loc][req.Key()] = true
+		}
+		// Replies emitted in this same step (the usual SMR shape) count
+		// the just-delivered transactions, because the map is populated
+		// before the check below runs on later entries — and within this
+		// entry, by construction, before we scan its Outs.
+		for _, o := range e.Outs {
+			if err := checkReply(delivered, e.Loc, o); err != nil {
+				return err
+			}
+		}
+	}
+	// Replies emitted outside a Deliver step (duplicate answers on
+	// client retry) must still name a previously delivered transaction.
+	for _, e := range tr {
+		if e.In.Hdr == broadcast.HdrDeliver {
+			continue // checked above
+		}
+		if delivered[e.Loc] == nil {
+			continue // not an SMR executor: out of scope
+		}
+		for _, o := range e.Outs {
+			if err := checkReply(delivered, e.Loc, o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkReply validates one outgoing successful TxResult against the
+// sender's delivered set.
+func checkReply(delivered map[msg.Loc]map[string]bool, loc msg.Loc, o msg.Directive) error {
+	if o.M.Hdr != core.HdrTxResult {
+		return nil
+	}
+	res, ok := o.M.Body.(core.TxResult)
+	if !ok || res.Err != "" {
+		return nil
+	}
+	key := core.TxRequest{Client: res.Client, Seq: res.Seq}.Key()
+	if !delivered[loc][key] {
+		return fmt.Errorf("bridge: %s acknowledged %s without an ordered delivery", loc, key)
+	}
+	return nil
+}

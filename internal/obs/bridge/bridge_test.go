@@ -1,0 +1,327 @@
+package bridge_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/obs/bridge"
+	"shadowdb/internal/runtime"
+	"shadowdb/internal/sqldb"
+)
+
+// seededSMREvents runs a deterministic SMR deployment (3 broadcast nodes,
+// 3 co-located replicas, 2 clients) in the reference runner and returns
+// the run's trace as obs events.
+func seededSMREvents(t *testing.T) []obs.Event {
+	t.Helper()
+	bnodes := []msg.Loc{"b1", "b2", "b3"}
+	rlocs := []msg.Loc{"r1", "r2", "r3"}
+	mkDB := func(slf msg.Loc) *sqldb.DB {
+		db, err := sqldb.Open("h2:mem:" + string(slf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.BankSetup(db, 20); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	sys := core.NewSMRSystem(bnodes, rlocs, core.BankRegistry(), mkDB)
+	clients := map[msg.Loc]*core.Client{
+		"c0": {Slf: "c0", Mode: core.ModeSMR, BcastNodes: bnodes, Retry: 200 * time.Millisecond},
+		"c1": {Slf: "c1", Mode: core.ModeSMR, BcastNodes: bnodes, Retry: 200 * time.Millisecond},
+	}
+	done := 0
+	extra := func(slf msg.Loc) gpm.Process {
+		c, ok := clients[slf]
+		if !ok {
+			return gpm.Halt()
+		}
+		return core.ClientProc(c, func(core.TxResult) { done++ })
+	}
+	runner := gpm.NewRunner(sys.System([]msg.Loc{"c0", "c1"}, extra))
+	submit := func(cli msg.Loc, typ string, args ...any) {
+		want := done + 1
+		runner.Inject(cli, msg.M(core.HdrSubmit, core.SubmitBody{Type: typ, Args: args}))
+		ok, err := runner.RunUntil(2_000_000, func() bool { return done >= want })
+		if err != nil || !ok {
+			t.Fatalf("seeded %s did not complete: ok=%v err=%v", typ, ok, err)
+		}
+	}
+	// Sequential submissions force distinct broadcast slots, so every
+	// replica receives at least two Deliver notifications.
+	submit("c0", "deposit", 1, 10)
+	submit("c1", "deposit", 2, 20)
+	submit("c0", "balance", 1)
+	if _, err := runner.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return obs.FromGPM(runner.Trace())
+}
+
+func TestBridgeSeededSMRRunPasses(t *testing.T) {
+	events := seededSMREvents(t)
+	s := bridge.Suite(events, bridge.Options{})
+	if got := len(s.Properties()); got != 4 {
+		t.Fatalf("bridge suite has %d properties, want 4", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("seeded SMR trace failed bridge check: %v", err)
+	}
+	// The explicit-subscriber form must agree with inference.
+	if err := bridge.Check(events, bridge.Options{Subscribers: []msg.Loc{"r1", "r2", "r3"}}); err != nil {
+		t.Fatalf("explicit subscribers: %v", err)
+	}
+}
+
+func TestBridgeFlagsReorderedDelivery(t *testing.T) {
+	events := seededSMREvents(t)
+	// Corrupt the trace: at one replica, swap the payloads of two Deliver
+	// receive events so a later slot arrives before an earlier one. The
+	// timestamps stay put — only the delivery contents are reordered.
+	byLoc := make(map[msg.Loc][]int)
+	for i, e := range events {
+		if e.M != nil && e.M.Hdr == broadcast.HdrDeliver {
+			byLoc[e.Loc] = append(byLoc[e.Loc], i)
+		}
+	}
+	swapped := false
+	for loc, idxs := range byLoc {
+		for a := 0; a < len(idxs) && !swapped; a++ {
+			for b := a + 1; b < len(idxs) && !swapped; b++ {
+				i, j := idxs[a], idxs[b]
+				di := events[i].M.Body.(broadcast.Deliver)
+				dj := events[j].M.Body.(broadcast.Deliver)
+				if di.Slot == dj.Slot {
+					continue
+				}
+				events[i].M, events[j].M = events[j].M, events[i].M
+				events[i].Outs, events[j].Outs = events[j].Outs, events[i].Outs
+				events[i].Slot, events[j].Slot = events[j].Slot, events[i].Slot
+				t.Logf("reordered slots %d and %d at %s", di.Slot, dj.Slot, loc)
+				swapped = true
+			}
+		}
+		if swapped {
+			break
+		}
+	}
+	if !swapped {
+		t.Fatal("trace has no replica with two distinct delivered slots")
+	}
+	err := bridge.Check(events, bridge.Options{})
+	if err == nil {
+		t.Fatal("bridge accepted a reordered-delivery trace")
+	}
+	if !strings.Contains(err.Error(), "received slot") {
+		t.Errorf("unexpected failure shape: %v", err)
+	}
+}
+
+func TestBridgeFlagsUndeliveredAck(t *testing.T) {
+	events := seededSMREvents(t)
+	// Corrupt the trace differently: a replica acknowledges a transaction
+	// that was never delivered to it. Durability must flag it.
+	fake := msg.M(core.HdrTxResult, core.TxResult{Client: "c9", Seq: 99})
+	events = append(events, obs.Event{
+		Seq: int64(len(events)), At: events[len(events)-1].At + 1,
+		Loc: "r1", Layer: obs.LayerRuntime, Kind: "step",
+		Hdr: "noop", Slot: obs.NoField, Ballot: obs.NoField,
+		M:    &msg.Msg{Hdr: "noop"},
+		Outs: []msg.Directive{msg.Send("c9", fake)},
+	})
+	err := bridge.Check(events, bridge.Options{})
+	if err == nil {
+		t.Fatal("bridge accepted an unordered acknowledgement")
+	}
+	if !strings.Contains(err.Error(), "without an ordered delivery") {
+		t.Errorf("unexpected failure shape: %v", err)
+	}
+}
+
+// TestBridgeLiveTCPEndToEnd is the ISSUE acceptance scenario: a 3-replica
+// SMR deployment over real TCP, each node carrying its own Obs served on
+// an admin endpoint. Tracing is switched on over HTTP, transactions run,
+// and the per-node traces are downloaded, merged, and replayed through
+// the property registry.
+func TestBridgeLiveTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP deployment")
+	}
+	core.RegisterWireTypes()
+	broadcast.RegisterWireTypes()
+	msg.RegisterBody(core.SubmitBody{})
+
+	bnodes := []msg.Loc{"b1", "b2", "b3"}
+	rlocs := []msg.Loc{"r1", "r2", "r3"}
+	locs := append(append(append([]msg.Loc{}, bnodes...), rlocs...), "cli")
+
+	transports := make(map[msg.Loc]*network.TCP, len(locs))
+	for _, l := range locs {
+		tr, err := network.NewTCP(l, map[msg.Loc]string{l: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[l] = tr
+	}
+	for _, a := range locs {
+		for _, b := range locs {
+			transports[a].SetPeer(b, transports[b].Addr())
+		}
+	}
+
+	mkDB := func(slf msg.Loc) *sqldb.DB {
+		db, err := sqldb.Open("h2:mem:" + string(slf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.BankSetup(db, 10); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	sys := core.NewSMRSystem(bnodes, rlocs, core.BankRegistry(), mkDB)
+	bgen := broadcast.Spec(sys.Bcast).Generator()
+
+	var hosts []*runtime.Host
+	var servers []*http.Server
+	admins := make(map[msg.Loc]string)
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			_ = h.Close()
+		}
+		for _, s := range servers {
+			_ = s.Close()
+		}
+		for _, tr := range transports {
+			_ = tr.Close()
+		}
+	})
+	spawn := func(l msg.Loc, p gpm.Process) *runtime.Host {
+		h := runtime.NewHost(l, transports[l], p)
+		h.Obs = obs.New(8192)
+		srv, addr, err := obs.Serve("127.0.0.1:0", h.Obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		admins[l] = addr
+		h.Start()
+		hosts = append(hosts, h)
+		return h
+	}
+	for _, l := range bnodes {
+		spawn(l, bgen(l))
+	}
+	var mu sync.Mutex
+	for _, l := range rlocs {
+		spawn(l, lockedProc{mu: &mu, p: sys.Replicas[l]})
+	}
+	results := make(chan core.TxResult, 64)
+	cli := &core.Client{Slf: "cli", Mode: core.ModeSMR, BcastNodes: bnodes, Retry: 500 * time.Millisecond}
+	cliHost := spawn("cli", core.ClientProc(cli, func(r core.TxResult) { results <- r }))
+
+	// Switch tracing on everywhere through the admin endpoint — the same
+	// control surface an operator uses.
+	for l, addr := range admins {
+		resp, err := http.Post("http://"+addr+"/trace/start", "text/plain", nil)
+		if err != nil {
+			t.Fatalf("trace/start %s: %v", l, err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace/start %s: %s", l, resp.Status)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		cliHost.Inject(msg.M(core.HdrSubmit, core.SubmitBody{Type: "deposit", Args: []any{int64(1), int64(5)}}))
+		select {
+		case res := <-results:
+			if res.Aborted || res.Err != "" {
+				t.Fatalf("tx %d failed: %+v", i, res)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("tx %d timed out", i)
+		}
+	}
+	// The client takes the first answer; give the slower replicas a moment
+	// to apply the tail before snapshotting the traces.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		caughtUp := true
+		for _, r := range sys.Replicas {
+			if r.Executor().Executed < 3 {
+				caughtUp = false
+			}
+		}
+		mu.Unlock()
+		if caughtUp || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Metrics endpoint: the replica must have stepped and committed.
+	var snap obs.Snapshot
+	resp, err := http.Get("http://" + admins["r1"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if snap.Counters["runtime.steps"] == 0 {
+		t.Errorf("r1 reports no runtime steps: %v", snap.Counters)
+	}
+
+	// Download every node's trace and replay through the property registry.
+	var traces [][]obs.Event
+	for l, addr := range admins {
+		resp, err := http.Get("http://" + addr + "/trace")
+		if err != nil {
+			t.Fatalf("trace %s: %v", l, err)
+		}
+		evs, err := obs.DecodeTrace(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode trace %s: %v", l, err)
+		}
+		traces = append(traces, evs)
+	}
+	merged := obs.Merge(traces...)
+	if len(merged) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if err := bridge.Check(merged, bridge.Options{Subscribers: rlocs}); err != nil {
+		t.Fatalf("live trace failed bridge check: %v", err)
+	}
+}
+
+// lockedProc serializes Step calls so the test can read replica state
+// without racing the host goroutine.
+type lockedProc struct {
+	mu *sync.Mutex
+	p  gpm.Process
+}
+
+func (l lockedProc) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next, outs := l.p.Step(in)
+	return lockedProc{mu: l.mu, p: next}, outs
+}
+
+func (l lockedProc) Halted() bool { return l.p.Halted() }

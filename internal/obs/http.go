@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// The admin HTTP endpoint: an expvar-style JSON metrics dump, trace
+// download (gob for the bridge, JSON for humans), trace on/off control,
+// and the standard pprof handlers — all on an explicit mux so binaries
+// can serve it on a dedicated admin port.
+
+// Handler returns the admin mux for an Obs:
+//
+//	GET  /metrics        JSON metrics snapshot
+//	GET  /trace          gob-encoded trace (feed to DecodeTrace / bridge)
+//	GET  /trace.json     human-readable trace
+//	POST /trace/start    enable trace recording
+//	POST /trace/stop     disable trace recording
+//	GET  /healthz        liveness probe
+//	     /debug/pprof/*  net/http/pprof
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := EncodeTrace(w, o.Events()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Events()
+		type jsonEvent struct {
+			Event
+			Pretty string `json:"pretty"`
+		}
+		out := make([]jsonEvent, len(events))
+		for i, e := range events {
+			out[i] = jsonEvent{Event: e, Pretty: e.String()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/trace/start", func(w http.ResponseWriter, r *http.Request) {
+		o.EnableTracing(true)
+		w.Write([]byte("tracing on\n"))
+	})
+	mux.HandleFunc("/trace/stop", func(w http.ResponseWriter, r *http.Request) {
+		o.EnableTracing(false)
+		w.Write([]byte("tracing off, " + strconv.Itoa(len(o.Events())) + " events buffered\n"))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the admin endpoint on addr (e.g. "127.0.0.1:7070", or
+// ":0" for an ephemeral port) and returns the server plus the bound
+// address. The caller owns srv.Close.
+func Serve(addr string, o *Obs) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

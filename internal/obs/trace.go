@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+)
+
+// Causal trace events. Every layer of the replication stack emits the
+// same fixed schema — location, layer, message kind, slot/ballot, span —
+// into a fixed-size ring buffer, so a transaction can be followed from
+// client submit through broadcast propose, consensus decide, replica
+// execute, and reply. The discrete-event simulator emits the identical
+// schema with virtual timestamps, making DES runs and real TCP runs
+// diffable. A recorded trace replays through the property registry via
+// internal/obs/bridge, turning the bounded verifier into a Derecho-style
+// runtime checker.
+
+// The layers an event can originate from.
+const (
+	LayerRuntime   = "runtime"
+	LayerNetwork   = "network"
+	LayerBroadcast = "broadcast"
+	LayerConsensus = "consensus"
+	LayerCore      = "core"
+	LayerDES       = "des"
+)
+
+// NoField marks an absent Slot or Ballot.
+const NoField int64 = -1
+
+// Event is one structured trace record.
+type Event struct {
+	// Seq is the record's position in its buffer (monotone per Obs).
+	Seq int64 `json:"seq"`
+	// At is the timestamp in nanoseconds: wall-clock UnixNano by default,
+	// virtual time under the simulator's clock.
+	At int64 `json:"at"`
+	// Loc is the emitting location.
+	Loc msg.Loc `json:"loc"`
+	// Layer names the module boundary the event crossed.
+	Layer string `json:"layer"`
+	// Kind classifies the event within its layer ("step", "bc.propose",
+	// "px.decide", "pbr.elected", ...).
+	Kind string `json:"kind"`
+	// Hdr is the message header involved, if any.
+	Hdr string `json:"hdr,omitempty"`
+	// Slot is the consensus instance / broadcast slot (NoField if n/a).
+	Slot int64 `json:"slot"`
+	// Ballot is the consensus ballot / round number (NoField if n/a).
+	Ballot int64 `json:"ballot"`
+	// Span identifies the client message or transaction the event belongs
+	// to ("client/seq"), linking the stages of one submission.
+	Span string `json:"span,omitempty"`
+	// Note carries free-form detail (batch sizes, peer names).
+	Note string `json:"note,omitempty"`
+	// M is the full delivered message, when the event records a process
+	// step; the trace->verify bridge replays these. Nil otherwise.
+	M *msg.Msg `json:"-"`
+	// Outs are the outputs of the step, when M is set.
+	Outs []msg.Directive `json:"-"`
+}
+
+// String renders the event compactly for logs and the JSON endpoint.
+func (e Event) String() string {
+	s := fmt.Sprintf("%d %s/%s %s", e.At, e.Layer, e.Loc, e.Kind)
+	if e.Hdr != "" {
+		s += " " + e.Hdr
+	}
+	if e.Slot != NoField {
+		s += fmt.Sprintf(" slot=%d", e.Slot)
+	}
+	if e.Ballot != NoField {
+		s += fmt.Sprintf(" ballot=%d", e.Ballot)
+	}
+	if e.Span != "" {
+		s += " span=" + e.Span
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Ev constructs an Event for loc with absent Slot/Ballot — the usual
+// starting point for metrics-adjacent records (dials, elections,
+// snapshots) that have no consensus coordinates.
+func Ev(loc msg.Loc, layer, kind string) Event {
+	return Event{Loc: loc, Layer: layer, Kind: kind, Slot: NoField, Ballot: NoField}
+}
+
+// ----------------------------------------------------------- extractors --
+
+// Fields are the protocol-specific coordinates of a message, extracted by
+// the protocol package that owns the message type. obs sits below the
+// protocol packages, so they register extractors instead of obs importing
+// them.
+type Fields struct {
+	Slot   int64
+	Ballot int64
+	Span   string
+	Kind   string
+}
+
+// NoFields returns a Fields with every coordinate absent.
+func NoFields() Fields { return Fields{Slot: NoField, Ballot: NoField} }
+
+// Extractor recognizes a message body and returns its coordinates.
+type Extractor func(hdr string, body any) (Fields, bool)
+
+var (
+	extractMu  sync.Mutex
+	extractors []Extractor
+)
+
+// RegisterExtractor adds a message-coordinate extractor; protocol
+// packages call this from init.
+func RegisterExtractor(fn Extractor) {
+	extractMu.Lock()
+	defer extractMu.Unlock()
+	extractors = append(extractors, fn)
+}
+
+// Extract runs the registered extractors over a message.
+func Extract(hdr string, body any) Fields {
+	extractMu.Lock()
+	fns := extractors
+	extractMu.Unlock()
+	for _, fn := range fns {
+		if f, ok := fn(hdr, body); ok {
+			if f.Slot == 0 && f.Ballot == 0 && f.Kind == "" && f.Span == "" {
+				// Guard against zero-valued Fields from sloppy extractors.
+				f.Slot, f.Ballot = NoField, NoField
+			}
+			return f
+		}
+	}
+	return NoFields()
+}
+
+// ----------------------------------------------------------- conversion --
+
+// Merge combines per-node trace downloads into one ordered trace (by
+// timestamp, then buffer sequence).
+func Merge(traces ...[]Event) []Event {
+	var out []Event
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// FromGPM converts a reference-runner trace into obs events — the
+// inverse of GPMTrace. It lets simulated or seeded runs be checked by
+// the same trace consumers (bridge, diffing) as live recordings. The +1
+// keeps the first entry off timestamp zero, which Record would restamp.
+func FromGPM(trace []gpm.TraceEntry) []Event {
+	out := make([]Event, len(trace))
+	for i, e := range trace {
+		m := e.In
+		f := Extract(m.Hdr, m.Body)
+		kind := f.Kind
+		if kind == "" {
+			kind = "step"
+		}
+		out[i] = Event{
+			Seq: int64(i), At: int64(e.At) + 1, Loc: e.Loc, Layer: LayerRuntime,
+			Kind: kind, Hdr: m.Hdr, Slot: f.Slot, Ballot: f.Ballot, Span: f.Span,
+			M: &m, Outs: e.Outs,
+		}
+	}
+	return out
+}
+
+// GPMTrace converts the step events of a recorded trace into the
+// gpm.TraceEntry form the verification harness checks. Events without a
+// recorded message (metrics-only events) are skipped.
+func GPMTrace(events []Event) []gpm.TraceEntry {
+	ordered := Merge(events)
+	var base int64
+	var out []gpm.TraceEntry
+	for _, e := range ordered {
+		if e.M == nil {
+			continue
+		}
+		if len(out) == 0 {
+			base = e.At
+		}
+		out = append(out, gpm.TraceEntry{
+			At:       time.Duration(e.At - base),
+			Loc:      e.Loc,
+			In:       *e.M,
+			Outs:     e.Outs,
+			CausedBy: -1,
+		})
+	}
+	return out
+}
+
+// ------------------------------------------------------------- encoding --
+
+// EncodeTrace writes events as a gob stream. Message bodies must be
+// registered with msg.RegisterBody (protocol RegisterWireTypes helpers);
+// the binaries already do this at startup.
+func EncodeTrace(w io.Writer, events []Event) error {
+	if err := gob.NewEncoder(w).Encode(events); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}
+
+// DecodeTrace reverses EncodeTrace.
+func DecodeTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	if err := gob.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("obs: decode trace: %w", err)
+	}
+	return events, nil
+}

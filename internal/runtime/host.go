@@ -12,6 +12,7 @@ import (
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
 )
 
 // Host runs one process at one location over a transport.
@@ -27,11 +28,26 @@ type Host struct {
 	OnStep func(in msg.Msg, outs []msg.Directive)
 	// Steps counts processed messages.
 	Steps int64
+	// Obs receives the host's metrics and step trace events. Set before
+	// Start to scope it (tests, benchmarks); defaults to obs.Default.
+	Obs *obs.Obs
+
+	steps  *obs.Counter
+	stepNS *obs.Histogram
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
 }
 
 // NewHost creates a host; call Start to begin processing.
 func NewHost(self msg.Loc, tr network.Transport, p gpm.Process) *Host {
-	return &Host{self: self, tr: tr, proc: p, done: make(chan struct{})}
+	return &Host{
+		self:   self,
+		tr:     tr,
+		proc:   p,
+		done:   make(chan struct{}),
+		timers: make(map[*time.Timer]struct{}),
+	}
 }
 
 // Self returns the hosted location.
@@ -39,6 +55,11 @@ func (h *Host) Self() msg.Loc { return h.self }
 
 // Start launches the processing goroutine.
 func (h *Host) Start() {
+	if h.Obs == nil {
+		h.Obs = obs.Default
+	}
+	h.steps = h.Obs.Counter("runtime.steps")
+	h.stepNS = h.Obs.Histogram("runtime.step_ns")
 	h.wg.Add(1)
 	go h.loop()
 }
@@ -49,7 +70,7 @@ func (h *Host) Inject(m msg.Msg) {
 }
 
 // Emit sends directives on the host's transport, turning delays into
-// timers.
+// timers. Timers are tracked so Close can stop any still pending.
 func (h *Host) Emit(outs []msg.Directive) {
 	for _, o := range outs {
 		o := o
@@ -57,14 +78,32 @@ func (h *Host) Emit(outs []msg.Directive) {
 			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
 			continue
 		}
-		timer := time.AfterFunc(o.Delay, func() {
+		// The callback reads the timer pointer under timerMu, and the
+		// assignment below completes inside the same critical section, so
+		// an immediately-firing timer cannot observe it half-written.
+		h.timerMu.Lock()
+		var timer *time.Timer
+		timer = time.AfterFunc(o.Delay, func() {
+			h.timerMu.Lock()
+			if h.timers != nil {
+				delete(h.timers, timer)
+				h.Obs.Gauge("runtime.timers_pending").Set(int64(len(h.timers)))
+			}
+			h.timerMu.Unlock()
 			select {
 			case <-h.done:
 			default:
 				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
 			}
 		})
-		_ = timer // fires once; dropped sends after Close are harmless
+		if h.timers == nil { // closed: stop immediately
+			timer.Stop()
+			h.timerMu.Unlock()
+			continue
+		}
+		h.timers[timer] = struct{}{}
+		h.Obs.Gauge("runtime.timers_pending").Set(int64(len(h.timers)))
+		h.timerMu.Unlock()
 	}
 }
 
@@ -78,11 +117,32 @@ func (h *Host) loop() {
 			if !ok {
 				return
 			}
+			var t0 time.Time
+			if h.stepNS != nil {
+				t0 = time.Now()
+			}
 			h.mu.Lock()
 			next, outs := h.proc.Step(env.M)
 			h.proc = next
 			h.Steps++
 			h.mu.Unlock()
+			h.steps.Inc()
+			if h.stepNS != nil {
+				h.stepNS.ObserveDuration(time.Since(t0))
+			}
+			if h.Obs.Tracing() {
+				m := env.M
+				f := obs.Extract(m.Hdr, m.Body)
+				kind := "step"
+				if f.Kind != "" {
+					kind = f.Kind
+				}
+				h.Obs.Record(obs.Event{
+					Loc: h.self, Layer: obs.LayerRuntime, Kind: kind,
+					Hdr: m.Hdr, Slot: f.Slot, Ballot: f.Ballot, Span: f.Span,
+					M: &m, Outs: outs,
+				})
+			}
 			if h.OnStep != nil {
 				h.OnStep(env.M, outs)
 			}
@@ -91,10 +151,19 @@ func (h *Host) loop() {
 	}
 }
 
-// Close stops the host and its transport.
+// Close stops the host, its pending timers, and its transport.
 func (h *Host) Close() error {
 	h.once.Do(func() {
 		close(h.done)
+		h.timerMu.Lock()
+		for t := range h.timers {
+			t.Stop()
+		}
+		h.timers = nil
+		if h.Obs != nil {
+			h.Obs.Gauge("runtime.timers_pending").Set(0)
+		}
+		h.timerMu.Unlock()
 		_ = h.tr.Close()
 		h.wg.Wait()
 	})

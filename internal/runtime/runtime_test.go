@@ -9,6 +9,7 @@ import (
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/core"
 	"shadowdb/internal/gpm"
+	"shadowdb/internal/leaktest"
 	"shadowdb/internal/loe"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
@@ -218,6 +219,7 @@ func TestShadowDBPBRCrashRecoveryOverHub(t *testing.T) {
 }
 
 func TestShadowDBPBROverTCP(t *testing.T) {
+	leaktest.Check(t, "shadowdb/internal/runtime.", "shadowdb/internal/network.")
 	core.RegisterWireTypes()
 	broadcast.RegisterWireTypes()
 

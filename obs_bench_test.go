@@ -1,0 +1,137 @@
+package shadowdb
+
+// Observability overhead on the bank micro-benchmark: the same SMR
+// cluster and workload with collection disabled (obs.Nop — the hot path
+// is one atomic load per step), with the metrics registry enabled (the
+// deployment default), and with causal trace recording on top.
+//
+// The acceptance target is < 5% overhead enabled vs Nop:
+//
+//	go test -bench 'BenchmarkBankObs' -benchtime 2s -count 5 .
+//
+// Compare per-name medians (benchstat-style): within one process, later
+// runs execute on a hotter heap, so ordering effects between names far
+// exceed the instrumentation cost — which is why TestObsOverheadReport
+// below interleaves the configurations round-robin before comparing.
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/obs"
+)
+
+func openBankCluster(tb testing.TB, o *obs.Obs) (*Cluster, *Client) {
+	tb.Helper()
+	cluster, err := Open(Config{
+		Replication: SMR,
+		Engines:     []string{"h2"},
+		Procedures:  core.BankRegistry(),
+		Setup:       func(db *DB) error { return core.BankSetup(db, 100) },
+		Obs:         o,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cli, err := cluster.Client()
+	if err != nil {
+		_ = cluster.Close()
+		tb.Fatal(err)
+	}
+	return cluster, cli
+}
+
+func benchBank(b *testing.B, o *obs.Obs) {
+	cluster, cli := openBankCluster(b, o)
+	defer func() { _ = cluster.Close() }()
+	defer func() { _ = cli.Close() }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Exec("deposit", int64(1), int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBankObsNop is the baseline: observability compiled in but
+// disabled — nil-safe handles, no counters, no trace.
+func BenchmarkBankObsNop(b *testing.B) {
+	benchBank(b, obs.Nop())
+}
+
+// BenchmarkBankObsEnabled runs the identical workload with the metrics
+// registry collecting (counters, gauges, latency histograms) — the state
+// a deployed node runs in.
+func BenchmarkBankObsEnabled(b *testing.B) {
+	benchBank(b, obs.New(obs.DefaultTraceCap))
+}
+
+// BenchmarkBankObsTracing additionally records every step into the
+// causal trace ring — the state after POST /trace/start.
+func BenchmarkBankObsTracing(b *testing.B) {
+	o := obs.New(obs.DefaultTraceCap)
+	o.EnableTracing(true)
+	benchBank(b, o)
+}
+
+// TestObsOverheadReport measures the three configurations interleaved
+// round-robin (cancelling the heap warm-up drift that makes sequential
+// comparison lie) and logs the overhead. It never hard-fails on the
+// ratio itself — shared CI machines jitter more than the 5% target; the
+// acceptance claim is checked by the benchmarks above on quiet hardware.
+func TestObsOverheadReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	traced := obs.New(obs.DefaultTraceCap)
+	traced.EnableTracing(true)
+	configs := []struct {
+		name string
+		o    *obs.Obs
+	}{
+		{"nop", obs.Nop()},
+		{"metrics", obs.New(obs.DefaultTraceCap)},
+		{"tracing", traced},
+	}
+	type fixture struct {
+		cluster *Cluster
+		cli     *Client
+	}
+	fixtures := make([]fixture, len(configs))
+	for i, c := range configs {
+		cl, cli := openBankCluster(t, c.o)
+		fixtures[i] = fixture{cl, cli}
+	}
+	defer func() {
+		for _, f := range fixtures {
+			_ = f.cli.Close()
+			_ = f.cluster.Close()
+		}
+	}()
+	const rounds, perRound = 20, 10
+	totals := make([]time.Duration, len(configs))
+	for r := 0; r < rounds; r++ {
+		for i, f := range fixtures {
+			start := time.Now()
+			for j := 0; j < perRound; j++ {
+				if _, err := f.cli.Exec("deposit", int64(1), int64(1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			totals[i] += time.Since(start)
+		}
+	}
+	per := func(i int) time.Duration { return totals[i] / (rounds * perRound) }
+	overhead := func(i int) float64 {
+		return 100 * (float64(per(i)) - float64(per(0))) / float64(per(0))
+	}
+	t.Logf("bank micro-benchmark per-tx: nop=%v metrics=%v (%+.2f%%) tracing=%v (%+.2f%%)",
+		per(0), per(1), overhead(1), per(2), overhead(2))
+	if evs := traced.Events(); len(evs) == 0 {
+		t.Error("tracing run recorded no trace events")
+	}
+	if n := configs[1].o.Snapshot().Counters["runtime.steps"]; n == 0 {
+		t.Error("metrics run counted no steps")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/runtime"
 	"shadowdb/internal/sqldb"
 )
@@ -96,6 +97,10 @@ type Config struct {
 	Setup func(*DB) error
 	// Timing overrides the failure-detection knobs (zero = defaults).
 	Timing core.Timing
+	// Obs receives the cluster's runtime metrics and causal trace events.
+	// Nil means the process-wide obs.Default; obs.Nop() disables
+	// collection entirely (one atomic load per step on the hot path).
+	Obs *obs.Obs
 }
 
 // Errors of the public API.
@@ -252,6 +257,9 @@ func (c *Cluster) host(l msg.Loc, p gpm.Process) (*runtime.Host, error) {
 		return nil, err
 	}
 	h := runtime.NewHost(l, tr, &lockedProc{mu: &c.stepMu, p: p})
+	if c.cfg.Obs != nil {
+		h.Obs = c.cfg.Obs
+	}
 	h.Start()
 	c.hosts = append(c.hosts, h)
 	return h, nil
