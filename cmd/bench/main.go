@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|all [-quick]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|all [-quick] [-json [-outdir DIR]]
+//
+// With -json each experiment also writes a machine-readable
+// BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
+// and regression diffing.
 package main
 
 import (
@@ -22,9 +26,11 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
+	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
+	outdir := flag.String("outdir", ".", "directory for -json reports")
 	flag.Parse()
 
 	if *admin != "" {
@@ -40,61 +46,87 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "spans"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "spans":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		return 2
 	}
 
+	failed := false
+	emit := func(r *bench.Report) {
+		if !*jsonOut {
+			return
+		}
+		path, err := bench.WriteReport(*outdir, r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
 	start := time.Now()
 	out := os.Stdout
 	if todo["table1"] {
-		bench.RenderTable1(out, bench.Table1())
+		rows := bench.Table1()
+		bench.RenderTable1(out, rows)
 		fmt.Fprintln(out)
+		emit(bench.ReportTable1(rows, *quick))
 	}
 	if todo["fig8"] {
 		cfg := bench.DefaultFig8()
 		if *quick {
 			cfg = bench.QuickFig8()
 		}
-		bench.RenderFig8(out, bench.Fig8(cfg))
+		res := bench.Fig8(cfg)
+		bench.RenderFig8(out, res)
 		fmt.Fprintln(out)
+		emit(bench.ReportFig8(res, *quick))
 	}
 	if todo["fig9a"] {
 		cfg := bench.DefaultFig9a()
 		if *quick {
 			cfg = bench.QuickFig9a()
 		}
-		bench.RenderFig9(out, "Fig. 9(a) — micro-benchmark: latency vs committed transactions/sec", bench.Fig9a(cfg))
+		res := bench.Fig9a(cfg)
+		bench.RenderFig9(out, "Fig. 9(a) — micro-benchmark: latency vs committed transactions/sec", res)
 		fmt.Fprintln(out)
+		emit(bench.ReportFig9("fig9a", res, *quick))
 	}
 	if todo["fig9b"] {
 		cfg := bench.DefaultFig9b()
 		if *quick {
 			cfg = bench.QuickFig9b()
 		}
-		bench.RenderFig9(out, "Fig. 9(b) — TPC-C: latency vs committed transactions/sec", bench.Fig9b(cfg))
+		res := bench.Fig9b(cfg)
+		bench.RenderFig9(out, "Fig. 9(b) — TPC-C: latency vs committed transactions/sec", res)
 		fmt.Fprintln(out)
+		emit(bench.ReportFig9("fig9b", res, *quick))
 	}
 	if todo["fig10a"] {
 		cfg := bench.DefaultFig10a()
 		if *quick {
 			cfg = bench.QuickFig10a()
 		}
-		bench.RenderFig10a(out, bench.Fig10a(cfg))
+		res := bench.Fig10a(cfg)
+		bench.RenderFig10a(out, res)
 		fmt.Fprintln(out)
+		emit(bench.ReportFig10a(res, *quick))
 	}
 	if todo["fig10b"] {
 		cfg := bench.DefaultFig10b()
 		if *quick {
 			cfg = bench.QuickFig10b()
 		}
-		bench.RenderFig10b(out, bench.Fig10b(cfg))
+		res := bench.Fig10b(cfg)
+		bench.RenderFig10b(out, res)
 		fmt.Fprintln(out)
+		emit(bench.ReportFig10b(res, *quick))
 	}
 	if todo["ablations"] {
 		rows := []bench.AblationResult{
@@ -103,7 +135,25 @@ func run() int {
 		}
 		bench.RenderAblations(out, rows)
 		fmt.Fprintln(out)
+		emit(bench.ReportAblations(rows, *quick))
+	}
+	if todo["spans"] {
+		cfg := bench.DefaultSpans()
+		if *quick {
+			cfg = bench.QuickSpans()
+		}
+		res := bench.Spans(cfg)
+		bench.RenderSpans(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportSpans(res, *quick))
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "spans: %d property violations\n", len(res.Violations))
+			failed = true
+		}
 	}
 	fmt.Fprintf(out, "total bench time: %v\n", time.Since(start).Round(time.Millisecond))
+	if failed {
+		return 1
+	}
 	return 0
 }

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
 	"shadowdb/internal/obs"
+	"shadowdb/internal/obs/dist"
 	"shadowdb/internal/runtime"
 	"shadowdb/internal/sqldb"
 )
@@ -50,6 +52,7 @@ func run() int {
 	members := flag.Int("members", 2, "initial PBR configuration size")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
+	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
 	flag.Parse()
 
 	dir, err := parseDirectory(*cluster)
@@ -94,14 +97,29 @@ func run() int {
 	if *trace {
 		obs.Default.EnableTracing(true)
 	}
+	var checker *dist.Checker
+	if *check {
+		checker = dist.NewChecker()
+		checker.Watch(obs.Default)
+	}
 	if *admin != "" {
-		srv, addr, err := obs.Serve(*admin, obs.Default)
+		var srv *http.Server
+		var addr string
+		if checker != nil {
+			srv, addr, err = dist.Serve(*admin, obs.Default, checker)
+		} else {
+			srv, addr, err = obs.Serve(*admin, obs.Default)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer func() { _ = srv.Close() }()
-		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json, POST /trace/start /trace/stop, /debug/pprof/)\n", addr)
+		extra := ""
+		if checker != nil {
+			extra = " /checker /spans"
+		}
+		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json%s, POST /trace/start /trace/stop, /debug/pprof/)\n", addr, extra)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpansExperiment(t *testing.T) {
+	cfg := QuickSpans()
+	res := Spans(cfg)
+	if len(res.Violations) != 0 {
+		t.Fatalf("online checker flagged the bench workload: %v", res.Violations)
+	}
+	want := cfg.Clients * cfg.TxPer
+	if res.Complete < want {
+		t.Fatalf("%d complete spans, want >= %d (of %d)", res.Complete, want, res.Spans)
+	}
+	if res.Events == 0 {
+		t.Fatal("checker consumed no events")
+	}
+	if res.RingGaps != 0 {
+		t.Fatalf("ring overflowed (%d events lost); raise RingSize", res.RingGaps)
+	}
+	for _, seg := range []string{"broadcast", "consensus", "apply", "total"} {
+		st := res.Segments[seg]
+		if st.Count < want {
+			t.Errorf("segment %s count = %d, want >= %d", seg, st.Count, want)
+		}
+		if seg != "apply" && st.Mean <= 0 {
+			t.Errorf("segment %s mean = %d, want > 0", seg, st.Mean)
+		}
+	}
+	// Consensus must account for at most the total.
+	if res.Segments["consensus"].Mean > res.Segments["total"].Mean {
+		t.Errorf("consensus mean %d exceeds total mean %d",
+			res.Segments["consensus"].Mean, res.Segments["total"].Mean)
+	}
+
+	var buf bytes.Buffer
+	RenderSpans(&buf, res)
+	if !strings.Contains(buf.String(), "consensus") {
+		t.Errorf("render missing segment table:\n%s", buf.String())
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	dir := t.TempDir()
+	r := NewReport("unit", true)
+	r.Add("unit.x", 1.5, "ms")
+	r.Add("unit.y", 42, "count")
+	path, err := WriteReport(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_unit.json" {
+		t.Fatalf("wrote %s, want BENCH_unit.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if got.Name != "unit" || !got.Quick || len(got.Metrics) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Metrics[0].Name != "unit.x" || got.Metrics[0].Value != 1.5 || got.Metrics[0].Unit != "ms" {
+		t.Fatalf("metric mismatch: %+v", got.Metrics[0])
+	}
+	if got.Timestamp == "" {
+		t.Error("timestamp missing")
+	}
+	// Inside this repo the SHA should resolve to 40 hex chars.
+	if sha := GitSHA(); sha != "" && len(sha) != 40 {
+		t.Errorf("GitSHA() = %q", sha)
+	}
+}

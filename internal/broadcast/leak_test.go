@@ -1,0 +1,71 @@
+package broadcast
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/leaktest"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/runtime"
+)
+
+// The suite's goroutine hygiene: hosting the broadcast service on real
+// hosts must leave nothing running once the hosts close — host loops,
+// pending proposal timers, and transport pumps all shut down.
+func TestHostedServiceLeavesNoGoroutines(t *testing.T) {
+	leaktest.Check(t,
+		"shadowdb/internal/broadcast",
+		"shadowdb/internal/runtime",
+		"shadowdb/internal/network",
+	)
+
+	nodes := []msg.Loc{"b1", "b2", "b3"}
+	cfg := Config{Nodes: nodes, Subscribers: []msg.Loc{"sub"}}
+	gen := Spec(cfg).Generator()
+
+	hub := network.NewHub()
+	var hosts []*runtime.Host
+	defer func() {
+		for _, h := range hosts {
+			_ = h.Close()
+		}
+	}()
+	for _, b := range nodes {
+		tr, err := hub.Register(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := runtime.NewHost(b, tr, gen(b))
+		h.Obs = obs.New(64)
+		h.Start()
+		hosts = append(hosts, h)
+	}
+	sub, err := hub.Register("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	cli, err := hub.Register("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Send(msg.Envelope{From: "cli", To: "b1",
+		M: msg.M(HdrBcast, Bcast{From: "cli", Seq: 1, Payload: []byte("x")})}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case env := <-sub.Receive():
+			if d, ok := env.M.Body.(Deliver); ok && d.Slot == 0 {
+				return // delivered; deferred closes + leaktest do the rest
+			}
+		case <-deadline:
+			t.Fatal("broadcast never delivered")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package synod
+
+import (
+	"testing"
+	"time"
+
+	"shadowdb/internal/leaktest"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/runtime"
+)
+
+// The suite's goroutine hygiene: a hosted synod deployment (leader +
+// three acceptors over an in-process transport) must decide and then
+// shut down without leaving host loops, wake/backoff timers, or
+// transport pumps behind.
+func TestHostedSynodLeavesNoGoroutines(t *testing.T) {
+	leaktest.Check(t,
+		"shadowdb/internal/consensus/synod",
+		"shadowdb/internal/runtime",
+		"shadowdb/internal/network",
+	)
+
+	cfg := testConfig()
+	sys := Spec(cfg).System()
+
+	hub := network.NewHub()
+	var hosts []*runtime.Host
+	defer func() {
+		for _, h := range hosts {
+			_ = h.Close()
+		}
+	}()
+	for _, l := range sys.Locs {
+		tr, err := hub.Register(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := runtime.NewHost(l, tr, sys.Gen(l))
+		h.Obs = obs.New(64)
+		h.Start()
+		hosts = append(hosts, h)
+	}
+	learner, err := hub.Register("learner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+	cli, err := hub.Register("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Send(msg.Envelope{From: "cli", To: "l1",
+		M: msg.M(HdrPropose, Propose{Inst: 0, Val: "hosted"})}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case env := <-learner.Receive():
+			if d, ok := env.M.Body.(Decide); ok && env.M.Hdr == HdrDecide {
+				if d.Inst != 0 || d.Val != "hosted" {
+					t.Fatalf("decided %+v, want instance 0 = hosted", d)
+				}
+				return // deferred closes + leaktest do the rest
+			}
+		case <-deadline:
+			t.Fatal("synod never decided")
+		}
+	}
+}

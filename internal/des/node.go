@@ -8,11 +8,18 @@ import (
 	"shadowdb/internal/obs"
 )
 
-// Envelope is a message in flight inside the simulated cluster.
+// Envelope is a message in flight inside the simulated cluster. Trace
+// and LC mirror msg.Envelope's causal-correlation coordinates, so
+// simulated traces carry the same per-request IDs and Lamport stamps as
+// real TCP runs.
 type Envelope struct {
 	From msg.Loc
 	To   msg.Loc
 	M    msg.Msg
+	// Trace is the per-request trace ID the send belongs to.
+	Trace string
+	// LC is the sender's Lamport clock at the send event.
+	LC int64
 }
 
 // Handler is a node's message handler: it may mutate node-local state and
@@ -44,6 +51,9 @@ type Node struct {
 	busy    int
 	queue   []Envelope
 	crashed bool
+	// lc is the node's Lamport clock (the sim is single-threaded, so a
+	// plain int64 suffices).
+	lc int64
 	// Processed counts handled messages.
 	Processed int64
 	// BusyTime accumulates core-seconds of work.
@@ -149,6 +159,13 @@ func (c *Cluster) Send(from, to msg.Loc, m msg.Msg) {
 // directed link serially: arrival = max(send time, link free) +
 // transmission + latency, keeping per-pair delivery FIFO.
 func (c *Cluster) SendAfter(extra time.Duration, from, to msg.Loc, m msg.Msg) {
+	c.sendCtx(extra, from, to, m, "", 0)
+}
+
+// sendCtx is SendAfter carrying the sender's causal context (trace ID and
+// Lamport stamp); node output paths use it so simulated envelopes stay
+// causally correlated.
+func (c *Cluster) sendCtx(extra time.Duration, from, to msg.Loc, m msg.Msg, trace string, lc int64) {
 	sendAt := c.Sim.Now() + extra
 	arrival := sendAt
 	if c.Link != nil {
@@ -173,7 +190,7 @@ func (c *Cluster) SendAfter(extra time.Duration, from, to msg.Loc, m msg.Msg) {
 			c.dropped.Inc()
 			return
 		}
-		n.enqueue(Envelope{From: from, To: to, M: m})
+		n.enqueue(Envelope{From: from, To: to, M: m, Trace: trace, LC: lc})
 	})
 }
 
@@ -208,10 +225,7 @@ func (n *Node) pump() {
 				n.busy--
 				if !n.crashed {
 					n.Processed++
-					n.cluster.observeStep(n.Name, env, outs)
-					for _, o := range outs {
-						n.cluster.SendAfter(o.Delay, n.Name, o.Dest, o.M)
-					}
+					n.finish(env, outs)
 				}
 				n.pump()
 			})
@@ -227,13 +241,26 @@ func (n *Node) pump() {
 			if !n.crashed {
 				n.Processed++
 				outs := n.handler(env)
-				n.cluster.observeStep(n.Name, env, outs)
-				for _, o := range outs {
-					n.cluster.SendAfter(o.Delay, n.Name, o.Dest, o.M)
-				}
+				n.finish(env, outs)
 			}
 			n.pump()
 		})
+	}
+}
+
+// finish completes one delivery: it merges the sender's Lamport stamp
+// into the node's clock, records the step event, and emits the outputs
+// with the inherited (or freshly derived) trace ID and per-send stamps.
+func (n *Node) finish(env Envelope, outs []msg.Directive) {
+	if env.LC >= n.lc {
+		n.lc = env.LC + 1
+	} else {
+		n.lc++
+	}
+	trace := n.cluster.observeStep(n.Name, env, outs, n.lc)
+	for _, o := range outs {
+		n.lc++
+		n.cluster.sendCtx(o.Delay, n.Name, o.Dest, o.M, trace, n.lc)
 	}
 }
 

@@ -25,11 +25,15 @@ func (c *Cluster) Observe(o *obs.Obs) {
 	c.gQueue = o.Gauge("des.queue_depth")
 }
 
-// observeStep records one completed handler run.
-func (c *Cluster) observeStep(loc msg.Loc, env Envelope, outs []msg.Directive) {
+// observeStep records one completed handler run at Lamport clock lc and
+// returns the trace ID the node's outputs inherit: the incoming
+// envelope's, or — when tracing is on and the envelope carries none — one
+// derived from the message's request span (the birth of a trace).
+func (c *Cluster) observeStep(loc msg.Loc, env Envelope, outs []msg.Directive, lc int64) string {
 	c.processed.Inc()
+	trace := env.Trace
 	if !c.Obs.Tracing() {
-		return
+		return trace
 	}
 	m := env.M
 	f := obs.Extract(m.Hdr, m.Body)
@@ -37,9 +41,14 @@ func (c *Cluster) observeStep(loc msg.Loc, env Envelope, outs []msg.Directive) {
 	if kind == "" {
 		kind = "step"
 	}
+	if trace == "" {
+		trace = f.Span
+	}
 	c.Obs.Record(obs.Event{
 		At: int64(c.Sim.Now()) + 1, Loc: loc, Layer: obs.LayerDES, Kind: kind,
 		Hdr: m.Hdr, Slot: f.Slot, Ballot: f.Ballot, Span: f.Span,
+		Trace: trace, LC: lc,
 		M: &m, Outs: outs,
 	})
+	return trace
 }

@@ -27,10 +27,21 @@ func RegisterBody(v any) {
 
 // Envelope is what actually travels on the wire: the message plus its
 // source and destination locations, so receivers can route and reply.
+// Trace and LC are the causal-correlation coordinates of the send: Trace
+// identifies the client request whose handling caused this message (empty
+// until a traced hop derives one), and LC is the sender's Lamport clock
+// at the send event. Both ride through the gob codec for free (gob omits
+// zero-valued fields), so untraced deployments pay no wire overhead.
 type Envelope struct {
 	From Loc
 	To   Loc
 	M    Msg
+	// Trace is the per-request trace ID the send belongs to ("" if the
+	// causal chain has not passed a traced request yet).
+	Trace string
+	// LC is the sender's Lamport clock at the send event (0 when the
+	// sender keeps no clock).
+	LC int64
 }
 
 // Encode serializes an envelope.

@@ -8,6 +8,7 @@ package bridge
 
 import (
 	"fmt"
+	"sort"
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/consensus/synod"
@@ -62,6 +63,44 @@ func Suite(events []obs.Event, opt Options) *verify.Suite {
 // Check runs every bridge property over the trace.
 func Check(events []obs.Event, opt Options) error {
 	return Suite(events, opt).Run()
+}
+
+// SuiteTraces builds a suite over per-node trace downloads, prepending a
+// trace-integrity property: if any node's ring buffer overflowed (events
+// evicted before download), the replay refuses to certify rather than
+// reporting a clean check over evidence it never saw. The remaining
+// properties run over the causal merge of the per-node traces.
+func SuiteTraces(traces map[string][]obs.Event, opt Options) *verify.Suite {
+	var nodes []string
+	var parts [][]obs.Event
+	for n := range traces {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		parts = append(parts, traces[n])
+	}
+
+	var s verify.Suite
+	s.Add(verify.Property{
+		Module: "Runtime", Name: "trace/complete", Mode: verify.Manual,
+		Check: func() error {
+			for _, n := range nodes {
+				if gap := obs.RingGap(traces[n]); gap > 0 {
+					return fmt.Errorf("bridge: trace incomplete, %s ring overflowed (%d events lost)", n, gap)
+				}
+			}
+			return nil
+		},
+	})
+	s.Add(Suite(obs.MergeCausal(parts...), opt).Properties()...)
+	return &s
+}
+
+// CheckTraces runs every bridge property, including trace integrity,
+// over per-node trace downloads.
+func CheckTraces(traces map[string][]obs.Event, opt Options) error {
+	return SuiteTraces(traces, opt).Run()
 }
 
 // inferSubscribers collects every location a Deliver was addressed to.

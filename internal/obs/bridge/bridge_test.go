@@ -325,3 +325,58 @@ func (l lockedProc) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 }
 
 func (l lockedProc) Halted() bool { return l.p.Halted() }
+
+// perNodeTraces splits a global trace into per-node downloads, re-assigning
+// each node's Seq contiguously from zero — the shape a real collector sees
+// when it pulls each node's ring buffer separately.
+func perNodeTraces(events []obs.Event) map[string][]obs.Event {
+	out := make(map[string][]obs.Event)
+	for _, e := range events {
+		n := string(e.Loc)
+		e.Seq = int64(len(out[n]))
+		out[n] = append(out[n], e)
+	}
+	return out
+}
+
+func TestBridgeTracesCleanRun(t *testing.T) {
+	traces := perNodeTraces(seededSMREvents(t))
+	s := bridge.SuiteTraces(traces, bridge.Options{})
+	if got := len(s.Properties()); got != 5 {
+		t.Fatalf("per-node suite has %d properties, want 5 (integrity + 4 runtime)", got)
+	}
+	if s.Properties()[0].Name != "trace/complete" {
+		t.Fatalf("integrity property must run first, got %q", s.Properties()[0].Name)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("clean per-node traces failed bridge check: %v", err)
+	}
+}
+
+func TestBridgeFlagsRingOverflow(t *testing.T) {
+	traces := perNodeTraces(seededSMREvents(t))
+	// Simulate a ring that overflowed before download: the oldest events
+	// of one node were evicted, so its smallest Seq is no longer zero.
+	// The replay must refuse to certify — a clean verdict over a trace
+	// with missing evidence would be vacuous — rather than silently
+	// checking what remains.
+	var victim string
+	for n, evs := range traces {
+		if len(evs) > 3 {
+			victim = n
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no node recorded enough events to truncate")
+	}
+	traces[victim] = traces[victim][3:]
+	err := bridge.CheckTraces(traces, bridge.Options{})
+	if err == nil {
+		t.Fatal("bridge certified an overflowed (incomplete) trace")
+	}
+	if !strings.Contains(err.Error(), "trace/complete") || !strings.Contains(err.Error(), "overflowed") {
+		t.Errorf("unexpected failure shape: %v", err)
+	}
+	t.Logf("flagged: %v", err)
+}

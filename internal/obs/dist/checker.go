@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Checker evaluates the runtime properties of the verify registry
+// incrementally, one event at a time, instead of replaying a finished
+// trace through obs/bridge. Wire it to a live Obs with Watch and every
+// recorded step is checked within that step — a violation surfaces on
+// the admin endpoint while the run is still going, bounded by the event
+// fan-out path rather than by a collection interval.
+//
+// The properties mirror bridge exactly:
+//
+//	broadcast/total-order        same slot ⇒ same batch, across all nodes
+//	broadcast/in-order-delivery  per node, slots arrive gap-free ascending
+//	consensus/single-value-per-slot  one decided value per instance
+//	shadowdb/durability          replies name previously delivered txs
+//
+// Checker is safe for concurrent Feed from many nodes' sinks. The
+// interleaving of concurrent feeds is one of the linear extensions of
+// the per-node orders, which is exactly the adversary the properties
+// quantify over, so concurrency cannot produce false alarms for
+// total-order, single-value, or in-order (each keyed by per-node or
+// per-slot state). Durability alone is order-sensitive across nodes only
+// in the benign direction: a reply observed before its (earlier, other
+// sink) delivery cannot happen because both events come from the same
+// node's sink in recording order.
+type Checker struct {
+	mu sync.Mutex
+	// high is each location's highest contiguously delivered slot.
+	high map[msg.Loc]int64
+	// batch fingerprints the first batch seen for each broadcast slot.
+	batch map[int64]string
+	// batchLoc remembers who established the fingerprint (for messages).
+	batchLoc map[int64]msg.Loc
+	// chosen maps proto\x00inst to the decided value.
+	chosen map[string]string
+	// delivered is per-location the set of transaction keys delivered in
+	// ordered batches; a nil inner map means the location is not an SMR
+	// executor and its replies are out of scope (mirrors bridge).
+	delivered map[msg.Loc]map[string]bool
+	// events counts fed events; violations collects flagged failures.
+	events     int64
+	violations []Violation
+
+	// metrics, when the checker is watching an Obs.
+	cEvents     *obs.Counter
+	cViolations *obs.Counter
+}
+
+// Violation is one flagged property failure.
+type Violation struct {
+	// Property names the violated property (bridge registry name).
+	Property string `json:"property"`
+	// Detail is the human-readable failure description.
+	Detail string `json:"detail"`
+	// Loc is the node whose event exposed the violation.
+	Loc msg.Loc `json:"loc"`
+	// At is the event's timestamp, LC its Lamport clock, Trace its
+	// per-request trace ID — enough to find the event in the merged trace.
+	At    int64  `json:"at"`
+	LC    int64  `json:"lc,omitempty"`
+	Trace string `json:"trace,omitempty"`
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("%s at %s (t=%d): %s", v.Property, v.Loc, v.At, v.Detail)
+}
+
+// NewChecker creates an empty online checker.
+func NewChecker() *Checker {
+	return &Checker{
+		high:      make(map[msg.Loc]int64),
+		batch:     make(map[int64]string),
+		batchLoc:  make(map[int64]msg.Loc),
+		chosen:    make(map[string]string),
+		delivered: make(map[msg.Loc]map[string]bool),
+	}
+}
+
+// Watch subscribes the checker to o's live event stream: every Record
+// with a step payload is fed as it happens. Call once per observed Obs
+// (one checker can watch a whole cluster's nodes). Tracing must be
+// enabled on o for step events to exist.
+func (c *Checker) Watch(o *obs.Obs) {
+	c.mu.Lock()
+	if c.cEvents == nil {
+		c.cEvents = o.Counter("dist.checker.events")
+		c.cViolations = o.Counter("dist.checker.violations")
+	}
+	c.mu.Unlock()
+	o.AddSink(c.Feed)
+}
+
+// Feed advances the checker by one event. Events without a step payload
+// (metrics-adjacent records) are counted but otherwise ignored.
+func (c *Checker) Feed(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events++
+	if c.cEvents != nil {
+		c.cEvents.Inc()
+	}
+	if e.M == nil {
+		return
+	}
+	// Incoming message first, then outputs: replies emitted in the same
+	// step as a delivery must see the just-delivered transactions (the
+	// usual SMR shape), matching the bridge's replay order.
+	c.checkIncoming(e)
+	for _, o := range e.Outs {
+		c.checkOutgoing(e, o)
+	}
+}
+
+// FeedAll replays a recorded trace through the incremental checker —
+// offline use of the online logic (collector results, saved traces).
+func (c *Checker) FeedAll(events []obs.Event) {
+	for _, e := range events {
+		c.Feed(e)
+	}
+}
+
+// Violations returns the flagged failures so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...)
+}
+
+// Err returns the first violation as an error, nil when clean.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) == 0 {
+		return nil
+	}
+	v := c.violations[0]
+	return &v
+}
+
+// Status summarizes the checker for the admin endpoint.
+type Status struct {
+	// Events is the number of events fed.
+	Events int64 `json:"events"`
+	// Slots is the number of broadcast slots fingerprinted.
+	Slots int `json:"slots"`
+	// Decided is the number of consensus instances with a chosen value.
+	Decided int `json:"decided"`
+	// Violations are the flagged failures (empty means clean so far).
+	Violations []Violation `json:"violations"`
+}
+
+// Status snapshots the checker.
+func (c *Checker) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Events:     c.events,
+		Slots:      len(c.batch),
+		Decided:    len(c.chosen),
+		Violations: append([]Violation(nil), c.violations...),
+	}
+}
+
+func (c *Checker) flag(e obs.Event, property, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		Property: property, Detail: fmt.Sprintf(format, args...),
+		Loc: e.Loc, At: e.At, LC: e.LC, Trace: e.Trace,
+	})
+	if c.cViolations != nil {
+		c.cViolations.Inc()
+	}
+}
+
+// batchFingerprint is the order-insensitive identity of a delivered
+// batch (same normalization as broadcast.sameBatch: sorted message keys).
+func batchFingerprint(msgs []broadcast.Bcast) string {
+	keys := make([]string, len(msgs))
+	for i, b := range msgs {
+		keys[i] = string(b.From) + "/" + itoa(b.Seq)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x01")
+}
+
+func (c *Checker) checkIncoming(e obs.Event) {
+	m := *e.M
+	switch b := m.Body.(type) {
+	case broadcast.Deliver:
+		if m.Hdr != broadcast.HdrDeliver {
+			return
+		}
+		slot := int64(b.Slot)
+
+		// broadcast/total-order: every node must see the same batch in
+		// the same slot. The first receipt fingerprints the slot; any
+		// later receipt (same node or another) must match.
+		fp := batchFingerprint(b.Msgs)
+		if prev, ok := c.batch[slot]; !ok {
+			c.batch[slot] = fp
+			c.batchLoc[slot] = e.Loc
+		} else if prev != fp {
+			c.flag(e, "broadcast/total-order",
+				"%s received a batch for slot %d that differs from the one %s received",
+				e.Loc, slot, c.batchLoc[slot])
+		}
+
+		// broadcast/in-order-delivery: per node, slots arrive gap-free
+		// ascending (repeats of seen slots are fine — several service
+		// nodes notify the same subscriber).
+		h, seen := c.high[e.Loc]
+		if !seen {
+			h = -1
+		}
+		if slot > h+1 {
+			c.flag(e, "broadcast/in-order-delivery",
+				"%s received slot %d before slot %d", e.Loc, slot, h+1)
+		}
+		if slot == h+1 {
+			c.high[e.Loc] = slot
+		}
+
+		// Record the delivered transactions for durability.
+		for _, bc := range b.Msgs {
+			req, err := core.DecodeTx(bc.Payload)
+			if err != nil {
+				continue
+			}
+			if c.delivered[e.Loc] == nil {
+				c.delivered[e.Loc] = make(map[string]bool)
+			}
+			c.delivered[e.Loc][req.Key()] = true
+		}
+
+	case synod.Decide:
+		if m.Hdr == synod.HdrDecide {
+			c.noteDecide(e, "synod", int64(b.Inst), b.Val)
+		}
+	case twothird.Decide:
+		if m.Hdr == twothird.HdrDecide {
+			c.noteDecide(e, "twothird", int64(b.Inst), b.Val)
+		}
+	}
+}
+
+func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
+	switch b := o.M.Body.(type) {
+	case synod.Decide:
+		if o.M.Hdr == synod.HdrDecide {
+			c.noteDecide(e, "synod", int64(b.Inst), b.Val)
+		}
+	case twothird.Decide:
+		if o.M.Hdr == twothird.HdrDecide {
+			c.noteDecide(e, "twothird", int64(b.Inst), b.Val)
+		}
+	case core.TxResult:
+		// shadowdb/durability: a successful reply must name a
+		// transaction previously delivered to the replier in an ordered
+		// batch. Locations that never received a transaction-bearing
+		// Deliver (PBR replicas) are out of scope, as in the bridge.
+		if o.M.Hdr != core.HdrTxResult || b.Err != "" {
+			return
+		}
+		set := c.delivered[e.Loc]
+		if set == nil {
+			return
+		}
+		key := core.TxRequest{Client: b.Client, Seq: b.Seq}.Key()
+		if !set[key] {
+			c.flag(e, "shadowdb/durability",
+				"%s acknowledged %s without an ordered delivery", e.Loc, key)
+		}
+	}
+}
+
+// noteDecide enforces consensus/single-value-per-slot across sent and
+// received Decide announcements of both protocols.
+func (c *Checker) noteDecide(e obs.Event, proto string, inst int64, val string) {
+	k := proto + "\x00" + itoa(inst)
+	if prev, ok := c.chosen[k]; ok {
+		if prev != val {
+			c.flag(e, "consensus/single-value-per-slot",
+				"%s instance %d decided twice: %q and %q", proto, inst, prev, val)
+		}
+		return
+	}
+	c.chosen[k] = val
+}

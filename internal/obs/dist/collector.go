@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"shadowdb/internal/obs"
+)
+
+// Collector pulls per-node trace rings and merges them into one global
+// causal trace. Sources can be live admin endpoints (Pull), in-process
+// or simulated nodes' Obs instances (Gather), or pre-downloaded event
+// slices (Add) — mixing is fine, e.g. three TCP nodes plus a DES
+// cluster's virtual nodes in one collection.
+type Collector struct {
+	// Client performs the HTTP pulls; nil means a 10-second-timeout
+	// default client.
+	Client *http.Client
+
+	nodes map[string][]obs.Event
+	order []string
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{nodes: make(map[string][]obs.Event)}
+}
+
+// Add records one node's downloaded trace under a name. Re-adding a name
+// replaces its trace (a later, longer download supersedes).
+func (c *Collector) Add(name string, events []obs.Event) {
+	if c.nodes == nil {
+		c.nodes = make(map[string][]obs.Event)
+	}
+	if _, ok := c.nodes[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.nodes[name] = events
+}
+
+// Gather adds every node of an in-memory deployment: name -> its Obs.
+// Virtual (DES) nodes share one cluster Obs — pass it once under the
+// cluster's name.
+func (c *Collector) Gather(nodes map[string]*obs.Obs) {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.Add(n, nodes[n].Events())
+	}
+}
+
+// Pull downloads one node's trace ring from its admin endpoint
+// (GET addr/trace, gob-encoded) and adds it under the address.
+func (c *Collector) Pull(addr string) error {
+	cl := c.Client
+	if cl == nil {
+		cl = &http.Client{Timeout: 10 * time.Second}
+	}
+	url := addr
+	if len(url) < 7 || url[:7] != "http://" && (len(url) < 8 || url[:8] != "https://") {
+		url = "http://" + url
+	}
+	resp, err := cl.Get(url + "/trace")
+	if err != nil {
+		return fmt.Errorf("dist: pull %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: pull %s: status %s", addr, resp.Status)
+	}
+	events, err := obs.DecodeTrace(resp.Body)
+	if err != nil {
+		return fmt.Errorf("dist: pull %s: %w", addr, err)
+	}
+	c.Add(addr, events)
+	return nil
+}
+
+// PullAll pulls every address, returning the first error after trying
+// all (partial collections still merge what arrived).
+func (c *Collector) PullAll(addrs ...string) error {
+	var first error
+	for _, a := range addrs {
+		if err := c.Pull(a); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Result is one collection: the per-node traces, their causal merge, the
+// reconstructed request spans, and per-node ring-overflow gaps.
+type Result struct {
+	// Nodes holds each source's raw trace.
+	Nodes map[string][]obs.Event `json:"-"`
+	// Merged is the global causally ordered trace (obs.MergeCausal).
+	Merged []obs.Event `json:"-"`
+	// Spans are the per-request path reconstructions over Merged.
+	Spans []Span `json:"spans"`
+	// Segments summarizes the complete spans' latency segments.
+	Segments map[string]SegmentStats `json:"segments"`
+	// Gaps maps each source whose ring overflowed to its count of evicted
+	// events. A non-empty map means Merged is INCOMPLETE: property
+	// checking over it can miss violations (never fabricate them), and
+	// span stages may be missing.
+	Gaps map[string]int64 `json:"gaps,omitempty"`
+}
+
+// Collect merges everything added so far.
+func (c *Collector) Collect() Result {
+	r := Result{Nodes: make(map[string][]obs.Event, len(c.nodes))}
+	traces := make([][]obs.Event, 0, len(c.order))
+	for _, name := range c.order {
+		t := c.nodes[name]
+		r.Nodes[name] = t
+		traces = append(traces, t)
+		if gap := obs.RingGap(t); gap > 0 {
+			if r.Gaps == nil {
+				r.Gaps = make(map[string]int64)
+			}
+			r.Gaps[name] = gap
+		}
+	}
+	r.Merged = obs.MergeCausal(traces...)
+	r.Spans = Spans(r.Merged)
+	r.Segments = SegmentSummary(r.Spans)
+	return r
+}
+
+// Check replays the collection through the online checker's logic and
+// returns its violations. Ring gaps are reported as an error first: an
+// overflowed ring means the trace is incomplete and a clean check proves
+// nothing about the evicted prefix.
+func (r Result) Check() ([]Violation, error) {
+	if len(r.Gaps) > 0 {
+		names := make([]string, 0, len(r.Gaps))
+		for n := range r.Gaps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("dist: trace incomplete, ring overflowed on %v", names)
+	}
+	ck := NewChecker()
+	ck.FeedAll(r.Merged)
+	return ck.Violations(), nil
+}

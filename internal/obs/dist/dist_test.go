@@ -1,0 +1,383 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/obs/dist"
+	"shadowdb/internal/sqldb"
+)
+
+// seededSMREvents runs a deterministic SMR deployment (3 broadcast
+// nodes, 3 co-located replicas, 2 clients) in the reference runner and
+// returns the trace as obs events — the same fixture the bridge tests
+// replay offline, here fed to the incremental checker.
+func seededSMREvents(t *testing.T) []obs.Event {
+	t.Helper()
+	bnodes := []msg.Loc{"b1", "b2", "b3"}
+	rlocs := []msg.Loc{"r1", "r2", "r3"}
+	mkDB := func(slf msg.Loc) *sqldb.DB {
+		db, err := sqldb.Open("h2:mem:" + string(slf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.BankSetup(db, 20); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	sys := core.NewSMRSystem(bnodes, rlocs, core.BankRegistry(), mkDB)
+	clients := map[msg.Loc]*core.Client{
+		"c0": {Slf: "c0", Mode: core.ModeSMR, BcastNodes: bnodes, Retry: 200 * time.Millisecond},
+		"c1": {Slf: "c1", Mode: core.ModeSMR, BcastNodes: bnodes, Retry: 200 * time.Millisecond},
+	}
+	done := 0
+	extra := func(slf msg.Loc) gpm.Process {
+		c, ok := clients[slf]
+		if !ok {
+			return gpm.Halt()
+		}
+		return core.ClientProc(c, func(core.TxResult) { done++ })
+	}
+	runner := gpm.NewRunner(sys.System([]msg.Loc{"c0", "c1"}, extra))
+	submit := func(cli msg.Loc, typ string, args ...any) {
+		want := done + 1
+		runner.Inject(cli, msg.M(core.HdrSubmit, core.SubmitBody{Type: typ, Args: args}))
+		ok, err := runner.RunUntil(2_000_000, func() bool { return done >= want })
+		if err != nil || !ok {
+			t.Fatalf("seeded %s did not complete: ok=%v err=%v", typ, ok, err)
+		}
+	}
+	submit("c0", "deposit", 1, 10)
+	submit("c1", "deposit", 2, 20)
+	submit("c0", "balance", 1)
+	if _, err := runner.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return obs.FromGPM(runner.Trace())
+}
+
+func TestCheckerCleanOnSeededRun(t *testing.T) {
+	events := seededSMREvents(t)
+	ck := dist.NewChecker()
+	ck.FeedAll(events)
+	if vs := ck.Violations(); len(vs) != 0 {
+		t.Fatalf("clean run flagged: %v", vs)
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("Err on clean run: %v", err)
+	}
+	st := ck.Status()
+	if st.Events != int64(len(events)) {
+		t.Errorf("status events = %d, want %d", st.Events, len(events))
+	}
+	if st.Slots < 2 {
+		t.Errorf("checker fingerprinted %d slots, want >= 2", st.Slots)
+	}
+	if st.Decided < 2 {
+		t.Errorf("checker saw %d decided instances, want >= 2", st.Decided)
+	}
+}
+
+// TestCheckerFlagsInjectedTotalOrderViolation is the ISSUE acceptance
+// scenario: a deliberately injected total-order violation — one replica
+// receives, for an already-fingerprinted slot, a batch different from
+// what the other replicas received — must be detected by the online
+// checker as the event is fed.
+func TestCheckerFlagsInjectedTotalOrderViolation(t *testing.T) {
+	events := seededSMREvents(t)
+	// Find the LAST Deliver receive for a slot delivered to several
+	// locations and corrupt its batch (a rogue transaction replaces the
+	// agreed one). Earlier receipts of the slot establish the
+	// fingerprint, so the corrupted receipt disagrees.
+	seen := make(map[int]int)
+	corrupt := -1
+	for i, e := range events {
+		if e.M == nil || e.M.Hdr != broadcast.HdrDeliver {
+			continue
+		}
+		d, ok := e.M.Body.(broadcast.Deliver)
+		if !ok {
+			continue
+		}
+		if seen[d.Slot] > 0 {
+			corrupt = i
+		}
+		seen[d.Slot]++
+	}
+	if corrupt < 0 {
+		t.Fatal("trace has no slot delivered twice")
+	}
+	d := events[corrupt].M.Body.(broadcast.Deliver)
+	rogue := append([]broadcast.Bcast(nil), d.Msgs...)
+	rogue = append(rogue, broadcast.Bcast{From: "evil", Seq: 666})
+	m := msg.M(broadcast.HdrDeliver, broadcast.Deliver{Slot: d.Slot, Msgs: rogue})
+	events[corrupt].M = &m
+
+	ck := dist.NewChecker()
+	var hit *dist.Violation
+	for _, e := range events {
+		ck.Feed(e)
+		if vs := ck.Violations(); hit == nil && len(vs) > 0 {
+			v := vs[0]
+			hit = &v
+		}
+	}
+	if hit == nil {
+		t.Fatal("online checker missed the injected total-order violation")
+	}
+	if hit.Property != "broadcast/total-order" {
+		t.Fatalf("flagged %q, want broadcast/total-order (%v)", hit.Property, hit)
+	}
+	if hit.Loc != events[corrupt].Loc {
+		t.Errorf("violation at %s, want %s", hit.Loc, events[corrupt].Loc)
+	}
+	if ck.Err() == nil || !strings.Contains(ck.Err().Error(), "total-order") {
+		t.Errorf("Err() = %v", ck.Err())
+	}
+}
+
+func TestCheckerFlagsReorderedDelivery(t *testing.T) {
+	events := seededSMREvents(t)
+	// Drop every receipt of slot 0 at one replica: its first delivery is
+	// then a later slot — an in-order violation.
+	victim := msg.Loc("")
+	out := events[:0]
+	for _, e := range events {
+		if e.M != nil && e.M.Hdr == broadcast.HdrDeliver {
+			d, ok := e.M.Body.(broadcast.Deliver)
+			if ok && d.Slot == 0 && strings.HasPrefix(string(e.Loc), "r") {
+				if victim == "" {
+					victim = e.Loc
+				}
+				if e.Loc == victim {
+					continue
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	if victim == "" {
+		t.Fatal("no replica received slot 0")
+	}
+	ck := dist.NewChecker()
+	ck.FeedAll(out)
+	found := false
+	for _, v := range ck.Violations() {
+		if v.Property == "broadcast/in-order-delivery" && v.Loc == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gap at %s not flagged: %v", victim, ck.Violations())
+	}
+}
+
+func TestCheckerFlagsUndeliveredAck(t *testing.T) {
+	events := seededSMREvents(t)
+	fake := msg.M(core.HdrTxResult, core.TxResult{Client: "c9", Seq: 99})
+	events = append(events, obs.Event{
+		Seq: int64(len(events)), At: events[len(events)-1].At + 1,
+		Loc: "r1", Layer: obs.LayerRuntime, Kind: "step",
+		Hdr: "noop", Slot: obs.NoField, Ballot: obs.NoField,
+		M:    &msg.Msg{Hdr: "noop"},
+		Outs: []msg.Directive{msg.Send("c9", fake)},
+	})
+	ck := dist.NewChecker()
+	ck.FeedAll(events)
+	found := false
+	for _, v := range ck.Violations() {
+		if v.Property == "shadowdb/durability" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("undelivered ack not flagged: %v", ck.Violations())
+	}
+}
+
+func TestSpansSeededRun(t *testing.T) {
+	events := seededSMREvents(t)
+	spans := dist.Spans(events)
+	if len(spans) < 3 {
+		t.Fatalf("got %d spans, want >= 3 (one per submission)", len(spans))
+	}
+	complete := 0
+	for _, s := range spans {
+		b := s.Breakdown()
+		if !b.Complete {
+			continue
+		}
+		complete++
+		if s.Slot < 0 {
+			t.Errorf("complete span %s has no slot", s.ID)
+		}
+		if b.Total < b.Consensus {
+			t.Errorf("span %s: total %v < consensus %v", s.ID, b.Total, b.Consensus)
+		}
+	}
+	if complete < 3 {
+		t.Fatalf("only %d complete spans: %+v", complete, spans)
+	}
+
+	// The segment summary and histogram recording agree on the count.
+	segs := dist.SegmentSummary(spans)
+	if segs["total"].Count != complete {
+		t.Errorf("segment count %d, want %d", segs["total"].Count, complete)
+	}
+	o := obs.New(16)
+	if got := dist.RecordSpans(o, spans); got != complete {
+		t.Errorf("RecordSpans = %d, want %d", got, complete)
+	}
+	snap := o.Snapshot()
+	h, ok := snap.Histograms["dist.span.total_ns"]
+	if !ok || h.Count != int64(complete) {
+		t.Errorf("dist.span.total_ns histogram = %+v, want count %d", h, complete)
+	}
+	for _, name := range []string{"dist.span.broadcast_ns", "dist.span.consensus_ns", "dist.span.apply_ns"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("missing histogram %s", name)
+		}
+	}
+}
+
+func TestCollectorGatherMergeAndCheck(t *testing.T) {
+	events := seededSMREvents(t)
+	// Split the global trace into per-node rings (what each node's Obs
+	// would hold), re-sequencing per node as a ring does.
+	perNode := make(map[string][]obs.Event)
+	for _, e := range events {
+		n := string(e.Loc)
+		e.Seq = int64(len(perNode[n]))
+		perNode[n] = append(perNode[n], e)
+	}
+	c := dist.NewCollector()
+	for n, t := range perNode {
+		c.Add(n, t)
+	}
+	r := c.Collect()
+	if len(r.Gaps) != 0 {
+		t.Fatalf("unexpected gaps: %v", r.Gaps)
+	}
+	if len(r.Merged) != len(events) {
+		t.Fatalf("merged %d events, want %d", len(r.Merged), len(events))
+	}
+	if len(r.Spans) < 3 || r.Segments["total"].Count < 3 {
+		t.Fatalf("collector spans missing: %d spans, segments %+v", len(r.Spans), r.Segments)
+	}
+	vs, err := r.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean collection flagged: %v", vs)
+	}
+}
+
+func TestCollectorFlagsRingGap(t *testing.T) {
+	events := seededSMREvents(t)
+	perNode := make(map[string][]obs.Event)
+	for _, e := range events {
+		n := string(e.Loc)
+		e.Seq = int64(len(perNode[n]))
+		perNode[n] = append(perNode[n], e)
+	}
+	c := dist.NewCollector()
+	overflowed := ""
+	for n, tr := range perNode {
+		if overflowed == "" && len(tr) > 2 {
+			// Simulate ring overflow: the oldest two events were evicted.
+			overflowed = n
+			tr = tr[2:]
+		}
+		c.Add(n, tr)
+	}
+	r := c.Collect()
+	if r.Gaps[overflowed] != 2 {
+		t.Fatalf("gap at %s = %d, want 2 (gaps %v)", overflowed, r.Gaps[overflowed], r.Gaps)
+	}
+	// An incomplete collection must refuse to certify the trace.
+	if _, err := r.Check(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("Check on gapped trace: %v", err)
+	}
+}
+
+func TestDistHandlerRoutes(t *testing.T) {
+	o := obs.New(1024)
+	o.EnableTracing(true)
+	ck := dist.NewChecker()
+	ck.Watch(o)
+	for _, e := range seededSMREvents(t) {
+		e.Seq = 0 // let Record assign
+		o.Record(e)
+	}
+	srv, addr, err := dist.Serve("127.0.0.1:0", o, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var st dist.Status
+	resp, err := http.Get("http://" + addr + "/checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/checker status %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Events == 0 || len(st.Violations) != 0 {
+		t.Fatalf("checker status %+v", st)
+	}
+
+	var spans struct {
+		Spans    []dist.Span                  `json:"spans"`
+		Segments map[string]dist.SegmentStats `json:"segments"`
+	}
+	resp, err = http.Get("http://" + addr + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(spans.Spans) < 3 {
+		t.Fatalf("/spans returned %d spans", len(spans.Spans))
+	}
+
+	// Base obs routes pass through.
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %s", resp.Status)
+	}
+
+	// A violation turns /checker into a failing probe.
+	ck.Feed(obs.Event{
+		Loc: "rX", At: 1, Slot: obs.NoField, Ballot: obs.NoField,
+		M: &msg.Msg{Hdr: broadcast.HdrDeliver, Body: broadcast.Deliver{Slot: 5, Msgs: nil}},
+	})
+	resp, err = http.Get("http://" + addr + "/checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("/checker with violations: status %s, want 409", resp.Status)
+	}
+}

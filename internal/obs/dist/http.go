@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"shadowdb/internal/obs"
+)
+
+// Handler extends a node's obs admin mux with the online checker's
+// routes:
+//
+//	GET /checker   checker status (events fed, slots, violations)
+//	GET /spans     per-request span breakdowns over the node's own ring
+//
+// Everything obs.Handler serves (/metrics, /trace, /trace.json, trace
+// control, /healthz, pprof) passes through unchanged, so a node that
+// enables online checking keeps the same admin surface plus the two
+// checker routes.
+func Handler(o *obs.Obs, c *Checker) http.Handler {
+	base := obs.Handler(o)
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/checker", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := c.Status()
+		if len(st.Violations) > 0 {
+			// A violated invariant is a failed health check: surface it in
+			// the status code so probes and CI can poll without parsing.
+			w.WriteHeader(http.StatusConflict)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := Spans(obs.MergeCausal(o.Events()))
+		out := struct {
+			Spans    []Span                  `json:"spans"`
+			Segments map[string]SegmentStats `json:"segments"`
+		}{spans, SegmentSummary(spans)}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	return mux
+}
+
+// Serve starts the extended admin endpoint on addr (":0" for ephemeral)
+// and returns the server plus the bound address; the caller owns Close.
+func Serve(addr string, o *obs.Obs, c *Checker) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(o, c)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

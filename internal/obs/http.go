@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // The admin HTTP endpoint: an expvar-style JSON metrics dump, trace
@@ -15,7 +16,9 @@ import (
 
 // Handler returns the admin mux for an Obs:
 //
-//	GET  /metrics        JSON metrics snapshot
+//	GET  /metrics        JSON metrics snapshot (Prometheus text when the
+//	                     Accept header asks for text/plain)
+//	GET  /metrics.prom   Prometheus text exposition, unconditionally
 //	GET  /trace          gob-encoded trace (feed to DecodeTrace / bridge)
 //	GET  /trace.json     human-readable trace
 //	POST /trace/start    enable trace recording
@@ -24,11 +27,24 @@ import (
 //	     /debug/pprof/*  net/http/pprof
 func Handler(o *Obs) http.Handler {
 	mux := http.NewServeMux()
+	prom := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, o.Snapshot())
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Prometheus scrapers ask for text/plain; everything else (and
+		// bare curls, which send Accept: */*) keeps the JSON dump.
+		if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") {
+			prom(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(o.Snapshot())
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		prom(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")

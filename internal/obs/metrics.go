@@ -151,11 +151,14 @@ func (h *Histogram) bucketMid(b int) int64 {
 // p50/p95/p99 tail the ISSUE-facing dashboards read.
 type HistogramSummary struct {
 	Count int64 `json:"count"`
-	Mean  int64 `json:"mean"`
-	P50   int64 `json:"p50"`
-	P95   int64 `json:"p95"`
-	P99   int64 `json:"p99"`
-	Max   int64 `json:"max"`
+	// Sum is the total of all observations (needed by Prometheus summary
+	// exposition, where rate(sum)/rate(count) gives the rolling mean).
+	Sum  int64 `json:"sum"`
+	Mean int64 `json:"mean"`
+	P50  int64 `json:"p50"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
 }
 
 // Summary captures the histogram's current state.
@@ -163,9 +166,9 @@ func (h *Histogram) Summary() HistogramSummary {
 	if h == nil {
 		return HistogramSummary{}
 	}
-	s := HistogramSummary{Count: h.count.Load(), Max: h.max.Load()}
+	s := HistogramSummary{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
 	if s.Count > 0 {
-		s.Mean = h.sum.Load() / s.Count
+		s.Mean = s.Sum / s.Count
 	}
 	s.P50 = h.Quantile(0.50)
 	s.P95 = h.Quantile(0.95)

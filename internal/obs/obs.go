@@ -32,6 +32,14 @@ type Obs struct {
 	tracing atomic.Bool
 	clock   atomic.Pointer[func() int64]
 
+	// lc is the node's Lamport clock: Tick on send, Witness on receive.
+	// It runs even with tracing off (one atomic op per message) so a
+	// trace window enabled mid-run still carries causally ordered stamps.
+	lc atomic.Int64
+
+	sinkMu sync.RWMutex
+	sinks  []func(Event)
+
 	mu   sync.Mutex
 	ring []Event
 	cap  int
@@ -124,6 +132,44 @@ func (o *Obs) SetClock(fn func() int64) {
 	o.clock.Store(&fn)
 }
 
+// -------------------------------------------------------- lamport clock --
+
+// Tick advances the Lamport clock for a local or send event and returns
+// the new value. Senders stamp outgoing envelopes with it.
+func (o *Obs) Tick() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.lc.Add(1)
+}
+
+// Witness merges a remote Lamport timestamp at a receive event: the clock
+// jumps past both the remote stamp and its own previous value, and the
+// resulting value is the receive event's clock.
+func (o *Obs) Witness(remote int64) int64 {
+	if o == nil {
+		return 0
+	}
+	for {
+		cur := o.lc.Load()
+		next := cur + 1
+		if remote >= cur {
+			next = remote + 1
+		}
+		if o.lc.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// LC returns the current Lamport clock value.
+func (o *Obs) LC() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.lc.Load()
+}
+
 // ---------------------------------------------------------------- trace --
 
 // Tracing reports whether trace recording is on. Call sites that build
@@ -151,14 +197,31 @@ func (o *Obs) EnableTracing(on bool) {
 	o.tracing.Store(on)
 }
 
-// Record appends an event to the ring, assigning Seq and stamping At if
-// unset. When tracing is off this is one atomic load.
+// AddSink registers fn to observe every event Record accepts, after Seq,
+// At and LC are stamped. Sinks run synchronously on the recording
+// goroutine (the online checker's Feed is O(1)); a sink must not call
+// back into Record on the same Obs.
+func (o *Obs) AddSink(fn func(Event)) {
+	if o == nil || fn == nil {
+		return
+	}
+	o.sinkMu.Lock()
+	o.sinks = append(o.sinks, fn)
+	o.sinkMu.Unlock()
+}
+
+// Record appends an event to the ring, assigning Seq and stamping At (and
+// LC) if unset, then fans the event out to registered sinks. When tracing
+// is off this is one atomic load.
 func (o *Obs) Record(e Event) {
 	if o == nil || !o.tracing.Load() {
 		return
 	}
 	if e.At == 0 {
 		e.At = o.Now()
+	}
+	if e.LC == 0 {
+		e.LC = o.lc.Load()
 	}
 	o.mu.Lock()
 	e.Seq = o.seq
@@ -169,6 +232,12 @@ func (o *Obs) Record(e Event) {
 		o.ring[int(e.Seq)%o.cap] = e
 	}
 	o.mu.Unlock()
+	o.sinkMu.RLock()
+	sinks := o.sinks
+	o.sinkMu.RUnlock()
+	for _, fn := range sinks {
+		fn(e)
+	}
 }
 
 // Events returns the recorded events oldest-first.

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the metrics registry,
+// written by hand against the format spec — the repo takes no client
+// library dependency. Dotted metric names become underscore-separated
+// ("runtime.step_ns" -> "runtime_step_ns"); histograms are exposed as
+// summaries (quantile series plus _sum and _count), which matches the
+// log-bucketed histogram's quantile API.
+
+// promName sanitizes a metric name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n"+
+				"%s{quantile=\"0.5\"} %d\n"+
+				"%s{quantile=\"0.95\"} %d\n"+
+				"%s{quantile=\"0.99\"} %d\n"+
+				"%s_sum %d\n"+
+				"%s_count %d\n",
+			pn, pn, h.P50, pn, h.P95, pn, h.P99, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+		// Max has no summary slot; expose it as a companion gauge.
+		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

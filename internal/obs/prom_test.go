@@ -1,0 +1,178 @@
+package obs_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowdb/internal/obs"
+)
+
+// parseProm is a strict parser for the subset of the Prometheus text
+// exposition format WritePrometheus emits: "# TYPE name kind" comments
+// followed by "name[{labels}] value" samples. It fails on any line that
+// does not parse, so the test asserts the whole document is well-formed,
+// not just that a few expected lines appear.
+func parseProm(t *testing.T, r io.Reader) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string]float64)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[3])
+			}
+			if !validPromName(parts[2]) {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, key)
+			}
+			name = key[:i]
+		}
+		if !validPromName(name) {
+			t.Fatalf("line %d: invalid sample name %q", ln+1, name)
+		}
+		samples[key] = val
+	}
+	return types, samples
+}
+
+func validPromName(name string) bool {
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return name != ""
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	o := obs.New(16)
+	o.Counter("runtime.steps").Add(7)
+	o.Gauge("des.queue_depth").Set(3)
+	h := o.Histogram("dist.span.total_ns")
+	for i := 1; i <= 100; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, o.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, bytes.NewReader(buf.Bytes()))
+
+	if types["runtime_steps"] != "counter" {
+		t.Errorf("runtime_steps type = %q, want counter", types["runtime_steps"])
+	}
+	if samples["runtime_steps"] != 7 {
+		t.Errorf("runtime_steps = %v, want 7", samples["runtime_steps"])
+	}
+	if types["des_queue_depth"] != "gauge" || samples["des_queue_depth"] != 3 {
+		t.Errorf("gauge wrong: type %q value %v", types["des_queue_depth"], samples["des_queue_depth"])
+	}
+	if types["dist_span_total_ns"] != "summary" {
+		t.Errorf("histogram type = %q, want summary", types["dist_span_total_ns"])
+	}
+	if samples["dist_span_total_ns_count"] != 100 {
+		t.Errorf("summary count = %v, want 100", samples["dist_span_total_ns_count"])
+	}
+	wantSum := float64(100*101/2) * float64(time.Millisecond)
+	if samples["dist_span_total_ns_sum"] != wantSum {
+		t.Errorf("summary sum = %v, want %v", samples["dist_span_total_ns_sum"], wantSum)
+	}
+	q50 := samples[`dist_span_total_ns{quantile="0.5"}`]
+	q99 := samples[`dist_span_total_ns{quantile="0.99"}`]
+	if q50 <= 0 || q99 < q50 {
+		t.Errorf("quantiles out of order: p50=%v p99=%v", q50, q99)
+	}
+	if samples["dist_span_total_ns_max"] != float64(100*time.Millisecond) {
+		t.Errorf("max = %v", samples["dist_span_total_ns_max"])
+	}
+}
+
+func TestMetricsEndpointContentNegotiation(t *testing.T) {
+	o := obs.New(16)
+	o.Counter("runtime.steps").Inc()
+	srv, addr, err := obs.Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Default stays JSON (the existing dashboards and tests).
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default /metrics Content-Type = %q", ct)
+	}
+	if !bytes.Contains(body, []byte(`"counters"`)) {
+		t.Fatalf("default /metrics is not the JSON snapshot: %s", body)
+	}
+
+	// A text/plain Accept (Prometheus scraper) switches to exposition.
+	req, _ := http.NewRequest("GET", "http://"+addr+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("negotiated Content-Type = %q", ct)
+	}
+	_, samples := parseProm(t, resp.Body)
+	resp.Body.Close()
+	if samples["runtime_steps"] != 1 {
+		t.Fatalf("scrape missing runtime_steps: %v", samples)
+	}
+
+	// The explicit route needs no header.
+	resp, err = http.Get("http://" + addr + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples = parseProm(t, resp.Body)
+	resp.Body.Close()
+	if samples["runtime_steps"] != 1 {
+		t.Fatalf("/metrics.prom missing runtime_steps: %v", samples)
+	}
+}
+

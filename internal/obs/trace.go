@@ -58,6 +58,15 @@ type Event struct {
 	// Span identifies the client message or transaction the event belongs
 	// to ("client/seq"), linking the stages of one submission.
 	Span string `json:"span,omitempty"`
+	// Trace is the per-request trace ID propagated hop-by-hop through
+	// message envelopes: every event caused (transitively) by one client
+	// request carries that request's ID, even when the triggering message
+	// body no longer names the request (consensus rounds, batches).
+	Trace string `json:"trace,omitempty"`
+	// LC is the node's Lamport clock at the event (0 when unknown).
+	// Events from different nodes sort causally on it: if event a
+	// happened-before event b, a.LC < b.LC.
+	LC int64 `json:"lc,omitempty"`
 	// Note carries free-form detail (batch sizes, peer names).
 	Note string `json:"note,omitempty"`
 	// M is the full delivered message, when the event records a process
@@ -81,6 +90,12 @@ func (e Event) String() string {
 	}
 	if e.Span != "" {
 		s += " span=" + e.Span
+	}
+	if e.Trace != "" && e.Trace != e.Span {
+		s += " trace=" + e.Trace
+	}
+	if e.LC != 0 {
+		s += fmt.Sprintf(" lc=%d", e.LC)
 	}
 	if e.Note != "" {
 		s += " " + e.Note
@@ -160,6 +175,63 @@ func Merge(traces ...[]Event) []Event {
 		return out[i].Seq < out[j].Seq
 	})
 	return out
+}
+
+// MergeCausal combines per-node trace downloads into one causally ordered
+// trace. When every event carries a Lamport stamp (LC > 0) the merge
+// orders by LC — a linear extension of the happened-before relation, so
+// causally related events land in causal order regardless of clock skew
+// between nodes. Traces with unstamped events fall back to the timestamp
+// merge of Merge (mixing LC-major and At-major comparisons is not
+// transitive, so the fallback is all-or-nothing).
+func MergeCausal(traces ...[]Event) []Event {
+	var out []Event
+	stamped := true
+	for _, t := range traces {
+		for _, e := range t {
+			if e.LC <= 0 {
+				stamped = false
+			}
+		}
+		out = append(out, t...)
+	}
+	if !stamped {
+		return Merge(traces...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].LC != out[j].LC {
+			return out[i].LC < out[j].LC
+		}
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Loc != out[j].Loc {
+			return out[i].Loc < out[j].Loc
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// RingGap inspects one ring buffer's download for evicted events. Seq is
+// assigned contiguously from zero per Obs, so a trace whose smallest Seq
+// is s lost its first s events to ring overflow; internal discontinuities
+// (which a correct ring never produces) count as missing too. It returns
+// the number of missing events.
+func RingGap(events []Event) int64 {
+	if len(events) == 0 {
+		return 0
+	}
+	min, max := events[0].Seq, events[0].Seq
+	for _, e := range events[1:] {
+		if e.Seq < min {
+			min = e.Seq
+		}
+		if e.Seq > max {
+			max = e.Seq
+		}
+	}
+	return min + (max - min + 1 - int64(len(events)))
 }
 
 // FromGPM converts a reference-runner trace into obs events — the

@@ -71,11 +71,17 @@ func (h *Host) Inject(m msg.Msg) {
 
 // Emit sends directives on the host's transport, turning delays into
 // timers. Timers are tracked so Close can stop any still pending.
-func (h *Host) Emit(outs []msg.Directive) {
+func (h *Host) Emit(outs []msg.Directive) { h.emit(outs, "") }
+
+// emit sends directives with a causal context: every envelope carries the
+// trace ID of the request whose handling produced it, plus a fresh
+// Lamport stamp taken at the actual send (for timers, at fire time — the
+// stamp still exceeds the clock at emission, as Lamport requires).
+func (h *Host) emit(outs []msg.Directive, trace string) {
 	for _, o := range outs {
 		o := o
 		if o.Delay <= 0 {
-			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
+			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick()})
 			continue
 		}
 		// The callback reads the timer pointer under timerMu, and the
@@ -93,7 +99,7 @@ func (h *Host) Emit(outs []msg.Directive) {
 			select {
 			case <-h.done:
 			default:
-				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M})
+				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick()})
 			}
 		})
 		if h.timers == nil { // closed: stop immediately
@@ -117,6 +123,9 @@ func (h *Host) loop() {
 			if !ok {
 				return
 			}
+			// The receive event merges the sender's Lamport stamp into the
+			// host's clock; the resulting value is this delivery's clock.
+			lc := h.Obs.Witness(env.LC)
 			var t0 time.Time
 			if h.stepNS != nil {
 				t0 = time.Now()
@@ -130,6 +139,11 @@ func (h *Host) loop() {
 			if h.stepNS != nil {
 				h.stepNS.ObserveDuration(time.Since(t0))
 			}
+			// The trace ID propagates hop-by-hop: outputs inherit the
+			// incoming envelope's ID. A traced hop whose input has none
+			// derives one from the message's request span — the birth of a
+			// trace at the request's entry into the system.
+			trace := env.Trace
 			if h.Obs.Tracing() {
 				m := env.M
 				f := obs.Extract(m.Hdr, m.Body)
@@ -137,16 +151,20 @@ func (h *Host) loop() {
 				if f.Kind != "" {
 					kind = f.Kind
 				}
+				if trace == "" {
+					trace = f.Span
+				}
 				h.Obs.Record(obs.Event{
 					Loc: h.self, Layer: obs.LayerRuntime, Kind: kind,
 					Hdr: m.Hdr, Slot: f.Slot, Ballot: f.Ballot, Span: f.Span,
+					Trace: trace, LC: lc,
 					M: &m, Outs: outs,
 				})
 			}
 			if h.OnStep != nil {
 				h.OnStep(env.M, outs)
 			}
-			h.Emit(outs)
+			h.emit(outs, trace)
 		}
 	}
 }
