@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|all [-quick] [-json [-outdir DIR]]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|chaos|all [-quick] [-json [-outdir DIR]]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -26,7 +26,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|chaos|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
@@ -46,10 +46,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "spans"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "spans", "chaos"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "spans":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "spans", "chaos":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -148,6 +148,22 @@ func run() int {
 		emit(bench.ReportSpans(res, *quick))
 		if len(res.Violations) > 0 {
 			fmt.Fprintf(os.Stderr, "spans: %d property violations\n", len(res.Violations))
+			failed = true
+		}
+	}
+	if todo["chaos"] {
+		cfg := bench.DefaultChaos()
+		if *quick {
+			cfg = bench.QuickChaos()
+		}
+		res := bench.Chaos(cfg)
+		bench.RenderChaos(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportChaos(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"chaos: certification failed: %d violations, reproducible=%v, primaries=%d, progress=%v\n",
+				len(res.Violations), res.Reproducible, res.Primaries, res.ProgressAfterFaults)
 			failed = true
 		}
 	}

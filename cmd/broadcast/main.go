@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/fault"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
 	"shadowdb/internal/obs"
@@ -46,6 +47,7 @@ func run() int {
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof)")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
+	faultPlan := flag.String("fault-plan", "", "JSON fault plan: inject its message faults, partitions, and crash (blackhole) windows on this node's transport")
 	flag.Parse()
 
 	dir, err := parseDirectory(*cluster)
@@ -80,10 +82,28 @@ func run() int {
 
 	broadcast.RegisterWireTypes()
 
-	tr, err := network.NewTCP(slf, dir)
+	var tr network.Transport
+	tcp, err := network.NewTCP(slf, dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	tr = tcp
+	if *faultPlan != "" {
+		plan, err := fault.Load(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// Faults ride the node's wall clock from process start; crash
+		// windows blackhole the node's traffic.
+		inj := fault.NewInjector(plan, nil)
+		inj.SetObs(obs.Default)
+		tr = fault.Wrap(tcp, slf, inj)
+		stop := fault.StartNemesis(inj)
+		defer stop()
+		fmt.Printf("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)\n",
+			*faultPlan, len(plan.Rules), len(plan.Partitions), len(plan.Crashes), plan.Seed)
 	}
 	defer func() { _ = tr.Close() }()
 
@@ -91,7 +111,7 @@ func run() int {
 	host.Start()
 	defer func() { _ = host.Close() }()
 	fmt.Printf("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s\n",
-		slf, tr.Addr(), bnodes, subs, *module)
+		slf, tcp.Addr(), bnodes, subs, *module)
 
 	if *trace {
 		obs.Default.EnableTracing(true)

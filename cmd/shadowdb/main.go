@@ -29,6 +29,7 @@ import (
 	"shadowdb/internal/bench/tpcc"
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/core"
+	"shadowdb/internal/fault"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
 	"shadowdb/internal/obs"
@@ -53,6 +54,7 @@ func run() int {
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
+	faultPlan := flag.String("fault-plan", "", "JSON fault plan: inject its message faults, partitions, and crash (blackhole) windows on this node's transport")
 	flag.Parse()
 
 	dir, err := parseDirectory(*cluster)
@@ -72,10 +74,30 @@ func run() int {
 	core.RegisterWireTypes()
 	broadcast.RegisterWireTypes()
 
-	tr, err := network.NewTCP(msg.Loc(*id), dir)
+	var tr network.Transport
+	tcp, err := network.NewTCP(msg.Loc(*id), dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	tr = tcp
+	if *faultPlan != "" {
+		plan, err := fault.Load(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// Faults ride the node's wall clock from process start. Crash
+		// windows become blackholes: a real process cannot be crashed
+		// from inside, but cutting all of its traffic is the same fault
+		// to the rest of the cluster.
+		inj := fault.NewInjector(plan, nil)
+		inj.SetObs(obs.Default)
+		tr = fault.Wrap(tcp, msg.Loc(*id), inj)
+		stop := fault.StartNemesis(inj)
+		defer stop()
+		fmt.Printf("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)\n",
+			*faultPlan, len(plan.Rules), len(plan.Partitions), len(plan.Crashes), plan.Seed)
 	}
 	defer func() { _ = tr.Close() }()
 
@@ -92,7 +114,7 @@ func run() int {
 	host.Start()
 	defer func() { _ = host.Close() }()
 	fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
-		*id, *role, tr.Addr(), replicaLocs, bcastLocs)
+		*id, *role, tcp.Addr(), replicaLocs, bcastLocs)
 
 	if *trace {
 		obs.Default.EnableTracing(true)

@@ -236,7 +236,7 @@ func measureTransfer(setup func(*sqldb.DB) error) float64 {
 	// The sender serializes (service time = serialization cost), then the
 	// batches flow through the link.
 	clu.AddCostedNode("src", 1, func(env des.Envelope) ([]msg.Directive, time.Duration) {
-		outs, cost := core.SnapshotDirectives(src, "dst", 0, 0, 0)
+		outs, cost := core.SnapshotDirectives(src, "dst", 0, 0, 1, 0)
 		return outs, cost
 	})
 	clu.Inject("src", msg.M("go", nil))

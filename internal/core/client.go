@@ -44,12 +44,23 @@ type Client struct {
 	Replicas []msg.Loc
 	// BcastNodes is the SMR broadcast service membership.
 	BcastNodes []msg.Loc
-	// Retry is the resend timeout (0 = 2s).
+	// Retry is the base resend timeout (0 = 2s). Consecutive retries of
+	// the same request back off exponentially from this base.
 	Retry time.Duration
+	// RetryCap bounds the exponential backoff (0 = 16x the base). The cap
+	// keeps a client useful across long partitions: it probes at a bounded
+	// rate instead of backing off forever.
+	RetryCap time.Duration
+	// JitterSeed seeds the deterministic retry jitter (0 = derived from
+	// Slf). Jitter desynchronizes clients that failed together — avoiding
+	// a retry stampede at the recovering primary — while staying a pure
+	// function of (seed, seq, attempt) so simulated runs replay exactly.
+	JitterSeed uint64
 
 	seq      int64
 	primary  int
 	home     int // broadcast node the SMR client currently uses
+	attempt  int // consecutive retries of the inflight request
 	inflight *TxRequest
 	// Done counts completed transactions; Retries counts resends.
 	Done    int64
@@ -62,6 +73,53 @@ func (c *Client) retry() time.Duration {
 		return c.Retry
 	}
 	return 2 * time.Second
+}
+
+// backoff returns the retry-timer delay for the current attempt: the
+// base timeout on the first send, then doubling up to RetryCap with
+// deterministic ±25% jitter.
+func (c *Client) backoff() time.Duration {
+	base := c.retry()
+	if c.attempt == 0 {
+		return base
+	}
+	limit := c.RetryCap
+	if limit <= 0 {
+		limit = 16 * base
+	}
+	d := base
+	for i := 0; i < c.attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	seed := c.JitterSeed
+	if seed == 0 {
+		seed = strseed(string(c.Slf))
+	}
+	h := mix64(seed ^ mix64(uint64(c.seq)) ^ mix64(uint64(c.attempt)))
+	frac := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return d + time.Duration((frac-0.5)*0.5*float64(d))
+}
+
+// mix64 is the splitmix64 finalizer; strseed is FNV-1a. Together they
+// give the client its own deterministic jitter stream without a shared
+// PRNG (which would make replays depend on scheduling order).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func strseed(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Busy reports whether a transaction is outstanding.
@@ -77,6 +135,7 @@ func (c *Client) Submit(txType string, args []any) []msg.Directive {
 		panic("core: client already has a transaction outstanding")
 	}
 	c.seq++
+	c.attempt = 0
 	req := TxRequest{Client: c.Slf, Seq: c.seq, Type: txType, Args: args}
 	c.inflight = &req
 	return c.send(req)
@@ -84,7 +143,7 @@ func (c *Client) Submit(txType string, args []any) []msg.Directive {
 
 func (c *Client) send(req TxRequest) []msg.Directive {
 	outs := []msg.Directive{
-		msg.SendAfter(c.retry(), c.Slf, msg.M(HdrClientRetry, ClientRetryBody{Seq: req.Seq})),
+		msg.SendAfter(c.backoff(), c.Slf, msg.M(HdrClientRetry, ClientRetryBody{Seq: req.Seq})),
 	}
 	switch c.Mode {
 	case ModeSMR:
@@ -113,6 +172,7 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 			return nil, nil // stale or duplicate answer
 		}
 		c.inflight = nil
+		c.attempt = 0
 		c.Done++
 		if res.Aborted {
 			c.Aborted++
@@ -128,6 +188,9 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 				c.primary = i
 			}
 		}
+		// A redirect came from a live replica with fresh routing info:
+		// reset the backoff so only true unresponsiveness grows it.
+		c.attempt = 0
 		return nil, c.resend()
 	case HdrClientRetry:
 		body := in.Body.(ClientRetryBody)
@@ -135,6 +198,9 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 			return nil, nil // the guarded request already completed
 		}
 		c.Retries++
+		c.attempt++
+		mCliRetries.Inc()
+		mCliBackoff.Add(int64(c.backoff()))
 		if c.Mode == ModePBR {
 			// Try the next replica: the primary may have crashed.
 			c.primary = (c.primary + 1) % len(c.Replicas)

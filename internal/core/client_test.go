@@ -107,6 +107,77 @@ func TestClientRetryRotates(t *testing.T) {
 	}
 }
 
+func TestClientBackoffGrowsAndCaps(t *testing.T) {
+	cli := &Client{
+		Slf: "c", Mode: ModePBR, Replicas: []msg.Loc{"r1", "r2"},
+		Retry: time.Second, RetryCap: 4 * time.Second,
+	}
+	delayOf := func(outs []msg.Directive) time.Duration {
+		for _, o := range outs {
+			if o.M.Hdr == HdrClientRetry {
+				return o.Delay
+			}
+		}
+		t.Fatal("no retry timer armed")
+		return 0
+	}
+	// First send: exactly the base timeout, no jitter.
+	if d := delayOf(cli.Submit("x", nil)); d != time.Second {
+		t.Fatalf("first timer %v, want exactly %v", d, time.Second)
+	}
+	// Each retry roughly doubles (±25% jitter), then saturates at the cap.
+	var prev time.Duration
+	for i := 1; i <= 6; i++ {
+		_, outs := cli.Handle(msg.M(HdrClientRetry, ClientRetryBody{Seq: 1}))
+		d := delayOf(outs)
+		want := time.Second << i
+		if want > 4*time.Second {
+			want = 4 * time.Second
+		}
+		lo := want - want/4
+		hi := want + want/4
+		if d < lo || d > hi {
+			t.Fatalf("retry %d delay %v outside [%v,%v]", i, d, lo, hi)
+		}
+		prev = d
+	}
+	_ = prev
+	// Completion resets the backoff for the next transaction.
+	cli.Handle(msg.M(HdrTxResult, TxResult{Client: "c", Seq: 1}))
+	if d := delayOf(cli.Submit("y", nil)); d != time.Second {
+		t.Fatalf("post-completion timer %v, want base %v", d, time.Second)
+	}
+}
+
+func TestClientBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		cli := &Client{
+			Slf: "c", Mode: ModePBR, Replicas: []msg.Loc{"r1"},
+			Retry: time.Second, JitterSeed: 42,
+		}
+		cli.Submit("x", nil)
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			_, outs := cli.Handle(msg.M(HdrClientRetry, ClientRetryBody{Seq: 1}))
+			for _, o := range outs {
+				if o.M.Hdr == HdrClientRetry {
+					out = append(out, o.Delay)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 5 {
+		t.Fatalf("collected %d delays", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d jitter differs across identical clients: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestClientSMRSubmitAndRetryRotatesNodes(t *testing.T) {
 	cli := &Client{Slf: "c", Mode: ModeSMR, BcastNodes: []msg.Loc{"b1", "b2", "b3"}, Retry: time.Second}
 	outs := cli.Submit("x", []any{int64(1)})

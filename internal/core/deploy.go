@@ -88,11 +88,14 @@ func (s *PBRSystem) System(extraLocs []msg.Loc, extra gpm.Generator) gpm.System 
 	return gpm.System{Gen: gen, Locs: locs}
 }
 
-// StartDirectives returns the boot messages (failure detectors).
+// StartDirectives returns the boot messages (failure detectors), in
+// pool order: map iteration would arm same-instant timers in a
+// different order each run, perturbing simulated schedules that must
+// replay exactly (the chaos fingerprint check).
 func (s *PBRSystem) StartDirectives() []msg.Directive {
 	var outs []msg.Directive
-	for _, r := range s.Replicas {
-		outs = append(outs, r.Start()...)
+	for _, l := range s.Dep.Pool {
+		outs = append(outs, s.Replicas[l].Start()...)
 	}
 	return outs
 }

@@ -23,6 +23,8 @@ var (
 	mElections  = obs.C("core.pbr.elections")
 	mRecoverNS  = obs.H("core.pbr.recovery_ns")
 	gExecuted   = obs.G("core.executed")
+	mCliRetries = obs.C("core.client.retries")
+	mCliBackoff = obs.C("core.client.backoff_ns")
 )
 
 func init() {
@@ -44,6 +46,8 @@ func init() {
 			f.Slot, f.Ballot = b.Executed, int64(b.CfgSeq)
 		case Catchup:
 			f.Slot, f.Ballot = b.From, int64(b.CfgSeq)
+		case CatchupReq:
+			f.Slot, f.Ballot = b.Since, int64(b.CfgSeq)
 		case Recovered:
 			f.Ballot = int64(b.CfgSeq)
 		case Redirect:

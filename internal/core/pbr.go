@@ -86,6 +86,15 @@ type PBRReplica struct {
 	// backup state
 	oooRepl   map[int64]Repl
 	snapState *snapAssembly
+	// gapTick counts forwards buffered behind a replication gap, pacing
+	// explicit catch-up requests to the primary.
+	gapTick int
+	// stuckTicks counts heartbeat periods spent stopped without any
+	// transfer traffic; every few of them the catch-up request escalates
+	// to a forced resync (the in-flight transfer was lost).
+	stuckTicks int
+	// snapXfer numbers outgoing state transfers (primary side).
+	snapXfer int64
 
 	// election state
 	electing bool
@@ -117,6 +126,7 @@ type ackWait struct {
 
 type snapAssembly struct {
 	cfgSeq   int
+	xfer     int64
 	schemas  []sqldb.CreateTable
 	rows     map[string][][]sqldb.Value
 	held     []Repl
@@ -180,8 +190,7 @@ func (r *PBRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 	case HdrReplAck:
 		outs = r.onReplAck(in.Body.(ReplAck))
 	case HdrHeartbeat:
-		hb := in.Body.(Heartbeat)
-		r.missed[hb.From] = 0
+		outs = r.onHeartbeat(in.Body.(Heartbeat))
 	case HdrHBTick:
 		outs = r.onHBTick()
 	case broadcast.HdrDeliver:
@@ -190,6 +199,8 @@ func (r *PBRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 		outs = r.onElect(in.Body.(Elect))
 	case HdrCatchup:
 		outs = r.onCatchup(in.Body.(Catchup))
+	case HdrCatchupReq:
+		outs = r.onCatchupReq(in.Body.(CatchupReq))
 	case HdrSnapBegin:
 		outs = r.onSnapBegin(in.Body.(SnapBegin))
 	case HdrSnapBatch:
@@ -222,11 +233,20 @@ func (r *PBRReplica) onTx(req TxRequest) []msg.Directive {
 		}))}
 	}
 	if r.stopped {
+		if len(r.heldReqs) >= maxHeldReqs {
+			// Shed rather than grow without bound during a long recovery;
+			// the client's retry timer (with backoff) re-submits.
+			return nil
+		}
 		r.heldReqs = append(r.heldReqs, req)
 		return nil
 	}
 	return r.execAsPrimary(req)
 }
+
+// maxHeldReqs bounds the requests a stopped primary buffers for replay at
+// resume. Beyond it, requests are dropped and covered by client retry.
+const maxHeldReqs = 4096
 
 func (r *PBRReplica) execAsPrimary(req TxRequest) []msg.Directive {
 	if res, dup := r.exec.Duplicate(req); dup {
@@ -274,7 +294,21 @@ func (r *PBRReplica) onRepl(rep Repl) []msg.Directive {
 		}))}
 	}
 	r.oooRepl[rep.Order] = rep
-	return r.drainRepl()
+	outs := r.drainRepl()
+	if _, gap := r.oooRepl[r.exec.Executed+1]; !gap && len(r.oooRepl) > 0 {
+		// Forwards are piling up behind a hole the primary will never
+		// retransmit on its own (a Repl lost to the network). Ask for the
+		// missing range explicitly, pacing requests so a burst of buffered
+		// forwards costs one round trip — but re-asking while stuck, in
+		// case the request or its answer is lost too.
+		r.gapTick++
+		if r.gapTick == 1 || r.gapTick%8 == 0 {
+			outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrCatchupReq, CatchupReq{
+				CfgSeq: r.cfg.Seq, From: r.slf, Since: r.exec.Executed,
+			})))
+		}
+	}
+	return outs
 }
 
 // drainRepl applies contiguously buffered forwards.
@@ -283,6 +317,9 @@ func (r *PBRReplica) drainRepl() []msg.Directive {
 	for {
 		rep, ok := r.oooRepl[r.exec.Executed+1]
 		if !ok {
+			if len(outs) > 0 {
+				r.gapTick = 0 // progress: re-arm the gap pacer
+			}
 			return outs
 		}
 		delete(r.oooRepl, rep.Order)
@@ -320,7 +357,12 @@ func (r *PBRReplica) onHBTick() []msg.Directive {
 	if !r.cfg.Contains(r.slf) {
 		return outs // spares stay passive
 	}
-	hb := Heartbeat{From: r.slf, CfgSeq: r.cfg.Seq}
+	hb := Heartbeat{
+		From: r.slf, CfgSeq: r.cfg.Seq,
+		Members: append([]msg.Loc(nil), r.cfg.Members...),
+		Stopped: r.stopped,
+		Elected: !r.electing,
+	}
 	limit := int(r.dep.Timing.SuspectAfter / r.dep.Timing.HeartbeatEvery)
 	for _, m := range r.cfg.Members {
 		if m == r.slf {
@@ -332,6 +374,166 @@ func (r *PBRReplica) onHBTick() []msg.Directive {
 			r.suspected[m] = true
 			outs = append(outs, r.suspect(m)...)
 		}
+	}
+	if r.electing {
+		// An election is only as live as its votes: they are sent once at
+		// the configuration delivery, and a member on the wrong side of a
+		// partition at that moment never sees ours (suspicion cannot break
+		// the tie — every member is stopped during an election). Re-send
+		// our vote to members we have not heard from until the tally
+		// closes, so the election completes as soon as the network heals.
+		vote := Elect{CfgSeq: r.cfg.Seq, From: r.slf, Executed: r.exec.Executed, HasData: r.hasData()}
+		for _, m := range r.cfg.Members {
+			if m == r.slf {
+				continue
+			}
+			if _, ok := r.votes[m]; !ok {
+				outs = append(outs, msg.Send(m, msg.M(HdrElect, vote)))
+			}
+		}
+	}
+	return outs
+}
+
+// onHeartbeat processes a liveness probe and its piggybacked
+// configuration gossip. Beyond resetting the failure detector, it closes
+// the recovery holes a faulty network opens: replicas that missed a
+// reconfiguration adopt it from gossip, stale non-members are told to
+// stand down, healed partitions un-suspect peers (resuming a stop whose
+// reconfiguration proposal was lost), and signals dropped on the wire
+// (Catchup, Recovered) are re-solicited.
+func (r *PBRReplica) onHeartbeat(hb Heartbeat) []msg.Directive {
+	switch {
+	case hb.CfgSeq > r.cfg.Seq && len(hb.Members) > 0:
+		return r.adoptConfig(hb)
+	case hb.CfgSeq < r.cfg.Seq:
+		if !r.cfg.Contains(hb.From) {
+			// A stale non-member (e.g. a restarted old primary still
+			// probing its defunct membership) never hears our periodic
+			// heartbeats; push it our configuration so it can stand down.
+			return []msg.Directive{msg.Send(hb.From, msg.M(HdrHeartbeat, Heartbeat{
+				From: r.slf, CfgSeq: r.cfg.Seq,
+				Members: append([]msg.Loc(nil), r.cfg.Members...),
+				Stopped: r.stopped,
+				Elected: !r.electing,
+			}))}
+		}
+		return nil // member momentarily behind; its own deliver fixes it
+	}
+	r.missed[hb.From] = 0
+	var outs []msg.Directive
+	if r.electing && hb.Elected {
+		// The tally closed without us — votes crossed a partition — and
+		// the sender already runs the elected order. Adopt it; the
+		// stopped-backup repair below fetches whatever we missed.
+		r.cfg.Members = append([]msg.Loc(nil), hb.Members...)
+		r.electing = false
+		traceRecovery(r.slf, "pbr.adoptelection", r.cfg.Seq, "from="+string(hb.From))
+	}
+	if r.suspected[hb.From] {
+		// The suspect is provably alive: a partition healed. Clear the
+		// suspicion, and if the stop-for-recovery has lost its last reason
+		// (no election running, no surviving suspects), resume rather than
+		// wait for a reconfiguration that may never have been agreed.
+		delete(r.suspected, hb.From)
+		traceRecovery(r.slf, "pbr.unsuspect", r.cfg.Seq, "peer="+string(hb.From))
+		if r.stopped && !r.electing && r.snapState == nil && len(r.suspected) == 0 {
+			outs = append(outs, r.resume()...)
+		}
+	}
+	if r.stopped && !r.electing && r.snapState == nil &&
+		hb.From == r.cfg.Primary() && r.cfg.Primary() != r.slf {
+		// Still halted while the primary is up with no transfer arriving:
+		// the Catchup or SnapBegin that should have released us was lost.
+		// Ask again. The primary ignores repeats while a transfer to us is
+		// in flight, so after several unanswered asks escalate to a forced
+		// resync — that in-flight transfer is not coming.
+		r.stuckTicks++
+		outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrCatchupReq, CatchupReq{
+			CfgSeq: r.cfg.Seq, From: r.slf, Since: r.exec.Executed,
+			Resync: r.stuckTicks%4 == 0,
+		})))
+	}
+	if hb.Stopped && hb.From == r.cfg.Primary() && !r.stopped && !r.electing &&
+		r.snapState == nil && r.slf != r.cfg.Primary() {
+		// The primary is still waiting out recovery but we are in sync:
+		// our Recovered was lost. Repeat it.
+		outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
+			CfgSeq: r.cfg.Seq, From: r.slf,
+		})))
+	}
+	return outs
+}
+
+// adoptConfig installs a configuration learned from gossip — the path
+// for replicas that missed the reconfiguration broadcast (restarted, or
+// partitioned away while it was agreed).
+func (r *PBRReplica) adoptConfig(hb Heartbeat) []msg.Directive {
+	traceRecovery(r.slf, "pbr.adopt", hb.CfgSeq, "from="+string(hb.From))
+	r.cfg = Config{Seq: hb.CfgSeq, Members: append([]msg.Loc(nil), hb.Members...)}
+	r.resetPerConfig()
+	outs := r.flushHeld()
+	if !r.cfg.Contains(r.slf) {
+		// Excluded while away. Our state may have diverged from the
+		// surviving chain (e.g. we executed transactions as a primary
+		// whose acks never committed), so it must not seed a future
+		// election: wipe and rejoin as a fresh spare, to be repopulated by
+		// snapshot if ever re-added.
+		r.stopped = false
+		r.wipeToSpare()
+		return outs
+	}
+	// Member of the adopted configuration but behind its history: halt
+	// normal processing and ask the primary to close the gap. The request
+	// is repeated from onHeartbeat while we stay stopped, so losing it is
+	// not fatal.
+	r.stopped = true
+	if r.recoverAt == 0 {
+		r.recoverAt = obs.Default.Now()
+	}
+	return append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrCatchupReq, CatchupReq{
+		CfgSeq: r.cfg.Seq, From: r.slf, Since: r.exec.Executed,
+	})))
+}
+
+// resetPerConfig clears every piece of per-configuration state. Callers
+// set the replica's role flags (stopped, electing) afterwards.
+func (r *PBRReplica) resetPerConfig() {
+	r.electing = false
+	r.votes = make(map[msg.Loc]Elect)
+	r.pending = make(map[int64]*ackWait)
+	r.oooRepl = make(map[int64]Repl)
+	r.syncing = make(map[msg.Loc]bool)
+	r.recovered = make(map[msg.Loc]bool)
+	r.missed = make(map[msg.Loc]int)
+	r.suspected = make(map[msg.Loc]bool)
+	r.snapState = nil
+	r.gapTick = 0
+	r.stuckTicks = 0
+}
+
+// wipeToSpare discards the replica's database and execution history,
+// returning it to the fresh-spare state (hasData() false).
+func (r *PBRReplica) wipeToSpare() {
+	_ = r.exec.DB.Restore(nil)
+	r.exec.InstallSnapshot(0)
+	traceRecovery(r.slf, "pbr.wipe", r.cfg.Seq, "")
+}
+
+// flushHeld redirects requests buffered while this replica was a stopped
+// primary to the configuration's (new) primary. The clients resend with
+// their original sequence numbers, so exactly-once execution holds.
+func (r *PBRReplica) flushHeld() []msg.Directive {
+	if len(r.heldReqs) == 0 {
+		return nil
+	}
+	held := r.heldReqs
+	r.heldReqs = nil
+	outs := make([]msg.Directive, 0, len(held))
+	for _, req := range held {
+		outs = append(outs, msg.Send(req.Client, msg.M(HdrRedirect, Redirect{
+			Primary: r.cfg.Primary(), CfgSeq: r.cfg.Seq,
+		})))
 	}
 	return outs
 }
@@ -399,18 +601,18 @@ func (r *PBRReplica) onNewConfig(prop NewConfig) []msg.Directive {
 	}
 	traceRecovery(r.slf, "pbr.newconfig", prop.OldSeq+1, "proposer="+string(prop.Proposer))
 	r.cfg = Config{Seq: prop.OldSeq + 1, Members: append([]msg.Loc(nil), prop.Members...)}
+	r.resetPerConfig()
 	r.stopped = true
 	r.electing = true
-	r.votes = make(map[msg.Loc]Elect)
-	r.pending = make(map[int64]*ackWait)
-	r.oooRepl = make(map[int64]Repl)
-	r.syncing = make(map[msg.Loc]bool)
-	r.recovered = make(map[msg.Loc]bool)
-	r.missed = make(map[msg.Loc]int)
-	r.suspected = make(map[msg.Loc]bool)
 	if !r.cfg.Contains(r.slf) {
+		// Excluded: fall back to spare duty. Wipe the database — this
+		// replica may have executed transactions the surviving members
+		// never acknowledged, and divergent state must not win a later
+		// election — and point any held clients at the successor group.
 		r.electing = false
-		return nil // excluded: fall back to spare duty
+		r.stopped = false
+		r.wipeToSpare()
+		return r.flushHeld()
 	}
 	vote := Elect{CfgSeq: r.cfg.Seq, From: r.slf, Executed: r.exec.Executed, HasData: r.hasData()}
 	outs := make([]msg.Directive, 0, len(r.cfg.Members))
@@ -475,8 +677,9 @@ func (r *PBRReplica) recordVote(v Elect) []msg.Directive {
 	traceRecovery(r.slf, "pbr.elected", r.cfg.Seq, "primary="+string(primary))
 	if r.slf != primary {
 		// Backups wait for catch-up (or resume directly if in sync —
-		// the primary tells them via an empty catch-up).
-		return nil
+		// the primary tells them via an empty catch-up). A former primary
+		// demoted here redirects its held clients to the winner.
+		return r.flushHeld()
 	}
 	return r.primarySync()
 }
@@ -506,9 +709,11 @@ func (r *PBRReplica) primarySync() []msg.Directive {
 }
 
 // sendSnapshot emits a full state transfer to one backup, charging the
-// serialization cost model.
+// serialization cost model. Each transfer gets a fresh id so the
+// receiver can tell a replacement from stragglers of a lost one.
 func (r *PBRReplica) sendSnapshot(to msg.Loc) []msg.Directive {
-	outs, cost := SnapshotDirectives(r.exec.DB, to, r.cfg.Seq, r.exec.Executed, r.dep.BatchBytes)
+	r.snapXfer++
+	outs, cost := SnapshotDirectives(r.exec.DB, to, r.cfg.Seq, r.exec.Executed, r.snapXfer, r.dep.BatchBytes)
 	r.stepCost += cost
 	return outs
 }
@@ -519,7 +724,7 @@ func (r *PBRReplica) sendSnapshot(to msg.Loc) []msg.Directive {
 // proportional to rows times columns, as the paper observes for TPC-C
 // ("serialization overhead is proportional to the number of table
 // columns").
-func SnapshotDirectives(db *sqldb.DB, to msg.Loc, cfgSeq int, order int64, batchBytes int) ([]msg.Directive, time.Duration) {
+func SnapshotDirectives(db *sqldb.DB, to msg.Loc, cfgSeq int, order, xfer int64, batchBytes int) ([]msg.Directive, time.Duration) {
 	dumps := db.Snapshot()
 	eng := db.Engine()
 	schemas := make([]sqldb.CreateTable, len(dumps))
@@ -527,7 +732,7 @@ func SnapshotDirectives(db *sqldb.DB, to msg.Loc, cfgSeq int, order int64, batch
 		schemas[i] = d.Schema
 	}
 	outs := []msg.Directive{msg.Send(to, msg.M(HdrSnapBegin, SnapBegin{
-		CfgSeq: cfgSeq, Schemas: schemas, Order: order,
+		CfgSeq: cfgSeq, Xfer: xfer, Schemas: schemas, Order: order,
 	}))}
 	var cost time.Duration
 	n := 0
@@ -535,35 +740,73 @@ func SnapshotDirectives(db *sqldb.DB, to msg.Loc, cfgSeq int, order int64, batch
 		cols := len(d.Schema.Cols)
 		for _, batch := range sqldb.SplitBatches(d, batchBytes) {
 			outs = append(outs, msg.Send(to, msg.M(HdrSnapBatch, SnapBatch{
-				CfgSeq: cfgSeq, Table: batch.Table, Rows: batch.Rows, N: n,
+				CfgSeq: cfgSeq, Xfer: xfer, Table: batch.Table, Rows: batch.Rows, N: n,
 			})))
 			n++
 			cost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
 		}
 	}
 	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{
-		CfgSeq: cfgSeq, Order: order, Batches: n,
+		CfgSeq: cfgSeq, Xfer: xfer, Order: order, Batches: n,
 	})))
 	return outs, cost
+}
+
+// onCatchupReq answers a backup's explicit repair request: cached
+// transactions when the log cache reaches back far enough, a full state
+// transfer otherwise.
+func (r *PBRReplica) onCatchupReq(q CatchupReq) []msg.Directive {
+	if q.CfgSeq != r.cfg.Seq || r.cfg.Primary() != r.slf || !r.cfg.Contains(q.From) {
+		return nil
+	}
+	if r.syncing[q.From] && !q.Resync {
+		// A state transfer to this backup is already in flight; a repeated
+		// request just means it has not landed yet. Re-snapshotting on
+		// every ask would stack transfers — each one a full serialization
+		// on our CPU and a restart of the backup's assembly.
+		return nil
+	}
+	txs, ok := r.exec.LogFrom(q.Since)
+	if ok {
+		return []msg.Directive{msg.Send(q.From, msg.M(HdrCatchup, Catchup{
+			CfgSeq: r.cfg.Seq, From: q.Since + 1, Txs: txs,
+		}))}
+	}
+	r.syncing[q.From] = true
+	return r.sendSnapshot(q.From)
 }
 
 func (r *PBRReplica) onCatchup(c Catchup) []msg.Directive {
 	if c.CfgSeq != r.cfg.Seq {
 		return nil
 	}
+	r.stuckTicks = 0
+	var outs []msg.Directive
 	for _, rep := range c.Txs {
 		if rep.Order <= r.exec.Executed {
 			continue
 		}
 		if _, err := r.exec.Apply(rep.Order, rep.Req); err != nil {
-			return nil
+			return outs
 		}
+		delete(r.oooRepl, rep.Order)
+		// Ack each repaired transaction: the primary may hold a pending
+		// commit waiting on exactly this order (gap repair during normal
+		// processing, not just post-election catch-up).
+		outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrReplAck, ReplAck{
+			CfgSeq: r.cfg.Seq, Order: rep.Order, From: r.slf,
+		})))
 	}
+	// Forwards buffered behind the repaired gap may now be contiguous.
+	outs = append(outs, r.drainRepl()...)
+	wasStopped := r.stopped
 	r.stopped = false
-	r.markRecovered()
-	return []msg.Directive{msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
+	if wasStopped {
+		r.markRecovered()
+	}
+	return append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrRecovered, Recovered{
 		CfgSeq: r.cfg.Seq, From: r.slf,
-	}))}
+	})))
 }
 
 // markRecovered closes this replica's recovery window (observability).
@@ -579,8 +822,13 @@ func (r *PBRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
 	if s.CfgSeq != r.cfg.Seq {
 		return nil
 	}
+	if st := r.snapState; st != nil && s.Xfer <= st.xfer {
+		return nil // duplicate or stale begin; keep the current assembly
+	}
+	r.stuckTicks = 0
 	r.snapState = &snapAssembly{
 		cfgSeq:  s.CfgSeq,
+		xfer:    s.Xfer,
 		schemas: s.Schemas,
 		rows:    make(map[string][][]sqldb.Value),
 	}
@@ -588,8 +836,8 @@ func (r *PBRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
 }
 
 func (r *PBRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
-	if r.snapState == nil || b.CfgSeq != r.cfg.Seq {
-		return nil
+	if r.snapState == nil || b.CfgSeq != r.cfg.Seq || b.Xfer != r.snapState.xfer {
+		return nil // no assembly, or a straggler of a superseded transfer
 	}
 	r.snapState.rows[b.Table] = append(r.snapState.rows[b.Table], b.Rows...)
 	r.snapState.received++
@@ -603,7 +851,7 @@ func (r *PBRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
 }
 
 func (r *PBRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
-	if r.snapState == nil || s.CfgSeq != r.cfg.Seq {
+	if r.snapState == nil || s.CfgSeq != r.cfg.Seq || s.Xfer != r.snapState.xfer {
 		return nil
 	}
 	if r.snapState.received < s.Batches {

@@ -50,6 +50,10 @@ const (
 	HdrElect = "sdb.elect"
 	// HdrCatchup carries missing transactions to a lagging backup.
 	HdrCatchup = "sdb.catchup"
+	// HdrCatchupReq is a backup's explicit request for missing
+	// transactions (a replication gap that retransmission-free forwarding
+	// would otherwise never repair).
+	HdrCatchupReq = "sdb.catchupreq"
 	// HdrSnapBegin / HdrSnapBatch / HdrSnapEnd carry a state transfer.
 	HdrSnapBegin = "sdb.snapbegin"
 	HdrSnapBatch = "sdb.snapbatch"
@@ -105,10 +109,22 @@ type ReplAck struct {
 	From   msg.Loc
 }
 
-// Heartbeat is the liveness probe.
+// Heartbeat is the liveness probe. It doubles as configuration gossip:
+// Members carries the sender's view of the current configuration
+// (primary first once elected) so replicas that missed a
+// reconfiguration — restarted, or on the wrong side of a partition —
+// can adopt it, and Stopped exposes the sender's recovery state so
+// peers can re-send signals lost on a faulty link.
 type Heartbeat struct {
-	From   msg.Loc
-	CfgSeq int
+	From    msg.Loc
+	CfgSeq  int
+	Members []msg.Loc
+	Stopped bool
+	// Elected reports that Members is the authoritative order (primary
+	// first): the sender is not mid-election. A member whose election
+	// tally never closed — its votes crossed a partition — adopts the
+	// order from the first elected peer it hears.
+	Elected bool
 }
 
 // HBTick is the local failure-detector timer body.
@@ -142,9 +158,27 @@ type Catchup struct {
 	Txs    []Repl
 }
 
-// SnapBegin opens a state transfer.
+// CatchupReq asks the primary for every transaction after Since. Backups
+// send it when a forward gap persists (lost Repl) and when configuration
+// gossip reveals they are behind an adopted configuration. While a state
+// transfer to the requester is already in flight the primary ignores
+// repeats; Resync overrides that and forces a fresh transfer — the
+// backup sets it after asking several times without seeing any transfer
+// traffic, which means the in-flight one was lost to the network.
+type CatchupReq struct {
+	CfgSeq int
+	From   msg.Loc
+	Since  int64
+	Resync bool
+}
+
+// SnapBegin opens a state transfer. Xfer identifies the transfer: the
+// sender numbers transfers monotonically, so a receiver can discard
+// batches of a superseded transfer and ignore duplicate or stale begins
+// instead of restarting assembly from scratch.
 type SnapBegin struct {
 	CfgSeq  int
+	Xfer    int64
 	Schemas []sqldb.CreateTable
 	// Order is the execution order number the snapshot reflects.
 	Order int64
@@ -153,6 +187,7 @@ type SnapBegin struct {
 // SnapBatch carries one batch of rows.
 type SnapBatch struct {
 	CfgSeq int
+	Xfer   int64
 	Table  string
 	Rows   [][]sqldb.Value
 	// N is the batch index, Last marks the final batch of the table.
@@ -164,6 +199,7 @@ type SnapBatch struct {
 // completion until they arrive.
 type SnapEnd struct {
 	CfgSeq  int
+	Xfer    int64
 	Order   int64
 	Batches int
 }
@@ -181,8 +217,8 @@ func RegisterWireTypes() {
 	gobBasics()
 	for _, v := range []any{
 		TxRequest{}, TxResult{}, Redirect{}, Repl{}, ReplAck{}, Heartbeat{}, HBTick{},
-		NewConfig{}, Elect{}, Catchup{}, SnapBegin{}, SnapBatch{}, SnapEnd{}, Recovered{},
-		ClientRetryBody{},
+		NewConfig{}, Elect{}, Catchup{}, CatchupReq{}, SnapBegin{}, SnapBatch{}, SnapEnd{},
+		Recovered{}, ClientRetryBody{},
 	} {
 		msg.RegisterBody(v)
 	}

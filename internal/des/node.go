@@ -38,6 +38,18 @@ type LinkSpec struct {
 	Bandwidth float64
 }
 
+// FaultVerdict is a fault hook's decision for one message (see
+// Cluster.Fault). The zero value delivers the message untouched.
+type FaultVerdict struct {
+	// Drop discards the message.
+	Drop bool
+	// Delay postpones arrival past the link (jitter: later sends on the
+	// same link may overtake it).
+	Delay time.Duration
+	// Dup delivers this many extra copies at the same arrival time.
+	Dup int
+}
+
 // Node is a simulated machine: a FIFO run queue served by Cores workers.
 // Messages wait in the queue while all cores are busy — the queueing that
 // produces CPU-bound saturation curves.
@@ -51,6 +63,13 @@ type Node struct {
 	busy    int
 	queue   []Envelope
 	crashed bool
+	// epoch increments on every crash so work started before the crash
+	// cannot complete after a restart.
+	epoch int
+	// OnRestart, when set, runs inside Restart after the crash flag
+	// clears; restarts with state loss use it to rebuild the node's
+	// process from its initial state (see Rebind / RebindCosted).
+	OnRestart func(lostState bool)
 	// lc is the node's Lamport clock (the sim is single-threaded, so a
 	// plain int64 suffices).
 	lc int64
@@ -72,6 +91,13 @@ type Cluster struct {
 	SizeOf func(m msg.Msg) int
 	// Dropped counts messages to unknown or crashed nodes.
 	Dropped int64
+	// Fault, when set, judges every inter-node message before it is
+	// scheduled (self-sends — timers — are exempt): dropped messages
+	// vanish, delays shift the arrival past the link, duplicates deliver
+	// extra copies. fault.BindCluster installs a plan-driven hook.
+	Fault func(from, to msg.Loc, m msg.Msg) FaultVerdict
+	// FaultDrops counts messages the Fault hook dropped.
+	FaultDrops int64
 	// linkFree serializes each directed link: a message's transmission
 	// occupies the link for size/bandwidth, so messages between one pair
 	// of nodes stay FIFO (as on a TCP connection) and large transfers
@@ -79,10 +105,11 @@ type Cluster struct {
 	linkFree map[string]time.Duration
 	// Obs receives step events with virtual timestamps; attach it with
 	// Observe. Nil means no recording.
-	Obs       *obs.Obs
-	processed *obs.Counter
-	dropped   *obs.Counter
-	gQueue    *obs.Gauge
+	Obs        *obs.Obs
+	processed  *obs.Counter
+	dropped    *obs.Counter
+	faultDrops *obs.Counter
+	gQueue     *obs.Gauge
 }
 
 // NewCluster creates an empty cluster on a simulator.
@@ -168,7 +195,11 @@ func (c *Cluster) SendAfter(extra time.Duration, from, to msg.Loc, m msg.Msg) {
 func (c *Cluster) sendCtx(extra time.Duration, from, to msg.Loc, m msg.Msg, trace string, lc int64) {
 	sendAt := c.Sim.Now() + extra
 	arrival := sendAt
-	if c.Link != nil {
+	// Self-sends are local timers, not network traffic: they skip link
+	// modeling entirely. Routing them through the serialized link would
+	// let a long timer armed first hold the "link" past its own fire time
+	// and push every shorter timer armed later behind it.
+	if c.Link != nil && from != to {
 		spec := c.Link(from, to)
 		var tx time.Duration
 		if spec.Bandwidth > 0 && c.SizeOf != nil {
@@ -183,7 +214,18 @@ func (c *Cluster) sendCtx(extra time.Duration, from, to msg.Loc, m msg.Msg, trac
 		c.linkFree[key] = start + tx
 		arrival = start + tx + spec.Latency
 	}
-	c.Sim.At(arrival, func() {
+	copies := 1
+	if c.Fault != nil && from != to {
+		v := c.Fault(from, to, m)
+		if v.Drop {
+			c.FaultDrops++
+			c.faultDrops.Inc()
+			return
+		}
+		arrival += v.Delay
+		copies += v.Dup
+	}
+	deliver := func() {
 		n, ok := c.nodes[to]
 		if !ok || n.crashed {
 			c.Dropped++
@@ -191,14 +233,38 @@ func (c *Cluster) sendCtx(extra time.Duration, from, to msg.Loc, m msg.Msg, trac
 			return
 		}
 		n.enqueue(Envelope{From: from, To: to, M: m, Trace: trace, LC: lc})
-	})
+	}
+	for i := 0; i < copies; i++ {
+		c.Sim.At(arrival, deliver)
+	}
 }
 
-// Crash marks the node failed: queued and future messages are dropped.
+// Crash marks the node failed: queued and future messages are dropped,
+// and work in service never completes (even across a later Restart).
 func (n *Node) Crash() {
 	n.crashed = true
 	n.queue = nil
+	n.epoch++
 }
+
+// Restart clears the crash flag so the node accepts traffic again.
+// With lostState false the node resumes with the state it crashed with
+// (a process restart from a durable image); with true the OnRestart
+// hook must rebuild the process from its initial state — use Rebind or
+// RebindCosted inside the hook.
+func (n *Node) Restart(lostState bool) {
+	n.crashed = false
+	if n.OnRestart != nil {
+		n.OnRestart(lostState)
+	}
+}
+
+// Rebind replaces the node's handler (state-loss restarts install a
+// fresh process this way).
+func (n *Node) Rebind(h Handler) { n.handler = h; n.costed = nil }
+
+// RebindCosted replaces the node's costed handler.
+func (n *Node) RebindCosted(h CostedHandler) { n.costed = h; n.handler = nil }
 
 // Crashed reports the failure state.
 func (n *Node) Crashed() bool { return n.crashed }
@@ -212,18 +278,21 @@ func (n *Node) enqueue(env Envelope) {
 	n.pump()
 }
 
-// pump starts queued work on free cores.
+// pump starts queued work on free cores. Service completions carry the
+// node's crash epoch: work begun before a crash is discarded even when
+// the node restarted in the meantime.
 func (n *Node) pump() {
 	for n.busy < n.Cores && len(n.queue) > 0 {
 		env := n.queue[0]
 		n.queue = n.queue[1:]
 		n.busy++
+		ep := n.epoch
 		if n.costed != nil {
 			outs, svc := n.costed(env)
 			n.BusyTime += svc
 			n.cluster.Sim.After(svc, func() {
 				n.busy--
-				if !n.crashed {
+				if !n.crashed && n.epoch == ep {
 					n.Processed++
 					n.finish(env, outs)
 				}
@@ -238,7 +307,7 @@ func (n *Node) pump() {
 		n.BusyTime += svc
 		n.cluster.Sim.After(svc, func() {
 			n.busy--
-			if !n.crashed {
+			if !n.crashed && n.epoch == ep {
 				n.Processed++
 				outs := n.handler(env)
 				n.finish(env, outs)

@@ -22,6 +22,7 @@ func (c *Cluster) Observe(o *obs.Obs) {
 	o.SetClock(func() int64 { return int64(c.Sim.Now()) + 1 })
 	c.processed = o.Counter("des.processed")
 	c.dropped = o.Counter("des.dropped")
+	c.faultDrops = o.Counter("des.fault_drops")
 	c.gQueue = o.Gauge("des.queue_depth")
 }
 

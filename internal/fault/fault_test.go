@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+)
+
+// fixedClock returns a settable run clock.
+func fixedClock() (func() time.Duration, *time.Duration) {
+	var now time.Duration
+	return func() time.Duration { return now }, &now
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed: 42,
+		Rules: []Rule{
+			{Match: Match{Hdr: "x"}, Prob: 0.5, Drop: true},
+			{Match: Match{Src: "a"}, Prob: 0.3, Delay: Duration(time.Millisecond), Jitter: Duration(time.Millisecond)},
+		},
+	}
+	run := func() []Verdict {
+		clock, _ := fixedClock()
+		in := NewInjector(plan, clock)
+		var out []Verdict
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Judge("a", "b", "x"))
+			out = append(out, in.Judge("b", "a", "x"))
+		}
+		return out
+	}
+	v1, v2 := run(), run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d differs across identical runs: %+v vs %+v", i, v1[i], v2[i])
+		}
+	}
+	// The probabilistic rule must fire sometimes and not always.
+	drops := 0
+	for _, v := range v1 {
+		if v.Drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(v1) {
+		t.Fatalf("drop rule fired %d/%d times, want a strict subset", drops, len(v1))
+	}
+}
+
+func TestJudgeIndependentOfInterleaving(t *testing.T) {
+	// The n-th message on an edge gets the same verdict no matter what
+	// other edges did in between.
+	plan := Plan{Seed: 7, Rules: []Rule{{Match: Match{}, Prob: 0.5, Drop: true}}}
+	clock, _ := fixedClock()
+	solo := NewInjector(plan, clock)
+	var want []Verdict
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.Judge("a", "b", "m"))
+	}
+	mixed := NewInjector(plan, clock)
+	var got []Verdict
+	for i := 0; i < 50; i++ {
+		mixed.Judge("c", "d", "m") // interleaved traffic on another edge
+		got = append(got, mixed.Judge("a", "b", "m"))
+		mixed.Judge("d", "c", "other")
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("verdict %d for a->b depends on unrelated traffic", i)
+		}
+	}
+}
+
+func TestRuleWindowAndMaxHits(t *testing.T) {
+	plan := Plan{Seed: 1, Rules: []Rule{{
+		Match: Match{Hdr: "x"}, From: Duration(time.Second), To: Duration(2 * time.Second),
+		Drop: true, MaxHits: 3,
+	}}}
+	clock, now := fixedClock()
+	in := NewInjector(plan, clock)
+	if v := in.Judge("a", "b", "x"); v.Drop {
+		t.Fatal("rule fired before its window")
+	}
+	*now = 1500 * time.Millisecond
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if in.Judge("a", "b", "x").Drop {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("MaxHits=3 rule fired %d times", hits)
+	}
+	*now = 2500 * time.Millisecond
+	if v := in.Judge("a", "b", "x"); v.Drop {
+		t.Fatal("rule fired after its window")
+	}
+}
+
+func TestPartitionsAndDown(t *testing.T) {
+	plan := Plan{Partitions: []Partition{
+		{From: 0, To: Duration(time.Second), A: []msg.Loc{"r1"}, B: []msg.Loc{"r2", "r3"}},
+	}}
+	clock, now := fixedClock()
+	in := NewInjector(plan, clock)
+	if !in.Blocked("r1", "r2") || !in.Blocked("r1", "r3") {
+		t.Fatal("asymmetric partition must block A->B")
+	}
+	if in.Blocked("r2", "r1") {
+		t.Fatal("asymmetric partition must not block B->A")
+	}
+	*now = 2 * time.Second
+	if in.Blocked("r1", "r2") {
+		t.Fatal("partition did not heal")
+	}
+	in.SetDown("r3", true)
+	if !in.Blocked("r2", "r3") || !in.Blocked("r3", "r2") {
+		t.Fatal("down node must be cut both ways")
+	}
+	in.SetDown("r3", false)
+	if in.Blocked("r2", "r3") {
+		t.Fatal("node came back up but stays blocked")
+	}
+}
+
+func TestSymmetricPartition(t *testing.T) {
+	plan := Plan{Partitions: []Partition{
+		{A: []msg.Loc{"a"}, B: []msg.Loc{"b"}, Symmetric: true},
+	}}
+	clock, _ := fixedClock()
+	in := NewInjector(plan, clock)
+	if !in.Blocked("a", "b") || !in.Blocked("b", "a") {
+		t.Fatal("symmetric partition must block both directions")
+	}
+}
+
+func TestFingerprintReproducible(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		clock, _ := fixedClock()
+		in := NewInjector(Plan{Seed: seed, Rules: []Rule{{Match: Match{}, Prob: 0.4, Drop: true}}}, clock)
+		for i := 0; i < 100; i++ {
+			in.Judge("a", "b", "m")
+		}
+		return in.Fingerprint()
+	}
+	if run(99) != run(99) {
+		t.Fatal("same plan+seed+messages must fingerprint identically")
+	}
+	if run(99) == run(100) {
+		t.Fatal("different seeds should (overwhelmingly) fingerprint differently")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	src := `{
+		"seed": 7,
+		"rules": [{"match": {"hdr": "sdb.repl"}, "from": "1s", "to": "3s", "prob": 0.2, "drop": true}],
+		"partitions": [{"from": "5s", "to": "8s", "a": ["r1"], "b": ["r2","r3"], "symmetric": true}],
+		"crashes": [{"at": "10s", "node": "b2", "restart_after": 2000000000}]
+	}`
+	var p Plan
+	if err := json.Unmarshal([]byte(src), &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].From.D() != time.Second || p.Rules[0].To.D() != 3*time.Second {
+		t.Fatalf("string durations parsed wrong: %+v", p.Rules[0])
+	}
+	if p.Crashes[0].RestartAfter.D() != 2*time.Second {
+		t.Fatalf("numeric duration parsed wrong: %+v", p.Crashes[0])
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2 Plan
+	if err := json.Unmarshal(b, &p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Partitions[0].To.D() != 8*time.Second || !p2.Partitions[0].Symmetric {
+		t.Fatalf("round trip lost fields: %+v", p2.Partitions[0])
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Prob: 1.5, Drop: true}}},
+		{Rules: []Rule{{Prob: 0.5}}}, // no effect
+		{Rules: []Rule{{From: Duration(2 * time.Second), To: Duration(time.Second), Drop: true}}},
+		{Partitions: []Partition{{A: []msg.Loc{"a"}}}},
+		{Crashes: []Crash{{At: Duration(time.Second)}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d should not validate", i)
+		}
+	}
+}
+
+func TestWrapHubDropsAndPartitions(t *testing.T) {
+	hub := network.NewHub()
+	defer hub.Close()
+	clock, now := fixedClock()
+	in := NewInjector(Plan{
+		Seed:       3,
+		Rules:      []Rule{{Match: Match{Hdr: "lossy"}, Drop: true}},
+		Partitions: []Partition{{From: Duration(time.Second), A: []msg.Loc{"a"}, B: []msg.Loc{"b"}}},
+	}, clock)
+
+	ta, err := hub.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := hub.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := Wrap(ta, "a", in)
+	fb := Wrap(tb, "b", in)
+	defer fa.Close()
+	defer fb.Close()
+
+	recv := func(tr network.Transport, wait time.Duration) *msg.Envelope {
+		select {
+		case env := <-tr.Receive():
+			return &env
+		case <-time.After(wait):
+			return nil
+		}
+	}
+
+	// A deterministic drop rule eats matching headers...
+	if err := fa.Send(msg.Envelope{To: "b", M: msg.M("lossy", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(fb, 50*time.Millisecond); got != nil {
+		t.Fatalf("dropped message arrived: %v", got.M.Hdr)
+	}
+	// ...while others pass.
+	if err := fa.Send(msg.Envelope{To: "b", M: msg.M("fine", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(fb, time.Second); got == nil || got.M.Hdr != "fine" {
+		t.Fatalf("clean message lost: %v", got)
+	}
+
+	// Partition window: a->b cut, b->a open (asymmetric).
+	*now = 1500 * time.Millisecond
+	if err := fa.Send(msg.Envelope{To: "b", M: msg.M("fine", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(fb, 50*time.Millisecond); got != nil {
+		t.Fatal("partitioned message arrived")
+	}
+	if err := fb.Send(msg.Envelope{To: "a", M: msg.M("fine", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv(fa, time.Second); got == nil {
+		t.Fatal("reverse direction of asymmetric partition must pass")
+	}
+	if n := len(in.Injections()); n == 0 {
+		t.Fatal("injection log empty")
+	}
+}
+
+func TestWrapDelayAndDuplicate(t *testing.T) {
+	hub := network.NewHub()
+	defer hub.Close()
+	in := NewInjector(Plan{
+		Seed: 5,
+		Rules: []Rule{
+			{Match: Match{Hdr: "dup"}, Dup: 1},
+			{Match: Match{Hdr: "slow"}, Delay: Duration(20 * time.Millisecond)},
+		},
+	}, nil)
+	ta, _ := hub.Register("a")
+	tb, _ := hub.Register("b")
+	fa := Wrap(ta, "a", in)
+	fb := Wrap(tb, "b", in)
+	defer fa.Close()
+	defer fb.Close()
+
+	if err := fa.Send(msg.Envelope{To: "b", M: msg.M("dup", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	timeout := time.After(time.Second)
+	for got < 2 {
+		select {
+		case <-fb.Receive():
+			got++
+		case <-timeout:
+			t.Fatalf("want 2 copies of duplicated message, got %d", got)
+		}
+	}
+
+	start := time.Now()
+	if err := fa.Send(msg.Envelope{To: "b", M: msg.M("slow", nil)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-fb.Receive():
+		if env.M.Hdr != "slow" {
+			t.Fatalf("unexpected %s", env.M.Hdr)
+		}
+		if since := time.Since(start); since < 15*time.Millisecond {
+			t.Fatalf("delayed message arrived after only %v", since)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delayed message never arrived")
+	}
+}
+
+func TestNemesisDownWindow(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{At: 0, Node: "b2", RestartAfter: Duration(30 * time.Millisecond)},
+	}}, nil)
+	stop := StartNemesis(in)
+	defer stop()
+	deadline := time.Now().Add(time.Second)
+	for !in.Blocked("a", "b2") {
+		if time.Now().After(deadline) {
+			t.Fatal("nemesis never took b2 down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for in.Blocked("a", "b2") {
+		if time.Now().After(deadline) {
+			t.Fatal("nemesis never brought b2 back")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

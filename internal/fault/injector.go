@@ -1,0 +1,296 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Verdict is the injector's decision for one message.
+type Verdict struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Delay postpones its delivery (reordering it past later sends).
+	Delay time.Duration
+	// Dup delivers this many extra copies.
+	Dup int
+}
+
+// Injection is one recorded fault application — the injection log is
+// the ground truth a violation is diffed against, and its Fingerprint
+// is the reproducibility check.
+type Injection struct {
+	At   time.Duration `json:"at"`
+	Kind string        `json:"kind"` // drop|delay|dup|block|down|up|crash|restart
+	Src  msg.Loc       `json:"src,omitempty"`
+	Dst  msg.Loc       `json:"dst,omitempty"`
+	Hdr  string        `json:"hdr,omitempty"`
+	// Rule indexes the firing rule (-1 for partitions and crashes).
+	Rule  int           `json:"rule"`
+	Delay time.Duration `json:"delay,omitempty"`
+	Dup   int           `json:"dup,omitempty"`
+}
+
+// Injector applies a Plan to a message stream. It is safe for
+// concurrent use (real transports call Judge from many goroutines; the
+// simulator is single-threaded).
+type Injector struct {
+	plan  Plan
+	clock func() time.Duration
+
+	mu sync.Mutex
+	// seen counts messages considered per (rule, edge, header), keyed by
+	// hash: the occurrence number feeds the decision hash, so the n-th
+	// matching message on an edge gets the same verdict regardless of
+	// interleaving with other edges.
+	seen map[uint64]uint64
+	// fired counts firings per rule (MaxHits budget).
+	fired []int
+	down  map[msg.Loc]bool
+	log   []Injection
+
+	o       *obs.Obs
+	cDrops  *obs.Counter
+	cDelays *obs.Counter
+	cDups   *obs.Counter
+	cBlocks *obs.Counter
+}
+
+// NewInjector builds an injector over a validated plan. clock is the
+// run clock faults are timed against: the simulator's virtual clock
+// under DES, nil for wall time since construction.
+func NewInjector(p Plan, clock func() time.Duration) *Injector {
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	return &Injector{
+		plan:  p,
+		clock: clock,
+		seen:  make(map[uint64]uint64),
+		fired: make([]int, len(p.Rules)),
+		down:  make(map[msg.Loc]bool),
+	}
+}
+
+// SetObs mirrors injections into o: trace events on layer "fault" plus
+// fault.drops / fault.delays / fault.dups / fault.blocks counters.
+func (in *Injector) SetObs(o *obs.Obs) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.o = o
+	in.cDrops = o.Counter("fault.drops")
+	in.cDelays = o.Counter("fault.delays")
+	in.cDups = o.Counter("fault.dups")
+	in.cBlocks = o.Counter("fault.blocks")
+}
+
+// Plan returns the plan the injector runs.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Judge decides the fate of one message, sender-side. All active
+// matching rules accumulate: any drop wins, delays and duplicates sum.
+func (in *Injector) Judge(src, dst msg.Loc, hdr string) Verdict {
+	if len(in.plan.Rules) == 0 {
+		return Verdict{}
+	}
+	now := in.clock()
+	edge := strHash(string(src)) ^ mix(strHash(string(dst))) ^ strHash(hdr)
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var v Verdict
+	for i, r := range in.plan.Rules {
+		if !r.active(now) || !r.Match.Hits(src, dst, hdr) {
+			continue
+		}
+		key := mix(uint64(i)+1) ^ edge
+		n := in.seen[key]
+		in.seen[key] = n + 1
+		if r.MaxHits > 0 && in.fired[i] >= r.MaxHits {
+			continue
+		}
+		h := mix(in.plan.Seed ^ mix(uint64(i)+1) ^ edge ^ mix(n))
+		if r.Prob > 0 && unit(h) >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		switch {
+		case r.Drop:
+			v.Drop = true
+			in.record(Injection{At: now, Kind: "drop", Src: src, Dst: dst, Hdr: hdr, Rule: i})
+		default:
+			d := r.Delay.D()
+			if j := r.Jitter.D(); j > 0 {
+				d += time.Duration(unit(mix(h)) * float64(j))
+			}
+			if d > 0 {
+				v.Delay += d
+				in.record(Injection{At: now, Kind: "delay", Src: src, Dst: dst, Hdr: hdr, Rule: i, Delay: d})
+			}
+			if r.Dup > 0 {
+				v.Dup += r.Dup
+				in.record(Injection{At: now, Kind: "dup", Src: src, Dst: dst, Hdr: hdr, Rule: i, Dup: r.Dup})
+			}
+		}
+	}
+	return v
+}
+
+// Blocked reports whether src→dst traffic is cut right now — by an
+// active partition window or by a down endpoint. Unlike Judge it is
+// idempotent (no occurrence counting), so both ends of a wrapped
+// transport may consult it for the same message.
+func (in *Injector) Blocked(src, dst msg.Loc) bool {
+	now := in.clock()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.down[src] || in.down[dst] {
+		return true
+	}
+	for _, p := range in.plan.Partitions {
+		if p.active(now) && p.blocks(src, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoteBlocked records one blocked message (callers that observed
+// Blocked()==true and discarded a message report it here).
+func (in *Injector) NoteBlocked(src, dst msg.Loc, hdr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.record(Injection{At: in.clock(), Kind: "block", Src: src, Dst: dst, Hdr: hdr, Rule: -1})
+}
+
+// SetDown marks a node dead (true) or alive (false) for Blocked. The
+// nemesis uses it to apply Crash windows on real transports, where a
+// process cannot be crashed but can be blackholed.
+func (in *Injector) SetDown(node msg.Loc, down bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.down[node] = down
+	kind := "down"
+	if !down {
+		kind = "up"
+	}
+	in.record(Injection{At: in.clock(), Kind: kind, Dst: node, Rule: -1})
+}
+
+// NoteCrash records a crash or restart applied by the binding layer
+// (DES node crashes, nemesis down windows).
+func (in *Injector) NoteCrash(node msg.Loc, kind string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.record(Injection{At: in.clock(), Kind: kind, Dst: node, Rule: -1})
+}
+
+// record appends to the injection log and mirrors into obs. Callers
+// hold in.mu.
+func (in *Injector) record(i Injection) {
+	in.log = append(in.log, i)
+	switch i.Kind {
+	case "drop":
+		in.cDrops.Inc()
+	case "delay":
+		in.cDelays.Inc()
+	case "dup":
+		in.cDups.Inc()
+	case "block":
+		in.cBlocks.Inc()
+	}
+	if in.o.Tracing() {
+		e := obs.Ev(i.Dst, obs.LayerFault, "fault."+i.Kind)
+		e.Hdr = i.Hdr
+		if i.Src != "" {
+			e.Note = fmt.Sprintf("%s->%s rule=%d", i.Src, i.Dst, i.Rule)
+		}
+		in.o.Record(e)
+	}
+}
+
+// Injections snapshots the injection log.
+func (in *Injector) Injections() []Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Injection(nil), in.log...)
+}
+
+// Fingerprint hashes the injection log — two runs of the same plan,
+// seed, and message sequence produce equal fingerprints, which is the
+// reproducibility acceptance check of the chaos experiment.
+func (in *Injector) Fingerprint() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	h := mix(in.plan.Seed)
+	for _, i := range in.log {
+		h = mix(h ^ uint64(i.At) ^ strHash(i.Kind) ^ strHash(string(i.Src)) ^
+			mix(strHash(string(i.Dst))) ^ strHash(i.Hdr) ^ uint64(i.Delay) ^ uint64(i.Dup))
+	}
+	return h
+}
+
+// StartNemesis applies the plan's Crash entries on the injector's own
+// clock: at each Crash.At the node goes down (Blocked cuts its
+// traffic), and comes back after RestartAfter. This is the wall-clock
+// nemesis for real transports; under DES, BindCluster schedules real
+// node crashes on the simulator instead. The returned stop function
+// cancels pending transitions.
+func StartNemesis(in *Injector) (stop func()) {
+	var mu sync.Mutex
+	var timers []*time.Timer
+	now := in.clock()
+	add := func(at time.Duration, fn func()) {
+		d := at - now
+		if d < 0 {
+			d = 0
+		}
+		mu.Lock()
+		timers = append(timers, time.AfterFunc(d, fn))
+		mu.Unlock()
+	}
+	for _, c := range in.plan.Crashes {
+		c := c
+		add(c.At.D(), func() { in.SetDown(c.Node, true) })
+		if c.RestartAfter > 0 {
+			add(c.At.D()+c.RestartAfter.D(), func() { in.SetDown(c.Node, false) })
+		}
+	}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, t := range timers {
+			t.Stop()
+		}
+	}
+}
+
+// ------------------------------------------------------------- hashing --
+
+// mix is the splitmix64 finalizer: a fast, well-distributed 64-bit
+// permutation used to derive independent per-decision hashes.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// strHash is FNV-1a.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

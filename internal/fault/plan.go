@@ -1,0 +1,230 @@
+// Package fault is the deterministic fault-injection (nemesis) layer.
+// A Plan is a seedable script of message-level faults (drop, delay,
+// duplicate — and through delay, reorder), network partitions, and node
+// crash-restarts, applied over timed windows. One Plan drives all three
+// execution substrates the same way:
+//
+//   - the discrete-event simulator, through Cluster.Fault (BindCluster),
+//     where virtual time makes the whole injection schedule reproducible
+//     bit-for-bit;
+//   - the real transports, through the FaultyTransport decorator (Wrap)
+//     over network.Hub or network.TCP;
+//   - the verify fuzzer, whose schedule encoding gains drop/duplicate
+//     choices (Model.Drops / Model.Dups).
+//
+// Determinism: every probabilistic decision is a pure hash of
+// (plan seed, rule index, src, dst, header, occurrence number) — no
+// shared PRNG stream — so the decision for the n-th matching message on
+// an edge is independent of interleaving with other edges. Under the
+// simulator, where message order is itself deterministic, the full
+// injection log (see Injector.Fingerprint) reproduces exactly across
+// runs of the same plan and seed.
+//
+// Every injection is recorded as an obs trace event (layer "fault"), so
+// a checker violation under chaos is attributable to the faults that
+// preceded it.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+// Duration is a time.Duration that unmarshals from JSON either as a
+// number of nanoseconds or as a Go duration string ("150ms", "3s").
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a nanosecond number or a duration string.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case float64:
+		*d = Duration(time.Duration(x))
+		return nil
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	default:
+		return fmt.Errorf("fault: bad duration %v", v)
+	}
+}
+
+// Match selects messages by source, destination, and header. Empty
+// fields match anything, so the zero Match matches every message.
+type Match struct {
+	// Src/Dst restrict the edge ("" = any).
+	Src msg.Loc `json:"src,omitempty"`
+	Dst msg.Loc `json:"dst,omitempty"`
+	// Hdr restricts the message header ("" = any).
+	Hdr string `json:"hdr,omitempty"`
+}
+
+// Hits reports whether the match selects (src, dst, hdr).
+func (m Match) Hits(src, dst msg.Loc, hdr string) bool {
+	return (m.Src == "" || m.Src == src) &&
+		(m.Dst == "" || m.Dst == dst) &&
+		(m.Hdr == "" || m.Hdr == hdr)
+}
+
+// Rule is one probabilistic message fault, active inside [From, To).
+// A matched message is judged once, sender-side: with probability Prob
+// it is dropped (Drop), delayed by Delay plus a deterministic jitter in
+// [0, Jitter) (delay on a FIFO link reorders), and duplicated Dup extra
+// times. Drop wins over delay/duplicate within one rule.
+type Rule struct {
+	Match Match `json:"match"`
+	// From/To bound the fault window on the run clock (To 0 = forever).
+	From Duration `json:"from,omitempty"`
+	To   Duration `json:"to,omitempty"`
+	// Prob is the per-message firing probability in [0,1]; 0 means 1
+	// (always fire — a deterministic rule).
+	Prob float64 `json:"prob,omitempty"`
+	// Drop discards the message.
+	Drop bool `json:"drop,omitempty"`
+	// Delay postpones delivery; Jitter adds a per-message deterministic
+	// extra in [0, Jitter).
+	Delay  Duration `json:"delay,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	// Dup re-sends the message this many extra times.
+	Dup int `json:"dup,omitempty"`
+	// MaxHits bounds how many messages the rule may fire on (0 =
+	// unbounded).
+	MaxHits int `json:"max_hits,omitempty"`
+}
+
+func (r Rule) active(now time.Duration) bool {
+	if now < r.From.D() {
+		return false
+	}
+	return r.To == 0 || now < r.To.D()
+}
+
+// Partition blocks traffic between the node sets A and B inside
+// [From, To). Symmetric blocks both directions; otherwise only A→B is
+// blocked (an asymmetric partition: B still reaches A).
+type Partition struct {
+	From Duration  `json:"from,omitempty"`
+	To   Duration  `json:"to,omitempty"` // 0 = never heals
+	A    []msg.Loc `json:"a"`
+	B    []msg.Loc `json:"b"`
+	// Symmetric blocks B→A too.
+	Symmetric bool `json:"symmetric,omitempty"`
+}
+
+func (p Partition) active(now time.Duration) bool {
+	if now < p.From.D() {
+		return false
+	}
+	return p.To == 0 || now < p.To.D()
+}
+
+// blocks reports whether the partition blocks src→dst while active.
+func (p Partition) blocks(src, dst msg.Loc) bool {
+	if contains(p.A, src) && contains(p.B, dst) {
+		return true
+	}
+	return p.Symmetric && contains(p.B, src) && contains(p.A, dst)
+}
+
+func contains(ls []msg.Loc, l msg.Loc) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Crash schedules a node failure at At. RestartAfter 0 means the node
+// stays down; otherwise it restarts that long after the crash,
+// retaining its state unless LoseState is set.
+type Crash struct {
+	At   Duration `json:"at"`
+	Node msg.Loc  `json:"node"`
+	// RestartAfter is the downtime (0 = crash-stop, no restart).
+	RestartAfter Duration `json:"restart_after,omitempty"`
+	// LoseState restarts the node from its initial state (process reset)
+	// instead of resuming with retained state.
+	LoseState bool `json:"lose_state,omitempty"`
+}
+
+// Plan is a complete fault script.
+type Plan struct {
+	// Seed drives every probabilistic decision. Same plan + same seed =
+	// same decisions for the same message sequence.
+	Seed uint64 `json:"seed"`
+	// Rules are the probabilistic message faults.
+	Rules []Rule `json:"rules,omitempty"`
+	// Partitions are the timed link cuts.
+	Partitions []Partition `json:"partitions,omitempty"`
+	// Crashes are the node crash-restart events.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// Validate rejects nonsensical plans (negative windows, probabilities
+// outside [0,1], crashes without a node).
+func (p Plan) Validate() error {
+	for i, r := range p.Rules {
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("fault: rule %d: prob %v outside [0,1]", i, r.Prob)
+		}
+		if r.To != 0 && r.To < r.From {
+			return fmt.Errorf("fault: rule %d: window ends before it starts", i)
+		}
+		if !r.Drop && r.Delay == 0 && r.Jitter == 0 && r.Dup == 0 {
+			return fmt.Errorf("fault: rule %d: no effect (set drop, delay, or dup)", i)
+		}
+		if r.Dup < 0 {
+			return fmt.Errorf("fault: rule %d: negative dup", i)
+		}
+	}
+	for i, pt := range p.Partitions {
+		if pt.To != 0 && pt.To < pt.From {
+			return fmt.Errorf("fault: partition %d: window ends before it starts", i)
+		}
+		if len(pt.A) == 0 || len(pt.B) == 0 {
+			return fmt.Errorf("fault: partition %d: empty side", i)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node == "" {
+			return fmt.Errorf("fault: crash %d: missing node", i)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON plan from a file and validates it.
+func Load(path string) (Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parse %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return p, nil
+}

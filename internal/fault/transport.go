@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"shadowdb/internal/msg"
+	"shadowdb/internal/network"
+)
+
+// FaultyTransport decorates a real transport (network.Hub registration
+// or network.TCP) with an injector. Outbound messages are judged once,
+// sender-side: drops vanish, delays are re-sent later from a timer,
+// duplicates are sent again. Inbound messages pass only the
+// deterministic Blocked filter (partitions, down nodes) — probabilistic
+// rules never run receiver-side, so a hub whose every registration is
+// wrapped over one shared injector still judges each message exactly
+// once.
+type FaultyTransport struct {
+	inner network.Transport
+	self  msg.Loc
+	inj   *Injector
+
+	out  chan msg.Envelope
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	mu     sync.Mutex
+	timers map[*time.Timer]struct{}
+}
+
+var _ network.Transport = (*FaultyTransport)(nil)
+
+// Wrap decorates inner with the injector's faults. self names the
+// wrapped endpoint (the src of outbound, dst of inbound judgments).
+func Wrap(inner network.Transport, self msg.Loc, inj *Injector) *FaultyTransport {
+	t := &FaultyTransport{
+		inner:  inner,
+		self:   self,
+		inj:    inj,
+		out:    make(chan msg.Envelope, 1024),
+		done:   make(chan struct{}),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	t.wg.Add(1)
+	go t.pump()
+	return t
+}
+
+// Send implements network.Transport.
+func (t *FaultyTransport) Send(env msg.Envelope) error {
+	select {
+	case <-t.done:
+		return network.ErrClosed
+	default:
+	}
+	if env.From == "" {
+		env.From = t.self
+	}
+	if t.inj.Blocked(t.self, env.To) {
+		t.inj.NoteBlocked(t.self, env.To, env.M.Hdr)
+		return nil // partitioned: dropped, as on a cut cable
+	}
+	v := t.inj.Judge(t.self, env.To, env.M.Hdr)
+	if v.Drop {
+		return nil
+	}
+	copies := 1 + v.Dup
+	if v.Delay <= 0 {
+		var err error
+		for i := 0; i < copies; i++ {
+			err = t.inner.Send(env)
+		}
+		return err
+	}
+	t.mu.Lock()
+	var tm *time.Timer
+	tm = time.AfterFunc(v.Delay, func() {
+		t.mu.Lock()
+		delete(t.timers, tm)
+		t.mu.Unlock()
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		for i := 0; i < copies; i++ {
+			_ = t.inner.Send(env)
+		}
+	})
+	t.timers[tm] = struct{}{}
+	t.mu.Unlock()
+	return nil
+}
+
+// Receive implements network.Transport.
+func (t *FaultyTransport) Receive() <-chan msg.Envelope { return t.out }
+
+// pump forwards inbound envelopes, discarding traffic from partitioned
+// or down peers (the receive side of an asymmetric cut).
+func (t *FaultyTransport) pump() {
+	defer t.wg.Done()
+	defer close(t.out)
+	for env := range t.inner.Receive() {
+		if env.From != "" && env.From != t.self && t.inj.Blocked(env.From, t.self) {
+			t.inj.NoteBlocked(env.From, t.self, env.M.Hdr)
+			continue
+		}
+		select {
+		case t.out <- env:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Close implements network.Transport: it stops pending delayed sends,
+// closes the inner transport, and drains the pump.
+func (t *FaultyTransport) Close() error {
+	var err error
+	t.once.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		for tm := range t.timers {
+			tm.Stop()
+		}
+		t.timers = map[*time.Timer]struct{}{}
+		t.mu.Unlock()
+		err = t.inner.Close()
+		t.wg.Wait()
+	})
+	return err
+}

@@ -27,6 +27,7 @@ type TCP struct {
 	mu      sync.Mutex
 	conns   map[msg.Loc]net.Conn
 	inbound map[net.Conn]bool
+	redial  map[msg.Loc]*redialState
 	done    chan struct{}
 	wg      sync.WaitGroup
 	once    sync.Once
@@ -40,6 +41,7 @@ type TCP struct {
 	accepts   *obs.Counter
 	drops     *obs.Counter
 	connDrops *obs.Counter
+	backoffs  *obs.Counter
 	gConnsOut *obs.Gauge
 	gConnsIn  *obs.Gauge
 	gInbox    *obs.Gauge
@@ -49,6 +51,20 @@ var _ Transport = (*TCP)(nil)
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// Redial backoff bounds: the delay doubles from redialBase per
+// consecutive dial failure, capped at redialCap so a restarted peer is
+// re-discovered within a few seconds.
+const (
+	redialBase = 50 * time.Millisecond
+	redialCap  = 3 * time.Second
+)
+
+// redialState tracks consecutive dial failures to one peer.
+type redialState struct {
+	fails int
+	until time.Time
+}
 
 // NewTCP starts a TCP transport for self, listening on directory[self]
 // and dialing peers through the directory.
@@ -72,6 +88,7 @@ func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
 		inbox:     make(chan msg.Envelope, 4096),
 		conns:     make(map[msg.Loc]net.Conn),
 		inbound:   make(map[net.Conn]bool),
+		redial:    make(map[msg.Loc]*redialState),
 		done:      make(chan struct{}),
 
 		framesIn:  obs.C("net.frames_in"),
@@ -82,6 +99,7 @@ func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
 		accepts:   obs.C("net.accepts"),
 		drops:     obs.C("net.send_drops"),
 		connDrops: obs.C("net.conn_drops"),
+		backoffs:  obs.C("net.dial_backoffs"),
 		gConnsOut: obs.G("net.conns_out"),
 		gConnsIn:  obs.G("net.conns_in"),
 		gInbox:    obs.G("net.inbox_depth"),
@@ -188,10 +206,31 @@ func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("network: unknown destination %q", to)
 	}
+	// Bounded redial backoff: a peer that just refused a dial is not
+	// dialed again until its window expires, so a crashed replica costs
+	// senders a map lookup instead of a 2s dial timeout per message.
+	rs := t.redial[to]
+	if rs != nil && time.Now().Before(rs.until) {
+		t.backoffs.Inc()
+		return nil, fmt.Errorf("network: %q in redial backoff", to)
+	}
 	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
+		if rs == nil {
+			rs = &redialState{}
+			t.redial[to] = rs
+		}
+		rs.fails++
+		d := redialCap
+		if rs.fails <= 8 {
+			if doubled := redialBase << (rs.fails - 1); doubled < redialCap {
+				d = doubled
+			}
+		}
+		rs.until = time.Now().Add(d)
 		return nil, err
 	}
+	delete(t.redial, to)
 	t.conns[to] = c
 	t.dials.Inc()
 	t.gConnsOut.Set(int64(len(t.conns)))

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 )
 
 // Transport moves envelopes between locations. Send is asynchronous and
@@ -40,13 +41,15 @@ type Hub struct {
 	mu     sync.Mutex
 	inbox  map[msg.Loc]chan msg.Envelope
 	closed bool
-	// Dropped counts messages to unknown or closed destinations.
-	Dropped int64
+	// Dropped counts messages to unknown or overloaded destinations.
+	// Atomic: benchmark drivers read it while sender goroutines run.
+	Dropped atomic.Int64
+	drops   *obs.Counter
 }
 
 // NewHub creates an empty hub.
 func NewHub() *Hub {
-	return &Hub{inbox: make(map[msg.Loc]chan msg.Envelope)}
+	return &Hub{inbox: make(map[msg.Loc]chan msg.Envelope), drops: obs.C("net.hub_drops")}
 }
 
 // Register joins a location to the hub.
@@ -86,13 +89,16 @@ func (h *Hub) send(env msg.Envelope) error {
 	}
 	ch, ok := h.inbox[env.To]
 	if !ok {
-		h.Dropped++
+		h.Dropped.Add(1)
+		h.drops.Inc()
 		return nil // unknown destination: dropped, as on a real network
 	}
 	select {
 	case ch <- env:
 	default:
-		h.Dropped++ // receiver overloaded: drop rather than deadlock
+		// Receiver overloaded: drop rather than deadlock.
+		h.Dropped.Add(1)
+		h.drops.Inc()
 	}
 	return nil
 }

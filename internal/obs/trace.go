@@ -30,6 +30,7 @@ const (
 	LayerConsensus = "consensus"
 	LayerCore      = "core"
 	LayerDES       = "des"
+	LayerFault     = "fault"
 )
 
 // NoField marks an absent Slot or Ballot.

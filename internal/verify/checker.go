@@ -4,8 +4,9 @@
 // the same properties mechanically:
 //
 //   - an exhaustive bounded model checker that explores every delivery
-//     interleaving (optionally with crash injection) of a small instance
-//     and checks an invariant at every reachable state;
+//     interleaving (optionally with crash, message-drop, and
+//     message-duplication injection) of a small instance and checks an
+//     invariant at every reachable state;
 //   - a randomized schedule fuzzer for larger instances;
 //   - a refinement checker that validates that a GPM program implements
 //     its LoE specification (the paper's automatic proof, arrow (c));
@@ -52,6 +53,13 @@ type Model struct {
 	// how many crash choices one schedule may contain.
 	CrashLocs []msg.Loc
 	Crashes   int
+	// Drops bounds how many message-drop choices one schedule may contain:
+	// a drop removes a pending delivery without executing it, modeling a
+	// lossy link. Dups likewise bounds message-duplication choices: a
+	// duplicate re-enqueues a copy of a pending delivery, modeling a
+	// retransmitting link. Zero (the default) disables the fault.
+	Drops int
+	Dups  int
 	// Invariant is checked after every delivery of every schedule. It
 	// receives the trace so far. A non-nil error fails the check.
 	Invariant func(trace []gpm.TraceEntry) error
@@ -111,6 +119,8 @@ func Exhaustive(m Model) (Stats, error) {
 type replayResult struct {
 	choices int       // pending deliveries
 	crashOK []msg.Loc // locations that may crash next
+	dropN   int       // pending messages that may be dropped next
+	dupN    int       // pending messages that may be duplicated next
 	trace   []gpm.TraceEntry
 	err     error
 	deadEnd bool
@@ -120,9 +130,12 @@ type replayResult struct {
 	dup []bool
 }
 
-// The checker encodes a schedule as a sequence of ints: values
-// 0..choices-1 pick a pending delivery; values >= choices pick a crash of
-// crashOK[v-choices].
+// The checker encodes a schedule as a sequence of ints over four
+// contiguous ranges: with P pending deliveries, C crashable locations,
+// and drop/dup budget remaining, values 0..P-1 deliver pending[v],
+// P..P+C-1 crash crashOK[v-P], the next P values drop pending[v-P-C],
+// and the final P values duplicate pending[v-P-C-dropN]. The drop and
+// duplicate ranges collapse to zero width once their budget is spent.
 func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 	if st.Schedules >= maxRuns {
 		st.Truncated = true
@@ -132,7 +145,7 @@ func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 	if res.err != nil {
 		return &CheckError{Schedule: append([]int(nil), schedule...), Err: res.err}
 	}
-	total := res.choices + len(res.crashOK)
+	total := res.choices + len(res.crashOK) + res.dropN + res.dupN
 	if res.deadEnd || total == 0 || len(schedule) >= maxDepth {
 		st.Schedules++
 		if m.Final != nil {
@@ -143,7 +156,21 @@ func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 		return nil
 	}
 	for c := 0; c < total; c++ {
-		if c < len(res.dup) && res.dup[c] {
+		// Delivering, dropping, or duplicating either of two identical
+		// pending messages leads to isomorphic states; skip the duplicate
+		// pending index in each range.
+		pi := -1
+		switch {
+		case c < res.choices:
+			pi = c
+		case c < res.choices+len(res.crashOK):
+			// crash choice: no pending index
+		case c < res.choices+len(res.crashOK)+res.dropN:
+			pi = c - res.choices - len(res.crashOK)
+		default:
+			pi = c - res.choices - len(res.crashOK) - res.dropN
+		}
+		if pi >= 0 && pi < len(res.dup) && res.dup[pi] {
 			continue // symmetric to an earlier choice at this state
 		}
 		if err := explore(m, append(schedule, c), maxDepth, maxRuns, st); err != nil {
@@ -174,7 +201,7 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		pending = append(pending, pendMsg{to: in.To, m: in.M})
 	}
 	crashed := make(map[msg.Loc]bool)
-	crashes := 0
+	crashes, drops, dups := 0, 0, 0
 	var trace []gpm.TraceEntry
 
 	crashable := func() []msg.Loc {
@@ -189,9 +216,21 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		}
 		return out
 	}
+	budget := func(spent, max int) int {
+		if spent < max {
+			return len(pending)
+		}
+		return 0
+	}
 
 	for _, c := range schedule {
-		if c < len(pending) {
+		P := len(pending)
+		cands := crashable()
+		C := len(cands)
+		dropN := budget(drops, m.Drops)
+		dupN := budget(dups, m.Dups)
+		switch {
+		case c < P:
 			d := pending[c]
 			pending = append(pending[:c], pending[c+1:]...)
 			if crashed[d.to] {
@@ -213,14 +252,18 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 					return replayResult{err: err}
 				}
 			}
-		} else {
-			cands := crashable()
-			idx := c - len(pending)
-			if idx >= len(cands) {
-				return replayResult{deadEnd: true, trace: trace}
-			}
-			crashed[cands[idx]] = true
+		case c < P+C:
+			crashed[cands[c-P]] = true
 			crashes++
+		case c < P+C+dropN:
+			i := c - P - C
+			pending = append(pending[:i], pending[i+1:]...)
+			drops++
+		case c < P+C+dropN+dupN:
+			pending = append(pending, pending[c-P-C-dropN])
+			dups++
+		default:
+			return replayResult{deadEnd: true, trace: trace}
 		}
 	}
 	dup := make([]bool, len(pending))
@@ -236,7 +279,11 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 			}
 		}
 	}
-	return replayResult{choices: len(pending), crashOK: crashable(), trace: trace, dup: dup}
+	return replayResult{
+		choices: len(pending), crashOK: crashable(),
+		dropN: budget(drops, m.Drops), dupN: budget(dups, m.Dups),
+		trace: trace, dup: dup,
+	}
 }
 
 // Fuzz runs n random schedules of up to maxDepth deliveries each, drawing
@@ -279,7 +326,7 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 		pending = append(pending, pendMsg{to: in.To, m: in.M})
 	}
 	crashed := make(map[msg.Loc]bool)
-	crashes := 0
+	crashes, drops, dups := 0, 0, 0
 	var trace []gpm.TraceEntry
 	var schedule []int
 
@@ -292,37 +339,54 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 				}
 			}
 		}
-		total := len(pending) + len(crashOK)
+		P := len(pending)
+		C := len(crashOK)
+		dropN, dupN := 0, 0
+		if drops < m.Drops {
+			dropN = P
+		}
+		if dups < m.Dups {
+			dupN = P
+		}
+		total := P + C + dropN + dupN
 		if total == 0 {
 			break
 		}
 		c := rng.Intn(total)
 		schedule = append(schedule, c)
-		if c >= len(pending) {
-			crashed[crashOK[c-len(pending)]] = true
-			crashes++
-			continue
-		}
-		d := pending[c]
-		pending = append(pending[:c], pending[c+1:]...)
-		if crashed[d.to] {
-			continue
-		}
-		p, ok := procs[d.to]
-		if !ok {
-			continue
-		}
-		next, outs := p.Step(d.m)
-		procs[d.to] = next
-		st.Deliveries++
-		for _, o := range outs {
-			pending = append(pending, pendMsg{to: o.Dest, m: o.M})
-		}
-		trace = append(trace, gpm.TraceEntry{Loc: d.to, In: d.m, Outs: outs, CausedBy: -1})
-		if m.Invariant != nil {
-			if err := m.Invariant(trace); err != nil {
-				return schedule, trace, err
+		switch {
+		case c < P:
+			d := pending[c]
+			pending = append(pending[:c], pending[c+1:]...)
+			if crashed[d.to] {
+				continue
 			}
+			p, ok := procs[d.to]
+			if !ok {
+				continue
+			}
+			next, outs := p.Step(d.m)
+			procs[d.to] = next
+			st.Deliveries++
+			for _, o := range outs {
+				pending = append(pending, pendMsg{to: o.Dest, m: o.M})
+			}
+			trace = append(trace, gpm.TraceEntry{Loc: d.to, In: d.m, Outs: outs, CausedBy: -1})
+			if m.Invariant != nil {
+				if err := m.Invariant(trace); err != nil {
+					return schedule, trace, err
+				}
+			}
+		case c < P+C:
+			crashed[crashOK[c-P]] = true
+			crashes++
+		case c < P+C+dropN:
+			i := c - P - C
+			pending = append(pending[:i], pending[i+1:]...)
+			drops++
+		default:
+			pending = append(pending, pending[c-P-C-dropN])
+			dups++
 		}
 	}
 	return schedule, trace, nil
