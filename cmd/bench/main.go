@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|chaos|all [-quick] [-json [-outdir DIR]]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|all [-quick] [-json [-outdir DIR]]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -26,7 +26,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|spans|chaos|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
@@ -46,10 +46,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "spans", "chaos"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "spans", "chaos":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -136,6 +136,20 @@ func run() int {
 		bench.RenderAblations(out, rows)
 		fmt.Fprintln(out)
 		emit(bench.ReportAblations(rows, *quick))
+	}
+	if todo["batch"] {
+		cfg := bench.DefaultBatch()
+		if *quick {
+			cfg = bench.QuickBatch()
+		}
+		res := bench.Batch(cfg)
+		bench.RenderBatch(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportBatch(res, *quick))
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "batch: %d property violations\n", len(res.Violations))
+			failed = true
+		}
 	}
 	if todo["spans"] {
 		cfg := bench.DefaultSpans()

@@ -44,6 +44,8 @@ func run() int {
 	nodes := flag.String("nodes", "", "comma-separated service node ids (default: ids starting with 'b')")
 	module := flag.String("module", "paxos", "ordering module: paxos|twothird")
 	batch := flag.Int("batch", 0, "max messages per ordered batch (0 = module default)")
+	batchDelay := flag.Duration("batch-delay", 0, "max time a message may wait for its batch to fill (0 = cut eagerly)")
+	pipeline := flag.Int("pipeline", 0, "max concurrent consensus instances (0 or 1 = stop-and-wait)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof)")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
@@ -69,10 +71,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "no service nodes (see -nodes)")
 		return 2
 	}
-	cfg := broadcast.Config{Nodes: bnodes, Subscribers: subs, MaxBatch: *batch}
+	cfg := broadcast.Config{
+		Nodes: bnodes, Subscribers: subs,
+		MaxBatch: *batch, MaxDelay: *batchDelay, Pipeline: *pipeline,
+	}
 	switch *module {
 	case "paxos":
-		cfg.Modules = []broadcast.Module{broadcast.Paxos()}
+		cfg.Modules = []broadcast.Module{broadcast.PaxosPipelined(*pipeline)}
 	case "twothird":
 		cfg.Modules = []broadcast.Module{broadcast.TwoThird()}
 	default:
@@ -110,8 +115,8 @@ func run() int {
 	host := runtime.NewHost(slf, tr, broadcast.Spec(cfg).Generator()(slf))
 	host.Start()
 	defer func() { _ = host.Close() }()
-	fmt.Printf("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s\n",
-		slf, tcp.Addr(), bnodes, subs, *module)
+	fmt.Printf("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s batch=%d delay=%s pipeline=%d\n",
+		slf, tcp.Addr(), bnodes, subs, *module, *batch, *batchDelay, *pipeline)
 
 	if *trace {
 		obs.Default.EnableTracing(true)

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"shadowdb/internal/bench/tpcc"
 	"shadowdb/internal/broadcast"
@@ -51,6 +52,9 @@ func run() int {
 	rows := flag.Int("rows", 10_000, "initial bank rows (bank registry, non-spare)")
 	spare := flag.Bool("spare", false, "start with an empty database (PBR spare)")
 	members := flag.Int("members", 2, "initial PBR configuration size")
+	batch := flag.Int("batch", 0, "broadcast role: max messages per ordered batch (0 = unbatched)")
+	batchDelay := flag.Duration("batch-delay", 0, "broadcast role: max time a message may wait for its batch to fill (0 = cut eagerly)")
+	pipeline := flag.Int("pipeline", 0, "broadcast role: max concurrent consensus instances (0 or 1 = stop-and-wait)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
@@ -105,6 +109,7 @@ func run() int {
 	host, err := buildHost(buildConfig{
 		id: msg.Loc(*id), role: *role, engine: *engine, registry: *registry,
 		rows: *rows, spare: *spare, members: *members,
+		batch: *batch, batchDelay: *batchDelay, pipeline: *pipeline,
 		replicas: replicaLocs, bcast: bcastLocs, tr: tr,
 	})
 	if err != nil {
@@ -152,16 +157,19 @@ func run() int {
 }
 
 type buildConfig struct {
-	id       msg.Loc
-	role     string
-	engine   string
-	registry string
-	rows     int
-	spare    bool
-	members  int
-	replicas []msg.Loc
-	bcast    []msg.Loc
-	tr       network.Transport
+	id         msg.Loc
+	role       string
+	engine     string
+	registry   string
+	rows       int
+	spare      bool
+	members    int
+	batch      int
+	batchDelay time.Duration
+	pipeline   int
+	replicas   []msg.Loc
+	bcast      []msg.Loc
+	tr         network.Transport
 }
 
 func buildHost(c buildConfig) (*runtime.Host, error) {
@@ -174,7 +182,10 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 	}
 	switch c.role {
 	case "broadcast":
-		cfg := broadcast.Config{Nodes: c.bcast, Subscribers: c.replicas}
+		cfg := broadcast.Config{
+			Nodes: c.bcast, Subscribers: c.replicas,
+			MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
+		}
 		return runtime.NewHost(c.id, c.tr, broadcast.Spec(cfg).Generator()(c.id)), nil
 	case "pbr":
 		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))

@@ -51,6 +51,12 @@ type ChaosConfig struct {
 	RingSize  int
 	// Bin is the availability bin width.
 	Bin time.Duration
+	// Batch/BatchDelay/Pipeline configure the broadcast hot path
+	// (DESIGN.md §8): certification must hold with batching and
+	// pipelining enabled, since that is how the service deploys.
+	Batch      int
+	BatchDelay time.Duration
+	Pipeline   int
 }
 
 // DefaultChaos is the standard scale.
@@ -61,6 +67,7 @@ func DefaultChaos() ChaosConfig {
 		CrashAt: 20 * time.Second, CrashDowntime: 4 * time.Second,
 		NoiseFrom: 26 * time.Second, NoiseTo: 32 * time.Second,
 		Seed: 7, RingSize: 1 << 16, Bin: 250 * time.Millisecond,
+		Batch: 16, BatchDelay: time.Millisecond, Pipeline: 4,
 	}
 }
 
@@ -72,6 +79,7 @@ func QuickChaos() ChaosConfig {
 		CrashAt: 8 * time.Second, CrashDowntime: 1500 * time.Millisecond,
 		NoiseFrom: 11 * time.Second, NoiseTo: 13 * time.Second,
 		Seed: 7, RingSize: 1 << 14, Bin: 250 * time.Millisecond,
+		Batch: 16, BatchDelay: time.Millisecond, Pipeline: 4,
 	}
 }
 
@@ -141,6 +149,9 @@ type ChaosResult struct {
 	Reproducible bool
 	// Series is committed tx/s per bin (first run).
 	Series []float64
+	// Batch/Pipeline echo the broadcast hot-path knobs of the run.
+	Batch    int
+	Pipeline int
 }
 
 // Chaos runs the experiment twice — the second run exists only to
@@ -163,8 +174,9 @@ func chaosOnce(cfg ChaosConfig) ChaosResult {
 	setup := func(db *sqldb.DB) error { return core.BankSetup(db, cfg.Rows) }
 	// All three replicas are initial members: the partition must split a
 	// live group, not promote a spare.
-	sc := newPBRClusterOpts([]string{"h2", "hsqldb", "derby"}, cfg.Rows, timing,
-		core.BankRegistry(), setup, false, 3)
+	sc := newPBRClusterTuned([]string{"h2", "hsqldb", "derby"}, cfg.Rows, timing,
+		core.BankRegistry(), setup, false, 3,
+		bcastTune{Batch: cfg.Batch, Delay: cfg.BatchDelay, Pipeline: cfg.Pipeline})
 
 	o := obs.New(cfg.RingSize)
 	sc.clu.Observe(o)
@@ -183,7 +195,8 @@ func chaosOnce(cfg ChaosConfig) ChaosResult {
 		sc.rloc, sc.bloc, timing.ClientRetry, work)
 
 	res := ChaosResult{DetectedAt: -1, ConfigAt: -1, ResumedAt: -1,
-		FailoverLatency: -1, RecoveryTime: -1}
+		FailoverLatency: -1, RecoveryTime: -1,
+		Batch: cfg.Batch, Pipeline: cfg.Pipeline}
 
 	// Sample every replica's protocol state on a 20 ms grid to extract
 	// the partition-failover timeline.
@@ -317,6 +330,8 @@ func ReportChaos(res ChaosResult, quick bool) *Report {
 	r.Add("chaos.checker.events", float64(res.Events), "count")
 	r.Add("chaos.checker.violations", float64(len(res.Violations)), "count")
 	r.Add("chaos.reproducible", b2f(res.Reproducible), "bool")
+	r.Add("chaos.batch", float64(res.Batch), "count")
+	r.Add("chaos.pipeline", float64(res.Pipeline), "count")
 	return r
 }
 

@@ -157,6 +157,22 @@ func newPBRCluster(engines []string, rows int, timing core.Timing, reg core.Regi
 // size (used by the overlap ablation).
 func newPBRClusterOpts(engines []string, rows int, timing core.Timing, reg core.Registry,
 	setup func(*sqldb.DB) error, populateSpare bool, members int) *shadowCluster {
+	return newPBRClusterTuned(engines, rows, timing, reg, setup, populateSpare, members, bcastTune{})
+}
+
+// bcastTune carries the broadcast hot-path knobs (DESIGN.md §8) into a
+// cluster build; the zero value is the legacy eager stop-and-wait path.
+type bcastTune struct {
+	Batch    int
+	Delay    time.Duration
+	Pipeline int
+}
+
+// newPBRClusterTuned is newPBRClusterOpts with broadcast batching and
+// pipelining configured — the chaos and batch experiments exercise the
+// recovery protocol over the batched hot path.
+func newPBRClusterTuned(engines []string, rows int, timing core.Timing, reg core.Registry,
+	setup func(*sqldb.DB) error, populateSpare bool, members int, tune bcastTune) *shadowCluster {
 	sc := &shadowCluster{
 		sim:   &des.Sim{},
 		bloc:  []msg.Loc{"b1", "b2", "b3"},
@@ -204,7 +220,11 @@ func newPBRClusterOpts(engines []string, rows int, timing core.Timing, reg core.
 		})
 	}
 	// Broadcast service nodes: interpreted mode cost, single-threaded.
-	sc.addBroadcast(sc.pbr.Bcast, broadcast.Interpreted)
+	bcfg := sc.pbr.Bcast
+	bcfg.MaxBatch = tune.Batch
+	bcfg.MaxDelay = tune.Delay
+	bcfg.Pipeline = tune.Pipeline
+	sc.addBroadcast(bcfg, broadcast.Interpreted)
 	// Failure detectors.
 	for _, d := range sc.pbr.StartDirectives() {
 		sc.clu.SendAfter(d.Delay, d.Dest, d.Dest, d.M)

@@ -11,6 +11,15 @@
 // multiple messages can be bundled in one Paxos proposal") and delivers
 // decided batches gap-free and in slot order to the subscribers.
 //
+// Two throughput knobs shape the hot path (DESIGN.md §8). Adaptive
+// batching: the sequencer cuts a batch when it reaches Config.MaxBatch
+// messages, or — when Config.MaxDelay is set — when the oldest pending
+// message has waited that long (a flush timer armed per partial batch).
+// Pipelining: up to Config.Pipeline consensus instances run concurrently
+// instead of stop-and-wait; decided slots are still delivered gap-free
+// and in slot order, so neither knob is visible in the delivered
+// sequence — only in its rate.
+//
 // The whole service is an LoE specification, so it can run natively
 // ("compiled", the analogue of the paper's Lisp translation), as an
 // interpreted term program, or as an optimized term program — the three
@@ -22,6 +31,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"shadowdb/internal/consensus/synod"
 	"shadowdb/internal/consensus/twothird"
@@ -37,6 +48,10 @@ const (
 	HdrBcast = "bc.bcast"
 	// HdrDeliver is the total-order delivery notification.
 	HdrDeliver = "bc.deliver"
+	// HdrFlush is the sequencer's self-addressed batch-cut timer: a
+	// partial batch older than Config.MaxDelay is proposed when its
+	// Flush arrives.
+	HdrFlush = "bc.flush"
 )
 
 // Bcast is a client message to broadcast. From+Seq identify the message
@@ -47,8 +62,17 @@ type Bcast struct {
 	Payload []byte
 }
 
-// key identifies a Bcast for deduplication.
-func (b Bcast) key() string { return fmt.Sprintf("%s/%d", b.From, b.Seq) }
+// key identifies a Bcast for deduplication. This runs once per message
+// per service node (dedup, batch reconciliation), so it is plain
+// concatenation rather than fmt.Sprintf; see BenchmarkBcastKey.
+func (b Bcast) key() string { return string(b.From) + "/" + strconv.FormatInt(b.Seq, 10) }
+
+// Flush is the body of a batch-cut timer. Gen guards against stale
+// timers: only the generation armed for the currently pending partial
+// batch cuts it.
+type Flush struct {
+	Gen int64
+}
 
 // Deliver carries one decided batch, tagged with its slot. Subscribers
 // receive Deliver messages in contiguous slot order.
@@ -61,6 +85,7 @@ type Deliver struct {
 func RegisterWireTypes() {
 	msg.RegisterBody(Bcast{})
 	msg.RegisterBody(Deliver{})
+	msg.RegisterBody(Flush{})
 	twothird.RegisterWireTypes()
 	synod.RegisterWireTypes()
 }
@@ -111,15 +136,24 @@ type Module interface {
 
 // ---------------------------------------------------------- paxos module --
 
-type paxosModule struct{}
+type paxosModule struct {
+	// window bounds how many instances the Synod leader drives
+	// concurrently; 0 means unbounded (the sequencer's own Pipeline
+	// setting is the effective bound then).
+	window int
+}
 
 // Paxos returns the Synod-backed consensus module.
 func Paxos() Module { return paxosModule{} }
 
+// PaxosPipelined returns a Synod module whose leaders command up to
+// window instances concurrently (see synod.Config.Window).
+func PaxosPipelined(window int) Module { return paxosModule{window: window} }
+
 func (paxosModule) Name() string { return "paxos" }
 
-func (paxosModule) Class(nodes, learners []msg.Loc) loe.Class {
-	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners}
+func (p paxosModule) Class(nodes, learners []msg.Loc) loe.Class {
+	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners, Window: p.window}
 	return loe.Parallel(synod.AcceptorClass(cfg), synod.LeaderClass(cfg))
 }
 
@@ -193,10 +227,31 @@ type Config struct {
 	// MaxBatch bounds how many client messages one proposal bundles; 0
 	// means unbounded.
 	MaxBatch int
+	// MaxDelay bounds how long a partial batch may wait before being
+	// proposed anyway: with MaxDelay set, the sequencer cuts a batch
+	// only when it is full (MaxBatch) or when the flush timer armed for
+	// its oldest message fires. Zero means propose eagerly whenever the
+	// pipeline has room (latency-optimal, batch sizes follow arrival
+	// bursts).
+	MaxDelay time.Duration
+	// Pipeline is the number of consensus instances the sequencer keeps
+	// in flight concurrently. 0 or 1 means stop-and-wait (one
+	// outstanding proposal, the pre-pipelining behavior). Decided slots
+	// are always delivered gap-free in slot order regardless of how many
+	// instances race.
+	Pipeline int
 	// Sequencer designates the node that proposes batches; the other
 	// nodes forward client messages to it, keeping a single stable
 	// proposer in the common case. Empty means Nodes[0].
 	Sequencer msg.Loc
+}
+
+// window is the effective pipeline width.
+func (c Config) window() int {
+	if c.Pipeline > 1 {
+		return c.Pipeline
+	}
+	return 1
 }
 
 func (c Config) sequencer() msg.Loc {
@@ -211,7 +266,9 @@ func (c Config) sequencer() msg.Loc {
 
 func (c Config) modules() []Module {
 	if len(c.Modules) == 0 {
-		return []Module{Paxos()}
+		// The default module inherits the sequencer's pipeline width so
+		// the Synod leader can command that many instances concurrently.
+		return []Module{PaxosPipelined(c.Pipeline)}
 	}
 	return c.Modules
 }
@@ -232,16 +289,18 @@ type seqState struct {
 	pending  []Bcast
 	seen     map[string]bool
 	decided  map[int][]Bcast
-	next     int // next slot to deliver
-	curProp  int // slot of the outstanding proposal, -1 if none
-	propSlot int // highest slot this node ever proposed
-	propAt   map[int]int64 // slot -> propose timestamp (observability only)
+	inflight map[int][]Bcast // slot -> proposed batch awaiting its decision
+	next     int             // next slot to deliver
+	propSlot int             // highest slot this node ever proposed
+	flushGen int64           // generation of the armed flush timer; 0 = none armed
+	gen      int64           // flush generation counter
+	propAt   map[int]int64   // slot -> propose timestamp (observability only)
 }
 
 // sequencerClass builds the batching/ordering class of one service node.
 func sequencerClass(cfg Config) loe.Class {
 	mods := cfg.modules()
-	bases := []loe.Class{loe.Base(HdrBcast)}
+	bases := []loe.Class{loe.Base(HdrBcast), loe.Base(HdrFlush)}
 	// The sequencer listens for every module's decide header.
 	seenHdr := map[string]bool{}
 	for _, m := range mods {
@@ -257,19 +316,20 @@ func sequencerClass(cfg Config) loe.Class {
 		return &seqState{
 			seen:     make(map[string]bool),
 			decided:  make(map[int][]Bcast),
-			curProp:  -1,
+			inflight: make(map[int][]Bcast),
 			propSlot: -1,
 		}
 	}
 	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
 		s := state.(*seqState)
-		var outs []msg.Directive
-		if b, ok := input.(Bcast); ok {
-			outs = s.onBcast(cfg, slf, b)
-			return s, outs
+		switch b := input.(type) {
+		case Bcast:
+			return s, s.onBcast(cfg, slf, b)
+		case Flush:
+			return s, s.onFlush(cfg, slf, b)
 		}
-		// Not a Bcast: try every module's decide recognizer. The input
-		// value arrived through one of the decide base classes.
+		// Neither a Bcast nor a Flush: try every module's decide
+		// recognizer. The input arrived through a decide base class.
 		for _, m := range mods {
 			for _, hdr := range decideHeaders(m) {
 				if inst, val, ok := m.Decide(hdr, input); ok {
@@ -307,7 +367,18 @@ func (s *seqState) onBcast(cfg Config, slf msg.Loc, b Bcast) []msg.Directive {
 	}
 	markBcast(false)
 	s.pending = append(s.pending, b)
-	return s.maybePropose(cfg, slf)
+	return s.cut(cfg, slf, false)
+}
+
+// onFlush handles the batch-cut timer: a stale generation (the partial
+// batch it was armed for has since been proposed) is ignored; the live
+// one forces the pending partial batch out.
+func (s *seqState) onFlush(cfg Config, slf msg.Loc, f Flush) []msg.Directive {
+	if f.Gen != s.flushGen || s.flushGen == 0 {
+		return nil
+	}
+	s.flushGen = 0
+	return s.cut(cfg, slf, true)
 }
 
 func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg.Directive {
@@ -322,14 +393,27 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 	}
 	s.decided[inst] = batch
 	mDecides.Inc()
-	if inst == s.curProp {
-		s.curProp = -1
-	}
-	// Drop messages decided by anyone from our pending set.
 	inBatch := make(map[string]bool, len(batch))
 	for _, b := range batch {
 		inBatch[b.key()] = true
 	}
+	// Reconcile the pipeline: the slot's in-flight batch is normally the
+	// decided one (single stable sequencer), but a competing proposer may
+	// have won the instance — any of our messages not in the decided
+	// batch go back to the head of the queue for re-proposal.
+	if mine, ok := s.inflight[inst]; ok {
+		delete(s.inflight, inst)
+		var lost []Bcast
+		for _, b := range mine {
+			if !inBatch[b.key()] {
+				lost = append(lost, b)
+			}
+		}
+		if len(lost) > 0 {
+			s.pending = append(lost, s.pending...)
+		}
+	}
+	// Drop messages decided by anyone from our pending set.
 	if len(inBatch) > 0 {
 		kept := s.pending[:0]
 		for _, p := range s.pending {
@@ -357,35 +441,68 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 		}
 		s.next++
 	}
-	return append(outs, s.maybePropose(cfg, slf)...)
+	return append(outs, s.cut(cfg, slf, false)...)
 }
 
-// maybePropose starts a proposal for the next free slot when none is
-// outstanding and messages are pending.
-func (s *seqState) maybePropose(cfg Config, slf msg.Loc) []msg.Directive {
-	if s.curProp >= 0 || len(s.pending) == 0 {
-		return nil
+// cut applies the adaptive cut policy: propose as many batches as the
+// pipeline window allows. A batch is cut when it is full (MaxBatch), when
+// the policy is eager (MaxDelay == 0), or when the flush timer forced it
+// (flush). A partial batch left waiting arms the flush timer for its
+// oldest message, so no message waits longer than MaxDelay to be
+// proposed once the window has room.
+func (s *seqState) cut(cfg Config, slf msg.Loc, flush bool) []msg.Directive {
+	var outs []msg.Directive
+	for len(s.pending) > 0 && len(s.inflight) < cfg.window() {
+		full := cfg.MaxBatch > 0 && len(s.pending) >= cfg.MaxBatch
+		if cfg.MaxDelay > 0 && !full && !flush {
+			break
+		}
+		outs = append(outs, s.propose(cfg, slf)...)
 	}
+	if len(s.pending) > 0 && len(s.inflight) < cfg.window() &&
+		cfg.MaxDelay > 0 && s.flushGen == 0 {
+		s.gen++
+		s.flushGen = s.gen
+		outs = append(outs, msg.SendAfter(cfg.MaxDelay, slf, msg.M(HdrFlush, Flush{Gen: s.gen})))
+	}
+	return outs
+}
+
+// propose cuts one batch off the head of the pending queue and proposes
+// it for the next free slot.
+func (s *seqState) propose(cfg Config, slf msg.Loc) []msg.Directive {
+	n := len(s.pending)
+	if cfg.MaxBatch > 0 && n > cfg.MaxBatch {
+		n = cfg.MaxBatch
+	}
+	// Copy: the pending queue's backing array is filtered in place on
+	// decide, which would otherwise scribble over the in-flight batch.
+	batch := append([]Bcast(nil), s.pending[:n]...)
+	s.pending = s.pending[n:]
+	slot := s.nextFreeSlot()
+	s.inflight[slot] = batch
+	s.propSlot = slot
+	s.markProposed(slf, slot, len(batch))
+	mod := cfg.modules()[cfg.pick(slot)]
+	return mod.Propose(slf, cfg.Nodes, slot, EncodeBatch(batch))
+}
+
+// nextFreeSlot picks the lowest slot that is neither decided nor
+// occupied by an in-flight proposal, never below any slot this node ever
+// proposed (re-proposing a slot we may still win would duel ourselves).
+func (s *seqState) nextFreeSlot() int {
 	slot := s.next
 	if s.propSlot >= slot {
 		slot = s.propSlot + 1
 	}
 	for {
-		if _, done := s.decided[slot]; !done {
-			break
+		_, done := s.decided[slot]
+		_, busy := s.inflight[slot]
+		if !done && !busy {
+			return slot
 		}
 		slot++
 	}
-	batch := s.pending
-	if cfg.MaxBatch > 0 && len(batch) > cfg.MaxBatch {
-		batch = batch[:cfg.MaxBatch]
-	}
-	val := EncodeBatch(batch)
-	s.curProp = slot
-	s.propSlot = slot
-	s.markProposed(slf, slot, len(batch))
-	mod := cfg.modules()[cfg.pick(slot)]
-	return mod.Propose(slf, cfg.Nodes, slot, val)
 }
 
 // ------------------------------------------------------------- encoding --

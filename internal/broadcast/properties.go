@@ -26,10 +26,25 @@ func testConfig() Config {
 	}
 }
 
+// batchedConfig turns on the adaptive batching and pipelining knobs so
+// the checker explores the sequencer's cut policy and the Synod window
+// (DESIGN.md §8). MaxDelay stays zero: the schedule explorer has no
+// clock, so the eager cut keeps every path timer-free while MaxBatch
+// and the pipeline window still force multi-message slots whenever the
+// window fills.
+func batchedConfig() Config {
+	cfg := testConfig()
+	cfg.MaxBatch = 2
+	cfg.Pipeline = 2
+	return cfg
+}
+
 // Properties returns the registered property set of the module.
 func Properties() []verify.Property {
 	return []verify.Property{
 		{Module: "Broadcast", Name: "total-order/fuzz", Mode: verify.Auto, Check: checkTotalOrderFuzz},
+		{Module: "Broadcast", Name: "total-order/batched-fuzz", Mode: verify.Auto, Check: checkBatchedFuzz},
+		{Module: "Broadcast", Name: "batch-atomicity", Mode: verify.Manual, Check: checkBatchAtomicity},
 		{Module: "Broadcast", Name: "integrity/no-loss-no-dup", Mode: verify.Manual, Check: checkIntegrity},
 		{Module: "Broadcast", Name: "total-order/protocol-switching", Mode: verify.Manual, Check: checkSwitching},
 		{Module: "Broadcast", Name: "gap-freedom", Mode: verify.Manual, Check: checkGapFree},
@@ -71,6 +86,61 @@ func checkTotalOrderFuzz() error {
 	}
 	_, err := verify.Fuzz(m, 120, 400, 5)
 	return err
+}
+
+// checkBatchedFuzz fuzzes delivery schedules of the batched, pipelined
+// configuration. Message duplication is on (a retransmitting link must
+// not make a batch, or any message inside one, appear twice); message
+// drops stay off because the service has no retransmission — a dropped
+// proposal stalls its instance rather than violating safety, which the
+// fuzzer would misread as a truncated schedule.
+func checkBatchedFuzz() error {
+	cfg := batchedConfig()
+	m := verify.Model{
+		Gen:  Spec(cfg).Generator(),
+		Locs: Spec(cfg).Locs,
+		Init: []verify.Injection{
+			{To: "b1", M: msg.M(HdrBcast, Bcast{From: "c1", Seq: 1, Payload: []byte("x")})},
+			{To: "b1", M: msg.M(HdrBcast, Bcast{From: "c2", Seq: 1, Payload: []byte("y")})},
+			{To: "b2", M: msg.M(HdrBcast, Bcast{From: "c1", Seq: 2, Payload: []byte("z")})},
+			{To: "b3", M: msg.M(HdrBcast, Bcast{From: "c2", Seq: 2, Payload: []byte("w")})},
+		},
+		Dups: 2,
+		Invariant: func(trace []gpm.TraceEntry) error {
+			return CheckTotalOrder(trace, []msg.Loc{"sub1", "sub2"})
+		},
+	}
+	_, err := verify.Fuzz(m, 120, 400, 11)
+	return err
+}
+
+// checkBatchAtomicity runs a batched workload and validates that batches
+// are delivered atomically: every message lands in exactly one slot, all
+// subscribers agree on every slot's full batch, and no slot exceeds the
+// configured cut bound.
+func checkBatchAtomicity() error {
+	cfg := batchedConfig()
+	trace, err := run(cfg, nil, nil, 3, 8)
+	if err != nil {
+		return err
+	}
+	if err := CheckTotalOrder(trace, []msg.Loc{"sub1", "sub2"}); err != nil {
+		return err
+	}
+	if err := integrity(trace, 3, 8); err != nil {
+		return err
+	}
+	seen := make(map[int]bool)
+	for _, d := range DeliveriesTo(trace, "sub1") {
+		if seen[d.Slot] {
+			continue
+		}
+		seen[d.Slot] = true
+		if len(d.Msgs) > cfg.MaxBatch {
+			return fmt.Errorf("broadcast: slot %d carries %d messages, cut bound %d", d.Slot, len(d.Msgs), cfg.MaxBatch)
+		}
+	}
+	return nil
 }
 
 // checkIntegrity runs a multi-client workload and validates every message

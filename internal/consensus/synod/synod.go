@@ -14,6 +14,15 @@
 // the primitive combinator algebra and can be compiled to term programs
 // and model-checked unchanged.
 //
+// Pipelining: Config.Window bounds how many instances the leader drives
+// through phase 2 concurrently (commanders in flight); excess proposals
+// queue and drain as decides arrive. The window throttles only when a
+// proposal enters phase 2, never what an acceptor may accept, so it is
+// a pure liveness/resource knob — safety is per-instance and per-ballot
+// regardless of how instances interleave (DESIGN.md §8). Window = 0
+// keeps the unbounded legacy behaviour; the broadcast sequencer's
+// Pipeline knob maps onto it.
+//
 // The acceptor-amnesia bug that Google's Paxos extension suffered from
 // (promising a ballot, losing the promise to disk corruption, and
 // accepting lower ballots — Section II-D) is reproducible via
@@ -162,6 +171,13 @@ type Config struct {
 	// after Backoff scaled by its index (deterministic, keeps dueling
 	// leaders apart). Zero means 50ms.
 	Backoff time.Duration
+	// Window bounds how many instances an active leader commands
+	// concurrently (the pipeline window): proposals beyond it queue in
+	// instance order and launch as earlier instances decide. 0 means
+	// unbounded. Safety does not depend on the window — every instance
+	// is a full Synod — it only bounds the burst of concurrent phase-2
+	// rounds; in-order delivery is the learner's (sequencer's) job.
+	Window int
 	// Amnesia re-introduces the Google bug: acceptors honour Corrupt
 	// messages by forgetting their promises. Only the fault-injection
 	// tests enable it.
@@ -252,6 +268,11 @@ type leaderState struct {
 	scouting  bool
 	proposals map[int]string
 	decided   map[int]string
+	// inflight tracks the instances whose commanders are running under
+	// the current ballot; queued holds proposal instances awaiting a
+	// free pipeline-window slot, in arrival order.
+	inflight map[int]bool
+	queued   []int
 }
 
 // LeaderClass builds the leader event class: core handler in parallel with
@@ -285,6 +306,7 @@ func leaderCore(cfg Config) loe.Class {
 			ballot:    Ballot{N: 0, L: slf},
 			proposals: make(map[int]string),
 			decided:   make(map[int]string),
+			inflight:  make(map[int]bool),
 		}
 	}
 	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
@@ -293,16 +315,14 @@ func leaderCore(cfg Config) loe.Class {
 		case Propose:
 			return s, s.onPropose(cfg, slf, b)
 		case Adopted:
-			return s, s.onAdopted(slf, b)
+			return s, s.onAdopted(cfg, slf, b)
 		case Preempted:
 			return s, s.onPreempted(cfg, slf, b)
 		case Wake:
 			mWakes.Inc()
 			return s, s.onWake(slf)
 		case Decide:
-			s.decided[b.Inst] = b.Val
-			delete(s.proposals, b.Inst)
-			return s, nil
+			return s, s.onDecide(cfg, slf, b)
 		}
 		return s, nil
 	}
@@ -324,7 +344,7 @@ func (s *leaderState) onPropose(cfg Config, slf msg.Loc, b Propose) []msg.Direct
 	s.proposals[b.Inst] = b.Val
 	mProposals.Inc()
 	if s.active {
-		return []msg.Directive{msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{B: s.ballot, Inst: b.Inst, Val: b.Val}))}
+		return s.launch(cfg, slf, b.Inst)
 	}
 	if !s.scouting {
 		s.scouting = true
@@ -333,7 +353,53 @@ func (s *leaderState) onPropose(cfg Config, slf msg.Loc, b Propose) []msg.Direct
 	return nil
 }
 
-func (s *leaderState) onAdopted(slf msg.Loc, b Adopted) []msg.Directive {
+// launch spawns a commander for inst if the pipeline window has room,
+// queueing it otherwise. Only called while active.
+func (s *leaderState) launch(cfg Config, slf msg.Loc, inst int) []msg.Directive {
+	if cfg.Window > 0 && len(s.inflight) >= cfg.Window {
+		s.queued = append(s.queued, inst)
+		return nil
+	}
+	return []msg.Directive{s.spawn(slf, inst)}
+}
+
+// spawn emits the commander-delegate self-message for inst under the
+// current ballot and marks it in flight.
+func (s *leaderState) spawn(slf msg.Loc, inst int) msg.Directive {
+	s.inflight[inst] = true
+	return msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{B: s.ballot, Inst: inst, Val: s.proposals[inst]}))
+}
+
+// onDecide records a chosen instance and drains the proposal queue into
+// the freed pipeline-window slot.
+func (s *leaderState) onDecide(cfg Config, slf msg.Loc, b Decide) []msg.Directive {
+	s.decided[b.Inst] = b.Val
+	delete(s.proposals, b.Inst)
+	delete(s.inflight, b.Inst)
+	// The instance may have been decided by a competing leader while
+	// sitting in our queue; drop it there too.
+	for i, inst := range s.queued {
+		if inst == b.Inst {
+			s.queued = append(s.queued[:i], s.queued[i+1:]...)
+			break
+		}
+	}
+	if !s.active {
+		return nil
+	}
+	var outs []msg.Directive
+	for len(s.queued) > 0 && (cfg.Window <= 0 || len(s.inflight) < cfg.Window) {
+		inst := s.queued[0]
+		s.queued = s.queued[1:]
+		if _, ok := s.proposals[inst]; !ok {
+			continue // decided or withdrawn meanwhile
+		}
+		outs = append(outs, s.spawn(slf, inst))
+	}
+	return outs
+}
+
+func (s *leaderState) onAdopted(cfg Config, slf msg.Loc, b Adopted) []msg.Directive {
 	if !b.B.Equal(s.ballot) {
 		return nil // stale adoption of an old ballot
 	}
@@ -353,17 +419,20 @@ func (s *leaderState) onAdopted(slf msg.Loc, b Adopted) []msg.Directive {
 			s.proposals[inst] = pv.Val
 		}
 	}
-	// Command every pending proposal under the adopted ballot.
+	// Command every pending proposal under the adopted ballot, lowest
+	// instance first, respecting the pipeline window: commanders of any
+	// previous ballot are dead (preempted), so the window restarts empty
+	// and the overflow re-queues in instance order.
+	s.inflight = make(map[int]bool)
+	s.queued = nil
 	insts := make([]int, 0, len(s.proposals))
 	for inst := range s.proposals {
 		insts = append(insts, inst)
 	}
 	sort.Ints(insts)
-	outs := make([]msg.Directive, 0, len(insts))
+	var outs []msg.Directive
 	for _, inst := range insts {
-		outs = append(outs, msg.Send(slf, msg.M(HdrSpawnCmd, SpawnCmd{
-			B: s.ballot, Inst: inst, Val: s.proposals[inst],
-		})))
+		outs = append(outs, s.launch(cfg, slf, inst)...)
 	}
 	return outs
 }
@@ -374,6 +443,10 @@ func (s *leaderState) onPreempted(cfg Config, slf msg.Loc, b Preempted) []msg.Di
 	}
 	s.active = false
 	s.scouting = false
+	// Commanders of the preempted ballot are doomed; the window restarts
+	// on the next adoption, which re-commands every pending proposal.
+	s.inflight = make(map[int]bool)
+	s.queued = nil
 	tracePreempt(slf, b.B)
 	s.ballot = Ballot{N: b.B.N + 1, L: slf}
 	delay := cfg.backoff() * time.Duration(s.idx+1)

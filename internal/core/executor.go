@@ -103,6 +103,68 @@ func (e *Executor) run(req TxRequest) TxResult {
 	return RunProc(e.DB, e.Reg, req)
 }
 
+// ApplyBatch executes a contiguous run of ordered transactions inside a
+// single SQL-engine critical section: one BEGIN, a savepoint per
+// transaction (a procedure failure rolls back to its savepoint only),
+// one COMMIT — the group commit of a decided broadcast batch. Order
+// numbers are assigned sequentially from Executed+1 and the log,
+// deduplication, and result bookkeeping are identical to calling Apply
+// once per request, so primaries applying one-by-one and backups
+// applying a whole batch converge on the same state.
+func (e *Executor) ApplyBatch(reqs []TxRequest) []TxResult {
+	out := make([]TxResult, 0, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if _, err := e.DB.Exec("BEGIN"); err != nil {
+		// A transaction is somehow already open; degrade to the
+		// per-transaction path rather than nesting.
+		for _, req := range reqs {
+			res, applyErr := e.Apply(e.Executed+1, req)
+			if applyErr != nil {
+				res = TxResult{Client: req.Client, Seq: req.Seq, Err: applyErr.Error()}
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	for _, req := range reqs {
+		out = append(out, e.applyInBatch(req))
+	}
+	if e.DB.InTx() {
+		_, _ = e.DB.Exec("COMMIT")
+	}
+	return out
+}
+
+// applyInBatch executes one transaction of an open group-commit batch
+// under its own savepoint and records the same bookkeeping as Apply.
+func (e *Executor) applyInBatch(req TxRequest) TxResult {
+	out := TxResult{Client: req.Client, Seq: req.Seq}
+	if proc, ok := e.Reg[req.Type]; !ok {
+		out.Err = fmt.Sprintf("unknown transaction type %q", req.Type)
+	} else if mark, err := e.DB.Savepoint(); err != nil {
+		out.Err = err.Error()
+	} else if res, err := proc(e.DB, req.Args); err != nil {
+		_ = e.DB.RollbackTo(mark)
+		if errors.Is(err, ErrAbort) {
+			out.Aborted = true
+		} else {
+			out.Err = err.Error()
+		}
+	} else {
+		out.Cols, out.Rows = res.Cols, res.Rows
+	}
+	order := e.Executed + 1
+	e.Executed = order
+	e.appendLog(Repl{Order: order, Req: req})
+	e.dedup[req.Key()] = out
+	if req.Seq > e.lastSeq[string(req.Client)] {
+		e.lastSeq[string(req.Client)] = req.Seq
+	}
+	return out
+}
+
 // RunProc executes one procedure inside a transaction against a database,
 // without ordering or deduplication bookkeeping. The replication
 // protocols use Executor.Apply; the baselines and standalone servers use

@@ -166,3 +166,70 @@ func TestFullLog(t *testing.T) {
 		t.Errorf("truncated log: err = %v", err)
 	}
 }
+
+func TestApplyBatchGroupCommit(t *testing.T) {
+	// A batch applied as one group commit must land on exactly the state
+	// and bookkeeping of one-by-one application: same balances, same
+	// Executed count, same dedup answers, same per-request results.
+	batch := []TxRequest{
+		depositReq("c1", 1, 0, 10),
+		depositReq("c2", 1, 1, 20),
+		depositReq("c1", 2, 999, 5), // unknown account: deterministic abort
+		depositReq("c3", 1, 0, 30),
+		{Client: "c2", Seq: 2, Type: "nosuch"},
+	}
+
+	grouped := bankExec(t, 3)
+	results := grouped.ApplyBatch(batch)
+
+	oneByOne := bankExec(t, 3)
+	var want []TxResult
+	for _, req := range batch {
+		res, err := oneByOne.Apply(oneByOne.Executed+1, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i := range want {
+		if results[i].Aborted != want[i].Aborted || (results[i].Err == "") != (want[i].Err == "") {
+			t.Errorf("result %d = %+v, want %+v", i, results[i], want[i])
+		}
+	}
+	if grouped.Executed != oneByOne.Executed {
+		t.Errorf("Executed = %d, want %d", grouped.Executed, oneByOne.Executed)
+	}
+	for id := 0; id < 3; id++ {
+		if g, w := balanceOf(t, grouped.DB, id), balanceOf(t, oneByOne.DB, id); g != w {
+			t.Errorf("balance[%d] = %d, want %d", id, g, w)
+		}
+	}
+	if grouped.DB.InTx() {
+		t.Error("group commit left a transaction open")
+	}
+	// The aborted transaction must not have leaked partial effects, and
+	// dedup must answer retries for every request of the batch.
+	for _, req := range batch {
+		if _, dup := grouped.Duplicate(req); !dup {
+			t.Errorf("request %s/%d not in dedup table", req.Client, req.Seq)
+		}
+	}
+	// Log cache covers the batch for backup catch-up.
+	if log, ok := grouped.LogFrom(0); !ok || len(log) != len(batch) {
+		t.Errorf("LogFrom(0) = %d entries, ok=%v", len(log), ok)
+	}
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	e := bankExec(t, 1)
+	if out := e.ApplyBatch(nil); len(out) != 0 {
+		t.Errorf("ApplyBatch(nil) = %v", out)
+	}
+	if e.Executed != 0 || e.DB.InTx() {
+		t.Errorf("empty batch changed state: executed=%d inTx=%v", e.Executed, e.DB.InTx())
+	}
+}

@@ -782,19 +782,28 @@ func (r *PBRReplica) onCatchup(c Catchup) []msg.Directive {
 	}
 	r.stuckTicks = 0
 	var outs []msg.Directive
+	// Collect the contiguous run of repairs starting at Executed+1 and
+	// group-commit it in one SQL-engine critical section; a gap in the
+	// repair stream ends the run (the rest is unusable until repaired).
+	var reqs []TxRequest
 	for _, rep := range c.Txs {
-		if rep.Order <= r.exec.Executed {
+		if rep.Order <= r.exec.Executed+int64(len(reqs)) {
 			continue
 		}
-		if _, err := r.exec.Apply(rep.Order, rep.Req); err != nil {
-			return outs
+		if rep.Order != r.exec.Executed+int64(len(reqs))+1 {
+			break
 		}
-		delete(r.oooRepl, rep.Order)
+		reqs = append(reqs, rep.Req)
+	}
+	first := r.exec.Executed + 1
+	for i := range r.exec.ApplyBatch(reqs) {
+		order := first + int64(i)
+		delete(r.oooRepl, order)
 		// Ack each repaired transaction: the primary may hold a pending
 		// commit waiting on exactly this order (gap repair during normal
 		// processing, not just post-election catch-up).
 		outs = append(outs, msg.Send(r.cfg.Primary(), msg.M(HdrReplAck, ReplAck{
-			CfgSeq: r.cfg.Seq, Order: rep.Order, From: r.slf,
+			CfgSeq: r.cfg.Seq, Order: order, From: r.slf,
 		})))
 	}
 	// Forwards buffered behind the repaired gap may now be contiguous.

@@ -23,6 +23,14 @@
 // Every injection is recorded as an obs trace event (layer "fault"), so
 // a checker violation under chaos is attributable to the faults that
 // preceded it.
+//
+// The batched, pipelined broadcast hot path is covered explicitly:
+// batch_test.go drives partition-mid-batch and
+// crash-between-propose-and-decide schedules against the sequencer's
+// cut policy on the simulator. Because the service has no
+// retransmission layer, plans against it must keep the sequencer
+// connected to a quorum — a lost proposal stalls its instance rather
+// than violating safety.
 package fault
 
 import (

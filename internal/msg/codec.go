@@ -12,6 +12,12 @@ import (
 // network transport must be registered first. Protocol packages expose a
 // RegisterWireTypes function and binaries call it at startup; in-process
 // transports and the simulator never serialize and need no registration.
+//
+// A frame starts with one tag byte: frameEnvelope carries a single
+// envelope, frameBatch a slice of envelopes bound for the same
+// destination (the batching hot path coalesces a handler's fan-out into
+// one frame per peer). Encoding scratch buffers are pooled; the encoder
+// allocates only the returned frame.
 
 var registry sync.Map // reflect-free guard against double registration panics
 
@@ -44,20 +50,81 @@ type Envelope struct {
 	LC int64
 }
 
-// Encode serializes an envelope.
-func Encode(e Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
-		return nil, fmt.Errorf("encode envelope: %w", err)
+// Frame tags: the first byte of every encoded frame.
+const (
+	frameEnvelope byte = 'E' // one Envelope
+	frameBatch    byte = 'B' // []Envelope, same destination
+)
+
+// bufPool recycles encoding scratch buffers so the per-send garbage is
+// just the returned frame, not the encoder's working set.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func encodeTagged(tag byte, v any) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	buf.WriteByte(tag)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
-// Decode deserializes an envelope produced by Encode.
-func Decode(b []byte) (Envelope, error) {
-	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
-		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
+// Encode serializes one envelope into a wire frame.
+func Encode(e Envelope) ([]byte, error) {
+	b, err := encodeTagged(frameEnvelope, e)
+	if err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
 	}
-	return e, nil
+	return b, nil
+}
+
+// EncodeBatch serializes several envelopes into one wire frame. The
+// caller groups envelopes by destination; the frame is decoded back into
+// the individual envelopes by DecodeFrame, so batching is invisible above
+// the transport.
+func EncodeBatch(envs []Envelope) ([]byte, error) {
+	b, err := encodeTagged(frameBatch, envs)
+	if err != nil {
+		return nil, fmt.Errorf("encode batch: %w", err)
+	}
+	return b, nil
+}
+
+// Decode deserializes a single-envelope frame produced by Encode.
+func Decode(b []byte) (Envelope, error) {
+	envs, err := DecodeFrame(b)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if len(envs) != 1 {
+		return Envelope{}, fmt.Errorf("decode envelope: frame carries %d envelopes", len(envs))
+	}
+	return envs[0], nil
+}
+
+// DecodeFrame deserializes a frame produced by Encode or EncodeBatch into
+// its envelopes, in send order.
+func DecodeFrame(b []byte) ([]Envelope, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("decode frame: empty")
+	}
+	dec := gob.NewDecoder(bytes.NewReader(b[1:]))
+	switch b[0] {
+	case frameEnvelope:
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("decode envelope: %w", err)
+		}
+		return []Envelope{e}, nil
+	case frameBatch:
+		var envs []Envelope
+		if err := dec.Decode(&envs); err != nil {
+			return nil, fmt.Errorf("decode batch: %w", err)
+		}
+		return envs, nil
+	default:
+		return nil, fmt.Errorf("decode frame: unknown tag 0x%02x", b[0])
+	}
 }

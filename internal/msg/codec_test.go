@@ -1,0 +1,114 @@
+package msg
+
+import (
+	"testing"
+)
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	RegisterBody(testBody{})
+	in := []Envelope{
+		{From: "a", To: "b", M: M("one", testBody{N: 1, S: "x"}), LC: 3},
+		{From: "a", To: "b", M: M("two", testBody{N: 2, S: "y"}), Trace: "t1", LC: 4},
+		{From: "a", To: "b", M: M("three", testBody{N: 3, S: "z"}), LC: 5},
+	}
+	frame, err := EncodeBatch(in)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	out, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d envelopes, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].M.Hdr != in[i].M.Hdr || out[i].LC != in[i].LC || out[i].Trace != in[i].Trace {
+			t.Errorf("envelope %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		body, ok := out[i].M.Body.(testBody)
+		if !ok || body.N != i+1 {
+			t.Errorf("envelope %d body = %#v", i, out[i].M.Body)
+		}
+	}
+}
+
+func TestDecodeFrameSingle(t *testing.T) {
+	RegisterBody(testBody{})
+	in := Envelope{From: "a", To: "b", M: M("h", testBody{N: 9})}
+	frame, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(out) != 1 || out[0].M.Hdr != "h" {
+		t.Fatalf("DecodeFrame = %+v", out)
+	}
+	// Decode must reject a batch frame: callers asking for exactly one
+	// envelope should not silently drop the rest.
+	batch, err := EncodeBatch([]Envelope{in, in})
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	if _, err := Decode(batch); err == nil {
+		t.Error("Decode(batch frame) succeeded, want error")
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("DecodeFrame(nil) succeeded, want error")
+	}
+	if _, err := DecodeFrame([]byte{0x7f, 1, 2}); err == nil {
+		t.Error("DecodeFrame(unknown tag) succeeded, want error")
+	}
+}
+
+// The allocation budget of the hot path: encoding must allocate only the
+// returned frame plus gob's per-call bookkeeping, with scratch buffers
+// recycled through the pool, and a batch frame must amortize that
+// bookkeeping across its envelopes.
+func BenchmarkEncode(b *testing.B) {
+	RegisterBody(testBody{})
+	env := Envelope{From: "n1", To: "n2", M: M("px.p2a", testBody{N: 42, S: "value"}), LC: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBatch16(b *testing.B) {
+	RegisterBody(testBody{})
+	envs := make([]Envelope, 16)
+	for i := range envs {
+		envs[i] = Envelope{From: "n1", To: "n2", M: M("px.p2a", testBody{N: i, S: "value"}), LC: int64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatch(envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	RegisterBody(testBody{})
+	frame, err := Encode(Envelope{From: "n1", To: "n2", M: M("px.p2a", testBody{N: 42, S: "value"})})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -161,6 +161,59 @@ func (t *TCP) Send(env msg.Envelope) error {
 	return nil
 }
 
+// SendBatch implements BatchSender: all envelopes (which must share one
+// destination) travel as a single length-prefixed batch frame — one gob
+// stream, one write — so a handler's fan-out to a peer costs one frame
+// instead of one per message.
+func (t *TCP) SendBatch(envs []msg.Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	if len(envs) == 1 {
+		return t.Send(envs[0])
+	}
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	for i := range envs {
+		envs[i].From = t.self
+	}
+	to := envs[0].To
+	if to == t.self {
+		for _, env := range envs {
+			select {
+			case t.inbox <- env:
+				t.gInbox.Set(int64(len(t.inbox)))
+			default:
+				t.drops.Inc()
+			}
+		}
+		return nil
+	}
+	b, err := msg.EncodeBatch(envs)
+	if err != nil {
+		return fmt.Errorf("send batch to %s: %w", to, err)
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		t.drops.Add(int64(len(envs)))
+		return nil // unreachable peer: drop
+	}
+	frame := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(frame, uint32(len(b)))
+	copy(frame[4:], b)
+	if _, err := conn.Write(frame); err != nil {
+		t.drops.Add(int64(len(envs)))
+		t.dropConn(to, conn)
+		return nil
+	}
+	t.framesOut.Inc()
+	t.bytesOut.Add(int64(len(frame)))
+	return nil
+}
+
 // Receive implements Transport.
 func (t *TCP) Receive() <-chan msg.Envelope { return t.inbox }
 
@@ -304,27 +357,29 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		t.framesIn.Inc()
 		t.bytesIn.Add(int64(4 + n))
-		env, err := msg.Decode(body)
+		envs, err := msg.DecodeFrame(body)
 		if err != nil {
 			continue // corrupt frame: skip
 		}
-		// Learn the return route: peers not in the directory (clients on
-		// ephemeral ports) are answered over their own inbound
-		// connection. TCP is bidirectional; the first sender wins.
-		if env.From != "" {
-			t.mu.Lock()
-			if _, known := t.conns[env.From]; !known {
-				if _, listed := t.directory[env.From]; !listed {
-					t.conns[env.From] = conn
+		for _, env := range envs {
+			// Learn the return route: peers not in the directory (clients
+			// on ephemeral ports) are answered over their own inbound
+			// connection. TCP is bidirectional; the first sender wins.
+			if env.From != "" {
+				t.mu.Lock()
+				if _, known := t.conns[env.From]; !known {
+					if _, listed := t.directory[env.From]; !listed {
+						t.conns[env.From] = conn
+					}
 				}
+				t.mu.Unlock()
 			}
-			t.mu.Unlock()
-		}
-		select {
-		case t.inbox <- env:
-			t.gInbox.Set(int64(len(t.inbox)))
-		case <-t.done:
-			return
+			select {
+			case t.inbox <- env:
+				t.gInbox.Set(int64(len(t.inbox)))
+			case <-t.done:
+				return
+			}
 		}
 	}
 }

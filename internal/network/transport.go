@@ -29,6 +29,17 @@ type Transport interface {
 	Close() error
 }
 
+// BatchSender is an optional Transport extension: a transport that can
+// frame several envelopes bound for the same destination into a single
+// wire write. Hosts probe for it with a type assertion and fall back to
+// per-envelope Send when absent, so batching never changes semantics —
+// only the number of syscalls and frames.
+type BatchSender interface {
+	// SendBatch queues several envelopes (all with the same To) as one
+	// frame. Like Send it is asynchronous and best-effort.
+	SendBatch(envs []msg.Envelope) error
+}
+
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("network: transport closed")
 

@@ -19,6 +19,12 @@
 // "Verifying Strong Eventual Consistency": global properties of the
 // replicated database are watched continuously under traffic, not only
 // in bounded model checking.
+//
+// The checker operates on broadcast.Deliver bodies — post-batching,
+// pre-unpacking — so the adaptive batching and pipelining of DESIGN.md
+// §8 is checked transparently: a multi-message slot is compared whole
+// across nodes, and the batch ablation (`cmd/bench -experiment batch`)
+// certifies every sweep point against it.
 package dist
 
 import (

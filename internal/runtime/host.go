@@ -77,10 +77,31 @@ func (h *Host) Emit(outs []msg.Directive) { h.emit(outs, "") }
 // trace ID of the request whose handling produced it, plus a fresh
 // Lamport stamp taken at the actual send (for timers, at fire time — the
 // stamp still exceeds the clock at emission, as Lamport requires).
+//
+// On batch-capable transports, runs of consecutive immediate directives
+// to the same destination coalesce into one wire frame; each envelope in
+// the run still gets its own Lamport stamp, so the causal record is
+// identical to per-envelope sends.
 func (h *Host) emit(outs []msg.Directive, trace string) {
-	for _, o := range outs {
-		o := o
+	bs, canBatch := h.tr.(network.BatchSender)
+	for i := 0; i < len(outs); i++ {
+		o := outs[i]
 		if o.Delay <= 0 {
+			if canBatch {
+				j := i + 1
+				for j < len(outs) && outs[j].Delay <= 0 && outs[j].Dest == o.Dest {
+					j++
+				}
+				if j-i > 1 {
+					envs := make([]msg.Envelope, 0, j-i)
+					for _, d := range outs[i:j] {
+						envs = append(envs, msg.Envelope{From: h.self, To: d.Dest, M: d.M, Trace: trace, LC: h.Obs.Tick()})
+					}
+					_ = bs.SendBatch(envs)
+					i = j - 1
+					continue
+				}
+			}
 			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick()})
 			continue
 		}

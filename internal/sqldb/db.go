@@ -188,6 +188,39 @@ func (db *DB) rollback() {
 	db.stats.Aborts++
 }
 
+// Savepoint marks the current position in the open transaction's undo
+// log. RollbackTo(mark) later undoes everything after the mark without
+// ending the transaction — the partial-rollback primitive group commit
+// needs to abort one transaction of a batch while keeping the rest.
+func (db *DB) Savepoint() (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTx {
+		return 0, ErrNoTx
+	}
+	return len(db.undo), nil
+}
+
+// RollbackTo undoes every change made after mark (a value returned by
+// Savepoint in the same transaction). The transaction stays open; the
+// abort is counted in Stats.
+func (db *DB) RollbackTo(mark int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inTx {
+		return ErrNoTx
+	}
+	if mark < 0 || mark > len(db.undo) {
+		return fmt.Errorf("sqldb: savepoint %d out of range (undo depth %d)", mark, len(db.undo))
+	}
+	for i := len(db.undo) - 1; i >= mark; i-- {
+		db.undo[i]()
+	}
+	db.undo = db.undo[:mark]
+	db.stats.Aborts++
+	return nil
+}
+
 // pushUndo records a compensation action when inside a transaction.
 func (db *DB) pushUndo(fn func()) {
 	if db.inTx {

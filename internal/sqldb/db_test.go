@@ -1,0 +1,44 @@
+package sqldb
+
+import "testing"
+
+func TestSavepointRollbackTo(t *testing.T) {
+	db := mustOpen(t)
+	mustExec(t, db, "CREATE TABLE sp (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO sp (id, v) VALUES (?, ?)", 1, 10)
+
+	if _, err := db.Savepoint(); err != ErrNoTx {
+		t.Fatalf("Savepoint outside tx: err = %v, want ErrNoTx", err)
+	}
+	if err := db.RollbackTo(0); err != ErrNoTx {
+		t.Fatalf("RollbackTo outside tx: err = %v, want ErrNoTx", err)
+	}
+
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE sp SET v = ? WHERE id = ?", 20, 1)
+	mark, err := db.Savepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "UPDATE sp SET v = ? WHERE id = ?", 30, 1)
+	mustExec(t, db, "INSERT INTO sp (id, v) VALUES (?, ?)", 2, 99)
+	if err := db.RollbackTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	// Work after the savepoint is undone, work before it survives, and
+	// the transaction is still open.
+	if !db.InTx() {
+		t.Fatal("RollbackTo closed the transaction")
+	}
+	mustExec(t, db, "COMMIT")
+	res, err := db.Exec("SELECT v FROM sp WHERE id = ?", 1)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].(int64) != 20 {
+		t.Errorf("v = %v (err %v), want 20", res.Rows, err)
+	}
+	if res, _ := db.Exec("SELECT v FROM sp WHERE id = ?", 2); len(res.Rows) != 0 {
+		t.Errorf("rolled-back insert visible: %v", res.Rows)
+	}
+	if err := db.RollbackTo(-1); err == nil {
+		t.Error("RollbackTo(-1) succeeded outside tx, want error")
+	}
+}
