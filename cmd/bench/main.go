@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|all [-quick] [-json [-outdir DIR]]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|all [-quick] [-json [-outdir DIR]]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -26,7 +26,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
@@ -46,10 +46,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -178,6 +178,23 @@ func run() int {
 			fmt.Fprintf(os.Stderr,
 				"chaos: certification failed: %d violations, reproducible=%v, primaries=%d, progress=%v\n",
 				len(res.Violations), res.Reproducible, res.Primaries, res.ProgressAfterFaults)
+			failed = true
+		}
+	}
+	if todo["recovery"] {
+		cfg := bench.DefaultRecovery()
+		if *quick {
+			cfg = bench.QuickRecovery()
+		}
+		res := bench.Recovery(cfg)
+		bench.RenderRecovery(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportRecovery(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"recovery: certification failed: %d violations, recovered=%v, caught_up=%v, state_equal=%v, progress=%v, finished=%d/%d\n",
+				len(res.Violations), res.RecoveredLocally, res.CaughtUp,
+				res.StateEqual, res.ProgressAfterRestart, res.Finished, res.Clients)
 			failed = true
 		}
 	}

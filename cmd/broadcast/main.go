@@ -32,6 +32,7 @@ import (
 	"shadowdb/internal/obs"
 	"shadowdb/internal/obs/dist"
 	"shadowdb/internal/runtime"
+	"shadowdb/internal/store"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run() int {
 	batch := flag.Int("batch", 0, "max messages per ordered batch (0 = module default)")
 	batchDelay := flag.Duration("batch-delay", 0, "max time a message may wait for its batch to fill (0 = cut eagerly)")
 	pipeline := flag.Int("pipeline", 0, "max concurrent consensus instances (0 or 1 = stop-and-wait)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: journal sequencer decisions and acceptor promises, recover them on restart (empty = volatile)")
+	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: always|batch|never")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof)")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
@@ -75,10 +78,41 @@ func run() int {
 		Nodes: bnodes, Subscribers: subs,
 		MaxBatch: *batch, MaxDelay: *batchDelay, Pipeline: *pipeline,
 	}
+	var stable func(prefix string) func(msg.Loc) store.Stable
+	if *dataDir != "" {
+		pol, err := store.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		prov, err := store.NewDir(*dataDir, pol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		stable = func(prefix string) func(msg.Loc) store.Stable {
+			return func(l msg.Loc) store.Stable {
+				st, err := prov.Open(prefix + "-" + string(l))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				return st
+			}
+		}
+		cfg.Stable = stable("seq")
+	}
 	switch *module {
 	case "paxos":
-		cfg.Modules = []broadcast.Module{broadcast.PaxosPipelined(*pipeline)}
+		if stable != nil {
+			cfg.Modules = []broadcast.Module{broadcast.PaxosDurable(*pipeline, stable("acc"))}
+		} else {
+			cfg.Modules = []broadcast.Module{broadcast.PaxosPipelined(*pipeline)}
+		}
 	case "twothird":
+		if *dataDir != "" {
+			fmt.Fprintln(os.Stderr, "-data-dir covers the sequencer journal only with -module twothird (acceptor durability is paxos-only)")
+		}
 		cfg.Modules = []broadcast.Module{broadcast.TwoThird()}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown module %q\n", *module)

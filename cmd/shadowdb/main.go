@@ -37,6 +37,7 @@ import (
 	"shadowdb/internal/obs/dist"
 	"shadowdb/internal/runtime"
 	"shadowdb/internal/sqldb"
+	"shadowdb/internal/store"
 )
 
 func main() {
@@ -55,6 +56,8 @@ func run() int {
 	batch := flag.Int("batch", 0, "broadcast role: max messages per ordered batch (0 = unbatched)")
 	batchDelay := flag.Duration("batch-delay", 0, "broadcast role: max time a message may wait for its batch to fill (0 = cut eagerly)")
 	pipeline := flag.Int("pipeline", 0, "broadcast role: max concurrent consensus instances (0 or 1 = stop-and-wait)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: WAL + snapshots for this node's state, recovered on restart (empty = volatile)")
+	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: always|batch|never")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
@@ -105,12 +108,25 @@ func run() int {
 	}
 	defer func() { _ = tr.Close() }()
 
+	var prov store.Provider
+	if *dataDir != "" {
+		pol, err := store.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if prov, err = store.NewDir(*dataDir, pol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
 	replicaLocs, bcastLocs := splitRoles(dir)
 	host, err := buildHost(buildConfig{
 		id: msg.Loc(*id), role: *role, engine: *engine, registry: *registry,
 		rows: *rows, spare: *spare, members: *members,
 		batch: *batch, batchDelay: *batchDelay, pipeline: *pipeline,
-		replicas: replicaLocs, bcast: bcastLocs, tr: tr,
+		replicas: replicaLocs, bcast: bcastLocs, tr: tr, stable: prov,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -170,6 +186,9 @@ type buildConfig struct {
 	replicas   []msg.Loc
 	bcast      []msg.Loc
 	tr         network.Transport
+	// stable, when set, backs this node's state with WAL + snapshots
+	// (recovered on restart); nil keeps the node volatile.
+	stable store.Provider
 }
 
 func buildHost(c buildConfig) (*runtime.Host, error) {
@@ -186,6 +205,12 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			Nodes: c.bcast, Subscribers: c.replicas,
 			MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
 		}
+		if c.stable != nil {
+			// Journal the sequencer's decided slots and the Synod
+			// acceptors' promises; a restart resumes from both.
+			cfg.Stable = c.openStable("seq")
+			cfg.Modules = []broadcast.Module{broadcast.PaxosDurable(c.pipeline, c.openStable("acc"))}
+		}
 		return runtime.NewHost(c.id, c.tr, broadcast.Spec(cfg).Generator()(c.id)), nil
 	case "pbr":
 		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))
@@ -193,6 +218,9 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			return nil, err
 		}
 		if !c.spare {
+			// Seeded before replica construction: with a fresh store the
+			// baseline snapshot must capture the initial rows; with an
+			// existing store, recovery restores over this population.
 			if err := setup(db); err != nil {
 				return nil, err
 			}
@@ -203,7 +231,22 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			BcastNodes:     c.bcast,
 			Timing:         core.DefaultTiming(),
 		}
-		r := core.NewPBRReplica(c.id, db, reg, dep)
+		var r *core.PBRReplica
+		if c.stable != nil {
+			st, err := c.stable.Open("pbr-" + string(c.id))
+			if err != nil {
+				return nil, err
+			}
+			var restored bool
+			if r, restored, err = core.NewDurablePBRReplica(c.id, db, reg, dep, st, core.DefaultSnapEvery); err != nil {
+				return nil, err
+			}
+			if restored {
+				fmt.Printf("%s: recovered durable state from %s\n", c.id, "pbr-"+string(c.id))
+			}
+		} else {
+			r = core.NewPBRReplica(c.id, db, reg, dep)
+		}
 		h := runtime.NewHost(c.id, c.tr, r)
 		h.Emit(r.Start())
 		return h, nil
@@ -215,9 +258,43 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 		if err := setup(db); err != nil {
 			return nil, err
 		}
-		return runtime.NewHost(c.id, c.tr, core.NewSMRReplica(c.id, db, reg)), nil
+		if c.stable == nil {
+			return runtime.NewHost(c.id, c.tr, core.NewSMRReplica(c.id, db, reg)), nil
+		}
+		st, err := c.stable.Open("smr-" + string(c.id))
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.NewDurableSMRReplica(c.id, db, reg, st, c.replicas)
+		if err != nil {
+			return nil, err
+		}
+		h := runtime.NewHost(c.id, c.tr, r)
+		if r.Recovered() {
+			fmt.Printf("%s: recovered durable state through slot %d; requesting downtime delta from peers\n",
+				c.id, r.LastSlot())
+		}
+		// Ask the peers for anything ordered while this node was down
+		// (an empty delta comes back on a fresh, in-sync group).
+		h.Emit(r.RecoveryDirectives())
+		return h, nil
 	default:
 		return nil, fmt.Errorf("unknown role %q", c.role)
+	}
+}
+
+// openStable maps component locations to named stores under the node's
+// data directory ("seq-b1", "acc-b1").
+func (c buildConfig) openStable(prefix string) func(msg.Loc) store.Stable {
+	return func(l msg.Loc) store.Stable {
+		st, err := c.stable.Open(prefix + "-" + string(l))
+		if err != nil {
+			// Called from inside process construction, where there is no
+			// error path; a data directory that cannot be opened is fatal.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return st
 	}
 }
 

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// The quick recovery run must certify: kill + torn-tail restart of a
+// durable replica, local WAL recovery, delta catch-up, clean checker,
+// and converged replicas.
+func TestRecoveryQuickCertifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery experiment is seconds of virtual load")
+	}
+	cfg := QuickRecovery()
+	cfg.DataDir = t.TempDir()
+	res := Recovery(cfg)
+	RenderRecovery(os.Stderr, res)
+	if len(res.Violations) > 0 {
+		t.Fatalf("online checker flagged %d violations: %v", len(res.Violations), res.Violations[0])
+	}
+	if !res.Certified() {
+		t.Fatalf("recovery run not certified: %+v", res)
+	}
+	if res.SlotsBehind <= 0 {
+		t.Errorf("victim woke %d slots behind, want a real downtime gap", res.SlotsBehind)
+	}
+}

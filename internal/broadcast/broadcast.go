@@ -40,6 +40,7 @@ import (
 	"shadowdb/internal/interp"
 	"shadowdb/internal/loe"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/store"
 )
 
 // Message headers of the service.
@@ -141,6 +142,10 @@ type paxosModule struct {
 	// concurrently; 0 means unbounded (the sequencer's own Pipeline
 	// setting is the effective bound then).
 	window int
+	// stable, when set, gives each acceptor durable storage (see
+	// synod.Config.Stable): a promise or accepted value is journaled
+	// before the reply leaves the node.
+	stable func(msg.Loc) store.Stable
 }
 
 // Paxos returns the Synod-backed consensus module.
@@ -150,10 +155,19 @@ func Paxos() Module { return paxosModule{} }
 // window instances concurrently (see synod.Config.Window).
 func PaxosPipelined(window int) Module { return paxosModule{window: window} }
 
+// PaxosDurable is PaxosPipelined with WAL-backed acceptors: stable maps
+// each acceptor to its journal, and the acceptor persists every promise
+// and accepted value write-ahead of the reply, so a crash-restart never
+// forgets a promise.
+func PaxosDurable(window int, stable func(msg.Loc) store.Stable) Module {
+	return paxosModule{window: window, stable: stable}
+}
+
 func (paxosModule) Name() string { return "paxos" }
 
 func (p paxosModule) Class(nodes, learners []msg.Loc) loe.Class {
-	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners, Window: p.window}
+	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners,
+		Window: p.window, Stable: p.stable}
 	return loe.Parallel(synod.AcceptorClass(cfg), synod.LeaderClass(cfg))
 }
 
@@ -244,6 +258,13 @@ type Config struct {
 	// nodes forward client messages to it, keeping a single stable
 	// proposer in the common case. Empty means Nodes[0].
 	Sequencer msg.Loc
+	// Stable, when set, gives each service node a decided-slot journal:
+	// every decision is journaled before its Deliver notifications are
+	// emitted, and a re-instantiated node restores the journal and
+	// resumes delivery contiguously after the journaled prefix instead
+	// of re-deciding or re-proposing old slots. Nil keeps the sequencer
+	// volatile (the pre-durability behaviour).
+	Stable func(msg.Loc) store.Stable
 }
 
 // window is the effective pipeline width.
@@ -295,6 +316,12 @@ type seqState struct {
 	flushGen int64           // generation of the armed flush timer; 0 = none armed
 	gen      int64           // flush generation counter
 	propAt   map[int]int64   // slot -> propose timestamp (observability only)
+
+	// st journals decided slots write-ahead of their Deliver fan-out
+	// when durability is configured; sinceSnap counts records since the
+	// last journal compaction.
+	st        store.Stable
+	sinceSnap int
 }
 
 // sequencerClass builds the batching/ordering class of one service node.
@@ -312,13 +339,19 @@ func sequencerClass(cfg Config) loe.Class {
 		}
 	}
 	in := loe.Parallel(bases...)
-	init := func(msg.Loc) any {
-		return &seqState{
+	init := func(slf msg.Loc) any {
+		s := &seqState{
 			seen:     make(map[string]bool),
 			decided:  make(map[int][]Bcast),
 			inflight: make(map[int][]Bcast),
 			propSlot: -1,
 		}
+		if cfg.Stable != nil {
+			if st := cfg.Stable(slf); st != nil {
+				s.restore(st)
+			}
+		}
+		return s
 	}
 	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
 		s := state.(*seqState)
@@ -392,6 +425,10 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 		batch = nil
 	}
 	s.decided[inst] = batch
+	// Write-ahead of the Deliver fan-out below: a crash after the
+	// journal append but before delivery resumes past this slot on
+	// restart (subscribers recover the gap through their own catch-up).
+	s.journal(inst, val)
 	mDecides.Inc()
 	inBatch := make(map[string]bool, len(batch))
 	for _, b := range batch {
@@ -518,9 +555,16 @@ func EncodeBatch(batch []Bcast) string {
 	return buf.String()
 }
 
-// DecodeBatch reverses EncodeBatch.
-func DecodeBatch(val string) ([]Bcast, error) {
-	var batch []Bcast
+// DecodeBatch reverses EncodeBatch. Malformed input — truncated,
+// corrupted, or adversarial bytes that make the gob decoder panic —
+// returns an error, never a crash: consensus values can cross the wire
+// and the WAL, so this path must be total.
+func DecodeBatch(val string) (batch []Bcast, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			batch, err = nil, fmt.Errorf("broadcast: decode batch: %v", r)
+		}
+	}()
 	if err := gob.NewDecoder(bytes.NewReader([]byte(val))).Decode(&batch); err != nil {
 		return nil, fmt.Errorf("broadcast: decode batch: %w", err)
 	}

@@ -1,0 +1,101 @@
+package synod
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"shadowdb/internal/store"
+)
+
+// Acceptor durability. The paper's safety argument rests on "an
+// acceptor never forgets a promise": every P1b/P2b reply is a durable
+// commitment, so the mutation behind it must reach stable storage
+// before the reply leaves the process. With Config.Stable set, each
+// acceptor journals a record per adopted ballot / accepted pvalue
+// ahead of replying, periodically compacts the journal into a
+// snapshot, and restores itself from snapshot + replay when its class
+// is instantiated again — which is what both a real process restart
+// and a simulated crash-restart (verify's Restarts budget, the DES
+// rebuild path) do.
+
+// accRecord is one journaled acceptor mutation: the ballot adopted by
+// the promise, plus the accepted pvalue when the mutation was phase 2.
+type accRecord struct {
+	B  Ballot
+	PV *PValue
+}
+
+// accSnapshot is the full acceptor state, written every snapEvery
+// journal records to bound replay length.
+type accSnapshot struct {
+	B    Ballot
+	HasB bool
+	PVs  []PValue
+}
+
+// accSnapEvery is how many journal appends trigger a compaction.
+const accSnapEvery = 64
+
+func gobBytes(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("synod: encode durable record: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// persist journals the acceptor's latest mutation write-ahead. A
+// storage failure panics: an acceptor that cannot persist must not
+// reply, and it has no way to make progress safely.
+func (s *acceptorState) persist(pv *PValue) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.Append(gobBytes(accRecord{B: s.ballot, PV: pv})); err != nil {
+		panic(fmt.Sprintf("synod: acceptor journal: %v", err))
+	}
+	s.sinceSnap++
+	if s.sinceSnap < accSnapEvery {
+		return
+	}
+	snap := accSnapshot{B: s.ballot, HasB: s.hasB, PVs: s.pvalues()}
+	if err := s.st.SaveSnapshot(gobBytes(snap)); err != nil {
+		panic(fmt.Sprintf("synod: acceptor snapshot: %v", err))
+	}
+	s.sinceSnap = 0
+}
+
+// restoreAcceptor rebuilds acceptor state from stable storage:
+// snapshot first, then the journal tail.
+func restoreAcceptor(st store.Stable) *acceptorState {
+	s := &acceptorState{accepted: make(map[int]PValue), st: st}
+	if b, ok, err := st.Snapshot(); err == nil && ok {
+		var snap accSnapshot
+		if gob.NewDecoder(bytes.NewReader(b)).Decode(&snap) == nil {
+			s.ballot, s.hasB = snap.B, snap.HasB
+			for _, pv := range snap.PVs {
+				s.accepted[pv.Inst] = pv
+			}
+		}
+	}
+	err := st.Replay(func(rec []byte) error {
+		var r accRecord
+		if gob.NewDecoder(bytes.NewReader(rec)).Decode(&r) != nil {
+			return nil // skip undecodable records, keep the rest
+		}
+		if !s.hasB || s.ballot.Less(r.B) {
+			s.ballot, s.hasB = r.B, true
+		}
+		if r.PV != nil {
+			if prev, ok := s.accepted[r.PV.Inst]; !ok || prev.B.Less(r.PV.B) {
+				s.accepted[r.PV.Inst] = *r.PV
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("synod: acceptor replay: %v", err))
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/store"
 	"shadowdb/internal/verify"
 )
 
@@ -71,6 +72,7 @@ func Properties() []verify.Property {
 		{Module: "Paxos-Synod", Name: "agreement/exhaustive", Mode: verify.Auto, Check: checkAgreementExhaustive},
 		{Module: "Paxos-Synod", Name: "agreement/acceptor-crash", Mode: verify.Auto, Check: checkAgreementExhaustive},
 		{Module: "Paxos-Synod", Name: "agreement/dueling-leaders", Mode: verify.Auto, Check: checkDuelingLeaders},
+		{Module: "Paxos-Synod", Name: "durability/crash-restart", Mode: verify.Auto, Check: checkDurableRestart},
 		{Module: "Paxos-Synod", Name: "promise-monotonicity", Mode: verify.Manual, Check: checkPromiseMonotonic},
 		{Module: "Paxos-Synod", Name: "leader-change-preserves-choice", Mode: verify.Manual, Check: checkLeaderChange},
 		{Module: "Paxos-Synod", Name: "amnesia-bug/regression", Mode: verify.Manual, Check: checkAmnesiaBug},
@@ -118,6 +120,82 @@ func checkDuelingLeaders() error {
 	}
 	_, err := verify.Fuzz(m, 250, 200, 11)
 	return err
+}
+
+// checkDurableRestart fuzzes dueling leaders over WAL-backed acceptors
+// that the scheduler may crash AND restart — not the crash-stop of the
+// other properties, and not the StateLoss reset of the amnesia
+// regression: a restarted acceptor is rebuilt from its store, exactly
+// as a real process reopens its data directory. Agreement and validity
+// must hold, and no acceptor incarnation may ever reply with a ballot
+// below one an earlier incarnation revealed ("an acceptor never
+// forgets a promise" — the obligation the WAL discharges).
+func checkDurableRestart() error {
+	mem := store.NewMem()
+	cfg := duelConfig()
+	cfg.Stable = func(l msg.Loc) store.Stable {
+		st, _ := mem.Open("acc-" + string(l))
+		return st
+	}
+	m := verify.Model{
+		Gen:  Spec(cfg).Generator(),
+		Locs: Spec(cfg).Locs,
+		Init: []verify.Injection{
+			{To: "l1", M: msg.M(HdrPropose, Propose{Inst: 0, Val: "from-l1"})},
+			{To: "l2", M: msg.M(HdrPropose, Propose{Inst: 0, Val: "from-l2"})},
+		},
+		CrashLocs: cfg.Acceptors,
+		Crashes:   2,
+		Restarts:  2,
+		Reset:     mem.Reset,
+		Invariant: durableRestartInvariant(cfg),
+	}
+	_, err := verify.Fuzz(m, 400, 250, 17)
+	return err
+}
+
+func durableRestartInvariant(cfg Config) func([]gpm.TraceEntry) error {
+	agree := agreementInvariant(cfg)
+	proposed := map[string]bool{"from-l1": true, "from-l2": true}
+	return func(trace []gpm.TraceEntry) error {
+		if err := agree(trace); err != nil {
+			return err
+		}
+		// Validity: only proposed values may be decided.
+		for _, e := range trace {
+			for inst, vals := range DecisionsOf(e.Outs, cfg.Learners) {
+				for _, v := range vals {
+					if !proposed[v] {
+						return fmt.Errorf("synod: instance %d decided unproposed value %q", inst, v)
+					}
+				}
+			}
+		}
+		// Promise monotonicity across incarnations: replies from one
+		// acceptor location never regress in ballot, even when the
+		// location was crashed and rebuilt from its WAL in between.
+		last := make(map[msg.Loc]Ballot)
+		seen := make(map[msg.Loc]bool)
+		for _, e := range trace {
+			for _, o := range e.Outs {
+				var b Ballot
+				switch body := o.M.Body.(type) {
+				case P1b:
+					b = body.B
+				case P2b:
+					b = body.B
+				default:
+					continue
+				}
+				if seen[e.Loc] && b.Less(last[e.Loc]) {
+					return fmt.Errorf("synod: acceptor %s forgot its promise across restart: ballot went back from %s to %s",
+						e.Loc, last[e.Loc], b)
+				}
+				last[e.Loc], seen[e.Loc] = b, true
+			}
+		}
+		return nil
+	}
 }
 
 // checkPromiseMonotonic verifies on a full run that every acceptor's

@@ -36,6 +36,7 @@ import (
 
 	"shadowdb/internal/loe"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/store"
 )
 
 // Message headers of the protocol.
@@ -182,6 +183,12 @@ type Config struct {
 	// messages by forgetting their promises. Only the fault-injection
 	// tests enable it.
 	Amnesia bool
+	// Stable, when set, gives each acceptor durable storage: promises
+	// and accepted pvalues are journaled before the reply that reveals
+	// them leaves the acceptor, and a re-instantiated acceptor restores
+	// itself from the store (see durability.go). Nil keeps acceptors
+	// volatile (the pre-durability behaviour).
+	Stable func(msg.Loc) store.Stable
 }
 
 // Majority is the acceptor quorum size.
@@ -201,12 +208,22 @@ type acceptorState struct {
 	ballot   Ballot
 	hasB     bool
 	accepted map[int]PValue // slot -> highest-ballot accepted pvalue
+
+	// st journals mutations write-ahead when durability is configured;
+	// sinceSnap counts appends since the last compaction.
+	st        store.Stable
+	sinceSnap int
 }
 
 // AcceptorClass builds the acceptor event class.
 func AcceptorClass(cfg Config) loe.Class {
 	in := loe.Parallel(loe.Base(HdrP1a), loe.Base(HdrP2a), loe.Base(HdrCorrupt))
-	init := func(msg.Loc) any {
+	init := func(slf msg.Loc) any {
+		if cfg.Stable != nil {
+			if st := cfg.Stable(slf); st != nil {
+				return restoreAcceptor(st)
+			}
+		}
 		return &acceptorState{accepted: make(map[int]PValue)}
 	}
 	step := func(slf msg.Loc, input, state any) (any, []msg.Directive) {
@@ -215,6 +232,9 @@ func AcceptorClass(cfg Config) loe.Class {
 		case P1a:
 			if !s.hasB || s.ballot.Less(b.B) {
 				s.ballot, s.hasB = b.B, true
+				// The promise is a durable commitment: journal it
+				// before the P1b that reveals it exists.
+				s.persist(nil)
 			}
 			return s, []msg.Directive{msg.Send(b.From, msg.M(HdrP1b, P1b{
 				From: slf, B: s.ballot, Accepted: s.pvalues(),
@@ -223,10 +243,12 @@ func AcceptorClass(cfg Config) loe.Class {
 			if !s.hasB || !b.B.Less(s.ballot) {
 				// b.B >= current ballot: adopt and accept.
 				s.ballot, s.hasB = b.B, true
+				pv := PValue{B: b.B, Inst: b.Inst, Val: b.Val}
 				prev, ok := s.accepted[b.Inst]
 				if !ok || prev.B.Less(b.B) {
-					s.accepted[b.Inst] = PValue{B: b.B, Inst: b.Inst, Val: b.Val}
+					s.accepted[b.Inst] = pv
 				}
+				s.persist(&pv)
 			}
 			return s, []msg.Directive{msg.Send(b.From, msg.M(HdrP2b, P2b{
 				From: slf, B: s.ballot, Inst: b.Inst,
@@ -234,8 +256,14 @@ func AcceptorClass(cfg Config) loe.Class {
 		case Corrupt:
 			if cfg.Amnesia {
 				// The Google bug: all promises and accepted pvalues are
-				// lost, as after restarting from a corrupted disk.
-				*s = acceptorState{accepted: make(map[int]PValue)}
+				// lost, as after restarting from a corrupted disk. With
+				// durability configured the "disk" is wiped too, so a
+				// later restore cannot resurrect the forgotten promises.
+				st := s.st
+				*s = acceptorState{accepted: make(map[int]PValue), st: st}
+				if st != nil {
+					_ = st.SaveSnapshot(gobBytes(accSnapshot{}))
+				}
 			}
 			return s, nil
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"shadowdb/internal/sqldb"
+	"shadowdb/internal/store"
 )
 
 // The transaction substrate shared by both replication protocols: typed,
@@ -48,6 +49,14 @@ type Executor struct {
 	logStart  int64 // order number of log[0]
 	dedup     map[string]TxResult
 	lastSeq   map[string]int64
+	// Durability (durability.go): with st set, appendLog journals every
+	// ordered transaction and compacts the journal into a database
+	// snapshot every snapEvery transactions. replaying suppresses
+	// journaling while Recover re-executes the journal.
+	st        store.Stable
+	snapEvery int
+	sinceSnap int
+	replaying bool
 }
 
 // NewExecutor creates an executor over a database.
@@ -201,6 +210,7 @@ func RunProc(db *sqldb.DB, reg Registry, req TxRequest) TxResult {
 }
 
 func (e *Executor) appendLog(r Repl) {
+	e.journal(r)
 	if len(e.log) == 0 {
 		e.logStart = r.Order
 	}

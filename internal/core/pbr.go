@@ -131,6 +131,9 @@ type snapAssembly struct {
 	rows     map[string][][]sqldb.Value
 	held     []Repl
 	received int
+	// seen dedups batches by index: a duplicated SnapBatch must not
+	// double its rows or inflate received past the real batch count.
+	seen map[int]bool
 	// end holds the SnapEnd when it arrived before all batches.
 	end *SnapEnd
 }
@@ -840,6 +843,7 @@ func (r *PBRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
 		xfer:    s.Xfer,
 		schemas: s.Schemas,
 		rows:    make(map[string][][]sqldb.Value),
+		seen:    make(map[int]bool),
 	}
 	return nil
 }
@@ -848,6 +852,10 @@ func (r *PBRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
 	if r.snapState == nil || b.CfgSeq != r.cfg.Seq || b.Xfer != r.snapState.xfer {
 		return nil // no assembly, or a straggler of a superseded transfer
 	}
+	if r.snapState.seen[b.N] {
+		return nil // duplicate batch
+	}
+	r.snapState.seen[b.N] = true
 	r.snapState.rows[b.Table] = append(r.snapState.rows[b.Table], b.Rows...)
 	r.snapState.received++
 	// Row insertion is the state-transfer bottleneck (Fig. 10b); wide

@@ -12,6 +12,7 @@ import (
 	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
 	"shadowdb/internal/sqldb"
+	"shadowdb/internal/store"
 )
 
 // SMR: state machine replication (Section III-B of the paper). Clients
@@ -49,6 +50,17 @@ type SMRReplica struct {
 	snap *smrSnap
 	// stepCost is the virtual CPU of the last step.
 	stepCost time.Duration
+	// Durability (smr_durable.go). stable journals every applied slot and
+	// compacts into a database snapshot; snapSlot is the slot the stored
+	// snapshot covers; pending buffers out-of-order deliveries while the
+	// slot catch-up fills the gap; peers are who a restarted replica asks
+	// for its delta; recoveredLocal reports a restore happened.
+	stable         store.Stable
+	snapSlot       int
+	sinceSnap      int
+	pending        map[int]broadcast.Deliver
+	peers          []msg.Loc
+	recoveredLocal bool
 }
 
 var _ gpm.Process = (*SMRReplica)(nil)
@@ -92,6 +104,10 @@ func (r *SMRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 		outs = r.onSnapBatch(in.Body.(SnapBatch))
 	case HdrSnapEnd:
 		outs = r.onSnapEnd(in.Body.(SnapEnd))
+	case HdrSMRCatchupReq:
+		outs = r.onSMRCatchupReq(in.Body.(SMRCatchupReq))
+	case HdrSMRCatchup:
+		outs = r.onSMRCatchup(in.Body.(SMRCatchup))
 	}
 	r.stepCost += r.exec.DB.Engine().CostOf(r.exec.DB.Stats().Sub(before))
 	return r, outs
@@ -100,6 +116,9 @@ func (r *SMRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 func (r *SMRReplica) onDeliver(d broadcast.Deliver) []msg.Directive {
 	if d.Slot <= r.lastSlot {
 		return nil // duplicate notification from another service node
+	}
+	if r.active && r.stable != nil {
+		return r.durableDeliver(d)
 	}
 	r.lastSlot = d.Slot
 	if !r.active {
@@ -166,27 +185,32 @@ func (r *SMRReplica) onAdd(add SMRAddReplica) []msg.Directive {
 	if r.slf != add.Proposer {
 		return nil
 	}
+	return r.pushSnapshot(add.New)
+}
+
+// pushSnapshot streams this replica's full state to a peer.
+func (r *SMRReplica) pushSnapshot(to msg.Loc) []msg.Directive {
 	dumps := r.exec.DB.Snapshot()
 	eng := r.exec.DB.Engine()
 	schemas := make([]sqldb.CreateTable, len(dumps))
 	for i, d := range dumps {
 		schemas[i] = d.Schema
 	}
-	outs := []msg.Directive{msg.Send(add.New, msg.M(HdrSnapBegin, SnapBegin{
+	outs := []msg.Directive{msg.Send(to, msg.M(HdrSnapBegin, SnapBegin{
 		Schemas: schemas, Order: int64(r.lastSlot),
 	}))}
 	n := 0
 	for _, d := range dumps {
 		cols := len(d.Schema.Cols)
 		for _, batch := range sqldb.SplitBatches(d, 0) {
-			outs = append(outs, msg.Send(add.New, msg.M(HdrSnapBatch, SnapBatch{
+			outs = append(outs, msg.Send(to, msg.M(HdrSnapBatch, SnapBatch{
 				Table: batch.Table, Rows: batch.Rows, N: n,
 			})))
 			n++
 			r.stepCost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
 		}
 	}
-	outs = append(outs, msg.Send(add.New, msg.M(HdrSnapEnd, SnapEnd{Order: int64(r.lastSlot), Batches: n})))
+	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{Order: int64(r.lastSlot), Batches: n})))
 	return outs
 }
 
@@ -199,12 +223,16 @@ type smrSnap struct {
 	schemas  []sqldb.CreateTable
 	rows     map[string][][]sqldb.Value
 	received int
-	end      *SnapEnd
+	// seen dedups batches by index: the transport may duplicate a
+	// SnapBatch, and counting it twice would both double its rows and
+	// let the assembly "complete" with another batch still missing.
+	seen map[int]bool
+	end  *SnapEnd
 }
 
 // The joining replica reuses snapState via a minimal local assembly.
 func (r *SMRReplica) onSnapBegin(s SnapBegin) []msg.Directive {
-	r.snap = &smrSnap{schemas: s.Schemas, rows: make(map[string][][]sqldb.Value)}
+	r.snap = &smrSnap{schemas: s.Schemas, rows: make(map[string][][]sqldb.Value), seen: make(map[int]bool)}
 	return nil
 }
 
@@ -212,6 +240,10 @@ func (r *SMRReplica) onSnapBatch(b SnapBatch) []msg.Directive {
 	if r.snap == nil {
 		return nil
 	}
+	if r.snap.seen[b.N] {
+		return nil // duplicate batch
+	}
+	r.snap.seen[b.N] = true
 	r.snap.rows[b.Table] = append(r.snap.rows[b.Table], b.Rows...)
 	r.snap.received++
 	r.stepCost += batchRestoreCost(r.exec.DB.Engine(), b.Rows)
@@ -250,6 +282,24 @@ func (r *SMRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
 		outs = append(outs, r.applyBatch(d)...)
 	}
 	r.buffer = nil
+	if r.stable != nil {
+		// A full transfer supersedes the local journal: advance the
+		// frontier to the covered slot, persist the transferred state as
+		// the new baseline, and drain any out-of-order deliveries that
+		// were parked while the transfer ran.
+		if coveredSlot > r.lastSlot {
+			r.lastSlot = coveredSlot
+		}
+		if err := r.saveSMRSnapshot(); err != nil {
+			panic(fmt.Sprintf("core: smr baseline after transfer: %v", err))
+		}
+		for slot := range r.pending {
+			if slot <= r.lastSlot {
+				delete(r.pending, slot)
+			}
+		}
+		outs = append(outs, r.drainPending()...)
+	}
 	return outs
 }
 

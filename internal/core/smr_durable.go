@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+	"shadowdb/internal/store"
+)
+
+// SMR durability. A durable SMR replica journals every delivered slot
+// (the decided batch, verbatim) before executing it, and compacts the
+// journal into a full database snapshot every smrSnapEvery slots. After
+// a crash, a new incarnation over the same store recovers by restoring
+// the snapshot and deterministically re-executing the journal tail —
+// then asks a peer only for the slots ordered during its downtime
+// (SMRCatchupReq/SMRCatchup), instead of pulling the whole database
+// over the network. The peer serves the delta from its own journal, or
+// falls back to a full state transfer when compaction has discarded the
+// requested range.
+
+// walDeliver journals one delivered slot.
+type walDeliver struct {
+	Slot int
+	Msgs []broadcast.Bcast
+}
+
+// smrSnapshot is the compacted journal: the database, the slot frontier
+// it reflects, and the executor's dedup horizon.
+type smrSnapshot struct {
+	Dumps    []sqldb.TableDump
+	Slot     int
+	Executed int64
+	LastSeq  map[string]int64
+}
+
+// smrSnapEvery is how many journaled slots trigger a compaction.
+const smrSnapEvery = 64
+
+// NewDurableSMRReplica creates an SMR replica that journals to st and
+// recovers any durable state the store already holds. peers are the
+// other replicas of the group (catch-up targets). When the store is
+// fresh, the database must already hold the initial schema and
+// population: the baseline snapshot written here is the only durable
+// copy of rows that never travel through the broadcast.
+func NewDurableSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry, st store.Stable, peers []msg.Loc) (*SMRReplica, error) {
+	r := NewSMRReplica(slf, db, reg)
+	r.stable = st
+	r.snapSlot = -1
+	r.pending = make(map[int]broadcast.Deliver)
+	for _, p := range peers {
+		if p != slf {
+			r.peers = append(r.peers, p)
+		}
+	}
+	restored, err := r.recoverLocal()
+	if err != nil {
+		return nil, err
+	}
+	if !restored {
+		if err := r.saveSMRSnapshot(); err != nil {
+			return nil, fmt.Errorf("core: seed baseline snapshot: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// Recovered reports whether the replica restored state from its store
+// (false when the store was fresh).
+func (r *SMRReplica) Recovered() bool { return r.recoveredLocal }
+
+// LastSlot returns the highest contiguously applied slot.
+func (r *SMRReplica) LastSlot() int { return r.lastSlot }
+
+// recoveryRetryDelay is how long after the boot-time catch-up request a
+// restarted replica asks again. The first round can be lost without an
+// error on either side (peers may still hold connections to the dead
+// incarnation); peers answer idempotently and already-applied slots are
+// skipped, so the duplicate is free on the happy path.
+const recoveryRetryDelay = 2 * time.Second
+
+// RecoveryDirectives returns the messages a restarted replica sends to
+// fetch the slots ordered during its downtime. The host injects them
+// once the replica is back on the network (the replica itself is
+// constructed outside any message flow). Each request is issued twice —
+// immediately and after recoveryRetryDelay — so a lost first round
+// cannot strand the replica behind until the next live delivery.
+func (r *SMRReplica) RecoveryDirectives() []msg.Directive {
+	if r.stable == nil {
+		return nil
+	}
+	outs := r.requestCatchup()
+	for _, o := range r.requestCatchup() {
+		o.Delay = recoveryRetryDelay
+		outs = append(outs, o)
+	}
+	return outs
+}
+
+// recoverLocal rebuilds state from the store: snapshot, then journal.
+func (r *SMRReplica) recoverLocal() (bool, error) {
+	restored := false
+	if b, ok, err := r.stable.Snapshot(); err != nil {
+		return false, err
+	} else if ok {
+		var snap smrSnapshot
+		if gobDec(b, &snap) == nil {
+			if err := r.exec.DB.Restore(snap.Dumps); err != nil {
+				return false, fmt.Errorf("core: restore smr snapshot: %w", err)
+			}
+			r.exec.InstallSnapshot(snap.Executed)
+			for c, s := range snap.LastSeq {
+				r.exec.lastSeq[c] = s
+			}
+			r.lastSlot = snap.Slot
+			r.snapSlot = snap.Slot
+			restored = true
+		}
+	}
+	err := r.stable.Replay(func(rec []byte) error {
+		var w walDeliver
+		if gobDec(rec, &w) != nil {
+			return nil // skip an undecodable record, keep the rest
+		}
+		if w.Slot != r.lastSlot+1 {
+			return nil // pre-snapshot straggler or duplicate
+		}
+		r.lastSlot = w.Slot
+		// Re-execute; nothing is listening yet, so the replies (already
+		// sent by the pre-crash incarnation) are discarded.
+		_ = r.applyBatch(broadcast.Deliver{Slot: w.Slot, Msgs: w.Msgs})
+		restored = true
+		return nil
+	})
+	r.recoveredLocal = restored
+	return restored, err
+}
+
+// durableDeliver handles a live delivery on the durable path. A gap —
+// slots the replica missed while down — parks the delivery and asks a
+// peer for the missing range; contiguous slots are journaled
+// write-ahead of execution.
+func (r *SMRReplica) durableDeliver(d broadcast.Deliver) []msg.Directive {
+	if d.Slot > r.lastSlot+1 {
+		r.pending[d.Slot] = d
+		return r.requestCatchup()
+	}
+	outs := r.journalAndApply(d, false)
+	return append(outs, r.drainPending()...)
+}
+
+// journalAndApply persists the slot, executes it, and compacts when
+// due. quiet drops the client replies — used for catch-up application,
+// where the transactions were already answered by live replicas.
+func (r *SMRReplica) journalAndApply(d broadcast.Deliver, quiet bool) []msg.Directive {
+	if err := r.stable.Append(gobEnc(walDeliver{Slot: d.Slot, Msgs: d.Msgs})); err != nil {
+		panic(fmt.Sprintf("core: smr journal: %v", err))
+	}
+	r.lastSlot = d.Slot
+	outs := r.applyBatch(d)
+	if quiet {
+		outs = dropTxResults(outs)
+	}
+	r.sinceSnap++
+	if r.sinceSnap >= smrSnapEvery {
+		if err := r.saveSMRSnapshot(); err != nil {
+			panic(fmt.Sprintf("core: smr snapshot: %v", err))
+		}
+	}
+	return outs
+}
+
+// drainPending applies parked deliveries that became contiguous.
+func (r *SMRReplica) drainPending() []msg.Directive {
+	var outs []msg.Directive
+	for {
+		d, ok := r.pending[r.lastSlot+1]
+		if !ok {
+			return outs
+		}
+		delete(r.pending, d.Slot)
+		outs = append(outs, r.journalAndApply(d, false)...)
+	}
+}
+
+// saveSMRSnapshot compacts the journal into a database snapshot.
+func (r *SMRReplica) saveSMRSnapshot() error {
+	snap := smrSnapshot{
+		Dumps:    r.exec.DB.Snapshot(),
+		Slot:     r.lastSlot,
+		Executed: r.exec.Executed,
+		LastSeq:  make(map[string]int64, len(r.exec.lastSeq)),
+	}
+	for c, s := range r.exec.lastSeq {
+		snap.LastSeq[c] = s
+	}
+	if err := r.stable.SaveSnapshot(gobEnc(snap)); err != nil {
+		return err
+	}
+	r.snapSlot = r.lastSlot
+	r.sinceSnap = 0
+	return nil
+}
+
+// requestCatchup asks every peer for the slots after the local
+// frontier. Peers answer idempotently, so overlapping replies are safe.
+func (r *SMRReplica) requestCatchup() []msg.Directive {
+	var outs []msg.Directive
+	for _, p := range r.peers {
+		outs = append(outs, msg.Send(p, msg.M(HdrSMRCatchupReq, SMRCatchupReq{From: r.slf, After: r.lastSlot})))
+	}
+	return outs
+}
+
+// onSMRCatchupReq serves a peer's delta request from the local journal,
+// or pushes a full state transfer when compaction discarded the range.
+func (r *SMRReplica) onSMRCatchupReq(q SMRCatchupReq) []msg.Directive {
+	if !r.active || q.From == r.slf {
+		return nil
+	}
+	if r.stable != nil && q.After >= r.snapSlot {
+		var ds []broadcast.Deliver
+		err := r.stable.Replay(func(rec []byte) error {
+			var w walDeliver
+			if gobDec(rec, &w) == nil && w.Slot > q.After {
+				ds = append(ds, broadcast.Deliver{Slot: w.Slot, Msgs: w.Msgs})
+			}
+			return nil
+		})
+		if err == nil {
+			return []msg.Directive{msg.Send(q.From, msg.M(HdrSMRCatchup, SMRCatchup{Delivers: ds}))}
+		}
+	}
+	// The journal no longer reaches back to After (or this replica is
+	// volatile): transfer the whole state instead.
+	return r.pushSnapshot(q.From)
+}
+
+// onSMRCatchup applies a peer-served delta: contiguous slots are
+// journaled and executed (quietly — the live replicas already answered
+// these clients), out-of-order ones are parked.
+func (r *SMRReplica) onSMRCatchup(c SMRCatchup) []msg.Directive {
+	if r.stable == nil || !r.active {
+		return nil
+	}
+	ds := append([]broadcast.Deliver(nil), c.Delivers...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Slot < ds[j].Slot })
+	var outs []msg.Directive
+	for _, d := range ds {
+		switch {
+		case d.Slot <= r.lastSlot:
+			// already applied
+		case d.Slot == r.lastSlot+1:
+			outs = append(outs, r.journalAndApply(d, true)...)
+		default:
+			r.pending[d.Slot] = d
+		}
+	}
+	return append(outs, r.drainPending()...)
+}
+
+// dropTxResults filters the client replies out of a directive list.
+func dropTxResults(outs []msg.Directive) []msg.Directive {
+	kept := outs[:0]
+	for _, o := range outs {
+		if o.M.Hdr != HdrTxResult {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"shadowdb/internal/broadcast"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/sqldb"
 )
@@ -60,6 +61,13 @@ const (
 	HdrSnapEnd   = "sdb.snapend"
 	// HdrRecovered is the backup's "I am up to date" signal.
 	HdrRecovered = "sdb.recovered"
+	// HdrSMRCatchupReq / HdrSMRCatchup carry the SMR delta protocol: a
+	// restarted replica that recovered from its local snapshot + journal
+	// asks a peer for the slots ordered during its downtime, and the peer
+	// answers with the decided batches (or falls back to a full state
+	// transfer when its own journal no longer reaches back that far).
+	HdrSMRCatchupReq = "sdb.smr.catchupreq"
+	HdrSMRCatchup    = "sdb.smr.catchup"
 )
 
 // TxRequest is a typed transaction invocation.
@@ -210,6 +218,21 @@ type Recovered struct {
 	From   msg.Loc
 }
 
+// SMRCatchupReq asks a peer replica for every slot after After. From is
+// the requester; After is the highest contiguous slot it has applied
+// (from local recovery, or the last delivery before a gap appeared).
+type SMRCatchupReq struct {
+	From  msg.Loc
+	After int
+}
+
+// SMRCatchup answers with the decided batches the requester is missing,
+// in slot order. A peer whose journal has been compacted past After
+// sends a state transfer (SnapBegin/SnapBatch/SnapEnd) instead.
+type SMRCatchup struct {
+	Delivers []broadcast.Deliver
+}
+
 // RegisterWireTypes registers ShadowDB bodies with the wire codec,
 // including the basic value types that travel inside TxRequest.Args and
 // result rows.
@@ -218,7 +241,7 @@ func RegisterWireTypes() {
 	for _, v := range []any{
 		TxRequest{}, TxResult{}, Redirect{}, Repl{}, ReplAck{}, Heartbeat{}, HBTick{},
 		NewConfig{}, Elect{}, Catchup{}, CatchupReq{}, SnapBegin{}, SnapBatch{}, SnapEnd{},
-		Recovered{}, ClientRetryBody{},
+		Recovered{}, ClientRetryBody{}, SMRCatchupReq{}, SMRCatchup{},
 	} {
 		msg.RegisterBody(v)
 	}

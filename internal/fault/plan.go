@@ -34,6 +34,7 @@
 package fault
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -173,6 +174,11 @@ type Crash struct {
 	// LoseState restarts the node from its initial state (process reset)
 	// instead of resuming with retained state.
 	LoseState bool `json:"lose_state,omitempty"`
+	// CorruptTail flips bytes in the last record of the node's newest WAL
+	// segment before the restart — the torn-write / dying-disk failure
+	// mode. Only meaningful under a process nemesis with a data directory
+	// (BindProcess); ignored for in-simulator state retention.
+	CorruptTail bool `json:"corrupt_tail,omitempty"`
 }
 
 // Plan is a complete fault script.
@@ -189,11 +195,15 @@ type Plan struct {
 }
 
 // Validate rejects nonsensical plans (negative windows, probabilities
-// outside [0,1], crashes without a node).
+// outside [0,1], malformed location or header references, crashes
+// without a node). Every error names the offending entry by position.
 func (p Plan) Validate() error {
 	for i, r := range p.Rules {
 		if r.Prob < 0 || r.Prob > 1 {
 			return fmt.Errorf("fault: rule %d: prob %v outside [0,1]", i, r.Prob)
+		}
+		if r.From < 0 || r.To < 0 {
+			return fmt.Errorf("fault: rule %d: negative window bound", i)
 		}
 		if r.To != 0 && r.To < r.From {
 			return fmt.Errorf("fault: rule %d: window ends before it starts", i)
@@ -201,35 +211,90 @@ func (p Plan) Validate() error {
 		if !r.Drop && r.Delay == 0 && r.Jitter == 0 && r.Dup == 0 {
 			return fmt.Errorf("fault: rule %d: no effect (set drop, delay, or dup)", i)
 		}
+		if r.Delay < 0 || r.Jitter < 0 {
+			return fmt.Errorf("fault: rule %d: negative delay or jitter", i)
+		}
 		if r.Dup < 0 {
 			return fmt.Errorf("fault: rule %d: negative dup", i)
 		}
+		if r.MaxHits < 0 {
+			return fmt.Errorf("fault: rule %d: negative max_hits", i)
+		}
+		if err := wellFormedRef(string(r.Match.Src)); err != nil {
+			return fmt.Errorf("fault: rule %d: src: %w", i, err)
+		}
+		if err := wellFormedRef(string(r.Match.Dst)); err != nil {
+			return fmt.Errorf("fault: rule %d: dst: %w", i, err)
+		}
+		if err := wellFormedRef(r.Match.Hdr); err != nil {
+			return fmt.Errorf("fault: rule %d: hdr: %w", i, err)
+		}
 	}
 	for i, pt := range p.Partitions {
+		if pt.From < 0 || pt.To < 0 {
+			return fmt.Errorf("fault: partition %d: negative window bound", i)
+		}
 		if pt.To != 0 && pt.To < pt.From {
 			return fmt.Errorf("fault: partition %d: window ends before it starts", i)
 		}
 		if len(pt.A) == 0 || len(pt.B) == 0 {
 			return fmt.Errorf("fault: partition %d: empty side", i)
 		}
+		for _, l := range append(append([]msg.Loc(nil), pt.A...), pt.B...) {
+			if err := wellFormedRef(string(l)); err != nil || l == "" {
+				return fmt.Errorf("fault: partition %d: bad location %q", i, l)
+			}
+		}
 	}
 	for i, c := range p.Crashes {
 		if c.Node == "" {
 			return fmt.Errorf("fault: crash %d: missing node", i)
 		}
+		if err := wellFormedRef(string(c.Node)); err != nil {
+			return fmt.Errorf("fault: crash %d: node: %w", i, err)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash %d: negative crash time", i)
+		}
+		if c.RestartAfter < 0 {
+			return fmt.Errorf("fault: crash %d: negative restart_after", i)
+		}
+		if c.CorruptTail && c.RestartAfter == 0 {
+			return fmt.Errorf("fault: crash %d: corrupt_tail without a restart has no observable effect", i)
+		}
 	}
 	return nil
 }
 
-// Load reads a JSON plan from a file and validates it.
+// wellFormedRef rejects location/header references that can only be
+// typos: whitespace, control characters, or the '|' the trace layer
+// uses as a field separator. Empty is fine (it means "any").
+func wellFormedRef(s string) error {
+	for _, r := range s {
+		if r <= ' ' || r == '|' || r == 0x7f {
+			return fmt.Errorf("malformed reference %q", s)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON plan from a file and validates it. Unknown fields
+// are rejected (a misspelled knob must not silently deactivate a
+// fault), with the input offset of the failure in the error.
 func Load(path string) (Plan, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return Plan{}, err
 	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
 	var p Plan
-	if err := json.Unmarshal(b, &p); err != nil {
-		return Plan{}, fmt.Errorf("fault: parse %s: %w", path, err)
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parse %s (at byte %d): %w", path, dec.InputOffset(), err)
+	}
+	// Trailing garbage after the plan object is a malformed file too.
+	if dec.More() {
+		return Plan{}, fmt.Errorf("fault: parse %s: trailing data after plan (at byte %d)", path, dec.InputOffset())
 	}
 	if err := p.Validate(); err != nil {
 		return Plan{}, fmt.Errorf("fault: %s: %w", path, err)

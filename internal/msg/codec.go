@@ -105,8 +105,15 @@ func Decode(b []byte) (Envelope, error) {
 }
 
 // DecodeFrame deserializes a frame produced by Encode or EncodeBatch into
-// its envelopes, in send order.
-func DecodeFrame(b []byte) ([]Envelope, error) {
+// its envelopes, in send order. Truncated or corrupted input returns an
+// error, never a panic: gob's decoder can panic on some malformed type
+// descriptors, so the whole decode runs under a recover guard.
+func DecodeFrame(b []byte) (envs []Envelope, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			envs, err = nil, fmt.Errorf("decode frame: malformed input: %v", r)
+		}
+	}()
 	if len(b) == 0 {
 		return nil, fmt.Errorf("decode frame: empty")
 	}

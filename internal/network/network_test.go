@@ -237,6 +237,54 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 }
 
+func TestTCPStaleConnWriteRetries(t *testing.T) {
+	// A peer that crash-restarts leaves the sender holding a cached
+	// connection that only a write can discover is dead. A send hitting
+	// that stale connection must retry over a fresh dial instead of
+	// dropping — a one-shot message (a recovery catch-up reply, say) has
+	// no second send to trigger the redial.
+	msg.RegisterBody(wireBody{})
+	ta, tb := newTCPPair(t)
+	if err := ta.Send(msg.Envelope{To: "b", M: msg.M("warm", wireBody{N: 0})}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, tb)
+
+	addr := tb.Addr()
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := NewTCP("b", map[msg.Loc]string{"a": ta.Addr(), "b": addr})
+	if err != nil {
+		t.Fatalf("restart listener on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = tb2.Close() })
+
+	// Two sends with a gap: the first write may still be accepted by the
+	// kernel before the peer's RST lands, but by the second the stale
+	// connection fails synchronously and the retry must deliver. Without
+	// the retry neither message can ever reach tb2 (both target the dead
+	// socket; the second is dropped).
+	if err := ta.Send(msg.Envelope{To: "b", M: msg.M("one", wireBody{N: 1})}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := ta.Send(msg.Envelope{To: "b", M: msg.M("two", wireBody{N: 2})}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env, ok := <-tb2.Receive():
+		if !ok {
+			t.Fatal("restarted transport closed")
+		}
+		if env.From != "a" {
+			t.Fatalf("unexpected envelope after restart: %+v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("single send after peer restart never delivered (stale connection not retried)")
+	}
+}
+
 func TestTCPCloseIsIdempotent(t *testing.T) {
 	ta, tb := newTCPPair(t)
 	if err := ta.Close(); err != nil {

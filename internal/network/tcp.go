@@ -143,22 +143,34 @@ func (t *TCP) Send(env msg.Envelope) error {
 	if err != nil {
 		return fmt.Errorf("send to %s: %w", env.To, err)
 	}
-	conn, err := t.conn(env.To)
-	if err != nil {
-		t.drops.Inc()
-		return nil // unreachable peer: drop
-	}
 	frame := make([]byte, 4+len(b))
 	binary.BigEndian.PutUint32(frame, uint32(len(b)))
 	copy(frame[4:], b)
-	if _, err := conn.Write(frame); err != nil {
+	if !t.writeFrame(env.To, frame) {
 		t.drops.Inc()
-		t.dropConn(env.To, conn)
-		return nil
+		return nil // unreachable peer: drop
 	}
 	t.framesOut.Inc()
 	t.bytesOut.Add(int64(len(frame)))
 	return nil
+}
+
+// writeFrame writes one frame to the peer, retrying once over a fresh
+// dial when a cached connection turns out to be dead (a peer that
+// crash-restarted leaves the old connection half-open; only a write
+// notices). A peer that cannot be dialed at all stays dropped.
+func (t *TCP) writeFrame(to msg.Loc, frame []byte) bool {
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.conn(to)
+		if err != nil {
+			return false
+		}
+		if _, err := conn.Write(frame); err == nil {
+			return true
+		}
+		t.dropConn(to, conn)
+	}
+	return false
 }
 
 // SendBatch implements BatchSender: all envelopes (which must share one
@@ -196,18 +208,12 @@ func (t *TCP) SendBatch(envs []msg.Envelope) error {
 	if err != nil {
 		return fmt.Errorf("send batch to %s: %w", to, err)
 	}
-	conn, err := t.conn(to)
-	if err != nil {
-		t.drops.Add(int64(len(envs)))
-		return nil // unreachable peer: drop
-	}
 	frame := make([]byte, 4+len(b))
 	binary.BigEndian.PutUint32(frame, uint32(len(b)))
 	copy(frame[4:], b)
-	if _, err := conn.Write(frame); err != nil {
+	if !t.writeFrame(to, frame) {
 		t.drops.Add(int64(len(envs)))
-		t.dropConn(to, conn)
-		return nil
+		return nil // unreachable peer: drop
 	}
 	t.framesOut.Inc()
 	t.bytesOut.Add(int64(len(frame)))

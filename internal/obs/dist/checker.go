@@ -51,6 +51,13 @@ type Checker struct {
 	// ordered batches; a nil inner map means the location is not an SMR
 	// executor and its replies are out of scope (mirrors bridge).
 	delivered map[msg.Loc]map[string]bool
+	// restarted marks locations whose next delivery may legitimately
+	// jump the per-node gap-free order: a crash-restarted node re-enters
+	// the slot stream at wherever the broadcast is now, recovering the
+	// missed range from its journal and quiet catch-up rather than
+	// through redelivery. Cleared on the next delivery (one re-baseline
+	// per announced restart).
+	restarted map[msg.Loc]bool
 	// events counts fed events; violations collects flagged failures.
 	events     int64
 	violations []Violation
@@ -87,7 +94,21 @@ func NewChecker() *Checker {
 		batchLoc:  make(map[int64]msg.Loc),
 		chosen:    make(map[string]string),
 		delivered: make(map[msg.Loc]map[string]bool),
+		restarted: make(map[msg.Loc]bool),
 	}
+}
+
+// NoteRestart tells the checker that loc crashed and was restarted. Its
+// next observed delivery re-baselines the in-order-delivery frontier
+// instead of being flagged as a gap: the slots missed while down are
+// recovered from the node's own journal plus catch-up, which never
+// produce Deliver events. All other properties keep their state — a
+// restart excuses a gap, never a reordering, a mismatched batch, or an
+// unjustified reply.
+func (c *Checker) NoteRestart(loc msg.Loc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarted[loc] = true
 }
 
 // Watch subscribes the checker to o's live event stream: every Record
@@ -226,12 +247,19 @@ func (c *Checker) checkIncoming(e obs.Event) {
 			h = -1
 		}
 		if slot > h+1 {
-			c.flag(e, "broadcast/in-order-delivery",
-				"%s received slot %d before slot %d", e.Loc, slot, h+1)
+			if c.restarted[e.Loc] {
+				// Announced restart: the node re-enters the stream here.
+				h = slot - 1
+				c.high[e.Loc] = h
+			} else {
+				c.flag(e, "broadcast/in-order-delivery",
+					"%s received slot %d before slot %d", e.Loc, slot, h+1)
+			}
 		}
 		if slot == h+1 {
 			c.high[e.Loc] = slot
 		}
+		delete(c.restarted, e.Loc)
 
 		// Record the delivered transactions for durability.
 		for _, bc := range b.Msgs {

@@ -381,3 +381,50 @@ func TestDistHandlerRoutes(t *testing.T) {
 		t.Fatalf("/checker with violations: status %s, want 409", resp.Status)
 	}
 }
+
+// An announced restart excuses exactly one in-order-delivery gap: the
+// node re-enters the slot stream at its catch-up frontier, and the next
+// unannounced gap is flagged again.
+func TestCheckerNoteRestart(t *testing.T) {
+	ck := dist.NewChecker()
+	deliver := func(loc msg.Loc, slot int) {
+		ck.Feed(obs.Event{
+			Loc: loc, At: int64(slot), Slot: obs.NoField, Ballot: obs.NoField,
+			M: &msg.Msg{Hdr: broadcast.HdrDeliver, Body: broadcast.Deliver{Slot: slot, Msgs: nil}},
+		})
+	}
+	deliver("r1", 0)
+	deliver("r1", 1)
+
+	// Crash + restart: the node resumes at slot 5 after recovering 2..4
+	// locally. Without the announcement this is a gap.
+	ck.NoteRestart("r1")
+	deliver("r1", 5)
+	if err := ck.Err(); err != nil {
+		t.Fatalf("re-baselined delivery flagged: %v", err)
+	}
+	deliver("r1", 6)
+	if err := ck.Err(); err != nil {
+		t.Fatalf("contiguous delivery after re-baseline flagged: %v", err)
+	}
+
+	// The pass was consumed: a second gap without a restart is real.
+	deliver("r1", 9)
+	if err := ck.Err(); err == nil {
+		t.Fatal("unannounced gap after restart not flagged")
+	}
+
+	// Other locations are unaffected by r1's restart.
+	ck2 := dist.NewChecker()
+	ck2.NoteRestart("r1")
+	deliver2 := func(loc msg.Loc, slot int) {
+		ck2.Feed(obs.Event{
+			Loc: loc, At: int64(slot), Slot: obs.NoField, Ballot: obs.NoField,
+			M: &msg.Msg{Hdr: broadcast.HdrDeliver, Body: broadcast.Deliver{Slot: slot, Msgs: nil}},
+		})
+	}
+	deliver2("r2", 3)
+	if err := ck2.Err(); err == nil {
+		t.Fatal("r2's gap excused by r1's restart")
+	}
+}

@@ -175,4 +175,3 @@ func TestMetricsEndpointContentNegotiation(t *testing.T) {
 		t.Fatalf("/metrics.prom missing runtime_steps: %v", samples)
 	}
 }
-

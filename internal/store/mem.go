@@ -1,0 +1,89 @@
+package store
+
+import "sync"
+
+// Mem is the in-memory Provider: state survives any number of
+// Open/Close cycles within the process but not the process itself.
+// This preserves the stack's pre-durability behaviour when no -data-dir
+// is configured, and it is what the verify fuzzer and the DES use to
+// model durable crash-restart — a "restarted" component is rebuilt from
+// the same named store, exactly as a real restart reopens files.
+type Mem struct {
+	mu     sync.Mutex
+	stores map[string]*memStable
+}
+
+// NewMem creates an empty in-memory provider.
+func NewMem() *Mem {
+	return &Mem{stores: make(map[string]*memStable)}
+}
+
+// Open returns the named store, creating it on first use.
+func (m *Mem) Open(name string) (Stable, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stores[name]
+	if !ok {
+		st = &memStable{}
+		m.stores[name] = st
+	}
+	return st, nil
+}
+
+// Reset wipes every store. The verify checker calls it at the start of
+// each schedule replay so state cannot leak between executions.
+func (m *Mem) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores = make(map[string]*memStable)
+}
+
+type memStable struct {
+	mu      sync.Mutex
+	recs    [][]byte
+	snap    []byte
+	hasSnap bool
+}
+
+func (s *memStable) Append(rec []byte) error {
+	s.mu.Lock()
+	s.recs = append(s.recs, append([]byte(nil), rec...))
+	s.mu.Unlock()
+	mAppends.Inc()
+	return nil
+}
+
+func (s *memStable) Replay(fn func(rec []byte) error) error {
+	s.mu.Lock()
+	recs := s.recs
+	s.mu.Unlock()
+	for _, r := range recs {
+		mReplays.Inc()
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *memStable) SaveSnapshot(snap []byte) error {
+	s.mu.Lock()
+	s.snap = append([]byte(nil), snap...)
+	s.hasSnap = true
+	s.recs = nil
+	s.mu.Unlock()
+	mSnaps.Inc()
+	return nil
+}
+
+func (s *memStable) Snapshot() ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasSnap {
+		return nil, false, nil
+	}
+	return append([]byte(nil), s.snap...), true, nil
+}
+
+func (s *memStable) Sync() error  { return nil }
+func (s *memStable) Close() error { return nil }

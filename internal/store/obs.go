@@ -1,0 +1,13 @@
+package store
+
+import "shadowdb/internal/obs"
+
+// Store metrics on the process-wide registry (dots become underscores
+// in the Prometheus exposition: store_wal_appends, ...).
+var (
+	mAppends = obs.C("store.wal.appends")
+	mFsyncs  = obs.C("store.wal.fsyncs")
+	mReplays = obs.C("store.wal.replays")
+	mTruncs  = obs.C("store.wal.truncated")
+	mSnaps   = obs.C("store.snapshots")
+)

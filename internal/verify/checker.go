@@ -60,6 +60,18 @@ type Model struct {
 	// retransmitting link. Zero (the default) disables the fault.
 	Drops int
 	Dups  int
+	// Restarts bounds crash-restart choices: a restart revives a crashed
+	// location by re-invoking Gen for it. With durable state behind Gen
+	// (e.g. WAL-backed acceptors reading a store.Stable), the new process
+	// restores itself from storage — a real crash-restart without state
+	// loss; with volatile processes it models a process reset. Zero (the
+	// default) disables restarts.
+	Restarts int
+	// Reset, if non-nil, runs before each schedule executes. Models whose
+	// processes share external durable state across Gen invocations (a
+	// store.Mem provider backing restartable acceptors) use it to wipe
+	// that state so schedules stay independent.
+	Reset func()
 	// Invariant is checked after every delivery of every schedule. It
 	// receives the trace so far. A non-nil error fails the check.
 	Invariant func(trace []gpm.TraceEntry) error
@@ -117,25 +129,28 @@ func Exhaustive(m Model) (Stats, error) {
 // choiceCount replays the schedule and returns how many choices are
 // available at its end, plus the trace.
 type replayResult struct {
-	choices int       // pending deliveries
-	crashOK []msg.Loc // locations that may crash next
-	dropN   int       // pending messages that may be dropped next
-	dupN    int       // pending messages that may be duplicated next
-	trace   []gpm.TraceEntry
-	err     error
-	deadEnd bool
+	choices   int       // pending deliveries
+	crashOK   []msg.Loc // locations that may crash next
+	dropN     int       // pending messages that may be dropped next
+	dupN      int       // pending messages that may be duplicated next
+	restartOK []msg.Loc // crashed locations that may restart next
+	trace     []gpm.TraceEntry
+	err       error
+	deadEnd   bool
 	// dup[i] marks pending delivery i as identical to an earlier pending
 	// delivery: delivering either leads to isomorphic states, so the
 	// explorer skips the duplicate (symmetry reduction).
 	dup []bool
 }
 
-// The checker encodes a schedule as a sequence of ints over four
+// The checker encodes a schedule as a sequence of ints over five
 // contiguous ranges: with P pending deliveries, C crashable locations,
-// and drop/dup budget remaining, values 0..P-1 deliver pending[v],
-// P..P+C-1 crash crashOK[v-P], the next P values drop pending[v-P-C],
-// and the final P values duplicate pending[v-P-C-dropN]. The drop and
-// duplicate ranges collapse to zero width once their budget is spent.
+// drop/dup budget remaining, and R restartable (crashed) locations,
+// values 0..P-1 deliver pending[v], P..P+C-1 crash crashOK[v-P], the
+// next P values drop pending[v-P-C], the following P values duplicate
+// pending[v-P-C-dropN], and the final R values restart
+// restartOK[v-P-C-dropN-dupN]. The drop, duplicate, and restart ranges
+// collapse to zero width once their budget is spent.
 func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 	if st.Schedules >= maxRuns {
 		st.Truncated = true
@@ -145,7 +160,7 @@ func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 	if res.err != nil {
 		return &CheckError{Schedule: append([]int(nil), schedule...), Err: res.err}
 	}
-	total := res.choices + len(res.crashOK) + res.dropN + res.dupN
+	total := res.choices + len(res.crashOK) + res.dropN + res.dupN + len(res.restartOK)
 	if res.deadEnd || total == 0 || len(schedule) >= maxDepth {
 		st.Schedules++
 		if m.Final != nil {
@@ -167,8 +182,10 @@ func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 			// crash choice: no pending index
 		case c < res.choices+len(res.crashOK)+res.dropN:
 			pi = c - res.choices - len(res.crashOK)
-		default:
+		case c < res.choices+len(res.crashOK)+res.dropN+res.dupN:
 			pi = c - res.choices - len(res.crashOK) - res.dropN
+		default:
+			// restart choice: no pending index
 		}
 		if pi >= 0 && pi < len(res.dup) && res.dup[pi] {
 			continue // symmetric to an earlier choice at this state
@@ -186,8 +203,12 @@ func explore(m Model, schedule []int, maxDepth, maxRuns int, st *Stats) error {
 
 // replay executes a schedule from the initial state. Pending deliveries
 // are kept in FIFO order of creation; a choice index picks one for
-// delivery. Crashed locations drop all input.
+// delivery. Crashed locations drop all input until a restart choice
+// (budget permitting) re-instantiates them via Gen.
 func replay(m Model, schedule []int, st *Stats) replayResult {
+	if m.Reset != nil {
+		m.Reset()
+	}
 	procs := make(map[msg.Loc]gpm.Process, len(m.Locs))
 	for _, l := range m.Locs {
 		procs[l] = m.Gen(l)
@@ -201,7 +222,7 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		pending = append(pending, pendMsg{to: in.To, m: in.M})
 	}
 	crashed := make(map[msg.Loc]bool)
-	crashes, drops, dups := 0, 0, 0
+	crashes, drops, dups, restarts := 0, 0, 0, 0
 	var trace []gpm.TraceEntry
 
 	crashable := func() []msg.Loc {
@@ -211,6 +232,18 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		var out []msg.Loc
 		for _, l := range m.CrashLocs {
 			if !crashed[l] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	restartable := func() []msg.Loc {
+		if restarts >= m.Restarts {
+			return nil
+		}
+		var out []msg.Loc
+		for _, l := range m.CrashLocs {
+			if crashed[l] {
 				out = append(out, l)
 			}
 		}
@@ -229,6 +262,7 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		C := len(cands)
 		dropN := budget(drops, m.Drops)
 		dupN := budget(dups, m.Dups)
+		revive := restartable()
 		switch {
 		case c < P:
 			d := pending[c]
@@ -262,6 +296,14 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 		case c < P+C+dropN+dupN:
 			pending = append(pending, pending[c-P-C-dropN])
 			dups++
+		case c < P+C+dropN+dupN+len(revive):
+			// Restart: the location comes back as a fresh Gen
+			// instantiation, recovering whatever durable state its
+			// generator restores.
+			l := revive[c-P-C-dropN-dupN]
+			crashed[l] = false
+			procs[l] = m.Gen(l)
+			restarts++
 		default:
 			return replayResult{deadEnd: true, trace: trace}
 		}
@@ -282,7 +324,8 @@ func replay(m Model, schedule []int, st *Stats) replayResult {
 	return replayResult{
 		choices: len(pending), crashOK: crashable(),
 		dropN: budget(drops, m.Drops), dupN: budget(dups, m.Dups),
-		trace: trace, dup: dup,
+		restartOK: restartable(),
+		trace:     trace, dup: dup,
 	}
 }
 
@@ -313,6 +356,9 @@ func Fuzz(m Model, n int, maxDepth int, seed int64) (Stats, error) {
 // fuzzOne executes one random schedule incrementally, mirroring replay's
 // choice encoding so failures replay identically.
 func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.TraceEntry, error) {
+	if m.Reset != nil {
+		m.Reset()
+	}
 	procs := make(map[msg.Loc]gpm.Process, len(m.Locs))
 	for _, l := range m.Locs {
 		procs[l] = m.Gen(l)
@@ -326,7 +372,7 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 		pending = append(pending, pendMsg{to: in.To, m: in.M})
 	}
 	crashed := make(map[msg.Loc]bool)
-	crashes, drops, dups := 0, 0, 0
+	crashes, drops, dups, restarts := 0, 0, 0, 0
 	var trace []gpm.TraceEntry
 	var schedule []int
 
@@ -339,6 +385,14 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 				}
 			}
 		}
+		var revive []msg.Loc
+		if restarts < m.Restarts {
+			for _, l := range m.CrashLocs {
+				if crashed[l] {
+					revive = append(revive, l)
+				}
+			}
+		}
 		P := len(pending)
 		C := len(crashOK)
 		dropN, dupN := 0, 0
@@ -348,7 +402,7 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 		if dups < m.Dups {
 			dupN = P
 		}
-		total := P + C + dropN + dupN
+		total := P + C + dropN + dupN + len(revive)
 		if total == 0 {
 			break
 		}
@@ -384,9 +438,14 @@ func fuzzOne(m Model, maxDepth int, rng *rand.Rand, st *Stats) ([]int, []gpm.Tra
 			i := c - P - C
 			pending = append(pending[:i], pending[i+1:]...)
 			drops++
-		default:
+		case c < P+C+dropN+dupN:
 			pending = append(pending, pending[c-P-C-dropN])
 			dups++
+		default:
+			l := revive[c-P-C-dropN-dupN]
+			crashed[l] = false
+			procs[l] = m.Gen(l)
+			restarts++
 		}
 	}
 	return schedule, trace, nil
