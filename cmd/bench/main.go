@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|all [-quick] [-json [-outdir DIR]]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|all [-quick] [-json [-outdir DIR]]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -26,7 +26,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
@@ -46,10 +46,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "shard"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "shard":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -195,6 +195,25 @@ func run() int {
 				"recovery: certification failed: %d violations, recovered=%v, caught_up=%v, state_equal=%v, progress=%v, finished=%d/%d\n",
 				len(res.Violations), res.RecoveredLocally, res.CaughtUp,
 				res.StateEqual, res.ProgressAfterRestart, res.Finished, res.Clients)
+			failed = true
+		}
+	}
+	if todo["shard"] {
+		cfg := bench.DefaultShard()
+		if *quick {
+			cfg = bench.QuickShard()
+		}
+		res := bench.Shard(cfg)
+		bench.RenderShard(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportShard(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"shard: certification failed: speedup=%.2f, mixed(viol=%d open=%d inflight=%d balanced=%v eq=%v), chaos(viol=%d open=%d inflight=%d balanced=%v progress=%v finished=%d/%d)\n",
+				res.Speedup4, len(res.MixedViolations), res.MixedOpen, res.MixedInFlight,
+				res.MixedBalanced, res.MixedReplicasEq,
+				len(res.ChaosViolations), res.ChaosOpen, res.ChaosInFlight,
+				res.ChaosBalanced, res.ChaosProgress, res.ChaosFinished, res.ChaosClients)
 			failed = true
 		}
 	}

@@ -3,11 +3,16 @@
 //
 //	shadowdb-client -cluster "$DIR" -mode pbr -tx deposit -args 1,10 -n 100
 //	shadowdb-client -cluster "$DIR" -mode smr -tx balance -args 1
+//	shadowdb-client -cluster "$DIR" -mode shard -tx transfer -args 1,2,50
 //
 // PBR replicas answer over the client's own connection, so the client
 // needs no directory entry. SMR answers come from the replicas (the
 // request reaches them via the broadcast service), so in SMR mode the
 // client's id=host:port must appear in the shared -cluster directory.
+// Shard mode addresses the deployment's router (rt1): single-shard
+// transactions are answered by the owning shard's replicas and
+// cross-shard ones by the router itself, so the client needs a
+// directory entry here too.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"shadowdb/internal/core"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
+	"shadowdb/internal/shard"
 )
 
 func main() {
@@ -32,7 +38,7 @@ func run() int {
 	cluster := flag.String("cluster", "", "comma-separated id=host:port directory (must include this client)")
 	id := flag.String("id", "cli", "this client's location id")
 	addr := flag.String("listen", "127.0.0.1:0", "listen address for answers")
-	mode := flag.String("mode", "pbr", "pbr|smr")
+	mode := flag.String("mode", "pbr", "pbr|smr|shard (shard talks to the deployment's router, rt1)")
 	tx := flag.String("tx", "deposit", "transaction type")
 	argsFlag := flag.String("args", "", "comma-separated transaction arguments (ints, floats, strings)")
 	n := flag.Int("n", 1, "how many times to run the transaction")
@@ -59,9 +65,15 @@ func run() int {
 	cli := &core.Client{
 		Slf: msg.Loc(*id), Replicas: replicas, BcastNodes: bcast, Retry: 2 * time.Second,
 	}
-	if *mode == "smr" {
+	switch *mode {
+	case "smr":
 		cli.Mode = core.ModeSMR
-	} else {
+	case "shard":
+		// The router speaks the replica protocol from the client's view:
+		// requests go to rt1, results come back as usual.
+		cli.Mode = core.ModePBR
+		cli.Replicas = []msg.Loc{shard.RouterLoc}
+	default:
 		cli.Mode = core.ModePBR
 	}
 	args := parseArgs(*argsFlag)

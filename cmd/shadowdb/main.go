@@ -1,5 +1,6 @@
 // Command shadowdb runs one node of a ShadowDB deployment over TCP: a
-// PBR/SMR database replica, or a total-order-broadcast service node.
+// PBR/SMR database replica, a total-order-broadcast service node, a
+// sharded-deployment member, or the shard router.
 //
 // Example three-machine PBR deployment plus broadcast service (each
 // command on its own machine or terminal):
@@ -14,6 +15,24 @@
 // where DIR is a directory string like
 // "r1=host1:7001,r2=host2:7001,r3=host3:7001,b1=host1:7101,b2=host2:7101,b3=host3:7101".
 // Use -registry tpcc for the TPC-C procedures instead of the bank ones.
+//
+// Sharded deployment (bank registry): members follow the s<k>b<i> /
+// s<k>r<i> naming, the router is rt1, and every member runs -role shard
+// except the router:
+//
+//	shadowdb -id s0b1 -role shard  -cluster "$DIR" -data-dir /var/shadowdb
+//	shadowdb -id s0r1 -role shard  -cluster "$DIR"
+//	shadowdb -id s1b1 -role shard  -cluster "$DIR" -data-dir /var/shadowdb
+//	shadowdb -id s1r1 -role shard  -cluster "$DIR"
+//	shadowdb -id rt1  -role router -cluster "$DIR" -data-dir /var/shadowdb
+//
+// The member list is validated up front (contiguous shard indices, equal
+// per-shard counts, exactly one router) and a malformed directory is a
+// startup error, not a late panic. With -data-dir, each process keeps
+// its durable state in a per-role subtree of the shared path layout:
+// shard k's broadcast state under <data-dir>/shard<k>/ and the router's
+// 2PC journal under <data-dir>/router/ — so one host can carry several
+// members without their WALs colliding.
 package main
 
 import (
@@ -22,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -36,6 +56,7 @@ import (
 	"shadowdb/internal/obs"
 	"shadowdb/internal/obs/dist"
 	"shadowdb/internal/runtime"
+	"shadowdb/internal/shard"
 	"shadowdb/internal/sqldb"
 	"shadowdb/internal/store"
 )
@@ -46,7 +67,7 @@ func main() {
 
 func run() int {
 	id := flag.String("id", "", "this node's location id (must appear in -cluster)")
-	role := flag.String("role", "pbr", "pbr|smr|broadcast")
+	role := flag.String("role", "pbr", "pbr|smr|broadcast|shard|router (shard/router use the s<k>b<i>/s<k>r<i>/rt1 naming)")
 	cluster := flag.String("cluster", "", "comma-separated id=host:port directory")
 	engine := flag.String("engine", "h2", "database engine: h2|hsqldb|derby|mysql-mem|mysql-innodb")
 	registry := flag.String("registry", "bank", "transaction registry: bank|tpcc")
@@ -56,7 +77,7 @@ func run() int {
 	batch := flag.Int("batch", 0, "broadcast role: max messages per ordered batch (0 = unbatched)")
 	batchDelay := flag.Duration("batch-delay", 0, "broadcast role: max time a message may wait for its batch to fill (0 = cut eagerly)")
 	pipeline := flag.Int("pipeline", 0, "broadcast role: max concurrent consensus instances (0 or 1 = stop-and-wait)")
-	dataDir := flag.String("data-dir", "", "durable storage directory: WAL + snapshots for this node's state, recovered on restart (empty = volatile)")
+	dataDir := flag.String("data-dir", "", "durable storage root: WAL + snapshots for this node's state, recovered on restart (empty = volatile); sharded roles use the per-shard layout <data-dir>/shard<k>/ and <data-dir>/router/")
 	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: always|batch|never")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
@@ -80,6 +101,33 @@ func run() int {
 
 	core.RegisterWireTypes()
 	broadcast.RegisterWireTypes()
+	shard.RegisterWireTypes()
+
+	// Sharded roles validate the whole member list before anything opens
+	// a socket or a store: a malformed directory must be a startup error.
+	var top *shard.Topology
+	if *role == "shard" || *role == "router" {
+		ids := make([]string, 0, len(dir))
+		for l := range dir {
+			ids = append(ids, string(l))
+		}
+		if top, err = shard.FromDirectory(ids); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		switch *role {
+		case "router":
+			if msg.Loc(*id) != shard.RouterLoc {
+				fmt.Fprintf(os.Stderr, "-role router requires -id %s, got %q\n", shard.RouterLoc, *id)
+				return 2
+			}
+		case "shard":
+			if _, _, ok := shard.IsShardLoc(msg.Loc(*id)); !ok {
+				fmt.Fprintf(os.Stderr, "-role shard requires an s<k>b<i> or s<k>r<i> id, got %q\n", *id)
+				return 2
+			}
+		}
+	}
 
 	var tr network.Transport
 	tcp, err := network.NewTCP(msg.Loc(*id), dir)
@@ -115,7 +163,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		if prov, err = store.NewDir(*dataDir, pol); err != nil {
+		// Sharded members store under the per-shard layout so several
+		// members can share one -data-dir root on the same host.
+		root := *dataDir
+		switch *role {
+		case "router":
+			root = filepath.Join(root, shard.RouterSubdir)
+		case "shard":
+			k, _, _ := shard.IsShardLoc(msg.Loc(*id))
+			root = filepath.Join(root, shard.DataSubdir(k))
+		}
+		if prov, err = store.NewDir(root, pol); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -126,7 +184,7 @@ func run() int {
 		id: msg.Loc(*id), role: *role, engine: *engine, registry: *registry,
 		rows: *rows, spare: *spare, members: *members,
 		batch: *batch, batchDelay: *batchDelay, pipeline: *pipeline,
-		replicas: replicaLocs, bcast: bcastLocs, tr: tr, stable: prov,
+		replicas: replicaLocs, bcast: bcastLocs, tr: tr, stable: prov, top: top,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,8 +192,13 @@ func run() int {
 	}
 	host.Start()
 	defer func() { _ = host.Close() }()
-	fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
-		*id, *role, tcp.Addr(), replicaLocs, bcastLocs)
+	if top != nil {
+		fmt.Printf("shadowdb %s (%s) listening on %s; %d shards, router=%v\n",
+			*id, *role, tcp.Addr(), top.Shards, top.Routers[0])
+	} else {
+		fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
+			*id, *role, tcp.Addr(), replicaLocs, bcastLocs)
+	}
 
 	if *trace {
 		obs.Default.EnableTracing(true)
@@ -143,6 +206,7 @@ func run() int {
 	var checker *dist.Checker
 	if *check {
 		checker = dist.NewChecker()
+		checker.SetGroupOf(shard.GroupOf)
 		checker.Watch(obs.Default)
 	}
 	if *admin != "" {
@@ -189,6 +253,8 @@ type buildConfig struct {
 	// stable, when set, backs this node's state with WAL + snapshots
 	// (recovered on restart); nil keeps the node volatile.
 	stable store.Provider
+	// top is the validated sharded topology (roles shard/router only).
+	top *shard.Topology
 }
 
 func buildHost(c buildConfig) (*runtime.Host, error) {
@@ -277,6 +343,60 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 		// Ask the peers for anything ordered while this node was down
 		// (an empty delta comes back on a fresh, in-sync group).
 		h.Emit(r.RecoveryDirectives())
+		return h, nil
+	case "shard":
+		if c.registry != "bank" {
+			return nil, fmt.Errorf("the sharded deployment supports the bank registry only (got %q)", c.registry)
+		}
+		k, part, _ := shard.IsShardLoc(c.id)
+		if part == 'b' {
+			cfg := broadcast.Config{
+				Nodes: c.top.Bcast[k], Subscribers: c.top.Replicas[k],
+				MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
+			}
+			if c.stable != nil {
+				cfg.Stable = c.openStable("seq")
+				cfg.Modules = []broadcast.Module{broadcast.PaxosDurable(c.pipeline, c.openStable("acc"))}
+			}
+			return runtime.NewHost(c.id, c.tr, broadcast.Spec(cfg).Generator()(c.id)), nil
+		}
+		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))
+		if err != nil {
+			return nil, err
+		}
+		// Every shard seeds the full bank; placement decides which rows a
+		// shard ever mutates, so unowned rows just stay at their seed value.
+		if err := setup(db); err != nil {
+			return nil, err
+		}
+		return runtime.NewHost(c.id, c.tr, shard.NewReplica(c.id, k, db, reg, shard.Bank())), nil
+	case "router":
+		if c.registry != "bank" {
+			return nil, fmt.Errorf("the sharded deployment supports the bank registry only (got %q)", c.registry)
+		}
+		rcfg := shard.Config{
+			Slf:    c.id,
+			Part:   shard.NewHash(c.top.Shards),
+			App:    shard.Bank(),
+			Shards: c.top.Bcast,
+		}
+		if c.stable != nil {
+			st, err := c.stable.Open("journal")
+			if err != nil {
+				return nil, err
+			}
+			rcfg.Stable = st
+		}
+		rt, err := shard.NewRouter(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		h := runtime.NewHost(c.id, c.tr, rt)
+		if open := rt.Recovered(); len(open) > 0 {
+			fmt.Printf("%s: journal recovered %d open cross-shard transaction(s); re-driving %v\n",
+				c.id, len(open), open)
+		}
+		h.Emit(rt.RecoveryDirectives())
 		return h, nil
 	default:
 		return nil, fmt.Errorf("unknown role %q", c.role)

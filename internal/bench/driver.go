@@ -30,6 +30,17 @@ func MicroWorkload(rows int, seed int64) Workload {
 	}
 }
 
+// ZipfWorkload returns a hot-key bank workload: deposits on accounts
+// drawn from a zipfian distribution (s=1.1), the shape that punishes a
+// partitioning scheme unless hot keys actually spread across shards.
+func ZipfWorkload(rows int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 16, uint64(rows-1))
+	return func() (string, []any) {
+		return "deposit", []any{int64(zipf.Uint64()), int64(1)}
+	}
+}
+
 // CurvePoint is one data point of a latency/throughput curve.
 type CurvePoint struct {
 	Clients    int

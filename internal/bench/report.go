@@ -72,6 +72,9 @@ func WriteReport(dir string, r *Report) (string, error) {
 	if dir == "" {
 		dir = "."
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: create report dir: %w", err)
+	}
 	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

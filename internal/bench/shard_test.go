@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyShard is a CI-sized shard experiment: small fleets, shard counts
+// {1, 2} (so the 4-vs-1 speedup bar is out of scope — scaling economics
+// are the full bench's job), but all three phases run, every one with
+// the checker attached.
+func tinyShard() ShardConfig {
+	return ShardConfig{
+		Counts: []int{1, 2},
+		Rows:   128, Clients: 32, TxPer: 6,
+		MixedClients: 8, MixedTxPer: 12,
+		CrossFrac: 0.25, MixedShards: 2,
+		Batch: 8, BatchDelay: time.Millisecond, Pipeline: 4,
+		Retry:         200 * time.Millisecond,
+		PartitionFrom: 200 * time.Millisecond, PartitionTo: 700 * time.Millisecond,
+		RingSize: 1 << 13,
+	}
+}
+
+func TestShardExperimentSmoke(t *testing.T) {
+	res := Shard(tinyShard())
+	for _, p := range res.Sweep {
+		if p.Violations != 0 {
+			t.Errorf("sweep at %d shards: %d violations", p.Shards, p.Violations)
+		}
+		if p.Throughput <= 0 {
+			t.Errorf("sweep at %d shards committed nothing", p.Shards)
+		}
+	}
+	if len(res.MixedViolations) != 0 {
+		t.Errorf("mixed phase violations: %v", res.MixedViolations)
+	}
+	if !res.MixedBalanced {
+		t.Error("mixed phase books do not balance")
+	}
+	if !res.MixedReplicasEq {
+		t.Error("mixed phase replicas diverged")
+	}
+	if res.MixedOpen != 0 || res.MixedInFlight != 0 {
+		t.Errorf("mixed phase did not drain: %d open prepares, %d in flight",
+			res.MixedOpen, res.MixedInFlight)
+	}
+	if res.TransferCommits == 0 {
+		t.Error("mixed phase committed no cross-shard transfer; the 2PC path was not exercised")
+	}
+	if len(res.ChaosViolations) != 0 {
+		t.Errorf("chaos phase violations: %v", res.ChaosViolations)
+	}
+	if !res.ChaosBalanced {
+		t.Error("chaos phase left the books unbalanced (half-applied transfer)")
+	}
+	if res.ChaosOpen != 0 || res.ChaosInFlight != 0 {
+		t.Errorf("chaos phase did not drain: %d open prepares, %d in flight",
+			res.ChaosOpen, res.ChaosInFlight)
+	}
+	if res.ChaosFinished != res.ChaosClients {
+		t.Errorf("chaos phase finished %d/%d clients", res.ChaosFinished, res.ChaosClients)
+	}
+	if !res.ChaosProgress {
+		t.Error("no progress after the partition healed")
+	}
+	if res.ChaosInjections == 0 {
+		t.Error("chaos phase injected nothing; the partition window never cut traffic")
+	}
+}
+
+// The experiment must be bit-reproducible on the virtual clock: same
+// config, same committed counts and decisions.
+func TestShardExperimentDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	cfg := tinyShard()
+	a, b := Shard(cfg), Shard(cfg)
+	if a.MixedCommitted != b.MixedCommitted || a.TransferCommits != b.TransferCommits ||
+		a.CrossDecided != b.CrossDecided || a.ChaosCommitted != b.ChaosCommitted {
+		t.Fatalf("shard experiment not reproducible:\n  run A: %+v %+v %+v %+v\n  run B: %+v %+v %+v %+v",
+			a.MixedCommitted, a.TransferCommits, a.CrossDecided, a.ChaosCommitted,
+			b.MixedCommitted, b.TransferCommits, b.CrossDecided, b.ChaosCommitted)
+	}
+}

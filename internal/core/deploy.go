@@ -168,9 +168,37 @@ func BankSetup(db *sqldb.DB, rows int) error {
 }
 
 // BankRegistry returns the bank transaction types: "deposit" (the
-// micro-benchmark's update transaction) and "balance" (a read).
+// micro-benchmark's update transaction), "balance" (a read), and
+// "transfer" (move funds between two accounts, aborting on insufficient
+// funds — the transaction the sharded deployment splits across shards
+// when the two accounts live apart).
 func BankRegistry() Registry {
 	return Registry{
+		"transfer": func(db *sqldb.DB, args []any) (ProcResult, error) {
+			if len(args) != 3 {
+				return ProcResult{}, fmt.Errorf("transfer wants (from, to, amount)")
+			}
+			from, to, amt := args[0], args[1], args[2]
+			// Guard the debit with the balance predicate so the whole
+			// transfer is a deterministic abort on insufficient funds.
+			res, err := db.Exec(
+				"UPDATE accounts SET balance = balance - ? WHERE id = ? AND balance >= ?",
+				amt, from, amt)
+			if err != nil {
+				return ProcResult{}, err
+			}
+			if res.Affected == 0 {
+				return ProcResult{}, ErrAbort // unknown account or insufficient funds
+			}
+			res, err = db.Exec("UPDATE accounts SET balance = balance + ? WHERE id = ?", amt, to)
+			if err != nil {
+				return ProcResult{}, err
+			}
+			if res.Affected == 0 {
+				return ProcResult{}, ErrAbort // unknown destination: roll back the debit
+			}
+			return ProcResult{}, nil
+		},
 		"deposit": func(db *sqldb.DB, args []any) (ProcResult, error) {
 			if len(args) != 2 {
 				return ProcResult{}, fmt.Errorf("deposit wants (id, amount)")

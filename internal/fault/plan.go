@@ -163,6 +163,21 @@ func contains(ls []msg.Loc, l msg.Loc) bool {
 	return false
 }
 
+// Isolate builds the partition that cuts island off from every other
+// location in all, both directions, inside [from, to) — the shard-level
+// fault of the sharded deployment: one shard's broadcast nodes and
+// replicas keep talking to each other while the router, the clients,
+// and every other shard cannot reach them (nor they anyone else).
+func Isolate(from, to Duration, island []msg.Loc, all []msg.Loc) Partition {
+	rest := make([]msg.Loc, 0, len(all))
+	for _, l := range all {
+		if !contains(island, l) {
+			rest = append(rest, l)
+		}
+	}
+	return Partition{From: from, To: to, A: island, B: rest, Symmetric: true}
+}
+
 // Crash schedules a node failure at At. RestartAfter 0 means the node
 // stays down; otherwise it restarts that long after the crash,
 // retaining its state unless LoseState is set.

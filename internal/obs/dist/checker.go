@@ -12,6 +12,7 @@ import (
 	"shadowdb/internal/core"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
+	"shadowdb/internal/shard"
 )
 
 // Checker evaluates the runtime properties of the verify registry
@@ -27,6 +28,21 @@ import (
 //	broadcast/in-order-delivery  per node, slots arrive gap-free ascending
 //	consensus/single-value-per-slot  one decided value per instance
 //	shadowdb/durability          replies name previously delivered txs
+//	shard/cross-atomicity        one outcome per distributed transaction,
+//	                             never a commit at an unprepared shard
+//
+// In sharded deployments several independent broadcast/consensus groups
+// run side by side, each with its own slot numbering and instance space.
+// SetGroupOf partitions the per-slot and per-instance state by group so
+// shard 1's slot 7 is never compared against shard 0's slot 7; the
+// per-shard properties then hold within each group exactly as they do
+// for a single group. The cross-shard property spans groups: every
+// participant that delivers a Decision for a transaction must deliver
+// the same verdict, and a commit verdict may only arrive at a location
+// that previously delivered the transaction's Prepare (prepared state
+// itself is never revealed: replicas vote from their reservation ledger
+// and only mutate the database at decision delivery, so a read served
+// between the two can never observe a half-done transaction).
 //
 // Checker is safe for concurrent Feed from many nodes' sinks. The
 // interleaving of concurrent feeds is one of the linear extensions of
@@ -39,18 +55,29 @@ import (
 // node's sink in recording order.
 type Checker struct {
 	mu sync.Mutex
+	// groupOf assigns each location to an invariant group (sharded
+	// deployments: one group per shard). Nil means one global group.
+	groupOf func(msg.Loc) string
 	// high is each location's highest contiguously delivered slot.
 	high map[msg.Loc]int64
-	// batch fingerprints the first batch seen for each broadcast slot.
-	batch map[int64]string
+	// batch fingerprints the first batch seen for each broadcast slot,
+	// keyed group\x00slot so independent shard orders never collide.
+	batch map[string]string
 	// batchLoc remembers who established the fingerprint (for messages).
-	batchLoc map[int64]msg.Loc
-	// chosen maps proto\x00inst to the decided value.
+	batchLoc map[string]msg.Loc
+	// chosen maps group\x00proto\x00inst to the decided value.
 	chosen map[string]string
 	// delivered is per-location the set of transaction keys delivered in
 	// ordered batches; a nil inner map means the location is not an SMR
 	// executor and its replies are out of scope (mirrors bridge).
 	delivered map[msg.Loc]map[string]bool
+	// xprep records, per location, the cross-shard transactions whose
+	// Prepare was delivered there; xdec the ones whose Decision was.
+	xprep map[msg.Loc]map[string]bool
+	xdec  map[msg.Loc]map[string]bool
+	// xoutcome fixes the first delivered verdict per transaction; any
+	// later conflicting verdict is the atomicity violation.
+	xoutcome map[string]bool
 	// restarted marks locations whose next delivery may legitimately
 	// jump the per-node gap-free order: a crash-restarted node re-enters
 	// the slot stream at wherever the broadcast is now, recovering the
@@ -90,12 +117,34 @@ func (v Violation) Error() string {
 func NewChecker() *Checker {
 	return &Checker{
 		high:      make(map[msg.Loc]int64),
-		batch:     make(map[int64]string),
-		batchLoc:  make(map[int64]msg.Loc),
+		batch:     make(map[string]string),
+		batchLoc:  make(map[string]msg.Loc),
 		chosen:    make(map[string]string),
 		delivered: make(map[msg.Loc]map[string]bool),
+		xprep:     make(map[msg.Loc]map[string]bool),
+		xdec:      make(map[msg.Loc]map[string]bool),
+		xoutcome:  make(map[string]bool),
 		restarted: make(map[msg.Loc]bool),
 	}
+}
+
+// SetGroupOf partitions the per-slot and per-instance invariant state by
+// the given location→group function (shard.GroupOf for the standard
+// sharded naming). Call before feeding events. Locations mapped to ""
+// share the global group, so the unsharded behaviour is the special case
+// of every location mapping to "".
+func (c *Checker) SetGroupOf(fn func(msg.Loc) string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groupOf = fn
+}
+
+// group resolves e's invariant group (callers hold mu).
+func (c *Checker) group(loc msg.Loc) string {
+	if c.groupOf == nil {
+		return ""
+	}
+	return c.groupOf(loc)
 }
 
 // NoteRestart tells the checker that loc crashed and was restarted. Its
@@ -180,6 +229,12 @@ type Status struct {
 	Slots int `json:"slots"`
 	// Decided is the number of consensus instances with a chosen value.
 	Decided int `json:"decided"`
+	// CrossShard is the number of distributed transactions with a
+	// delivered 2PC verdict; CrossOpen counts transactions some location
+	// prepared for but has not yet seen decided (nonzero after a drain
+	// means a 2PC is stuck mid-protocol somewhere).
+	CrossShard int `json:"cross_shard"`
+	CrossOpen  int `json:"cross_open"`
 	// Violations are the flagged failures (empty means clean so far).
 	Violations []Violation `json:"violations"`
 }
@@ -192,8 +247,37 @@ func (c *Checker) Status() Status {
 		Events:     c.events,
 		Slots:      len(c.batch),
 		Decided:    len(c.chosen),
+		CrossShard: len(c.xoutcome),
+		CrossOpen:  len(c.openCross()),
 		Violations: append([]Violation(nil), c.violations...),
 	}
+}
+
+// OpenCrossShard lists distributed transactions that some location
+// delivered a prepare for without (yet) delivering the decision. After a
+// drain the list must be empty: every prepared participant has learned
+// the outcome, so no reservation is held forever.
+func (c *Checker) OpenCrossShard() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.openCross()
+}
+
+func (c *Checker) openCross() []string {
+	open := make(map[string]bool)
+	for loc, preps := range c.xprep {
+		for id := range preps {
+			if !c.xdec[loc][id] {
+				open[id] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(open))
+	for id := range open {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (c *Checker) flag(e obs.Event, property, format string, args ...any) {
@@ -225,18 +309,19 @@ func (c *Checker) checkIncoming(e obs.Event) {
 			return
 		}
 		slot := int64(b.Slot)
+		slotKey := c.group(e.Loc) + "\x00" + itoa(slot)
 
-		// broadcast/total-order: every node must see the same batch in
-		// the same slot. The first receipt fingerprints the slot; any
-		// later receipt (same node or another) must match.
+		// broadcast/total-order: every node of the group must see the
+		// same batch in the same slot. The first receipt fingerprints the
+		// slot; any later receipt (same node or another) must match.
 		fp := batchFingerprint(b.Msgs)
-		if prev, ok := c.batch[slot]; !ok {
-			c.batch[slot] = fp
-			c.batchLoc[slot] = e.Loc
+		if prev, ok := c.batch[slotKey]; !ok {
+			c.batch[slotKey] = fp
+			c.batchLoc[slotKey] = e.Loc
 		} else if prev != fp {
 			c.flag(e, "broadcast/total-order",
 				"%s received a batch for slot %d that differs from the one %s received",
-				e.Loc, slot, c.batchLoc[slot])
+				e.Loc, slot, c.batchLoc[slotKey])
 		}
 
 		// broadcast/in-order-delivery: per node, slots arrive gap-free
@@ -261,8 +346,20 @@ func (c *Checker) checkIncoming(e obs.Event) {
 		}
 		delete(c.restarted, e.Loc)
 
-		// Record the delivered transactions for durability.
+		// Record the delivered transactions for durability, and the 2PC
+		// records for cross-shard atomicity.
 		for _, bc := range b.Msgs {
+			if p, ok := shard.DecodePrepare(bc.Payload); ok {
+				if c.xprep[e.Loc] == nil {
+					c.xprep[e.Loc] = make(map[string]bool)
+				}
+				c.xprep[e.Loc][p.TxID] = true
+				continue
+			}
+			if d, ok := shard.DecodeDecision(bc.Payload); ok {
+				c.noteCrossDecision(e, d)
+				continue
+			}
 			req, err := core.DecodeTx(bc.Payload)
 			if err != nil {
 				continue
@@ -315,9 +412,10 @@ func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
 }
 
 // noteDecide enforces consensus/single-value-per-slot across sent and
-// received Decide announcements of both protocols.
+// received Decide announcements of both protocols, within the deciding
+// location's group.
 func (c *Checker) noteDecide(e obs.Event, proto string, inst int64, val string) {
-	k := proto + "\x00" + itoa(inst)
+	k := c.group(e.Loc) + "\x00" + proto + "\x00" + itoa(inst)
 	if prev, ok := c.chosen[k]; ok {
 		if prev != val {
 			c.flag(e, "consensus/single-value-per-slot",
@@ -326,4 +424,30 @@ func (c *Checker) noteDecide(e obs.Event, proto string, inst int64, val string) 
 		return
 	}
 	c.chosen[k] = val
+}
+
+// noteCrossDecision enforces shard/cross-atomicity on one delivered 2PC
+// decision: every participant must deliver the same verdict, and a
+// commit verdict must land on a location that previously delivered the
+// transaction's prepare (an abort without a prepare is legitimate — the
+// coordinator aborts when a partitioned shard never saw the prepare —
+// but a commit without one would apply effects the shard never voted
+// for).
+func (c *Checker) noteCrossDecision(e obs.Event, d shard.Decision) {
+	if prev, ok := c.xoutcome[d.TxID]; ok {
+		if prev != d.Commit {
+			c.flag(e, "shard/cross-atomicity",
+				"transaction %s decided both commit and abort across shards", d.TxID)
+		}
+	} else {
+		c.xoutcome[d.TxID] = d.Commit
+	}
+	if d.Commit && !c.xprep[e.Loc][d.TxID] {
+		c.flag(e, "shard/cross-atomicity",
+			"%s delivered a commit for %s without delivering its prepare", e.Loc, d.TxID)
+	}
+	if c.xdec[e.Loc] == nil {
+		c.xdec[e.Loc] = make(map[string]bool)
+	}
+	c.xdec[e.Loc][d.TxID] = true
 }

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+
+	"shadowdb/internal/core"
+	"shadowdb/internal/sqldb"
+)
+
+// App is what the router and the shard replicas need to know about a
+// transaction registry to shard it: which keys a request touches, how a
+// cross-shard request splits into per-shard slices, and how much of a
+// reserved quantity a key has available (the deterministic vote
+// predicate). Procedures themselves stay in core.Registry — App only
+// adds the placement/partitioning view over them.
+type App interface {
+	// Keys returns the partitioning keys req touches. An error means the
+	// request is malformed and is answered to the client without touching
+	// any shard.
+	Keys(req core.TxRequest) ([]string, error)
+	// Split decomposes a cross-shard request into per-shard slices keyed
+	// by shard index. It is only called when Keys spans several shards.
+	Split(req core.TxRequest, pt Partitioner) (map[int]SubTx, error)
+	// Available reports how much of key's reservable quantity the
+	// database currently holds; a prepare votes YES when Available minus
+	// already-held reservations covers its Reserve amounts.
+	Available(db *sqldb.DB, key string) (int64, error)
+}
+
+// bankApp shards the bank registry: the partitioning key of an account
+// is its decimal id, "deposit"/"balance" touch one account, and
+// "transfer" (from, to, amount) debits one account and credits another —
+// the canonical cross-shard transaction. A transfer splits into a source
+// slice that reserves the amount (vote NO on insufficient funds) and
+// applies a negative deposit, and a destination slice that applies a
+// positive deposit unconditionally.
+type bankApp struct{}
+
+// Bank returns the App for core.BankRegistry.
+func Bank() App { return bankApp{} }
+
+// BankKey is an account id's partitioning key.
+func BankKey(id int64) string { return fmt.Sprintf("%d", id) }
+
+func (bankApp) Keys(req core.TxRequest) ([]string, error) {
+	switch req.Type {
+	case "deposit":
+		if len(req.Args) != 2 {
+			return nil, fmt.Errorf("deposit wants (id, amount)")
+		}
+		id, err := argInt64(req.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []string{BankKey(id)}, nil
+	case "balance":
+		if len(req.Args) != 1 {
+			return nil, fmt.Errorf("balance wants (id)")
+		}
+		id, err := argInt64(req.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []string{BankKey(id)}, nil
+	case "transfer":
+		if len(req.Args) != 3 {
+			return nil, fmt.Errorf("transfer wants (from, to, amount)")
+		}
+		from, err := argInt64(req.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := argInt64(req.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []string{BankKey(from), BankKey(to)}, nil
+	default:
+		return nil, fmt.Errorf("unknown transaction type %q", req.Type)
+	}
+}
+
+func (bankApp) Split(req core.TxRequest, pt Partitioner) (map[int]SubTx, error) {
+	if req.Type != "transfer" {
+		return nil, fmt.Errorf("shard: %q is single-shard; nothing to split", req.Type)
+	}
+	from, err := argInt64(req.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	to, err := argInt64(req.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	amt, err := argInt64(req.Args[2])
+	if err != nil {
+		return nil, err
+	}
+	if amt <= 0 {
+		return nil, fmt.Errorf("transfer amount must be positive")
+	}
+	src, dst := pt.Shard(BankKey(from)), pt.Shard(BankKey(to))
+	if src == dst {
+		return nil, fmt.Errorf("shard: transfer %d->%d is single-shard; nothing to split", from, to)
+	}
+	return map[int]SubTx{
+		src: {
+			Reserve:   map[string]int64{BankKey(from): amt},
+			Apply:     "deposit",
+			ApplyArgs: []any{from, -amt},
+		},
+		dst: {
+			Apply:     "deposit",
+			ApplyArgs: []any{to, amt},
+		},
+	}, nil
+}
+
+func (bankApp) Available(db *sqldb.DB, key string) (int64, error) {
+	var id int64
+	if _, err := fmt.Sscanf(key, "%d", &id); err != nil {
+		return 0, fmt.Errorf("shard: bad bank key %q", key)
+	}
+	res, err := db.Exec("SELECT balance FROM accounts WHERE id = ?", id)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, fmt.Errorf("shard: unknown account %d", id)
+	}
+	return argInt64(res.Rows[0][0])
+}
+
+// argInt64 coerces the numeric types that travel in TxRequest.Args.
+func argInt64(v any) (int64, error) {
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case float64:
+		return int64(x), nil
+	default:
+		return 0, fmt.Errorf("shard: want a numeric argument, got %T", v)
+	}
+}

@@ -1,0 +1,177 @@
+// Package shard partitions the ShadowDB keyspace across N independent
+// replication groups — each running its own total order broadcast
+// instance (and, when durable, its own WAL subtree) — behind a Router
+// that forwards single-shard transactions directly and coordinates
+// cross-shard ones with two-phase commit layered over the per-shard
+// total orders. The 2PC records (Prepare, Decision) are themselves
+// ordered through each participant shard's broadcast, so the outcome of
+// every distributed transaction is replicated and recoverable exactly
+// like ordinary transactions: a shard replica learns "prepared" and
+// "committed/aborted" only from its own delivery stream.
+//
+// The safety contract, stated as checkable history invariants
+// (internal/obs/dist extends the online checker with them):
+//
+//   - per-shard, every existing invariant holds within the shard's own
+//     group: total order, gap-free in-order delivery, single decided
+//     value per consensus instance, replies only after ordered delivery;
+//   - cross-shard atomicity: a transaction's effects appear on all
+//     participant shards or on none — no shard delivers a commit it was
+//     never prepared for, and no two shards deliver conflicting
+//     decisions for the same transaction;
+//   - read isolation: prepared-but-undecided state is never visible to
+//     reads, enforced by construction — a replica votes by checking its
+//     reservation ledger (held) against the database but mutates the
+//     database only when the decision itself is delivered.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"shadowdb/internal/msg"
+)
+
+// Partitioner maps transaction keys to shard indices. Implementations
+// must be pure functions of their construction parameters: the same key
+// maps to the same shard in every process and across restarts (the
+// router journal and the per-shard WALs both depend on placement being
+// reconstructible from configuration alone).
+type Partitioner interface {
+	// N is the number of shards.
+	N() int
+	// Shard maps a key to a shard index in [0, N).
+	Shard(key string) int
+	// Name identifies the scheme ("hash", "range") for logs and reports.
+	Name() string
+}
+
+// vnodes is the number of virtual nodes per shard on the hash ring.
+// 64 per shard keeps the expected imbalance of a uniform keyspace under
+// a few percent while the ring stays small enough to build per process
+// in microseconds.
+const vnodes = 64
+
+// hashRing is a consistent-hash partitioner: each shard owns vnodes
+// points on a 64-bit ring, and a key belongs to the shard owning the
+// first point at or after the key's hash. Adding a shard moves only the
+// keys that fall into the new shard's arcs — the property that makes
+// resharding incremental — while placement stays a pure function of the
+// shard count.
+type hashRing struct {
+	n      int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h     uint64
+	shard int
+}
+
+// NewHash builds the consistent-hash partitioner over n shards.
+func NewHash(n int) Partitioner {
+	if n <= 0 {
+		panic(fmt.Sprintf("shard: NewHash(%d): need at least one shard", n))
+	}
+	r := &hashRing{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv64(fmt.Sprintf("shard%d#%d", s, v))
+			r.points = append(r.points, ringPoint{h: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Equal hashes (astronomically unlikely) tie-break by shard so the
+		// ring order is still deterministic.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+func (r *hashRing) N() int       { return r.n }
+func (r *hashRing) Name() string { return "hash" }
+
+func (r *hashRing) Shard(key string) int {
+	h := fnv64(key)
+	// First ring point at or after h; wrap to the first point.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// fnv64 is FNV-1a with a murmur-style avalanche finalizer. Raw FNV-1a
+// leaves the hashes of very short strings (bank keys are 1–4 decimal
+// digits) clustered in a narrow band of the 64-bit space — skewed
+// enough that one of four shards can end up owning no keys at all — so
+// the finalizer spreads every input over the full ring before placement.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// rangePart is the pluggable range partitioner: bounds are the sorted
+// upper-exclusive split keys, so bounds [b0, b1] define three shards
+// {key < b0}, {b0 <= key < b1}, {b1 <= key}. Range placement keeps
+// adjacent keys co-located (scans stay single-shard) at the price of
+// manual split maintenance.
+type rangePart struct {
+	bounds []string
+}
+
+// NewRange builds a range partitioner from sorted split keys; len(bounds)+1
+// shards result. It panics on unsorted or duplicate bounds — a silently
+// reordered split table would scatter keys across the wrong WALs.
+func NewRange(bounds []string) Partitioner {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("shard: NewRange: bounds not strictly ascending at %d (%q <= %q)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &rangePart{bounds: append([]string(nil), bounds...)}
+}
+
+func (r *rangePart) N() int       { return len(r.bounds) + 1 }
+func (r *rangePart) Name() string { return "range" }
+
+func (r *rangePart) Shard(key string) int {
+	return sort.SearchStrings(r.bounds, key+"\x00")
+}
+
+// sortedShards returns a SubTx map's shard indices ascending — every
+// place that iterates participants uses it, so directive order is
+// deterministic across runs (map iteration would perturb simulated
+// schedules that must replay exactly).
+func sortedShards[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedLocs returns map keys as sorted locations (deterministic
+// iteration for diagnostics and recovery directives).
+func sortedLocs[V any](m map[msg.Loc]V) []msg.Loc {
+	out := make([]msg.Loc, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

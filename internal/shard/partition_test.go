@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden placements pin the hash function: a silent change to fnv64 or
+// the ring construction would scatter keys across the wrong WALs on
+// upgrade, so any diff here must be a deliberate, migration-aware
+// decision.
+func TestHashGoldenPlacements(t *testing.T) {
+	p := NewHash(4)
+	golden := []struct {
+		key  string
+		want int
+	}{
+		{"0", 2},
+		{"1", 1},
+		{"7", 1},
+		{"42", 3},
+		{"100", 1},
+		{"512", 3},
+		{"4095", 0},
+		{"alpha", 2},
+		{"omega", 3},
+	}
+	for _, g := range golden {
+		if got := p.Shard(g.key); got != g.want {
+			t.Errorf("NewHash(4).Shard(%q) = %d, want %d", g.key, got, g.want)
+		}
+	}
+}
+
+// Placement must be a pure function of the shard count: two independent
+// instances (e.g. the router and a restarted router) agree on every key.
+func TestHashDeterministicAcrossInstances(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		a, b := NewHash(n), NewHash(n)
+		for i := 0; i < 2048; i++ {
+			k := BankKey(int64(i))
+			if a.Shard(k) != b.Shard(k) {
+				t.Fatalf("n=%d key %q: instance A says %d, B says %d",
+					n, k, a.Shard(k), b.Shard(k))
+			}
+		}
+	}
+}
+
+func TestHashRangeAndBalance(t *testing.T) {
+	const keys = 4096
+	for _, n := range []int{2, 4, 8} {
+		p := NewHash(n)
+		counts := make([]int, n)
+		for i := 0; i < keys; i++ {
+			s := p.Shard(BankKey(int64(i)))
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: shard %d out of range", n, s)
+			}
+			counts[s]++
+		}
+		// Short decimal keys were exactly the inputs that used to collapse
+		// onto a narrow band of the ring (one of four shards owned zero
+		// keys before the avalanche finalizer); demand a bounded skew.
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("n=%d: a shard owns no keys: %v", n, counts)
+		}
+		if max > 3*min {
+			t.Errorf("n=%d: imbalance %v exceeds 3x (min %d, max %d)", n, counts, min, max)
+		}
+	}
+}
+
+// The consistent-hashing contract: growing from n to n+1 shards moves
+// keys only onto the new shard — the arcs of existing shards never trade
+// keys among themselves.
+func TestHashIncrementalResharding(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		old, grown := NewHash(n), NewHash(n+1)
+		moved := 0
+		for i := 0; i < 4096; i++ {
+			k := BankKey(int64(i))
+			a, b := old.Shard(k), grown.Shard(k)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("n=%d->%d: key %q moved %d->%d, not to the new shard",
+						n, n+1, k, a, b)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no key moved to the new shard", n, n+1)
+		}
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := NewRange([]string{"g", "p"})
+	if p.N() != 3 {
+		t.Fatalf("N = %d, want 3", p.N())
+	}
+	cases := map[string]int{"a": 0, "f": 0, "g": 1, "m": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := p.Shard(k); got != want {
+			t.Errorf("Shard(%q) = %d, want %d", k, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRange accepted unsorted bounds")
+		}
+	}()
+	NewRange([]string{"p", "g"})
+}
+
+func TestTopologyLocs(t *testing.T) {
+	if BcastLoc(0, 0) != "s0b1" || ReplicaLoc(2, 1) != "s2r2" {
+		t.Fatalf("loc naming changed: %s %s", BcastLoc(0, 0), ReplicaLoc(2, 1))
+	}
+	if g := GroupOf("s3r2"); g != "s3" {
+		t.Errorf("GroupOf(s3r2) = %q, want s3", g)
+	}
+	if g := GroupOf(RouterLoc); g != "" {
+		t.Errorf("GroupOf(router) = %q, want empty", g)
+	}
+	// Client entries (cli) ride along in the directory so answers can be
+	// dialed back to them; they carry no topology.
+	ids := []string{"s0b1", "s0b2", "s0r1", "s1b1", "s1b2", "s1r1", "rt1", "cli"}
+	top, err := FromDirectory(ids)
+	if err != nil {
+		t.Fatalf("FromDirectory: %v", err)
+	}
+	if top.Shards != 2 || len(top.Bcast[0]) != 2 || len(top.Replicas[1]) != 1 {
+		t.Fatalf("unexpected topology: %+v", top)
+	}
+	// Fail fast on holes: shard 1 missing entirely.
+	if _, err := FromDirectory([]string{"s0b1", "s0r1", "s2b1", "s2r1", "rt1"}); err == nil {
+		t.Error("FromDirectory accepted a gap in shard numbering")
+	}
+	if _, err := FromDirectory([]string{"s0b1", "s0r1"}); err == nil {
+		t.Error("FromDirectory accepted a deployment without a router")
+	}
+	// Near-misses of the naming scheme are typos, not clients.
+	for _, typo := range []string{"s1rr1", "rt2", "s0x1"} {
+		if _, err := FromDirectory([]string{"s0b1", "s0r1", "rt1", typo}); err == nil {
+			t.Errorf("FromDirectory accepted probable typo %q as a client entry", typo)
+		}
+	}
+}
+
+func BenchmarkHashShard(b *testing.B) {
+	p := NewHash(8)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Shard(keys[i%len(keys)])
+	}
+}

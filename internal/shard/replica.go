@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/gpm"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/sqldb"
+)
+
+// Replica is one state-machine replica of one shard. It is the SMR
+// replica shape — dedup delivered slots, group-commit contiguous runs of
+// plain transactions — extended with the participant side of 2PC:
+//
+//   - A delivered Prepare is voted on deterministically: YES iff every
+//     Reserve amount fits in Available minus what earlier YES votes
+//     already hold. A YES vote records the hold in the replica's
+//     reservation ledger, NOT in the database — prepared-but-undecided
+//     state is never visible to reads, which is half of the cross-shard
+//     atomicity invariant.
+//   - A delivered Decision releases the hold and, on commit, applies the
+//     sub-transaction's procedure. Only then does the database change.
+//   - Duplicates are idempotent from the prepared/decided tables: a
+//     re-delivered Prepare re-sends the recorded vote, a re-delivered
+//     Decision re-sends the ack. The coordinator leans on this — its
+//     retransmissions use fresh broadcast sequence numbers (a reused one
+//     could be swallowed by the sequencer's dedup with nothing
+//     re-delivered), so the same record may legitimately be ordered
+//     twice.
+//
+// Because both record kinds arrive through the shard's total order,
+// every replica of the shard processes them in the same order and the
+// vote/apply outcomes agree replica-to-replica without coordination.
+type Replica struct {
+	slf   msg.Loc
+	shard int
+	exec  *core.Executor
+	app   App
+	// lastSlot dedups Deliver notifications fanned out by several
+	// service nodes.
+	lastSlot int
+	// held is the reservation ledger: key -> amount held by YES votes
+	// whose decisions have not arrived yet.
+	held map[string]int64
+	// prepared records delivered prepares awaiting their decision (and
+	// the vote each produced, for idempotent re-votes).
+	prepared map[string]*pendingPrep
+	// decided records processed decisions for idempotent re-acks. It is
+	// never pruned: the coordinator's "done" is deliberately not
+	// broadcast (it would double every 2PC's ordered traffic), and one
+	// small struct per distributed transaction is an acceptable ledger
+	// for this system's scale.
+	decided map[string]Decision
+	// stepCost is the virtual CPU of the last step (DES costing).
+	stepCost time.Duration
+}
+
+type pendingPrep struct {
+	p  Prepare
+	ok bool
+}
+
+var _ gpm.Process = (*Replica)(nil)
+
+// NewReplica creates a shard replica over its own database.
+func NewReplica(slf msg.Loc, shardIdx int, db *sqldb.DB, reg core.Registry, app App) *Replica {
+	return &Replica{
+		slf:      slf,
+		shard:    shardIdx,
+		exec:     core.NewExecutor(db, reg),
+		app:      app,
+		lastSlot: -1,
+		held:     make(map[string]int64),
+		prepared: make(map[string]*pendingPrep),
+		decided:  make(map[string]Decision),
+	}
+}
+
+// DB exposes the replica's database (state-parity checks).
+func (r *Replica) DB() *sqldb.DB { return r.exec.DB }
+
+// LastSlot is the replica's applied slot frontier.
+func (r *Replica) LastSlot() int { return r.lastSlot }
+
+// LastCost returns the virtual CPU cost of the most recent Step.
+func (r *Replica) LastCost() time.Duration { return r.stepCost }
+
+// OpenPrepares counts prepares still awaiting a decision — zero after a
+// drain means no transaction is half-way through 2PC on this shard.
+func (r *Replica) OpenPrepares() int { return len(r.prepared) }
+
+// HeldOn reports the reservation ledger's hold on one key (tests).
+func (r *Replica) HeldOn(key string) int64 { return r.held[key] }
+
+// Halted implements gpm.Process.
+func (r *Replica) Halted() bool { return false }
+
+// Step implements gpm.Process.
+func (r *Replica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
+	r.stepCost = 0
+	before := r.exec.DB.Stats()
+	var outs []msg.Directive
+	if in.Hdr == broadcast.HdrDeliver {
+		outs = r.onDeliver(in.Body.(broadcast.Deliver))
+	}
+	r.stepCost += r.exec.DB.Engine().CostOf(r.exec.DB.Stats().Sub(before))
+	return r, outs
+}
+
+func (r *Replica) onDeliver(d broadcast.Deliver) []msg.Directive {
+	if d.Slot <= r.lastSlot {
+		return nil // duplicate notification from another service node
+	}
+	r.lastSlot = d.Slot
+	var outs []msg.Directive
+	// Contiguous runs of plain transactions group-commit exactly like the
+	// SMR replica; 2PC records cut the run (they must observe the state
+	// up to their own position in the order).
+	var run []core.TxRequest
+	inRun := make(map[string]bool)
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		for _, res := range r.exec.ApplyBatch(run) {
+			mShardCommits.Inc()
+			outs = append(outs, msg.Send(res.Client, msg.M(core.HdrTxResult, res)))
+		}
+		run = nil
+		inRun = make(map[string]bool)
+	}
+	for _, b := range d.Msgs {
+		if p, ok := DecodePrepare(b.Payload); ok {
+			flush()
+			outs = append(outs, r.onPrepare(p)...)
+			continue
+		}
+		if dec, ok := DecodeDecision(b.Payload); ok {
+			flush()
+			outs = append(outs, r.onDecision(dec)...)
+			continue
+		}
+		req, err := core.DecodeTx(b.Payload)
+		if err != nil {
+			continue
+		}
+		if inRun[req.Key()] {
+			// A duplicate of a request already queued in this run: apply the
+			// run so the dedup table answers it.
+			flush()
+		}
+		if res, dup := r.exec.Duplicate(req); dup {
+			outs = append(outs, msg.Send(req.Client, msg.M(core.HdrTxResult, res)))
+			continue
+		}
+		run = append(run, req)
+		inRun[req.Key()] = true
+	}
+	flush()
+	return outs
+}
+
+// onPrepare votes on a delivered prepare. The vote is a deterministic
+// function of the delivered order, so all replicas of the shard agree.
+func (r *Replica) onPrepare(p Prepare) []msg.Directive {
+	if pd, ok := r.prepared[p.TxID]; ok {
+		// Retransmitted prepare (our vote was lost): re-send the recorded
+		// vote without re-reserving.
+		return r.vote(pd.p, pd.ok)
+	}
+	if _, ok := r.decided[p.TxID]; ok {
+		// The decision already arrived and was processed; the coordinator
+		// has what it needs (or will re-send the decision itself).
+		return nil
+	}
+	ok := true
+	if _, known := r.exec.Reg[p.Sub.Apply]; !known {
+		ok = false
+	}
+	for _, key := range sortedReserveKeys(p.Sub.Reserve) {
+		avail, err := r.app.Available(r.exec.DB, key)
+		if err != nil || avail-r.held[key] < p.Sub.Reserve[key] {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for key, amt := range p.Sub.Reserve {
+			r.held[key] += amt
+		}
+	}
+	r.prepared[p.TxID] = &pendingPrep{p: p, ok: ok}
+	mShardPrepares.Inc()
+	return r.vote(p, ok)
+}
+
+func (r *Replica) vote(p Prepare, ok bool) []msg.Directive {
+	return []msg.Directive{msg.Send(p.Coord, msg.M(HdrVote, Vote{
+		TxID: p.TxID, Shard: r.shard, From: r.slf, OK: ok,
+	}))}
+}
+
+// onDecision releases the prepare's holds and applies the slice on
+// commit. Both paths ack to the coordinator.
+func (r *Replica) onDecision(d Decision) []msg.Directive {
+	if _, ok := r.decided[d.TxID]; ok {
+		// Retransmitted decision (our ack was lost): re-ack.
+		return r.ack(d)
+	}
+	if pd, ok := r.prepared[d.TxID]; ok {
+		delete(r.prepared, d.TxID)
+		if pd.ok {
+			for key, amt := range pd.p.Sub.Reserve {
+				if r.held[key] -= amt; r.held[key] <= 0 {
+					delete(r.held, key)
+				}
+			}
+		}
+		if d.Commit && pd.ok {
+			// The reservation made the apply infallible; the coordinator —
+			// not this replica — answers the client, so the result is only
+			// recorded locally (duplicates of the original request would be
+			// cross-shard again and never reach this executor directly).
+			core.RunProc(r.exec.DB, r.exec.Reg, core.TxRequest{
+				Client: pd.p.Req.Client, Seq: pd.p.Req.Seq,
+				Type: pd.p.Sub.Apply, Args: pd.p.Sub.ApplyArgs,
+			})
+			mShard2PCCommits.Inc()
+		} else {
+			mShard2PCAborts.Inc()
+		}
+	}
+	// A decision without a local prepare is legitimate only for aborts
+	// (the coordinator timed out before our shard ever saw the prepare);
+	// a commit without a prepare is the atomicity violation the checker
+	// flags — the replica conservatively does not apply.
+	r.decided[d.TxID] = d
+	return r.ack(d)
+}
+
+func (r *Replica) ack(d Decision) []msg.Directive {
+	return []msg.Directive{msg.Send(d.Coord, msg.M(HdrAck, Ack{
+		TxID: d.TxID, Shard: r.shard, From: r.slf,
+	}))}
+}
+
+// sortedReserveKeys orders a Reserve map for deterministic evaluation.
+func sortedReserveKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: Reserve maps are tiny (one or two keys).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

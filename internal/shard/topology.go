@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"shadowdb/internal/msg"
+)
+
+// Location naming for sharded deployments. Shard k's broadcast service
+// nodes are s<k>b1..s<k>bM and its replicas s<k>r1..s<k>rR; the router
+// is rt1. GroupOf recovers the shard group from a location, which is how
+// the online checker keys its per-group invariant state.
+
+// BcastLoc names shard k's i-th broadcast service node (i from 0).
+func BcastLoc(k, i int) msg.Loc { return msg.Loc(fmt.Sprintf("s%db%d", k, i+1)) }
+
+// ReplicaLoc names shard k's i-th replica (i from 0).
+func ReplicaLoc(k, i int) msg.Loc { return msg.Loc(fmt.Sprintf("s%dr%d", k, i+1)) }
+
+// RouterLoc is the canonical router location.
+const RouterLoc = msg.Loc("rt1")
+
+var locRe = regexp.MustCompile(`^s(\d+)([br])(\d+)$`)
+
+// nearMissRe matches ids close enough to the naming scheme that they
+// are almost certainly typos rather than client entries.
+var nearMissRe = regexp.MustCompile(`^(s\d|rt)`)
+
+// GroupOf maps a location to its invariant group: "s<k>" for shard k's
+// broadcast nodes and replicas, "" for everything else (router, clients
+// — ungrouped locations share the global group, preserving the
+// unsharded checker behaviour).
+func GroupOf(l msg.Loc) string {
+	m := locRe.FindStringSubmatch(string(l))
+	if m == nil {
+		return ""
+	}
+	return "s" + m[1]
+}
+
+// IsShardLoc reports whether l follows the sharded naming scheme, and if
+// so which shard and role it has.
+func IsShardLoc(l msg.Loc) (shard int, role byte, ok bool) {
+	m := locRe.FindStringSubmatch(string(l))
+	if m == nil {
+		return 0, 0, false
+	}
+	k, _ := strconv.Atoi(m[1])
+	return k, m[2][0], true
+}
+
+// Topology is a validated sharded member list.
+type Topology struct {
+	// Shards is the shard count.
+	Shards int
+	// Bcast[k] and Replicas[k] list shard k's broadcast nodes and
+	// replicas in index order.
+	Bcast    [][]msg.Loc
+	Replicas [][]msg.Loc
+	// Routers lists the router locations (exactly one today).
+	Routers []msg.Loc
+}
+
+// FromDirectory groups and validates a directory's member ids for a
+// sharded deployment. It fails fast — with an error naming the offending
+// id — instead of letting a malformed member list surface as a late
+// panic once traffic flows:
+//
+//   - shard indices must be contiguous from 0;
+//   - every shard needs at least one broadcast node and one replica, and
+//     all shards must have the same counts of each (a lopsided shard
+//     would silently change quorum behaviour);
+//   - exactly one router.
+//
+// Ids that look *almost* like shard members — an "s"+digit or "rt"
+// prefix that doesn't parse (s1rr1, rt2) — are rejected as probable
+// typos. Anything else (cli, c1, …) is a client entry: clients must
+// appear in the directory so replicas and the router can dial their
+// answers back, and they carry no topology.
+func FromDirectory(ids []string) (*Topology, error) {
+	bcast := make(map[int][]msg.Loc)
+	reps := make(map[int][]msg.Loc)
+	var routers []msg.Loc
+	for _, id := range ids {
+		l := msg.Loc(id)
+		if l == RouterLoc {
+			routers = append(routers, l)
+			continue
+		}
+		k, role, ok := IsShardLoc(l)
+		if !ok {
+			if nearMissRe.MatchString(id) {
+				return nil, fmt.Errorf(
+					"shard: member %q is neither the router (rt1) nor a shard member (s<k>b<i> / s<k>r<i>)", id)
+			}
+			continue // a client entry
+		}
+		switch role {
+		case 'b':
+			bcast[k] = append(bcast[k], l)
+		case 'r':
+			reps[k] = append(reps[k], l)
+		}
+	}
+	if len(routers) != 1 {
+		return nil, fmt.Errorf("shard: want exactly one router (rt1), have %d", len(routers))
+	}
+	n := len(bcast)
+	if n == 0 {
+		return nil, fmt.Errorf("shard: no shard members in directory")
+	}
+	t := &Topology{Shards: n, Bcast: make([][]msg.Loc, n), Replicas: make([][]msg.Loc, n), Routers: routers}
+	for k := 0; k < n; k++ {
+		b, r := bcast[k], reps[k]
+		if len(b) == 0 {
+			return nil, fmt.Errorf("shard: shard indices not contiguous: shard %d has no broadcast nodes (s%db1...)", k, k)
+		}
+		if len(r) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas (s%dr1...)", k, k)
+		}
+		if len(b) != len(bcast[0]) || len(r) != len(reps[0]) {
+			return nil, fmt.Errorf(
+				"shard: uneven shards: shard %d has %d broadcast nodes and %d replicas, shard 0 has %d and %d",
+				k, len(b), len(r), len(bcast[0]), len(reps[0]))
+		}
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+		t.Bcast[k], t.Replicas[k] = b, r
+	}
+	for k := range reps {
+		if k < 0 || k >= n {
+			return nil, fmt.Errorf("shard: shard indices not contiguous: replica for shard %d but only %d shard(s) have broadcast nodes", k, n)
+		}
+	}
+	return t, nil
+}
+
+// DataSubdir is the per-shard subtree of -data-dir holding one shard's
+// WAL state; the router's journal lives under RouterSubdir.
+func DataSubdir(k int) string { return fmt.Sprintf("shard%d", k) }
+
+// RouterSubdir is the router journal's subtree of -data-dir.
+const RouterSubdir = "router"
