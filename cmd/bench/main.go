@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|all [-quick] [-json [-outdir DIR]]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"shadowdb/internal/bench"
@@ -26,8 +27,9 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|postmortem|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder postmortem bundles (chaos/recovery/shard dump here on violation; postmortem writes here)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
 	outdir := flag.String("outdir", ".", "directory for -json reports")
@@ -46,10 +48,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "shard"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "shard", "postmortem"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "shard":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "shard", "postmortem":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -170,6 +172,7 @@ func run() int {
 		if *quick {
 			cfg = bench.QuickChaos()
 		}
+		cfg.FlightDir = *flightDir
 		res := bench.Chaos(cfg)
 		bench.RenderChaos(out, res)
 		fmt.Fprintln(out)
@@ -186,6 +189,7 @@ func run() int {
 		if *quick {
 			cfg = bench.QuickRecovery()
 		}
+		cfg.FlightDir = *flightDir
 		res := bench.Recovery(cfg)
 		bench.RenderRecovery(out, res)
 		fmt.Fprintln(out)
@@ -203,6 +207,7 @@ func run() int {
 		if *quick {
 			cfg = bench.QuickShard()
 		}
+		cfg.FlightDir = *flightDir
 		res := bench.Shard(cfg)
 		bench.RenderShard(out, res)
 		fmt.Fprintln(out)
@@ -215,6 +220,34 @@ func run() int {
 				len(res.ChaosViolations), res.ChaosOpen, res.ChaosInFlight,
 				res.ChaosBalanced, res.ChaosProgress, res.ChaosFinished, res.ChaosClients)
 			failed = true
+		}
+	}
+	if todo["postmortem"] {
+		cfg := bench.DefaultPostmortem()
+		if *quick {
+			cfg = bench.QuickPostmortem()
+		}
+		// Scoped under its own subdirectory: with -experiment all the
+		// other experiments' evidence shares the same root, and the
+		// postmortem analysis must only see its own bundles.
+		if *flightDir != "" {
+			cfg.Dir = filepath.Join(*flightDir, "postmortem")
+		}
+		res, err := bench.Postmortem(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "postmortem: %v\n", err)
+			failed = true
+		} else {
+			bench.RenderPostmortem(out, res)
+			fmt.Fprintln(out)
+			emit(bench.ReportPostmortem(res, *quick))
+			if !res.Certified() {
+				fmt.Fprintf(os.Stderr,
+					"postmortem: certification failed: %d violations, bundles=%d/%d, ordered=%v, forged=%v, replay=%v\n",
+					len(res.Violations), len(res.Bundles), res.Nodes,
+					res.TimelineOrdered, res.ForgedInTimeline, res.ReplayDetected)
+				failed = true
+			}
 		}
 	}
 	fmt.Fprintf(out, "total bench time: %v\n", time.Since(start).Round(time.Millisecond))

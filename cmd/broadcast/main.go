@@ -21,11 +21,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
 
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/fault"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
@@ -34,6 +37,10 @@ import (
 	"shadowdb/internal/runtime"
 	"shadowdb/internal/store"
 )
+
+// lg is the process logger; records land in the obs log ring (served
+// on /logs, dumped into postmortem bundles) and stream to stderr.
+var lg = obs.L("broadcast-node")
 
 func main() {
 	os.Exit(run())
@@ -53,7 +60,17 @@ func run() int {
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
 	faultPlan := flag.String("fault-plan", "", "JSON fault plan: inject its message faults, partitions, and crash (blackhole) windows on this node's transport")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	flightDir := flag.String("flight-dir", "", "postmortem bundle directory (default <data-dir>/flight when -data-dir is set; empty without it disables the recorder)")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	obs.Default.SetLogLevel(lv)
+	obs.Default.SetLogStream(os.Stderr)
 
 	dir, err := parseDirectory(*cluster)
 	if err != nil {
@@ -69,6 +86,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "id %q not in -cluster directory\n", *id)
 		return 2
 	}
+	obs.Default.SetNode(slf)
 	bnodes, subs := splitNodes(dir, *nodes)
 	if len(bnodes) == 0 {
 		fmt.Fprintln(os.Stderr, "no service nodes (see -nodes)")
@@ -119,7 +137,11 @@ func run() int {
 		return 2
 	}
 
+	// The consensus types ride along for the flight recorder: bundle
+	// dumps gob-encode the trace ring, which carries their bodies.
 	broadcast.RegisterWireTypes()
+	synod.RegisterWireTypes()
+	twothird.RegisterWireTypes()
 
 	var tr network.Transport
 	tcp, err := network.NewTCP(slf, dir)
@@ -141,7 +163,7 @@ func run() int {
 		tr = fault.Wrap(tcp, slf, inj)
 		stop := fault.StartNemesis(inj)
 		defer stop()
-		fmt.Printf("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)\n",
+		lg.Infof("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)",
 			*faultPlan, len(plan.Rules), len(plan.Partitions), len(plan.Crashes), plan.Seed)
 	}
 	defer func() { _ = tr.Close() }()
@@ -149,7 +171,7 @@ func run() int {
 	host := runtime.NewHost(slf, tr, broadcast.Spec(cfg).Generator()(slf))
 	host.Start()
 	defer func() { _ = host.Close() }()
-	fmt.Printf("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s batch=%d delay=%s pipeline=%d\n",
+	lg.Infof("broadcast %s listening on %s; nodes=%v subscribers=%v module=%s batch=%d delay=%s pipeline=%d",
 		slf, tcp.Addr(), bnodes, subs, *module, *batch, *batchDelay, *pipeline)
 
 	if *trace {
@@ -160,13 +182,46 @@ func run() int {
 		checker = dist.NewChecker()
 		checker.Watch(obs.Default)
 	}
+
+	// The flight recorder dumps a postmortem bundle on checker violation,
+	// panic, SIGQUIT, or POST /flight/dump. It defaults on whenever the
+	// node has a data dir to keep evidence in.
+	fdir := *flightDir
+	if fdir == "" && *dataDir != "" {
+		fdir = filepath.Join(*dataDir, "flight")
+	}
+	var rec *obs.Recorder
+	if fdir != "" {
+		if rec, err = obs.NewRecorder(obs.Default, fdir, slf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rec.SetConfig(map[string]string{"module": *module, "cluster": *cluster})
+		if checker != nil {
+			rec.SetCheckerStatus(func() any { return checker.Status() })
+			checker.OnViolation(func(v dist.Violation) {
+				if path, err := rec.TryDump("violation-" + v.Property); err == nil && path != "" {
+					lg.Errorf("checker violation %s: postmortem bundle at %s", v.Property, path)
+				}
+			})
+		}
+		defer rec.NotifySignals()()
+		defer func() {
+			if r := recover(); r != nil {
+				rec.OnPanic()
+				panic(r)
+			}
+		}()
+		lg.Infof("flight recorder armed: bundles under %s", fdir)
+	}
+
 	if *admin != "" {
 		var srv *http.Server
 		var addr string
 		if checker != nil {
-			srv, addr, err = dist.Serve(*admin, obs.Default, checker)
+			srv, addr, err = dist.ServeWith(*admin, obs.Default, checker, rec)
 		} else {
-			srv, addr, err = obs.Serve(*admin, obs.Default)
+			srv, addr, err = obs.ServeWith(*admin, obs.Default, rec)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -177,13 +232,13 @@ func run() int {
 		if checker != nil {
 			extra = " /checker /spans"
 		}
-		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json%s, POST /trace/start /trace/stop, /debug/pprof/)\n", addr, extra)
+		lg.Infof("admin endpoint on http://%s (GET /metrics /logs /trace /trace.json%s, POST /trace/start /trace/stop /flight/dump, /debug/pprof/)", addr, extra)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	lg.Infof("shutting down")
 	return 0
 }
 

@@ -1,0 +1,221 @@
+// Command flight inspects and merges postmortem bundles dumped by the
+// flight recorder (DESIGN.md §11). A node dumps a bundle when the
+// online checker flags a violation, on panic, on SIGQUIT, or on demand
+// via POST /flight/dump; this tool is the analysis side: enumerate the
+// bundles of a cluster data-dir, inspect one, or merge all of them into
+// a single causally-ordered cross-node timeline and replay their traces
+// through the offline property checker.
+//
+// Usage:
+//
+//	flight list <root>
+//	flight show [-logs N] <bundle-dir>
+//	flight merge [-check] [-source log|trace] [-node NODE] <root>...
+//
+// list enumerates bundle directories under root (one per dump, nested
+// per node). show prints one bundle's metadata, checker status, and log
+// tail. merge loads every bundle under the given roots, merges logs and
+// trace events by Lamport clock into one timeline on stdout, and with
+// -check replays the traces through the bridge's property suite — the
+// same total-order / in-order / single-value / durability checks the
+// bounded verifier certifies — so a violation is re-detectable from the
+// bundles alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/core"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/obs/bridge"
+	"shadowdb/internal/shard"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Bundle traces carry protocol bodies through the gob wire codec.
+	core.RegisterWireTypes()
+	broadcast.RegisterWireTypes()
+	shard.RegisterWireTypes()
+	synod.RegisterWireTypes()
+	twothird.RegisterWireTypes()
+
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = list(args[1:])
+	case "show":
+		err = show(args[1:])
+	case "merge":
+		err = merge(args[1:])
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flight list <root>
+  flight show [-logs N] <bundle-dir>
+  flight merge [-check] [-source log|trace] [-node NODE] <root>...`)
+}
+
+// list enumerates the bundles under one root.
+func list(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		usage()
+		return fmt.Errorf("flight list: exactly one root directory")
+	}
+	dirs, err := obs.ListBundles(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(dirs) == 0 {
+		fmt.Println("no bundles")
+		return nil
+	}
+	for _, d := range dirs {
+		b, err := obs.LoadBundle(d)
+		if err != nil {
+			fmt.Printf("%-50s  UNREADABLE: %v\n", d, err)
+			continue
+		}
+		at := time.Unix(0, b.Meta.WallAt).UTC().Format(time.RFC3339)
+		fmt.Printf("%s  node=%-8s reason=%-28s logs=%-6d trace=%-6d %s\n",
+			at, b.Meta.Node, b.Meta.Reason, len(b.Logs), len(b.Trace), d)
+	}
+	return nil
+}
+
+// show prints one bundle in full.
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	tail := fs.Int("logs", 20, "log records to print (0 for all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		usage()
+		return fmt.Errorf("flight show: exactly one bundle directory")
+	}
+	b, err := obs.LoadBundle(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle   %s\n", b.Dir)
+	fmt.Printf("node     %s\n", b.Meta.Node)
+	fmt.Printf("reason   %s\n", b.Meta.Reason)
+	fmt.Printf("dumped   %s (lc=%d, clock=%d)\n",
+		time.Unix(0, b.Meta.WallAt).UTC().Format(time.RFC3339Nano), b.Meta.LC, b.Meta.At)
+	if b.Meta.GitSHA != "" {
+		fmt.Printf("git      %s\n", b.Meta.GitSHA)
+	}
+	fmt.Printf("go       %s (pid %d)\n", b.Meta.GoVersion, b.Meta.PID)
+	for k, v := range b.Meta.Config {
+		fmt.Printf("config   %s=%s\n", k, v)
+	}
+	fmt.Printf("logs     %d records (%d dropped by the ring)\n", len(b.Logs), b.LogDropped)
+	fmt.Printf("trace    %d events\n", len(b.Trace))
+	fmt.Printf("metrics  %d counters, %d gauges, %d histograms, %d rate windows\n",
+		len(b.Metrics.Counters), len(b.Metrics.Gauges), len(b.Metrics.Histograms), len(b.Rates))
+	if len(b.Checker) > 0 {
+		fmt.Printf("checker  %s\n", b.Checker)
+	}
+	logs := b.Logs
+	if *tail > 0 && len(logs) > *tail {
+		logs = logs[len(logs)-*tail:]
+		fmt.Printf("\nlast %d log records:\n", *tail)
+	} else if len(logs) > 0 {
+		fmt.Println("\nlog records:")
+	}
+	for _, r := range logs {
+		line := fmt.Sprintf("  lc=%-6d %-5s [%s] %s", r.LC, r.Level, r.Component, r.Msg)
+		if r.Trace != "" {
+			line += " trace=" + r.Trace
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// merge loads every bundle under the given roots, prints the merged
+// cross-node timeline, and optionally replays the traces through the
+// bridge property suite.
+func merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	check := fs.Bool("check", false, "replay traces through the offline property checker")
+	source := fs.String("source", "", "restrict timeline to one source: log|trace")
+	node := fs.String("node", "", "restrict timeline to one node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		usage()
+		return fmt.Errorf("flight merge: at least one root directory")
+	}
+	var bundles []*obs.Bundle
+	for _, root := range fs.Args() {
+		dirs, err := obs.ListBundles(root)
+		if err != nil {
+			return err
+		}
+		for _, d := range dirs {
+			b, err := obs.LoadBundle(d)
+			if err != nil {
+				return fmt.Errorf("flight merge: %s: %w", d, err)
+			}
+			bundles = append(bundles, b)
+		}
+	}
+	if len(bundles) == 0 {
+		return fmt.Errorf("flight merge: no bundles under %v", fs.Args())
+	}
+	nodes := map[string]bool{}
+	for _, b := range bundles {
+		nodes[string(b.Meta.Node)] = true
+	}
+	fmt.Fprintf(os.Stderr, "%d bundles from %d nodes\n", len(bundles), len(nodes))
+
+	for _, e := range obs.MergeTimeline(bundles...) {
+		if *source != "" && e.Source != *source {
+			continue
+		}
+		if *node != "" && string(e.Node) != *node {
+			continue
+		}
+		fmt.Println(e)
+	}
+
+	if *check {
+		err := bridge.CheckTraces(obs.Traces(bundles...), bridge.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay: VIOLATION: %v\n", err)
+			return fmt.Errorf("flight merge: properties violated")
+		}
+		fmt.Fprintln(os.Stderr, "replay: all properties hold over the merged traces")
+	}
+	return nil
+}

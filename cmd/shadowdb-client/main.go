@@ -27,8 +27,14 @@ import (
 	"shadowdb/internal/core"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/shard"
 )
+
+// lg carries the client's status lines: they stream to stderr through
+// the structured logger, keeping stdout pure transaction results
+// (pipeable into diff/awk in the smoke scripts).
+var lg = obs.L("client")
 
 func main() {
 	os.Exit(run())
@@ -43,7 +49,17 @@ func run() int {
 	argsFlag := flag.String("args", "", "comma-separated transaction arguments (ints, floats, strings)")
 	n := flag.Int("n", 1, "how many times to run the transaction")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-transaction timeout")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	obs.Default.SetLogLevel(lv)
+	obs.Default.SetLogStream(os.Stderr)
+	obs.Default.SetNode(msg.Loc(*id))
 
 	dir, err := parseDirectory(*cluster)
 	if err != nil {
@@ -88,7 +104,7 @@ func run() int {
 		printResult(res)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d transactions in %v (%.0f tx/s, %d retries)\n",
+	lg.Infof("%d transactions in %v (%.0f tx/s, %d retries)",
 		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), cli.Retries)
 	return 0
 }

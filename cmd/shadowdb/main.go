@@ -49,6 +49,8 @@ import (
 
 	"shadowdb/internal/bench/tpcc"
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/core"
 	"shadowdb/internal/fault"
 	"shadowdb/internal/msg"
@@ -60,6 +62,10 @@ import (
 	"shadowdb/internal/sqldb"
 	"shadowdb/internal/store"
 )
+
+// lg is the process logger; records land in the obs log ring (served
+// on /logs, dumped into postmortem bundles) and stream to stderr.
+var lg = obs.L("shadowdb")
 
 func main() {
 	os.Exit(run())
@@ -83,7 +89,17 @@ func run() int {
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
 	faultPlan := flag.String("fault-plan", "", "JSON fault plan: inject its message faults, partitions, and crash (blackhole) windows on this node's transport")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	flightDir := flag.String("flight-dir", "", "postmortem bundle directory (default <data-dir>/flight when -data-dir is set; empty without it disables the recorder)")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	obs.Default.SetLogLevel(lv)
+	obs.Default.SetLogStream(os.Stderr)
 
 	dir, err := parseDirectory(*cluster)
 	if err != nil {
@@ -98,10 +114,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "id %q not in -cluster directory\n", *id)
 		return 2
 	}
+	obs.Default.SetNode(msg.Loc(*id))
 
+	// The consensus types ride along for the flight recorder: bundle
+	// dumps gob-encode the trace ring, which carries their bodies.
 	core.RegisterWireTypes()
 	broadcast.RegisterWireTypes()
 	shard.RegisterWireTypes()
+	synod.RegisterWireTypes()
+	twothird.RegisterWireTypes()
 
 	// Sharded roles validate the whole member list before anything opens
 	// a socket or a store: a malformed directory must be a startup error.
@@ -151,7 +172,7 @@ func run() int {
 		tr = fault.Wrap(tcp, msg.Loc(*id), inj)
 		stop := fault.StartNemesis(inj)
 		defer stop()
-		fmt.Printf("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)\n",
+		lg.Infof("fault plan %s armed: %d rules, %d partitions, %d crashes (seed %d)",
 			*faultPlan, len(plan.Rules), len(plan.Partitions), len(plan.Crashes), plan.Seed)
 	}
 	defer func() { _ = tr.Close() }()
@@ -193,10 +214,10 @@ func run() int {
 	host.Start()
 	defer func() { _ = host.Close() }()
 	if top != nil {
-		fmt.Printf("shadowdb %s (%s) listening on %s; %d shards, router=%v\n",
+		lg.Infof("shadowdb %s (%s) listening on %s; %d shards, router=%v",
 			*id, *role, tcp.Addr(), top.Shards, top.Routers[0])
 	} else {
-		fmt.Printf("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v\n",
+		lg.Infof("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v",
 			*id, *role, tcp.Addr(), replicaLocs, bcastLocs)
 	}
 
@@ -209,13 +230,49 @@ func run() int {
 		checker.SetGroupOf(shard.GroupOf)
 		checker.Watch(obs.Default)
 	}
+
+	// The flight recorder dumps a postmortem bundle on checker violation,
+	// panic, SIGQUIT, or POST /flight/dump. It defaults on whenever the
+	// node has a data dir to keep evidence in.
+	fdir := *flightDir
+	if fdir == "" && *dataDir != "" {
+		fdir = filepath.Join(*dataDir, "flight")
+	}
+	var rec *obs.Recorder
+	if fdir != "" {
+		if rec, err = obs.NewRecorder(obs.Default, fdir, msg.Loc(*id)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rec.SetConfig(map[string]string{
+			"role": *role, "engine": *engine, "registry": *registry,
+			"cluster": *cluster,
+		})
+		if checker != nil {
+			rec.SetCheckerStatus(func() any { return checker.Status() })
+			checker.OnViolation(func(v dist.Violation) {
+				if path, err := rec.TryDump("violation-" + v.Property); err == nil && path != "" {
+					lg.Errorf("checker violation %s: postmortem bundle at %s", v.Property, path)
+				}
+			})
+		}
+		defer rec.NotifySignals()()
+		defer func() {
+			if r := recover(); r != nil {
+				rec.OnPanic()
+				panic(r)
+			}
+		}()
+		lg.Infof("flight recorder armed: bundles under %s", fdir)
+	}
+
 	if *admin != "" {
 		var srv *http.Server
 		var addr string
 		if checker != nil {
-			srv, addr, err = dist.Serve(*admin, obs.Default, checker)
+			srv, addr, err = dist.ServeWith(*admin, obs.Default, checker, rec)
 		} else {
-			srv, addr, err = obs.Serve(*admin, obs.Default)
+			srv, addr, err = obs.ServeWith(*admin, obs.Default, rec)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -226,13 +283,13 @@ func run() int {
 		if checker != nil {
 			extra = " /checker /spans"
 		}
-		fmt.Printf("admin endpoint on http://%s (GET /metrics /trace /trace.json%s, POST /trace/start /trace/stop, /debug/pprof/)\n", addr, extra)
+		lg.Infof("admin endpoint on http://%s (GET /metrics /logs /trace /trace.json%s, POST /trace/start /trace/stop /flight/dump, /debug/pprof/)", addr, extra)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	lg.Infof("shutting down")
 	return 0
 }
 
@@ -308,7 +365,7 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 				return nil, err
 			}
 			if restored {
-				fmt.Printf("%s: recovered durable state from %s\n", c.id, "pbr-"+string(c.id))
+				lg.Infof("%s: recovered durable state from %s", c.id, "pbr-"+string(c.id))
 			}
 		} else {
 			r = core.NewPBRReplica(c.id, db, reg, dep)
@@ -337,7 +394,7 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 		}
 		h := runtime.NewHost(c.id, c.tr, r)
 		if r.Recovered() {
-			fmt.Printf("%s: recovered durable state through slot %d; requesting downtime delta from peers\n",
+			lg.Infof("%s: recovered durable state through slot %d; requesting downtime delta from peers",
 				c.id, r.LastSlot())
 		}
 		// Ask the peers for anything ordered while this node was down
@@ -393,7 +450,7 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 		}
 		h := runtime.NewHost(c.id, c.tr, rt)
 		if open := rt.Recovered(); len(open) > 0 {
-			fmt.Printf("%s: journal recovered %d open cross-shard transaction(s); re-driving %v\n",
+			lg.Infof("%s: journal recovered %d open cross-shard transaction(s); re-driving %v",
 				c.id, len(open), open)
 		}
 		h.Emit(rt.RecoveryDirectives())

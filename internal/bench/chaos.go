@@ -57,6 +57,10 @@ type ChaosConfig struct {
 	Batch      int
 	BatchDelay time.Duration
 	Pipeline   int
+	// FlightDir, when non-empty, arms per-node flight recorders that
+	// dump postmortem bundles under it on any checker violation and at
+	// the end of an uncertified run.
+	FlightDir string
 }
 
 // DefaultChaos is the standard scale.
@@ -183,6 +187,8 @@ func chaosOnce(cfg ChaosConfig) ChaosResult {
 	o.EnableTracing(true)
 	checker := dist.NewChecker()
 	checker.Watch(o)
+	dumpFlight := flightFleet(cfg.FlightDir, "chaos", o, checker,
+		append(append([]msg.Loc{}, sc.rloc...), sc.bloc...))
 
 	inj := fault.BindCluster(sc.clu, ChaosPlan(cfg))
 	inj.SetObs(o)
@@ -297,6 +303,12 @@ func chaosOnce(cfg ChaosConfig) ChaosResult {
 	}
 	if faultBins > 0 {
 		res.FaultAvailability = float64(faultUp) / float64(faultBins)
+	}
+	// Keep evidence of runs that fail the local half of the acceptance
+	// bar (violations are already dumped by the checker hook; failure to
+	// fail over or resume would otherwise leave no bundle behind).
+	if len(res.Violations) > 0 || res.Primaries != 1 || !res.ProgressAfterFaults {
+		dumpFlight("uncertified")
 	}
 	return res
 }

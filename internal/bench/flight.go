@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/consensus/synod"
+	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+	"shadowdb/internal/obs/dist"
+	"shadowdb/internal/shard"
+)
+
+// registerWireTypes registers every protocol body type with the gob
+// wire codec (idempotent). Bundle dumps serialize trace events through
+// the codec, so any experiment that arms flight recorders needs the
+// full set.
+func registerWireTypes() {
+	core.RegisterWireTypes()
+	broadcast.RegisterWireTypes()
+	shard.RegisterWireTypes()
+	synod.RegisterWireTypes()
+	twothird.RegisterWireTypes()
+}
+
+// flightSubdir scopes a flight dir to one phase of a multi-phase
+// experiment, preserving "" as the disarmed state.
+func flightSubdir(dir, phase string) string {
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, phase)
+}
+
+// flightFleet arms per-node flight recorders on an experiment cluster:
+// one Recorder per node under dir/<node>/flight, all fed from the run's
+// shared Obs, dumped the moment the online checker flags a violation.
+// The returned func dumps every recorder with the given reason — call
+// it when a run ends uncertified, so failure evidence survives even
+// when no checker property fired. An empty dir disarms everything and
+// the returned func is a no-op.
+//
+// Recorder failures are reported on stderr, never escalated: flight
+// recording is evidence collection, and a broken disk must not turn a
+// measurable experiment into an error.
+func flightFleet(dir, experiment string, o *obs.Obs, checker *dist.Checker, nodes []msg.Loc) func(reason string) {
+	if dir == "" {
+		return func(string) {}
+	}
+	registerWireTypes()
+	recs := make([]*obs.Recorder, 0, len(nodes))
+	for _, n := range nodes {
+		rec, err := obs.NewRecorder(o, filepath.Join(dir, string(n), "flight"), n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight: %s: %v\n", n, err)
+			continue
+		}
+		rec.SetCheckerStatus(func() any { return checker.Status() })
+		rec.SetConfig(map[string]string{"experiment": experiment})
+		recs = append(recs, rec)
+	}
+	checker.OnViolation(func(v dist.Violation) {
+		for _, rec := range recs {
+			if _, err := rec.TryDump("violation-" + v.Property); err != nil {
+				fmt.Fprintf(os.Stderr, "flight: dump %s: %v\n", rec.Node(), err)
+			}
+		}
+	})
+	return func(reason string) {
+		for _, rec := range recs {
+			if _, err := rec.TryDump(reason); err != nil {
+				fmt.Fprintf(os.Stderr, "flight: dump %s: %v\n", rec.Node(), err)
+			}
+		}
+	}
+}

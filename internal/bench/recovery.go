@@ -56,6 +56,10 @@ type RecoveryConfig struct {
 	// DataDir, when non-empty, hosts the replicas' stores (a fresh temp
 	// directory otherwise, removed after the run).
 	DataDir string
+	// FlightDir, when non-empty, arms per-node flight recorders that
+	// dump postmortem bundles under it on any checker violation and at
+	// the end of an uncertified run.
+	FlightDir string
 }
 
 // DefaultRecovery is the paper-scale run.
@@ -290,6 +294,8 @@ func Recovery(cfg RecoveryConfig) RecoveryResult {
 	o.EnableTracing(true)
 	checker := dist.NewChecker()
 	checker.Watch(o)
+	dumpFlight := flightFleet(cfg.FlightDir, "recovery", o, checker,
+		append(append([]msg.Loc{}, rc.rloc...), rc.bloc...))
 
 	stats := &loadStats{}
 	timeline := des.NewTimeline(cfg.Bin)
@@ -388,6 +394,9 @@ func Recovery(cfg RecoveryConfig) RecoveryResult {
 				break
 			}
 		}
+	}
+	if !res.Certified() {
+		dumpFlight("uncertified")
 	}
 	return res
 }

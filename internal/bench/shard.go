@@ -67,6 +67,11 @@ type ShardConfig struct {
 	PartitionTo   time.Duration
 	// RingSize sizes the trace ring behind the checker.
 	RingSize int
+	// FlightDir, when non-empty, arms per-node flight recorders in the
+	// cross-shard phases that dump postmortem bundles under it (one
+	// subdirectory per phase) on any checker violation and at the end
+	// of an uncertified phase.
+	FlightDir string
 }
 
 // DefaultShard is the standard scale.
@@ -454,6 +459,8 @@ func shardMixed(cfg ShardConfig, res *ShardResult) {
 	checker := dist.NewChecker()
 	checker.SetGroupOf(shard.GroupOf)
 	checker.Watch(o)
+	dumpFlight := flightFleet(flightSubdir(cfg.FlightDir, "mixed"), "shard-mixed",
+		o, checker, sc.allLocs)
 
 	stats := &shardStats{}
 	work := func(i int) Workload { return mixedWorkload(cfg.Rows, cfg.CrossFrac, int64(i)*104729+3) }
@@ -471,6 +478,10 @@ func shardMixed(cfg ShardConfig, res *ShardResult) {
 	res.MixedBalanced = balanced(sc, cfg.Rows, stats.depositCommits)
 	res.MixedReplicasEq = replicasEqual(sc)
 	res.MixedViolations = checker.Violations()
+	if len(res.MixedViolations) > 0 || !res.MixedBalanced || !res.MixedReplicasEq ||
+		res.MixedOpen != 0 || res.MixedInFlight != 0 {
+		dumpFlight("uncertified")
+	}
 }
 
 // shardChaos is phase 3: the mixed workload while shard 1 is isolated
@@ -484,6 +495,8 @@ func shardChaos(cfg ShardConfig, res *ShardResult) {
 	checker := dist.NewChecker()
 	checker.SetGroupOf(shard.GroupOf)
 	checker.Watch(o)
+	dumpFlight := flightFleet(flightSubdir(cfg.FlightDir, "chaos"), "shard-chaos",
+		o, checker, sc.allLocs)
 
 	island := append(append([]msg.Loc{}, sc.bloc[1]...), sc.rloc[1]...)
 	plan := fault.Plan{
@@ -516,6 +529,11 @@ func shardChaos(cfg ShardConfig, res *ShardResult) {
 	res.ChaosViolations = checker.Violations()
 	res.ChaosTransferOK = stats.transferCommits
 	res.ChaosTransferAbt = stats.transferAborts
+	if len(res.ChaosViolations) > 0 || !res.ChaosBalanced || !res.ChaosProgress ||
+		res.ChaosOpen != 0 || res.ChaosInFlight != 0 ||
+		res.ChaosFinished != res.ChaosClients {
+		dumpFlight("uncertified")
+	}
 }
 
 // ReportShard flattens the experiment for BENCH_shard.json.

@@ -20,6 +20,8 @@ var (
 	mDelivers  = obs.C("broadcast.delivers")
 	mBatchSize = obs.H("broadcast.batch_size")
 	mP2DNS     = obs.H("broadcast.propose_to_deliver_ns")
+
+	lg = obs.L("broadcast")
 )
 
 // The extractor publishes the service's message coordinates to obs
@@ -56,6 +58,9 @@ func (s *seqState) markProposed(slf msg.Loc, slot, batchLen int) {
 		s.propAt = make(map[int]int64)
 	}
 	s.propAt[slot] = obs.Default.Now()
+	if lg.Enabled(obs.LevelDebug) {
+		lg.WithNode(slf).Debugf("proposed slot %d (batch=%d)", slot, batchLen)
+	}
 	if obs.Default.Tracing() {
 		e := obs.Ev(slf, obs.LayerBroadcast, "bc.propose")
 		e.Slot = int64(slot)
@@ -70,6 +75,9 @@ func (s *seqState) markDelivered(slf msg.Loc, slot, batchLen int) {
 	if at, ok := s.propAt[slot]; ok {
 		delete(s.propAt, slot)
 		mP2DNS.Observe(obs.Default.Now() - at)
+	}
+	if lg.Enabled(obs.LevelDebug) {
+		lg.WithNode(slf).Debugf("delivered slot %d (batch=%d)", slot, batchLen)
 	}
 	if obs.Default.Tracing() {
 		e := obs.Ev(slf, obs.LayerBroadcast, "bc.deliver")

@@ -17,6 +17,8 @@ var (
 	mPreempted  = obs.C("synod.preemptions")
 	mWakes      = obs.C("synod.wakeups")
 	mDecides    = obs.C("synod.decides")
+
+	lg = obs.L("synod")
 )
 
 func init() {
@@ -54,6 +56,9 @@ func init() {
 // tracePreempt records a leader abandoning its ballot for a higher one.
 func tracePreempt(slf msg.Loc, b Ballot) {
 	mPreempted.Inc()
+	if lg.Enabled(obs.LevelDebug) {
+		lg.WithNode(slf).Debugf("preempted at ballot %d", b.N)
+	}
 	if obs.Default.Tracing() {
 		e := obs.Ev(slf, obs.LayerConsensus, "px.preempt")
 		e.Ballot = int64(b.N)
@@ -64,6 +69,9 @@ func tracePreempt(slf msg.Loc, b Ballot) {
 // traceDecide records a commander reaching quorum for an instance.
 func traceDecide(slf msg.Loc, b Ballot, inst int) {
 	mDecides.Inc()
+	if lg.Enabled(obs.LevelDebug) {
+		lg.WithNode(slf).Debugf("chose instance %d at ballot %d", inst, b.N)
+	}
 	if obs.Default.Tracing() {
 		e := obs.Ev(slf, obs.LayerConsensus, "px.chosen")
 		e.Slot, e.Ballot = int64(inst), int64(b.N)

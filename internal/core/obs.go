@@ -25,6 +25,8 @@ var (
 	gExecuted   = obs.G("core.executed")
 	mCliRetries = obs.C("core.client.retries")
 	mCliBackoff = obs.C("core.client.backoff_ns")
+
+	lg = obs.L("core")
 )
 
 func init() {
@@ -64,8 +66,10 @@ func init() {
 }
 
 // traceRecovery emits a core-layer recovery-phase event (pbr.suspect,
-// pbr.newconfig, pbr.elected, pbr.recovered, pbr.resume).
+// pbr.newconfig, pbr.elected, pbr.recovered, pbr.resume). Recovery
+// phases are rare and diagnosis-critical, so they also log at info.
 func traceRecovery(slf msg.Loc, kind string, cfgSeq int, note string) {
+	lg.WithNode(slf).Infof("%s cfg=%d %s", kind, cfgSeq, note)
 	if obs.Default.Tracing() {
 		e := obs.Ev(slf, obs.LayerCore, kind)
 		e.Ballot = int64(cfgSeq)

@@ -136,6 +136,9 @@ func (r *SMRReplica) recoverLocal() (bool, error) {
 		return nil
 	})
 	r.recoveredLocal = restored
+	if restored {
+		lg.WithNode(r.slf).Infof("smr local recovery: snapshot slot %d, replayed to slot %d", r.snapSlot, r.lastSlot)
+	}
 	return restored, err
 }
 
@@ -146,6 +149,7 @@ func (r *SMRReplica) recoverLocal() (bool, error) {
 func (r *SMRReplica) durableDeliver(d broadcast.Deliver) []msg.Directive {
 	if d.Slot > r.lastSlot+1 {
 		r.pending[d.Slot] = d
+		lg.WithNode(r.slf).Infof("smr gap: got slot %d with frontier %d, requesting catch-up", d.Slot, r.lastSlot)
 		return r.requestCatchup()
 	}
 	outs := r.journalAndApply(d, false)

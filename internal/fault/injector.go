@@ -59,6 +59,10 @@ type Injector struct {
 	cBlocks *obs.Counter
 }
 
+// lg logs node-level injections (kills, restarts, partitions) so they
+// land in the flight-recorder ring alongside the layers they disturb.
+var lg = obs.L("fault")
+
 // NewInjector builds an injector over a validated plan. clock is the
 // run clock faults are timed against: the simulator's virtual clock
 // under DES, nil for wall time since construction.
@@ -202,6 +206,12 @@ func (in *Injector) record(i Injection) {
 		in.cDups.Inc()
 	case "block":
 		in.cBlocks.Inc()
+	default:
+		// Rare node-level events (kill/restart/down/up/corrupt-tail) are
+		// exactly the landmarks a postmortem reader orients around; the
+		// per-message kinds above stay out of the log ring (they're in the
+		// trace ring with full coordinates already).
+		lg.WithNode(i.Dst).Infof("injected %s", i.Kind)
 	}
 	if in.o.Tracing() {
 		e := obs.Ev(i.Dst, obs.LayerFault, "fault."+i.Kind)

@@ -34,6 +34,11 @@ type ProcessHooks struct {
 	// needs a real file to flip bytes in. May be nil when no crash in
 	// the plan sets CorruptTail.
 	DataDir func(node msg.Loc) string
+	// Flight, when set, fires at the edges of a kill window — event
+	// "kill" just before the Kill hook runs and "restart" after the new
+	// incarnation is rebound — so a flight recorder can dump the node's
+	// state around the injected fault. May be nil.
+	Flight func(node msg.Loc, event string)
 }
 
 // BindProcess applies a plan to a simulated cluster with process-level
@@ -57,6 +62,9 @@ func BindProcess(clu *des.Cluster, p Plan, hooks ProcessHooks) *Injector {
 				return
 			}
 			n.Crash()
+			if hooks.Flight != nil {
+				hooks.Flight(c.Node, "kill")
+			}
 			if hooks.Kill != nil {
 				hooks.Kill(c.Node)
 			}
@@ -75,6 +83,9 @@ func BindProcess(clu *des.Cluster, p Plan, hooks ProcessHooks) *Injector {
 				hooks.Restart(c.Node)
 				n.Restart(false)
 				inj.NoteCrash(c.Node, "restart")
+				if hooks.Flight != nil {
+					hooks.Flight(c.Node, "restart")
+				}
 			})
 		})
 	}

@@ -45,6 +45,10 @@ type TCP struct {
 	gConnsOut *obs.Gauge
 	gConnsIn  *obs.Gauge
 	gInbox    *obs.Gauge
+
+	// lg logs connection lifecycle (dial failures, backoff, dead-conn
+	// drops) under the transport's own node id.
+	lg *obs.Logger
 }
 
 var _ Transport = (*TCP)(nil)
@@ -103,6 +107,8 @@ func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
 		gConnsOut: obs.G("net.conns_out"),
 		gConnsIn:  obs.G("net.conns_in"),
 		gInbox:    obs.G("net.inbox_depth"),
+
+		lg: obs.L("net").WithNode(self),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -287,7 +293,17 @@ func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 			}
 		}
 		rs.until = time.Now().Add(d)
+		if rs.fails == 1 {
+			// First failure in a streak: the transition into backoff is
+			// the interesting edge; subsequent doublings log at debug.
+			t.lg.Warnf("dial %s (%s) failed, entering redial backoff: %v", to, addr, err)
+		} else if t.lg.Enabled(obs.LevelDebug) {
+			t.lg.Debugf("dial %s failed %d times, backoff %v", to, rs.fails, d)
+		}
 		return nil, err
+	}
+	if rs != nil {
+		t.lg.Infof("reconnected to %s after %d failed dials", to, rs.fails)
 	}
 	delete(t.redial, to)
 	t.conns[to] = c
@@ -309,6 +325,7 @@ func (t *TCP) dropConn(to msg.Loc, c net.Conn) {
 		_ = c.Close()
 		t.connDrops.Inc()
 		t.gConnsOut.Set(int64(len(t.conns)))
+		t.lg.Debugf("dropped dead connection to %s", to)
 	}
 }
 

@@ -9,6 +9,7 @@ package bridge
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/consensus/synod"
@@ -42,7 +43,12 @@ func Suite(events []obs.Event, opt Options) *verify.Suite {
 	s.Add(
 		verify.Property{
 			Module: "Runtime", Name: "broadcast/total-order", Mode: verify.Manual,
-			Check: func() error { return broadcast.CheckTotalOrder(tr, subs) },
+			Check: func() error {
+				if err := broadcast.CheckTotalOrder(tr, subs); err != nil {
+					return err
+				}
+				return checkReceivedTotalOrder(tr)
+			},
 		},
 		verify.Property{
 			Module: "Runtime", Name: "broadcast/in-order-delivery", Mode: verify.Manual,
@@ -116,6 +122,46 @@ func inferSubscribers(tr []gpm.TraceEntry) []msg.Loc {
 		}
 	}
 	return subs
+}
+
+// checkReceivedTotalOrder is the receive-side half of the total-order
+// property, mirroring the online checker: every Deliver RECEIVED — at
+// any location — for a given slot must carry the same batch. The
+// sender-side CheckTotalOrder cannot see a delivery that diverged on the
+// receive path (corruption, a forged notification), because those never
+// appear as send directives.
+func checkReceivedTotalOrder(tr []gpm.TraceEntry) error {
+	batch := make(map[int]string)
+	first := make(map[int]msg.Loc)
+	for _, e := range tr {
+		if e.In.Hdr != broadcast.HdrDeliver {
+			continue
+		}
+		d, ok := e.In.Body.(broadcast.Deliver)
+		if !ok {
+			continue
+		}
+		fp := batchFingerprint(d.Msgs)
+		if prev, ok := batch[d.Slot]; !ok {
+			batch[d.Slot] = fp
+			first[d.Slot] = e.Loc
+		} else if prev != fp {
+			return fmt.Errorf("bridge: %s received a batch for slot %d that differs from the one %s received",
+				e.Loc, d.Slot, first[d.Slot])
+		}
+	}
+	return nil
+}
+
+// batchFingerprint is the order-insensitive identity of a delivered
+// batch (sorted message keys, as in broadcast.sameBatch).
+func batchFingerprint(msgs []broadcast.Bcast) string {
+	keys := make([]string, len(msgs))
+	for i, b := range msgs {
+		keys[i] = fmt.Sprintf("%s/%d", b.From, b.Seq)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x01")
 }
 
 // checkInOrderDelivery validates that each location RECEIVED Deliver

@@ -128,6 +128,45 @@ func TestBridgeFlagsReorderedDelivery(t *testing.T) {
 	}
 }
 
+// TestBridgeFlagsDivergedReceive forges a receive-only Deliver whose
+// batch conflicts with the one every subscriber actually received for
+// that slot. No send directive carries the forged batch, so the
+// sender-side CheckTotalOrder walk is blind to it; the receive-side
+// total-order complement must flag it.
+func TestBridgeFlagsDivergedReceive(t *testing.T) {
+	events := seededSMREvents(t)
+	forged := false
+	for _, e := range events {
+		if e.M == nil || e.M.Hdr != broadcast.HdrDeliver {
+			continue
+		}
+		d, ok := e.M.Body.(broadcast.Deliver)
+		if !ok {
+			continue
+		}
+		m := msg.M(broadcast.HdrDeliver, broadcast.Deliver{
+			Slot: d.Slot, Msgs: []broadcast.Bcast{{From: "evil", Seq: 1}},
+		})
+		events = append(events, obs.Event{
+			Seq: events[len(events)-1].Seq + 1, At: events[len(events)-1].At + 1,
+			Loc: e.Loc, Layer: obs.LayerRuntime, Kind: "deliver",
+			Hdr: broadcast.HdrDeliver, Slot: int64(d.Slot), M: &m,
+		})
+		forged = true
+		break
+	}
+	if !forged {
+		t.Fatal("trace has no Deliver receive event to forge against")
+	}
+	err := bridge.Check(events, bridge.Options{})
+	if err == nil {
+		t.Fatal("bridge accepted a trace with a diverged received batch")
+	}
+	if !strings.Contains(err.Error(), "differs from the one") {
+		t.Errorf("unexpected failure shape: %v", err)
+	}
+}
+
 func TestBridgeFlagsUndeliveredAck(t *testing.T) {
 	events := seededSMREvents(t)
 	// Corrupt the trace differently: a replica acknowledges a transaction

@@ -92,6 +92,12 @@ type Checker struct {
 	// metrics, when the checker is watching an Obs.
 	cEvents     *obs.Counter
 	cViolations *obs.Counter
+
+	// onViolation holds the violation hooks (flight-recorder dumps).
+	// Guarded by its own lock so hooks can be fired after mu is released:
+	// a hook typically calls back into Status(), which takes mu.
+	hookMu      sync.RWMutex
+	onViolation []func(Violation)
 }
 
 // Violation is one flagged property failure.
@@ -174,24 +180,53 @@ func (c *Checker) Watch(o *obs.Obs) {
 	o.AddSink(c.Feed)
 }
 
+// OnViolation registers fn to run for every violation the checker flags,
+// after the flagging event finishes — the flight recorder's dump trigger.
+// Hooks run on the feeding goroutine with the checker unlocked, so a
+// hook may call Status or Violations; it must return promptly (Feed sits
+// on the event fan-out path) and must not Feed the same checker.
+func (c *Checker) OnViolation(fn func(Violation)) {
+	if fn == nil {
+		return
+	}
+	c.hookMu.Lock()
+	c.onViolation = append(c.onViolation, fn)
+	c.hookMu.Unlock()
+}
+
 // Feed advances the checker by one event. Events without a step payload
 // (metrics-adjacent records) are counted but otherwise ignored.
 func (c *Checker) Feed(e obs.Event) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.events++
 	if c.cEvents != nil {
 		c.cEvents.Inc()
 	}
-	if e.M == nil {
+	before := len(c.violations)
+	if e.M != nil {
+		// Incoming message first, then outputs: replies emitted in the same
+		// step as a delivery must see the just-delivered transactions (the
+		// usual SMR shape), matching the bridge's replay order.
+		c.checkIncoming(e)
+		for _, o := range e.Outs {
+			c.checkOutgoing(e, o)
+		}
+	}
+	var fresh []Violation
+	if len(c.violations) > before {
+		fresh = append(fresh, c.violations[before:]...)
+	}
+	c.mu.Unlock()
+	if len(fresh) == 0 {
 		return
 	}
-	// Incoming message first, then outputs: replies emitted in the same
-	// step as a delivery must see the just-delivered transactions (the
-	// usual SMR shape), matching the bridge's replay order.
-	c.checkIncoming(e)
-	for _, o := range e.Outs {
-		c.checkOutgoing(e, o)
+	c.hookMu.RLock()
+	hooks := c.onViolation
+	c.hookMu.RUnlock()
+	for _, v := range fresh {
+		for _, fn := range hooks {
+			fn(v)
+		}
 	}
 }
 

@@ -15,11 +15,15 @@ import (
 //	GET /spans     per-request span breakdowns over the node's own ring
 //
 // Everything obs.Handler serves (/metrics, /trace, /trace.json, trace
-// control, /healthz, pprof) passes through unchanged, so a node that
-// enables online checking keeps the same admin surface plus the two
-// checker routes.
-func Handler(o *obs.Obs, c *Checker) http.Handler {
-	base := obs.Handler(o)
+// control, /logs, /healthz, pprof) passes through unchanged, so a node
+// that enables online checking keeps the same admin surface plus the two
+// checker routes. HandlerWith additionally passes a flight Recorder
+// through to obs.HandlerWith for the /flight routes.
+func Handler(o *obs.Obs, c *Checker) http.Handler { return HandlerWith(o, c, nil) }
+
+// HandlerWith is Handler plus the /flight routes when rec is non-nil.
+func HandlerWith(o *obs.Obs, c *Checker, rec *obs.Recorder) http.Handler {
+	base := obs.HandlerWith(o, rec)
 	mux := http.NewServeMux()
 	mux.Handle("/", base)
 	mux.HandleFunc("/checker", func(w http.ResponseWriter, r *http.Request) {
@@ -51,11 +55,16 @@ func Handler(o *obs.Obs, c *Checker) http.Handler {
 // Serve starts the extended admin endpoint on addr (":0" for ephemeral)
 // and returns the server plus the bound address; the caller owns Close.
 func Serve(addr string, o *obs.Obs, c *Checker) (*http.Server, string, error) {
+	return ServeWith(addr, o, c, nil)
+}
+
+// ServeWith is Serve with a flight Recorder behind /flight.
+func ServeWith(addr string, o *obs.Obs, c *Checker, rec *obs.Recorder) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(o, c)}
+	srv := &http.Server{Handler: HandlerWith(o, c, rec)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+// The structured logging side of the flight recorder. Every layer of the
+// stack logs through a Logger handle bound to an Obs: records carry the
+// node id, component, level, Lamport clock, and (when the call site has
+// one) the per-request trace ID, so a log line from the store can be
+// correlated with the broadcast trace events around it. Records land in
+// a bounded in-memory ring — the same discipline as the trace ring: the
+// ring is the always-on flight recorder, dumped wholesale into a
+// postmortem bundle when something trips — with optional line streaming
+// to a writer (stderr in the binaries).
+//
+// The hot-path contract mirrors the metrics handles: a call below the
+// active level returns after a couple of nil checks and one atomic load,
+// with zero allocations when the call site passes no format arguments
+// (guard with Enabled before building arguments on truly hot paths).
+
+// DefaultLogCap is the log ring capacity: enough for minutes of Info
+// traffic and a useful Debug window, bounding memory at ~1 MB.
+const DefaultLogCap = 8192
+
+// Level is a log severity. Records below the ring's active level are
+// rejected at the call site.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff disables logging entirely (no level reaches it).
+	LevelOff
+)
+
+var levelNames = [...]string{"debug", "info", "warn", "error", "off"}
+
+// String renders the level ("debug", "info", "warn", "error", "off").
+func (l Level) String() string {
+	if l < 0 || int(l) >= len(levelNames) {
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel is String's inverse.
+func ParseLevel(s string) (Level, error) {
+	for i, n := range levelNames {
+		if s == n {
+			return Level(i), nil
+		}
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+}
+
+// MarshalJSON encodes the level as its name, keeping bundles and the
+// /logs endpoint human-readable.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON reverses MarshalJSON.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	lv, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = lv
+	return nil
+}
+
+// LogRecord is one structured log record.
+type LogRecord struct {
+	// Seq is the record's position in its ring (monotone per Obs).
+	Seq int64 `json:"seq"`
+	// At is the timestamp in nanoseconds (same clock as trace events:
+	// wall by default, virtual under the simulator).
+	At int64 `json:"at"`
+	// LC is the node's Lamport clock at the record, for causal merging
+	// with trace events across nodes.
+	LC int64 `json:"lc,omitempty"`
+	// Node is the emitting node (the logger's binding, or the Obs-wide
+	// default set by SetNode).
+	Node msg.Loc `json:"node,omitempty"`
+	// Component names the emitting layer ("broadcast", "store", ...).
+	Component string `json:"component"`
+	// Level is the record's severity.
+	Level Level `json:"level"`
+	// Msg is the formatted message.
+	Msg string `json:"msg"`
+	// Trace is the per-request trace ID when the call site had one.
+	Trace string `json:"trace,omitempty"`
+}
+
+// String renders the record as one line for streams and bundles.
+func (r LogRecord) String() string {
+	ts := time.Unix(0, r.At).UTC().Format("15:04:05.000000")
+	s := ts + " " + r.Level.String()
+	if r.Node != "" {
+		s += " " + string(r.Node)
+	}
+	s += " [" + r.Component + "] " + r.Msg
+	if r.Trace != "" {
+		s += " trace=" + r.Trace
+	}
+	if r.LC != 0 {
+		s += fmt.Sprintf(" lc=%d", r.LC)
+	}
+	return s
+}
+
+// logState is the per-Obs log ring. The level gate is an atomic load so
+// rejected calls never touch the mutex; accepted records append under a
+// short critical section exactly like the trace ring.
+type logState struct {
+	level atomic.Int32
+
+	mu     sync.Mutex
+	node   msg.Loc
+	ring   []LogRecord
+	cap    int
+	seq    int64 // next Seq; ring holds seq-len(ring)..seq-1
+	stream io.Writer
+}
+
+func newLogState() *logState {
+	ls := &logState{cap: DefaultLogCap}
+	ls.level.Store(int32(LevelInfo))
+	return ls
+}
+
+// Logger is a cheap handle binding an Obs to a component (and optionally
+// a node). All methods are nil-safe, like the metric handles.
+type Logger struct {
+	o         *Obs
+	component string
+	node      msg.Loc
+}
+
+// Logger returns a handle emitting into o's log ring under the given
+// component name. Returns nil on a nil Obs (every method is a no-op).
+func (o *Obs) Logger(component string) *Logger {
+	if o == nil {
+		return nil
+	}
+	return &Logger{o: o, component: component}
+}
+
+// L is the package-level helper bound to Default, the logging analogue
+// of C/G/H: layers that instrument the process-wide registry log here.
+// The binding is late — the handle resolves Default at each call, so
+// package-level `var lg = obs.L(...)` vars follow experiments that
+// repoint Default at a run-scoped Obs (the DES postmortem harness).
+func L(component string) *Logger { return &Logger{component: component} }
+
+// WithNode returns a copy of the logger that stamps records with node —
+// for components constructed per node in multi-node processes (DES,
+// in-process clusters). Single-node binaries set the Obs-wide default
+// with SetNode instead.
+func (l *Logger) WithNode(node msg.Loc) *Logger {
+	if l == nil {
+		return nil
+	}
+	cp := *l
+	cp.node = node
+	return &cp
+}
+
+// obs resolves the logger's Obs: its explicit binding, or Default for
+// handles minted by L (late, so a repointed Default takes effect).
+func (l *Logger) obs() *Obs {
+	if l.o != nil {
+		return l.o
+	}
+	return Default
+}
+
+// Enabled reports whether records at lv currently pass the gate. Hot
+// paths guard on it before building format arguments.
+func (l *Logger) Enabled(lv Level) bool {
+	if l == nil {
+		return false
+	}
+	o := l.obs()
+	if o == nil {
+		return false
+	}
+	ls := o.logs
+	return ls != nil && lv >= Level(ls.level.Load())
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) {
+	if l.Enabled(LevelDebug) {
+		l.emit(LevelDebug, "", format, args)
+	}
+}
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) {
+	if l.Enabled(LevelInfo) {
+		l.emit(LevelInfo, "", format, args)
+	}
+}
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) {
+	if l.Enabled(LevelWarn) {
+		l.emit(LevelWarn, "", format, args)
+	}
+}
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) {
+	if l.Enabled(LevelError) {
+		l.emit(LevelError, "", format, args)
+	}
+}
+
+// Logf is the general entry point: an explicit level and the
+// per-request trace ID the record should carry ("" for none).
+func (l *Logger) Logf(lv Level, trace, format string, args ...any) {
+	if l.Enabled(lv) {
+		l.emit(lv, trace, format, args)
+	}
+}
+
+// emit formats and appends one accepted record. The stream write happens
+// under the ring mutex so interleaved loggers produce whole lines in
+// ring order.
+func (l *Logger) emit(lv Level, trace, format string, args []any) {
+	text := format
+	if len(args) > 0 {
+		text = fmt.Sprintf(format, args...)
+	}
+	o := l.obs()
+	ls := o.logs
+	rec := LogRecord{
+		At: o.Now(), LC: o.lc.Load(), Node: l.node,
+		Component: l.component, Level: lv, Msg: text, Trace: trace,
+	}
+	ls.mu.Lock()
+	if rec.Node == "" {
+		rec.Node = ls.node
+	}
+	rec.Seq = ls.seq
+	ls.seq++
+	if ls.ring == nil {
+		ls.ring = make([]LogRecord, 0, ls.cap)
+	}
+	if len(ls.ring) < ls.cap {
+		ls.ring = append(ls.ring, rec)
+	} else {
+		ls.ring[int(rec.Seq)%ls.cap] = rec
+	}
+	if ls.stream != nil {
+		fmt.Fprintln(ls.stream, rec.String())
+	}
+	ls.mu.Unlock()
+}
+
+// ------------------------------------------------------- ring controls --
+
+// SetLogLevel sets the gate: records below lv are rejected at the call
+// site (LevelOff disables logging entirely).
+func (o *Obs) SetLogLevel(lv Level) {
+	if o == nil || o.logs == nil {
+		return
+	}
+	o.logs.level.Store(int32(lv))
+}
+
+// LogLevel returns the active gate (LevelOff on a Nop Obs).
+func (o *Obs) LogLevel() Level {
+	if o == nil || o.logs == nil {
+		return LevelOff
+	}
+	return Level(o.logs.level.Load())
+}
+
+// SetNode sets the default node id stamped on records whose logger has
+// no binding of its own — one call at startup in single-node binaries.
+func (o *Obs) SetNode(node msg.Loc) {
+	if o == nil || o.logs == nil {
+		return
+	}
+	o.logs.mu.Lock()
+	o.logs.node = node
+	o.logs.mu.Unlock()
+}
+
+// Node returns the default node id set by SetNode.
+func (o *Obs) Node() msg.Loc {
+	if o == nil || o.logs == nil {
+		return ""
+	}
+	o.logs.mu.Lock()
+	defer o.logs.mu.Unlock()
+	return o.logs.node
+}
+
+// SetLogStream streams every accepted record as one formatted line to w
+// (nil stops streaming). The ring keeps recording either way.
+func (o *Obs) SetLogStream(w io.Writer) {
+	if o == nil || o.logs == nil {
+		return
+	}
+	o.logs.mu.Lock()
+	o.logs.stream = w
+	o.logs.mu.Unlock()
+}
+
+// SetLogCap resizes the ring capacity, dropping buffered records — a
+// setup-time knob for tests and small-footprint deployments.
+func (o *Obs) SetLogCap(n int) {
+	if o == nil || o.logs == nil || n <= 0 {
+		return
+	}
+	o.logs.mu.Lock()
+	o.logs.cap = n
+	o.logs.ring = nil
+	o.logs.seq = 0
+	o.logs.mu.Unlock()
+}
+
+// LogRecords returns the buffered records oldest-first.
+func (o *Obs) LogRecords() []LogRecord {
+	if o == nil || o.logs == nil {
+		return nil
+	}
+	ls := o.logs
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make([]LogRecord, 0, len(ls.ring))
+	if len(ls.ring) < ls.cap {
+		return append(out, ls.ring...)
+	}
+	// Full ring: oldest entry sits at seq%cap.
+	start := int(ls.seq) % ls.cap
+	out = append(out, ls.ring[start:]...)
+	return append(out, ls.ring[:start]...)
+}
+
+// LogDropped is the overflow accounting: how many records the bounded
+// ring has evicted since startup. The bundle records it so a postmortem
+// reader knows whether the window is complete.
+func (o *Obs) LogDropped() int64 {
+	if o == nil || o.logs == nil {
+		return 0
+	}
+	o.logs.mu.Lock()
+	defer o.logs.mu.Unlock()
+	if d := o.logs.seq - int64(o.logs.cap); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// LogGap inspects a downloaded record set for evictions, the log
+// counterpart of RingGap: records are Seq-contiguous from zero per ring,
+// so a set whose smallest Seq is s lost its first s records, and any
+// internal discontinuity counts as missing too.
+func LogGap(records []LogRecord) int64 {
+	if len(records) == 0 {
+		return 0
+	}
+	min, max := records[0].Seq, records[0].Seq
+	for _, r := range records[1:] {
+		if r.Seq < min {
+			min = r.Seq
+		}
+		if r.Seq > max {
+			max = r.Seq
+		}
+	}
+	return min + (max - min + 1 - int64(len(records)))
+}

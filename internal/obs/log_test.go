@@ -1,0 +1,190 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"shadowdb/internal/obs"
+)
+
+func TestLogLevelGate(t *testing.T) {
+	o := obs.New(16)
+	lg := o.Logger("test")
+
+	// Default level is info: debug is rejected.
+	lg.Debugf("invisible")
+	lg.Infof("visible %d", 1)
+	recs := o.LogRecords()
+	if len(recs) != 1 || recs[0].Msg != "visible 1" || recs[0].Level != obs.LevelInfo {
+		t.Fatalf("records = %+v, want one info record", recs)
+	}
+
+	o.SetLogLevel(obs.LevelDebug)
+	if !lg.Enabled(obs.LevelDebug) {
+		t.Fatal("debug should be enabled after SetLogLevel")
+	}
+	lg.Debugf("now visible")
+	if n := len(o.LogRecords()); n != 2 {
+		t.Fatalf("got %d records, want 2", n)
+	}
+
+	o.SetLogLevel(obs.LevelOff)
+	lg.Errorf("rejected even at error")
+	if n := len(o.LogRecords()); n != 2 {
+		t.Fatalf("LevelOff leaked a record: %d", n)
+	}
+}
+
+func TestLogNopAndNilSafety(t *testing.T) {
+	// Nop Obs: every call is a no-op, Enabled is false.
+	nop := obs.Nop()
+	lg := nop.Logger("x")
+	lg.Infof("dropped")
+	if lg.Enabled(obs.LevelError) {
+		t.Fatal("Nop logger claims enabled")
+	}
+	if recs := nop.LogRecords(); recs != nil {
+		t.Fatalf("Nop records = %v", recs)
+	}
+	if nop.LogLevel() != obs.LevelOff {
+		t.Fatalf("Nop level = %v, want off", nop.LogLevel())
+	}
+
+	// Nil logger and nil Obs.
+	var nilLg *obs.Logger
+	nilLg.Infof("dropped")
+	nilLg.WithNode("n1").Errorf("dropped")
+	var nilObs *obs.Obs
+	nilObs.Logger("x").Warnf("dropped")
+	nilObs.SetLogLevel(obs.LevelDebug)
+}
+
+func TestLogRingOverflowAccounting(t *testing.T) {
+	o := obs.New(16)
+	o.SetLogCap(8)
+	lg := o.Logger("overflow")
+	for i := 0; i < 20; i++ {
+		lg.Infof("rec %d", i)
+	}
+	recs := o.LogRecords()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(recs))
+	}
+	// Oldest-first and contiguous: records 12..19 survive.
+	for i, r := range recs {
+		want := fmt.Sprintf("rec %d", 12+i)
+		if r.Msg != want || r.Seq != int64(12+i) {
+			t.Fatalf("recs[%d] = %q seq=%d, want %q seq=%d", i, r.Msg, r.Seq, want, 12+i)
+		}
+	}
+	if d := o.LogDropped(); d != 12 {
+		t.Fatalf("LogDropped = %d, want 12", d)
+	}
+	if g := obs.LogGap(recs); g != 12 {
+		t.Fatalf("LogGap = %d, want 12", g)
+	}
+	// A set with an internal hole also counts as gapped.
+	holed := append(append([]obs.LogRecord{}, recs[:3]...), recs[5:]...)
+	if g := obs.LogGap(holed); g != 14 {
+		t.Fatalf("LogGap with hole = %d, want 14", g)
+	}
+}
+
+func TestLogNodeStamping(t *testing.T) {
+	o := obs.New(16)
+	o.SetNode("n1")
+	o.Logger("a").Infof("default node")
+	o.Logger("b").WithNode("n2").Infof("bound node")
+	recs := o.LogRecords()
+	if len(recs) != 2 || recs[0].Node != "n1" || recs[1].Node != "n2" {
+		t.Fatalf("node stamping wrong: %+v", recs)
+	}
+	if o.Node() != "n1" {
+		t.Fatalf("Node() = %q", o.Node())
+	}
+}
+
+func TestLogStreamAndTraceCorrelation(t *testing.T) {
+	o := obs.New(16)
+	var buf bytes.Buffer
+	o.SetLogStream(&buf)
+	o.SetNode("n3")
+	o.Tick() // lamport 1
+	o.Logger("store").Logf(obs.LevelWarn, "req-42", "torn tail at %d", 99)
+
+	recs := o.LogRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+	r := recs[0]
+	if r.Trace != "req-42" || r.LC != 1 || r.Component != "store" {
+		t.Fatalf("record = %+v", r)
+	}
+	line := buf.String()
+	for _, want := range []string{"warn", "n3", "[store]", "torn tail at 99", "trace=req-42", "lc=1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stream line %q missing %q", line, want)
+		}
+	}
+
+	// Level round-trips through JSON as a name.
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"level":"warn"`)) {
+		t.Fatalf("level not marshaled as name: %s", data)
+	}
+	var back obs.LogRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != obs.LevelWarn {
+		t.Fatalf("level round-trip = %v", back.Level)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, lv := range []obs.Level{obs.LevelDebug, obs.LevelInfo, obs.LevelWarn, obs.LevelError, obs.LevelOff} {
+		got, err := obs.ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Fatalf("ParseLevel(%q) = %v, %v", lv.String(), got, err)
+		}
+	}
+	if _, err := obs.ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	o := obs.New(16)
+	o.SetLogCap(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lg := o.Logger(fmt.Sprintf("g%d", g))
+			for i := 0; i < 100; i++ {
+				lg.Infof("msg %d", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	recs := o.LogRecords()
+	if len(recs) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(recs))
+	}
+	if g := obs.LogGap(recs); g != 800-64 {
+		t.Fatalf("LogGap = %d, want %d", g, 800-64)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("ring not seq-contiguous at %d: %d then %d", i, recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}

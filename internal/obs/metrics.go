@@ -147,6 +147,14 @@ func (h *Histogram) bucketMid(b int) int64 {
 	return mid
 }
 
+// HistBucket is one cumulative histogram bucket point: Cum observations
+// were <= Le. Only occupied buckets are materialized (log buckets give 65
+// slots but real latency distributions occupy a handful).
+type HistBucket struct {
+	Le  int64 `json:"le"`
+	Cum int64 `json:"cum"`
+}
+
 // HistogramSummary is a histogram's snapshot: count, mean and the
 // p50/p95/p99 tail the ISSUE-facing dashboards read.
 type HistogramSummary struct {
@@ -159,6 +167,10 @@ type HistogramSummary struct {
 	P95  int64 `json:"p95"`
 	P99  int64 `json:"p99"`
 	Max  int64 `json:"max"`
+	// Buckets are the cumulative bucket points for the occupied buckets,
+	// ascending by Le — the raw distribution behind the quantiles, and
+	// what the Prometheus histogram exposition renders as _bucket{le=}.
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Summary captures the histogram's current state.
@@ -173,6 +185,23 @@ func (h *Histogram) Summary() HistogramSummary {
 	s.P50 = h.Quantile(0.50)
 	s.P95 = h.Quantile(0.95)
 	s.P99 = h.Quantile(0.99)
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// Bucket b holds values of bit length b: upper bound 2^b - 1
+		// (bucket 0 holds exactly zero).
+		le := int64(0)
+		if b > 0 && b < 63 {
+			le = int64(1)<<b - 1
+		} else if b >= 63 {
+			le = int64(^uint64(0) >> 1) // MaxInt64
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, Cum: cum})
+	}
 	return s
 }
 

@@ -29,6 +29,11 @@ const DefaultTraceCap = 16384
 type Obs struct {
 	metrics *Registry
 
+	// logs is the structured log ring (log.go). Set once at construction
+	// and immutable after, so the hot-path nil check needs no atomics;
+	// nil on a Nop Obs (logging disabled entirely).
+	logs *logState
+
 	tracing atomic.Bool
 	clock   atomic.Pointer[func() int64]
 
@@ -53,7 +58,7 @@ func New(n int) *Obs {
 	if n <= 0 {
 		n = DefaultTraceCap
 	}
-	return &Obs{metrics: NewRegistry(), cap: n}
+	return &Obs{metrics: NewRegistry(), logs: newLogState(), cap: n}
 }
 
 // Nop returns an Obs whose handles are all nil: every metric update and

@@ -11,8 +11,10 @@ import (
 // written by hand against the format spec — the repo takes no client
 // library dependency. Dotted metric names become underscore-separated
 // ("runtime.step_ns" -> "runtime_step_ns"); histograms are exposed as
-// summaries (quantile series plus _sum and _count), which matches the
-// log-bucketed histogram's quantile API.
+// native Prometheus histograms (cumulative _bucket{le=...} series from
+// the occupied log buckets, ending at le="+Inf", plus _sum and _count),
+// which external dashboards can aggregate across nodes with
+// histogram_quantile — a quantile-only summary can't be merged.
 
 // promName sanitizes a metric name into the Prometheus grammar
 // [a-zA-Z_:][a-zA-Z0-9_:]*.
@@ -68,17 +70,22 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, n := range names {
 		pn := promName(n)
 		h := s.Histograms[n]
-		if _, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n"+
-				"%s{quantile=\"0.5\"} %d\n"+
-				"%s{quantile=\"0.95\"} %d\n"+
-				"%s{quantile=\"0.99\"} %d\n"+
-				"%s_sum %d\n"+
-				"%s_count %d\n",
-			pn, pn, h.P50, pn, h.P95, pn, h.P99, pn, h.Sum, pn, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 			return err
 		}
-		// Max has no summary slot; expose it as a companion gauge.
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Le, b.Cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w,
+			"%s_bucket{le=\"+Inf\"} %d\n"+
+				"%s_sum %d\n"+
+				"%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+		// Max has no histogram slot; expose it as a companion gauge.
 		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, h.Max); err != nil {
 			return err
 		}

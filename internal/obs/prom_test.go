@@ -3,7 +3,9 @@ package obs_test
 import (
 	"bytes"
 	"io"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -105,20 +107,47 @@ func TestWritePrometheusParses(t *testing.T) {
 	if types["des_queue_depth"] != "gauge" || samples["des_queue_depth"] != 3 {
 		t.Errorf("gauge wrong: type %q value %v", types["des_queue_depth"], samples["des_queue_depth"])
 	}
-	if types["dist_span_total_ns"] != "summary" {
-		t.Errorf("histogram type = %q, want summary", types["dist_span_total_ns"])
+	if types["dist_span_total_ns"] != "histogram" {
+		t.Errorf("histogram type = %q, want histogram", types["dist_span_total_ns"])
 	}
 	if samples["dist_span_total_ns_count"] != 100 {
-		t.Errorf("summary count = %v, want 100", samples["dist_span_total_ns_count"])
+		t.Errorf("histogram count = %v, want 100", samples["dist_span_total_ns_count"])
 	}
 	wantSum := float64(100*101/2) * float64(time.Millisecond)
 	if samples["dist_span_total_ns_sum"] != wantSum {
-		t.Errorf("summary sum = %v, want %v", samples["dist_span_total_ns_sum"], wantSum)
+		t.Errorf("histogram sum = %v, want %v", samples["dist_span_total_ns_sum"], wantSum)
 	}
-	q50 := samples[`dist_span_total_ns{quantile="0.5"}`]
-	q99 := samples[`dist_span_total_ns{quantile="0.99"}`]
-	if q50 <= 0 || q99 < q50 {
-		t.Errorf("quantiles out of order: p50=%v p99=%v", q50, q99)
+	// Native bucket series: cumulative counts ascending with le, the +Inf
+	// bucket equal to the total count.
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bkt
+	for key, val := range samples {
+		if !strings.HasPrefix(key, `dist_span_total_ns_bucket{le="`) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(key, `dist_span_total_ns_bucket{le="`), `"}`)
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("bad le label %q: %v", leStr, err)
+		}
+		buckets = append(buckets, bkt{le, val})
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("want several _bucket series for 100 spread samples, got %d", len(buckets))
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].cum < buckets[i-1].cum {
+			t.Errorf("bucket counts not cumulative: le=%v cum=%v after le=%v cum=%v",
+				buckets[i].le, buckets[i].cum, buckets[i-1].le, buckets[i-1].cum)
+		}
+	}
+	inf := buckets[len(buckets)-1]
+	if !math.IsInf(inf.le, 1) || inf.cum != 100 {
+		t.Errorf("+Inf bucket = le=%v cum=%v, want +Inf/100", inf.le, inf.cum)
 	}
 	if samples["dist_span_total_ns_max"] != float64(100*time.Millisecond) {
 		t.Errorf("max = %v", samples["dist_span_total_ns_max"])

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed metrics deltas for the flight recorder. The Registry is
+// cumulative — perfect for Prometheus scrapes, useless on its own for
+// answering "what was the append rate in the two seconds before the
+// violation". Rates layers per-interval delta snapshots over it: a
+// ticker (wall-clock in binaries, manual Tick in the simulator) diffs
+// consecutive Snapshots and keeps the last N windows in a bounded ring,
+// which the postmortem bundle dumps alongside the cumulative snapshot.
+
+// DefaultRateKeep is how many windows Rates retains — at the default
+// 1s interval, the last minute of per-second deltas.
+const DefaultRateKeep = 60
+
+// RateWindow is the delta of every metric over one interval
+// [From, To) in the Obs clock's nanoseconds.
+type RateWindow struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Counters and HistCounts are increments over the window; Gauges are
+	// the end-of-window values (a gauge's delta is rarely meaningful).
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	HistCounts map[string]int64 `json:"hist_counts,omitempty"`
+	HistSums   map[string]int64 `json:"hist_sums,omitempty"`
+}
+
+// DeltaSnapshot diffs two cumulative snapshots into one window. Metrics
+// absent from prev (registered mid-window) count from zero; only nonzero
+// deltas and gauges are materialized so idle windows stay tiny.
+func DeltaSnapshot(prev, cur Snapshot, from, to int64) RateWindow {
+	w := RateWindow{From: from, To: to}
+	for n, v := range cur.Counters {
+		if d := v - prev.Counters[n]; d != 0 {
+			if w.Counters == nil {
+				w.Counters = make(map[string]int64)
+			}
+			w.Counters[n] = d
+		}
+	}
+	for n, v := range cur.Gauges {
+		if v != 0 || prev.Gauges[n] != 0 {
+			if w.Gauges == nil {
+				w.Gauges = make(map[string]int64)
+			}
+			w.Gauges[n] = v
+		}
+	}
+	for n, h := range cur.Histograms {
+		if d := h.Count - prev.Histograms[n].Count; d != 0 {
+			if w.HistCounts == nil {
+				w.HistCounts = make(map[string]int64)
+				w.HistSums = make(map[string]int64)
+			}
+			w.HistCounts[n] = d
+			w.HistSums[n] = h.Sum - prev.Histograms[n].Sum
+		}
+	}
+	return w
+}
+
+// Rates tracks windowed deltas over an Obs's registry.
+type Rates struct {
+	o        *Obs
+	interval time.Duration
+
+	mu      sync.Mutex
+	prev    Snapshot
+	prevAt  int64
+	windows []RateWindow
+	keep    int
+	stop    chan struct{}
+}
+
+// NewRates creates a tracker over o taking one window per interval,
+// retaining the last keep windows (defaults: 1s, DefaultRateKeep).
+// Call Start for wall-clock ticking or Tick manually (DES runs tick at
+// virtual-time boundaries).
+func NewRates(o *Obs, interval time.Duration, keep int) *Rates {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if keep <= 0 {
+		keep = DefaultRateKeep
+	}
+	return &Rates{
+		o: o, interval: interval, keep: keep,
+		prev: o.Snapshot(), prevAt: o.Now(),
+	}
+}
+
+// Tick closes the current window: diff against the previous snapshot,
+// append the delta, and rebase. Safe from any goroutine.
+func (r *Rates) Tick() {
+	if r == nil {
+		return
+	}
+	cur := r.o.Snapshot()
+	at := r.o.Now()
+	r.mu.Lock()
+	w := DeltaSnapshot(r.prev, cur, r.prevAt, at)
+	r.prev, r.prevAt = cur, at
+	r.windows = append(r.windows, w)
+	if len(r.windows) > r.keep {
+		r.windows = r.windows[len(r.windows)-r.keep:]
+	}
+	r.mu.Unlock()
+}
+
+// Windows returns the retained windows oldest-first.
+func (r *Rates) Windows() []RateWindow {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RateWindow, len(r.windows))
+	copy(out, r.windows)
+	return out
+}
+
+// Start launches a wall-clock ticker goroutine calling Tick every
+// interval until Stop. Idempotent while running.
+func (r *Rates) Start() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stop != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	r.stop = stop
+	r.mu.Unlock()
+	go func() {
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker started by Start (no-op if not running).
+func (r *Rates) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stop != nil {
+		close(r.stop)
+		r.stop = nil
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+package obs_test
+
+import (
+	"testing"
+
+	"shadowdb/internal/obs"
+)
+
+func TestDeltaSnapshot(t *testing.T) {
+	o := obs.New(16)
+	c := o.Counter("x.appends")
+	g := o.Gauge("x.depth")
+	h := o.Histogram("x.lat")
+
+	c.Add(5)
+	g.Set(2)
+	h.Observe(10)
+	prev := o.Snapshot()
+
+	c.Add(3)
+	g.Set(7)
+	h.Observe(20)
+	h.Observe(30)
+	cur := o.Snapshot()
+
+	w := obs.DeltaSnapshot(prev, cur, 100, 200)
+	if w.From != 100 || w.To != 200 {
+		t.Fatalf("window bounds %d..%d", w.From, w.To)
+	}
+	if w.Counters["x.appends"] != 3 {
+		t.Fatalf("counter delta = %d, want 3", w.Counters["x.appends"])
+	}
+	if w.Gauges["x.depth"] != 7 {
+		t.Fatalf("gauge = %d, want end-of-window 7", w.Gauges["x.depth"])
+	}
+	if w.HistCounts["x.lat"] != 2 || w.HistSums["x.lat"] != 50 {
+		t.Fatalf("hist delta = %d/%d, want 2/50", w.HistCounts["x.lat"], w.HistSums["x.lat"])
+	}
+
+	// An idle window materializes nothing (gauges at zero stay absent).
+	idle := obs.DeltaSnapshot(cur, cur, 200, 300)
+	if len(idle.Counters) != 0 || len(idle.HistCounts) != 0 {
+		t.Fatalf("idle window not empty: %+v", idle)
+	}
+}
+
+func TestRatesTickAndRetention(t *testing.T) {
+	o := obs.New(16)
+	c := o.Counter("y.ops")
+	r := obs.NewRates(o, 0, 3) // keep only 3 windows
+
+	for i := 1; i <= 5; i++ {
+		c.Add(int64(i))
+		r.Tick()
+	}
+	ws := r.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("retained %d windows, want 3", len(ws))
+	}
+	// The last three ticks added 3, 4, 5.
+	for i, want := range []int64{3, 4, 5} {
+		if got := ws[i].Counters["y.ops"]; got != want {
+			t.Fatalf("window %d delta = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRatesNilSafety(t *testing.T) {
+	var r *obs.Rates
+	r.Tick()
+	r.Start()
+	r.Stop()
+	if w := r.Windows(); w != nil {
+		t.Fatalf("nil Rates windows = %v", w)
+	}
+}

@@ -60,6 +60,7 @@ func (h *Host) Start() {
 	}
 	h.steps = h.Obs.Counter("runtime.steps")
 	h.stepNS = h.Obs.Histogram("runtime.step_ns")
+	h.Obs.Logger("runtime").WithNode(h.self).Infof("host started")
 	h.wg.Add(1)
 	go h.loop()
 }
@@ -205,6 +206,9 @@ func (h *Host) Close() error {
 		h.timerMu.Unlock()
 		_ = h.tr.Close()
 		h.wg.Wait()
+		if h.Obs != nil {
+			h.Obs.Logger("runtime").WithNode(h.self).Infof("host stopped")
+		}
 	})
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"shadowdb/internal/core"
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
 	"shadowdb/internal/store"
 )
 
@@ -67,6 +68,8 @@ type Router struct {
 	// fwd rotates the target broadcast node per single-shard request key,
 	// so a client retry through the router probes another service node.
 	fwd map[string]int
+	// lg logs coordinator lifecycle under the router's own node id.
+	lg *obs.Logger
 }
 
 // txState is the coordinator's view of one cross-shard transaction.
@@ -118,10 +121,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		txs:     make(map[string]*txState),
 		doneRes: make(map[string]core.TxResult),
 		fwd:     make(map[string]int),
+		lg:      obs.L("shard.router").WithNode(cfg.Slf),
 	}
 	if cfg.Stable != nil {
 		if err := r.replay(); err != nil {
 			return nil, err
+		}
+		if len(r.txs) > 0 {
+			r.lg.Infof("journal replay recovered %d open cross-shard transactions, resume seq %d",
+				len(r.txs), r.seq)
 		}
 	}
 	return r, nil
@@ -393,6 +401,9 @@ func (r *Router) decide(id string, tx *txState, commit bool) []msg.Directive {
 	tx.decided, tx.commit = true, commit
 	tx.res = r.result(tx.req, commit)
 	r.journal(journalRec{Kind: "decide", TxID: id, Commit: commit})
+	if r.lg.Enabled(obs.LevelDebug) {
+		r.lg.Logf(obs.LevelDebug, id, "decided commit=%v across %d shards", commit, len(tx.subs))
+	}
 	if commit {
 		m2PCCommits.Inc()
 	} else {
@@ -448,6 +459,8 @@ func (r *Router) onRetry(t RetryBody) []msg.Directive {
 		return nil
 	}
 	m2PCRetransmits.Inc()
+	r.lg.Logf(obs.LevelWarn, t.TxID, "retry timer fired, re-driving (decided=%v, votes=%d/%d, acks=%d/%d)",
+		tx.decided, len(tx.votes), len(tx.subs), len(tx.acked), len(tx.subs))
 	return append(r.redrive(t.TxID, tx), r.armRetry(t.TxID))
 }
 

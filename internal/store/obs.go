@@ -10,4 +10,6 @@ var (
 	mReplays = obs.C("store.wal.replays")
 	mTruncs  = obs.C("store.wal.truncated")
 	mSnaps   = obs.C("store.snapshots")
+
+	lg = obs.L("store")
 )

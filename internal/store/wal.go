@@ -187,6 +187,7 @@ func openWAL(dir string, pol SyncPolicy, batchEvery int) (*walFile, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	w.f = f
+	lg.Infof("opened WAL in %s: active segment %d, %d older, snapshot=%v", dir, w.seg, len(w.older), w.hasSnap)
 	return w, nil
 }
 
@@ -202,6 +203,7 @@ func truncateTorn(path string) error {
 			return fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
 		}
 		mTruncs.Inc()
+		lg.Warnf("truncated torn tail of %s: %d of %d bytes valid", path, valid, len(b))
 	}
 	return nil
 }
@@ -321,6 +323,7 @@ func (w *walFile) SaveSnapshot(snap []byte) error {
 	w.snap = append([]byte(nil), snap...)
 	w.hasSnap = true
 	mSnaps.Inc()
+	lg.Debugf("snapshot saved in %s (%d bytes), rotated to segment %d", w.dir, len(snap), w.seg)
 	return nil
 }
 

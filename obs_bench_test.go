@@ -135,3 +135,51 @@ func TestObsOverheadReport(t *testing.T) {
 		t.Error("metrics run counted no steps")
 	}
 }
+
+// The flight recorder's structured logger claims an always-on cost low
+// enough to leave debug calls in the hot path: a call below the active
+// level must gate on one atomic load and never reach the formatter or
+// allocate. The benchmarks measure both sides of the gate; the alloc
+// test pins the zero-allocation claim so a regression fails rather than
+// just slowing down.
+
+// BenchmarkLogDisabled is a log call below the active level — the cost
+// every production code path pays for carrying debug logging.
+func BenchmarkLogDisabled(b *testing.B) {
+	o := obs.New(obs.DefaultTraceCap)
+	o.SetLogLevel(obs.LevelInfo)
+	lg := o.Logger("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Debugf("hot path probe")
+	}
+}
+
+// BenchmarkLogEnabled is the same call above the level: format, stamp,
+// and publish into the ring.
+func BenchmarkLogEnabled(b *testing.B) {
+	o := obs.New(obs.DefaultTraceCap)
+	o.SetLogLevel(obs.LevelDebug)
+	lg := o.Logger("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Debugf("hot path probe %d", i)
+	}
+}
+
+// TestLogDisabledZeroAlloc pins the claim the benchmark only reports:
+// a disabled log call allocates nothing, arguments included (the
+// variadic pack for constant args is hoisted by escape analysis once
+// the gate is inlined).
+func TestLogDisabledZeroAlloc(t *testing.T) {
+	o := obs.New(obs.DefaultTraceCap)
+	o.SetLogLevel(obs.LevelInfo)
+	lg := o.Logger("bench")
+	if n := testing.AllocsPerRun(1000, func() {
+		lg.Debugf("hot path probe")
+	}); n != 0 {
+		t.Errorf("disabled log call allocates %.1f times per call, want 0", n)
+	}
+}
