@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -27,9 +27,9 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|shard|postmortem|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|postmortem|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
-	flightDir := flag.String("flight-dir", "", "directory for flight-recorder postmortem bundles (chaos/recovery/shard dump here on violation; postmortem writes here)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder postmortem bundles (chaos/recovery/membership/shard dump here on violation; postmortem writes here)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
 	outdir := flag.String("outdir", ".", "directory for -json reports")
@@ -48,10 +48,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "shard", "postmortem"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "postmortem"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "shard", "postmortem":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "postmortem":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -199,6 +199,27 @@ func run() int {
 				"recovery: certification failed: %d violations, recovered=%v, caught_up=%v, state_equal=%v, progress=%v, finished=%d/%d\n",
 				len(res.Violations), res.RecoveredLocally, res.CaughtUp,
 				res.StateEqual, res.ProgressAfterRestart, res.Finished, res.Clients)
+			failed = true
+		}
+	}
+	if todo["membership"] {
+		cfg := bench.DefaultMembership()
+		if *quick {
+			cfg = bench.QuickMembership()
+		}
+		cfg.FlightDir = *flightDir
+		res := bench.Membership(cfg)
+		bench.RenderMembership(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportMembership(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"membership: certification failed: %d violations, epochs=%d, grew=%d, shrank=%d, joiners=%v, restarts=%d/%d recovered=%v, caught_up=%v, state_equal=%v, progress=%v/%v, finished=%d/%d, repro=%v\n",
+				len(res.Violations), res.Epochs, res.GrewTo, res.ShrankTo,
+				res.JoinersActive, res.Kills, res.Restarts, res.RecoveredLocally,
+				res.CaughtUp, res.StateEqual,
+				res.ProgressAfterChanges, res.ProgressAfterRestart,
+				res.Finished, res.Clients, !res.ReproChecked || res.FingerprintStable)
 			failed = true
 		}
 	}

@@ -26,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/consensus/synod"
 	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/core"
+	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
 	"shadowdb/internal/obs/bridge"
 	"shadowdb/internal/shard"
@@ -194,10 +196,22 @@ func merge(args []string) error {
 		return fmt.Errorf("flight merge: no bundles under %v", fs.Args())
 	}
 	nodes := map[string]bool{}
+	joined := map[msg.Loc]bool{}
 	for _, b := range bundles {
 		nodes[string(b.Meta.Node)] = true
+		// Bundles from nodes that joined mid-run carry the mark in their
+		// config; their traces legitimately start past slot 0.
+		if b.Meta.Config["joiner"] == "true" {
+			joined[b.Meta.Node] = true
+		}
 	}
-	fmt.Fprintf(os.Stderr, "%d bundles from %d nodes\n", len(bundles), len(nodes))
+	var joiners []msg.Loc
+	for j := range joined {
+		joiners = append(joiners, j)
+	}
+	sort.Slice(joiners, func(i, k int) bool { return joiners[i] < joiners[k] })
+	fmt.Fprintf(os.Stderr, "%d bundles from %d nodes (%d joined mid-run)\n",
+		len(bundles), len(nodes), len(joiners))
 
 	for _, e := range obs.MergeTimeline(bundles...) {
 		if *source != "" && e.Source != *source {
@@ -210,7 +224,7 @@ func merge(args []string) error {
 	}
 
 	if *check {
-		err := bridge.CheckTraces(obs.Traces(bundles...), bridge.Options{})
+		err := bridge.CheckTraces(obs.Traces(bundles...), bridge.Options{Joiners: joiners})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "replay: VIOLATION: %v\n", err)
 			return fmt.Errorf("flight merge: properties violated")

@@ -1,33 +1,50 @@
 // Command shadowdb runs one node of a ShadowDB deployment over TCP: a
 // PBR/SMR database replica, a total-order-broadcast service node, a
-// sharded-deployment member, or the shard router.
+// sharded-deployment member, or the shard router. It also carries the
+// membership admin verbs (join, leave, status) that drive a running
+// cluster through ordered configuration epochs.
 //
-// Example three-machine PBR deployment plus broadcast service (each
-// command on its own machine or terminal):
+// The cluster is described by an epoch-stamped topology file — JSON
+// {"epoch": N, "nodes": {"id": "host:port", ...}} — instead of a flag
+// per node list. Example three-machine SMR deployment plus broadcast
+// service (each command on its own machine or terminal):
 //
-//	shadowdb -id b1 -role broadcast -cluster "$DIR"
-//	shadowdb -id b2 -role broadcast -cluster "$DIR"
-//	shadowdb -id b3 -role broadcast -cluster "$DIR"
-//	shadowdb -id r1 -role pbr -engine h2     -rows 50000 -cluster "$DIR"
-//	shadowdb -id r2 -role pbr -engine hsqldb -rows 50000 -cluster "$DIR"
-//	shadowdb -id r3 -role pbr -engine derby  -spare -cluster "$DIR"
+//	shadowdb -id b1 -role broadcast -topology cluster.json
+//	shadowdb -id b2 -role broadcast -topology cluster.json
+//	shadowdb -id b3 -role broadcast -topology cluster.json
+//	shadowdb -id r1 -role smr -engine h2     -topology cluster.json -data-dir /var/sdb/r1
+//	shadowdb -id r2 -role smr -engine hsqldb -topology cluster.json -data-dir /var/sdb/r2
+//	shadowdb -id r3 -role smr -engine derby  -topology cluster.json -data-dir /var/sdb/r3
 //
-// where DIR is a directory string like
-// "r1=host1:7001,r2=host2:7001,r3=host3:7001,b1=host1:7101,b2=host2:7101,b3=host3:7101".
 // Use -registry tpcc for the TPC-C procedures instead of the bank ones.
+//
+// Membership changes are ordered through the broadcast like any
+// transaction. To grow the cluster, start the new node with -joiner
+// (it parks deliveries until the ordered add command admits it and a
+// bootstrap snapshot arrives), then propose the change through any
+// running node's admin endpoint:
+//
+//	shadowdb -id r4 -role smr -topology cluster.json -joiner -data-dir /var/sdb/r4
+//	shadowdb join  -node r4 -addr host4:7001 -admin-url http://host1:7070 -topology cluster.json
+//	shadowdb leave -node r2                  -admin-url http://host1:7070 -topology cluster.json
+//	shadowdb status -admin-url http://host1:7070
+//
+// join/leave re-stamp the local topology file with the next epoch, and
+// every running node re-stamps its own copy when the ordered command
+// reaches it — a restart then boots from the newest epoch it saw.
 //
 // Sharded deployment (bank registry): members follow the s<k>b<i> /
 // s<k>r<i> naming, the router is rt1, and every member runs -role shard
 // except the router:
 //
-//	shadowdb -id s0b1 -role shard  -cluster "$DIR" -data-dir /var/shadowdb
-//	shadowdb -id s0r1 -role shard  -cluster "$DIR"
-//	shadowdb -id s1b1 -role shard  -cluster "$DIR" -data-dir /var/shadowdb
-//	shadowdb -id s1r1 -role shard  -cluster "$DIR"
-//	shadowdb -id rt1  -role router -cluster "$DIR" -data-dir /var/shadowdb
+//	shadowdb -id s0b1 -role shard  -topology cluster.json -data-dir /var/shadowdb
+//	shadowdb -id s0r1 -role shard  -topology cluster.json
+//	shadowdb -id s1b1 -role shard  -topology cluster.json -data-dir /var/shadowdb
+//	shadowdb -id s1r1 -role shard  -topology cluster.json
+//	shadowdb -id rt1  -role router -topology cluster.json -data-dir /var/shadowdb
 //
 // The member list is validated up front (contiguous shard indices, equal
-// per-shard counts, exactly one router) and a malformed directory is a
+// per-shard counts, exactly one router) and a malformed topology is a
 // startup error, not a late panic. With -data-dir, each process keeps
 // its durable state in a per-role subtree of the shared path layout:
 // shard k's broadcast state under <data-dir>/shard<k>/ and the router's
@@ -38,6 +55,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +71,7 @@ import (
 	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/core"
 	"shadowdb/internal/fault"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
 	"shadowdb/internal/obs"
@@ -68,13 +87,23 @@ import (
 var lg = obs.L("shadowdb")
 
 func main() {
+	// The membership admin verbs run as subcommands; everything else is
+	// the server path.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "join", "leave":
+			os.Exit(runChangeVerb(os.Args[1], os.Args[2:]))
+		case "status":
+			os.Exit(runStatusVerb(os.Args[2:]))
+		}
+	}
 	os.Exit(run())
 }
 
 func run() int {
-	id := flag.String("id", "", "this node's location id (must appear in -cluster)")
+	id := flag.String("id", "", "this node's location id (must appear in the topology)")
 	role := flag.String("role", "pbr", "pbr|smr|broadcast|shard|router (shard/router use the s<k>b<i>/s<k>r<i>/rt1 naming)")
-	cluster := flag.String("cluster", "", "comma-separated id=host:port directory")
+	topology := flag.String("topology", "", "epoch-stamped topology file (JSON {\"epoch\": N, \"nodes\": {id: host:port}})")
 	engine := flag.String("engine", "h2", "database engine: h2|hsqldb|derby|mysql-mem|mysql-innodb")
 	registry := flag.String("registry", "bank", "transaction registry: bank|tpcc")
 	rows := flag.Int("rows", 10_000, "initial bank rows (bank registry, non-spare)")
@@ -83,6 +112,8 @@ func run() int {
 	batch := flag.Int("batch", 0, "broadcast role: max messages per ordered batch (0 = unbatched)")
 	batchDelay := flag.Duration("batch-delay", 0, "broadcast role: max time a message may wait for its batch to fill (0 = cut eagerly)")
 	pipeline := flag.Int("pipeline", 0, "broadcast role: max concurrent consensus instances (0 or 1 = stop-and-wait)")
+	alpha := flag.Int("alpha", 16, "membership: acceptor activation lag in slots; must be identical on every node (it is part of the derived epoch schedule) and exceed the sequencer's -pipeline window")
+	joiner := flag.Bool("joiner", false, "this node is joining a running cluster: excluded from its own initial epoch, passive until the ordered add command admits it")
 	dataDir := flag.String("data-dir", "", "durable storage root: WAL + snapshots for this node's state, recovered on restart (empty = volatile); sharded roles use the per-shard layout <data-dir>/shard<k>/ and <data-dir>/router/")
 	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: always|batch|never")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
@@ -101,17 +132,22 @@ func run() int {
 	obs.Default.SetLogLevel(lv)
 	obs.Default.SetLogStream(os.Stderr)
 
-	dir, err := parseDirectory(*cluster)
+	if *topology == "" {
+		fmt.Fprintln(os.Stderr, "missing -topology")
+		return 2
+	}
+	topo, err := member.LoadTopology(*topology)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	dir := topo.Directory()
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "missing -id")
 		return 2
 	}
 	if _, ok := dir[msg.Loc(*id)]; !ok {
-		fmt.Fprintf(os.Stderr, "id %q not in -cluster directory\n", *id)
+		fmt.Fprintf(os.Stderr, "id %q not in topology %s\n", *id, *topology)
 		return 2
 	}
 	obs.Default.SetNode(msg.Loc(*id))
@@ -201,11 +237,46 @@ func run() int {
 	}
 
 	replicaLocs, bcastLocs := splitRoles(dir)
+
+	// Roles under dynamic membership share one epoch view. A joiner
+	// excludes itself from the initial epoch: until the ordered add
+	// command derives the epoch that admits it, it is not a member —
+	// merely a process the members can already dial.
+	var view *member.View
+	if *role == "broadcast" || *role == "smr" {
+		initial := member.Config{Bcast: bcastLocs, Replicas: replicaLocs}
+		if *joiner {
+			initial.Bcast = without(initial.Bcast, msg.Loc(*id))
+			initial.Replicas = without(initial.Replicas, msg.Loc(*id))
+		}
+		// Alpha is part of the schedule every node derives independently:
+		// a per-node value would make two nodes disagree on when an epoch
+		// activates, which is exactly what the checker's epoch-config
+		// invariant flags. It is a flag (not derived from -pipeline)
+		// because replicas do not know the sequencer's window.
+		if *alpha <= 2**pipeline {
+			fmt.Fprintf(os.Stderr, "-alpha %d must exceed twice the -pipeline window %d\n", *alpha, *pipeline)
+			return 2
+		}
+		view = member.NewView(initial, *alpha)
+		view.OnApply(func(cmd member.Command, cfg member.Config) {
+			if cmd.Addr != "" && (cmd.Op == member.AddReplica || cmd.Op == member.AddAcceptor) {
+				// The route travels with the ordered command: every node
+				// learns the joiner's address exactly when it learns the
+				// member.
+				tcp.SetPeer(cmd.Node, cmd.Addr)
+			}
+			restampTopology(*topology, cmd, cfg)
+			lg.Infof("membership epoch %d: %s %s (%s)", cfg.Epoch, cmd.Op, cmd.Node, cfg.Fingerprint())
+		})
+	}
+
 	host, err := buildHost(buildConfig{
 		id: msg.Loc(*id), role: *role, engine: *engine, registry: *registry,
 		rows: *rows, spare: *spare, members: *members,
 		batch: *batch, batchDelay: *batchDelay, pipeline: *pipeline,
 		replicas: replicaLocs, bcast: bcastLocs, tr: tr, stable: prov, top: top,
+		view: view, joiner: *joiner,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -217,8 +288,8 @@ func run() int {
 		lg.Infof("shadowdb %s (%s) listening on %s; %d shards, router=%v",
 			*id, *role, tcp.Addr(), top.Shards, top.Routers[0])
 	} else {
-		lg.Infof("shadowdb %s (%s) listening on %s; replicas=%v broadcast=%v",
-			*id, *role, tcp.Addr(), replicaLocs, bcastLocs)
+		lg.Infof("shadowdb %s (%s) listening on %s; epoch %d, replicas=%v broadcast=%v",
+			*id, *role, tcp.Addr(), topo.Epoch, replicaLocs, bcastLocs)
 	}
 
 	if *trace {
@@ -244,10 +315,16 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		rec.SetConfig(map[string]string{
+		cfgMap := map[string]string{
 			"role": *role, "engine": *engine, "registry": *registry,
-			"cluster": *cluster,
-		})
+			"topology": *topology, "epoch": fmt.Sprint(topo.Epoch),
+		}
+		if *joiner {
+			// Merge tooling baselines a joiner's checker at its bootstrap
+			// slot instead of slot 0.
+			cfgMap["joiner"] = "true"
+		}
+		rec.SetConfig(cfgMap)
 		if checker != nil {
 			rec.SetCheckerStatus(func() any { return checker.Status() })
 			checker.OnViolation(func(v dist.Violation) {
@@ -267,23 +344,35 @@ func run() int {
 	}
 
 	if *admin != "" {
-		var srv *http.Server
-		var addr string
+		var base http.Handler
 		if checker != nil {
-			srv, addr, err = dist.ServeWith(*admin, obs.Default, checker, rec)
+			base = dist.HandlerWith(obs.Default, checker, rec)
 		} else {
-			srv, addr, err = obs.ServeWith(*admin, obs.Default, rec)
+			base = obs.HandlerWith(obs.Default, rec)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer func() { _ = srv.Close() }()
+		mux := http.NewServeMux()
+		mux.Handle("/", base)
 		extra := ""
 		if checker != nil {
 			extra = " /checker /spans"
 		}
-		lg.Infof("admin endpoint on http://%s (GET /metrics /logs /trace /trace.json%s, POST /trace/start /trace/stop /flight/dump, /debug/pprof/)", addr, extra)
+		if view != nil {
+			// Membership admin: propose ordered configuration changes and
+			// inspect the derived epoch schedule. The join/leave/status
+			// verbs are clients of these endpoints.
+			mux.Handle("/member/propose", proposeHandler(host, view))
+			mux.Handle("/member/status", statusHandler(view))
+			extra += " /member/status, POST /member/propose"
+		}
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
+		lg.Infof("admin endpoint on http://%s (GET /metrics /logs /trace /trace.json%s, POST /trace/start /trace/stop /flight/dump, /debug/pprof/)", ln.Addr(), extra)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -312,6 +401,11 @@ type buildConfig struct {
 	stable store.Provider
 	// top is the validated sharded topology (roles shard/router only).
 	top *shard.Topology
+	// view is the shared membership epoch schedule (roles broadcast/smr).
+	view *member.View
+	// joiner marks a node joining a running cluster: it stays passive
+	// until the ordered add command admits it.
+	joiner bool
 }
 
 func buildHost(c buildConfig) (*runtime.Host, error) {
@@ -324,16 +418,26 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 	}
 	switch c.role {
 	case "broadcast":
+		// Nodes is every broadcast process the topology can dial — the
+		// view, not this list, decides which of them an instance's quorum
+		// is drawn from, so a joiner can host its acceptor before its
+		// epoch activates.
 		cfg := broadcast.Config{
 			Nodes: c.bcast, Subscribers: c.replicas,
 			MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
+			View: c.view,
 		}
+		var stable func(msg.Loc) store.Stable
 		if c.stable != nil {
 			// Journal the sequencer's decided slots and the Synod
 			// acceptors' promises; a restart resumes from both.
 			cfg.Stable = c.openStable("seq")
-			cfg.Modules = []broadcast.Module{broadcast.PaxosDurable(c.pipeline, c.openStable("acc"))}
+			stable = c.openStable("acc")
 		}
+		// The dynamic module resolves acceptor sets per instance and the
+		// Decide fan-out per decision through the view, so quorums switch
+		// epochs atomically at their activation slot.
+		cfg.Modules = []broadcast.Module{broadcast.PaxosDynamic(c.pipeline, stable, c.view)}
 		return runtime.NewHost(c.id, c.tr, broadcast.Spec(cfg).Generator()(c.id)), nil
 	case "pbr":
 		db, err := sqldb.Open(c.engine + ":mem:" + string(c.id))
@@ -378,28 +482,48 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := setup(db); err != nil {
-			return nil, err
+		if !c.joiner {
+			// A joiner's database stays empty: schema and rows arrive with
+			// the bootstrap state transfer.
+			if err := setup(db); err != nil {
+				return nil, err
+			}
 		}
+		var r *core.SMRReplica
 		if c.stable == nil {
-			return runtime.NewHost(c.id, c.tr, core.NewSMRReplica(c.id, db, reg)), nil
+			if c.joiner {
+				r = core.NewJoiningSMRReplica(c.id, db, reg)
+			} else {
+				r = core.NewSMRReplica(c.id, db, reg)
+			}
+			r.SetView(c.view)
+			return runtime.NewHost(c.id, c.tr, r), nil
 		}
 		st, err := c.stable.Open("smr-" + string(c.id))
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.NewDurableSMRReplica(c.id, db, reg, st, c.replicas)
+		if c.joiner {
+			r, err = core.NewJoiningDurableSMRReplica(c.id, db, reg, st, c.replicas)
+		} else {
+			r, err = core.NewDurableSMRReplica(c.id, db, reg, st, c.replicas)
+		}
 		if err != nil {
 			return nil, err
 		}
+		r.SetView(c.view)
 		h := runtime.NewHost(c.id, c.tr, r)
 		if r.Recovered() {
 			lg.Infof("%s: recovered durable state through slot %d; requesting downtime delta from peers",
 				c.id, r.LastSlot())
 		}
-		// Ask the peers for anything ordered while this node was down
-		// (an empty delta comes back on a fresh, in-sync group).
-		h.Emit(r.RecoveryDirectives())
+		if !c.joiner || r.Recovered() {
+			// Ask the peers for anything ordered while this node was down
+			// (an empty delta comes back on a fresh, in-sync group). A
+			// fresh joiner instead waits for the ordered add command to
+			// trigger the bootstrap push.
+			h.Emit(r.RecoveryDirectives())
+		}
 		return h, nil
 	case "shard":
 		if c.registry != "bank" {
@@ -475,20 +599,15 @@ func (c buildConfig) openStable(prefix string) func(msg.Loc) store.Stable {
 	}
 }
 
-// parseDirectory parses "id=addr,id=addr,...".
-func parseDirectory(s string) (map[msg.Loc]string, error) {
-	if s == "" {
-		return nil, fmt.Errorf("missing -cluster directory")
-	}
-	dir := make(map[msg.Loc]string)
-	for _, part := range strings.Split(s, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
-			return nil, fmt.Errorf("bad -cluster entry %q (want id=host:port)", part)
+// without returns ls minus l.
+func without(ls []msg.Loc, l msg.Loc) []msg.Loc {
+	out := make([]msg.Loc, 0, len(ls))
+	for _, x := range ls {
+		if x != l {
+			out = append(out, x)
 		}
-		dir[msg.Loc(kv[0])] = kv[1]
 	}
-	return dir, nil
+	return out
 }
 
 // splitRoles partitions the directory into replica ids (r*) and broadcast

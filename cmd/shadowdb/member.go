@@ -1,0 +1,228 @@
+// Membership administration: the join/leave/status verbs and the
+// /member/* admin endpoints they talk to. A change is never applied
+// locally — the endpoint wraps it as a broadcast payload and submits it
+// to the sequencer, so it lands in the total order and every node
+// derives the same epoch from the same slot.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/member"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/runtime"
+)
+
+// proposeBody is the wire form of a membership proposal.
+type proposeBody struct {
+	Op   string `json:"op"`
+	Node string `json:"node"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// statusBody is the wire form of the epoch schedule.
+type statusBody struct {
+	Alpha   int             `json:"alpha"`
+	Current string          `json:"current"`
+	Epochs  []member.Config `json:"epochs"`
+}
+
+// adminSeq numbers this process's proposals; combined with the
+// process-unique From location it keys sequencer dedup.
+var adminSeq atomic.Int64
+
+// proposeHandler accepts POST {op, node, addr} and submits the command
+// to the broadcast sequencer of the newest epoch.
+func proposeHandler(host *runtime.Host, view *member.View) http.Handler {
+	adminSeq.Store(time.Now().UnixNano())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var b proposeBody
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cmd := member.Command{Op: member.Op(b.Op), Node: msg.Loc(b.Node), Addr: b.Addr}
+		// Round-trip through the codec up front: a malformed command must
+		// be the caller's error, not a payload the cluster silently drops.
+		if _, ok := member.DecodeCommand(member.EncodeCommand(cmd)); !ok {
+			http.Error(w, fmt.Sprintf("bad command op=%q node=%q", b.Op, b.Node), http.StatusBadRequest)
+			return
+		}
+		seq := view.Current().Bcast[0]
+		host.Emit([]msg.Directive{msg.Send(seq, msg.M(broadcast.HdrBcast, broadcast.Bcast{
+			From:    "admin:" + host.Self(),
+			Seq:     adminSeq.Add(1),
+			Payload: member.EncodeCommand(cmd),
+		}))})
+		lg.Infof("membership proposal submitted to %s: %s %s", seq, cmd.Op, cmd.Node)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "proposed %s %s via %s\n", cmd.Op, cmd.Node, seq)
+	})
+}
+
+// statusHandler reports the derived epoch schedule.
+func statusHandler(view *member.View) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := view.Current()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(statusBody{
+			Alpha:   view.Alpha(),
+			Current: cur.Fingerprint(),
+			Epochs:  view.Epochs(),
+		})
+	})
+}
+
+// restampTopology folds an applied membership command into the local
+// topology file, stamping it with the new epoch. Best-effort: the file
+// is operator bookkeeping (the order is the authority), so a write
+// failure is logged, not fatal.
+func restampTopology(path string, cmd member.Command, cfg member.Config) {
+	t, err := member.LoadTopology(path)
+	if err != nil {
+		lg.Warnf("topology re-stamp: %v", err)
+		return
+	}
+	switch cmd.Op {
+	case member.AddReplica, member.AddAcceptor:
+		if cmd.Addr != "" {
+			t.Nodes[string(cmd.Node)] = cmd.Addr
+		}
+	case member.RemoveReplica, member.RemoveAcceptor:
+		// The address stays: a removed node may still be dialed to drain,
+		// and a later re-add reuses it. Only epochs the node is absent
+		// from stop routing to it.
+	}
+	if cfg.Epoch <= t.Epoch {
+		return // already stamped by a co-located component or the verb
+	}
+	t.Epoch = cfg.Epoch
+	if err := t.Save(path); err != nil {
+		lg.Warnf("topology re-stamp: %v", err)
+		return
+	}
+	lg.Infof("topology %s re-stamped at epoch %d", path, t.Epoch)
+}
+
+// opFor maps a node id to its add/remove operation by the same prefix
+// convention splitRoles uses: b* are broadcast acceptors, r* replicas.
+func opFor(node string, joining bool) (member.Op, error) {
+	switch {
+	case strings.HasPrefix(node, "b"):
+		if joining {
+			return member.AddAcceptor, nil
+		}
+		return member.RemoveAcceptor, nil
+	case strings.HasPrefix(node, "r"):
+		if joining {
+			return member.AddReplica, nil
+		}
+		return member.RemoveReplica, nil
+	}
+	return "", fmt.Errorf("node %q matches neither the b* nor the r* naming", node)
+}
+
+// runChangeVerb implements `shadowdb join|leave`: propose the change
+// through a running node's admin endpoint, then re-stamp the local
+// topology file so the next node started from it sees the new member
+// list.
+func runChangeVerb(verb string, args []string) int {
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	node := fs.String("node", "", "node id to add/remove (b* = acceptor, r* = replica)")
+	addr := fs.String("addr", "", "joining node's host:port (join only)")
+	adminURL := fs.String("admin-url", "", "admin endpoint of any running member, e.g. http://host1:7070")
+	topology := fs.String("topology", "", "topology file to re-stamp with the proposed change (optional)")
+	_ = fs.Parse(args)
+	if *node == "" || *adminURL == "" {
+		fmt.Fprintf(os.Stderr, "%s: -node and -admin-url are required\n", verb)
+		return 2
+	}
+	joining := verb == "join"
+	if joining && *addr == "" {
+		fmt.Fprintln(os.Stderr, "join: -addr is required (peers learn the route from the ordered command)")
+		return 2
+	}
+	op, err := opFor(*node, joining)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	body, _ := json.Marshal(proposeBody{Op: string(op), Node: *node, Addr: *addr})
+	resp, err := http.Post(strings.TrimRight(*adminURL, "/")+"/member/propose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s", verb, resp.Status, out)
+		return 1
+	}
+	fmt.Print(string(out))
+	if *topology != "" {
+		t, err := member.LoadTopology(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if joining {
+			t.Nodes[*node] = *addr
+		}
+		t.Epoch++
+		if err := t.Save(*topology); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("topology %s stamped at epoch %d\n", *topology, t.Epoch)
+	}
+	return 0
+}
+
+// runStatusVerb implements `shadowdb status`: print the epoch schedule
+// a running node has derived.
+func runStatusVerb(args []string) int {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	adminURL := fs.String("admin-url", "", "admin endpoint of any running member, e.g. http://host1:7070")
+	_ = fs.Parse(args)
+	if *adminURL == "" {
+		fmt.Fprintln(os.Stderr, "status: -admin-url is required")
+		return 2
+	}
+	resp, err := http.Get(strings.TrimRight(*adminURL, "/") + "/member/status")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		fmt.Fprintf(os.Stderr, "status: %s: %s", resp.Status, out)
+		return 1
+	}
+	var st statusBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("current: %s (alpha %d)\n", st.Current, st.Alpha)
+	for _, e := range st.Epochs {
+		fmt.Printf("  epoch %d: bcast %v, replicas %v (quorums from instance %d, fan-out from slot %d)\n",
+			e.Epoch, e.Bcast, e.Replicas, e.ActivateAt, e.ReplicasFrom)
+	}
+	return 0
+}

@@ -47,11 +47,18 @@ func flightSubdir(dir, phase string) string {
 // Recorder failures are reported on stderr, never escalated: flight
 // recording is evidence collection, and a broken disk must not turn a
 // measurable experiment into an error.
-func flightFleet(dir, experiment string, o *obs.Obs, checker *dist.Checker, nodes []msg.Loc) func(reason string) {
+// Nodes listed in joiners are marked as mid-run joiners in their bundle
+// metadata, so `flight merge` baselines their delivery frontier instead
+// of flagging the missing pre-join slots.
+func flightFleet(dir, experiment string, o *obs.Obs, checker *dist.Checker, nodes []msg.Loc, joiners ...msg.Loc) func(reason string) {
 	if dir == "" {
 		return func(string) {}
 	}
 	registerWireTypes()
+	joined := make(map[msg.Loc]bool, len(joiners))
+	for _, j := range joiners {
+		joined[j] = true
+	}
 	recs := make([]*obs.Recorder, 0, len(nodes))
 	for _, n := range nodes {
 		rec, err := obs.NewRecorder(o, filepath.Join(dir, string(n), "flight"), n)
@@ -60,7 +67,11 @@ func flightFleet(dir, experiment string, o *obs.Obs, checker *dist.Checker, node
 			continue
 		}
 		rec.SetCheckerStatus(func() any { return checker.Status() })
-		rec.SetConfig(map[string]string{"experiment": experiment})
+		cfg := map[string]string{"experiment": experiment}
+		if joined[n] {
+			cfg["joiner"] = "true"
+		}
+		rec.SetConfig(cfg)
 		recs = append(recs, rec)
 	}
 	checker.OnViolation(func(v dist.Violation) {

@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// The quick membership run must certify end to end: 3→5→3 resize under
+// load, rolling restart, joiner bootstrap, clean checker.
+func TestMembershipQuickCertifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership experiment is seconds of virtual load")
+	}
+	cfg := QuickMembership()
+	res := Membership(cfg)
+	RenderMembership(os.Stderr, res)
+	if !res.Certified() {
+		t.Fatalf("quick membership run not certified: %+v", res)
+	}
+}

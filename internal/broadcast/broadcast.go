@@ -39,6 +39,7 @@ import (
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/interp"
 	"shadowdb/internal/loe"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/store"
 )
@@ -146,6 +147,9 @@ type paxosModule struct {
 	// synod.Config.Stable): a promise or accepted value is journaled
 	// before the reply leaves the node.
 	stable func(msg.Loc) store.Stable
+	// view, when set, resolves acceptor sets per instance and the
+	// decide fan-out per decision from the membership epoch schedule.
+	view *member.View
 }
 
 // Paxos returns the Synod-backed consensus module.
@@ -163,11 +167,24 @@ func PaxosDurable(window int, stable func(msg.Loc) store.Stable) Module {
 	return paxosModule{window: window, stable: stable}
 }
 
+// PaxosDynamic is PaxosDurable under dynamic membership: the view
+// resolves the acceptor set per instance (a commander captures exactly
+// the epoch that governs its instance) and the Decide fan-out per
+// decision, so configuration epochs switch Synod quorums atomically at
+// their activation slot. stable may be nil for volatile acceptors.
+func PaxosDynamic(window int, stable func(msg.Loc) store.Stable, view *member.View) Module {
+	return paxosModule{window: window, stable: stable, view: view}
+}
+
 func (paxosModule) Name() string { return "paxos" }
 
 func (p paxosModule) Class(nodes, learners []msg.Loc) loe.Class {
 	cfg := synod.Config{Leaders: nodes, Acceptors: nodes, Learners: learners,
 		Window: p.window, Stable: p.stable}
+	if p.view != nil {
+		cfg.AcceptorsFor = p.view.AcceptorsFor
+		cfg.LearnersFor = p.view.Learners
+	}
 	return loe.Parallel(synod.AcceptorClass(cfg), synod.LeaderClass(cfg))
 }
 
@@ -265,6 +282,15 @@ type Config struct {
 	// of re-deciding or re-proposing old slots. Nil keeps the sequencer
 	// volatile (the pre-durability behaviour).
 	Stable func(msg.Loc) store.Stable
+	// View, when set, turns on dynamic membership: delivery fan-out is
+	// resolved per slot from the epoch schedule (replacing Subscribers
+	// and LocalSubscribers — every service node notifies every replica
+	// of the slot's epoch, and replicas deduplicate by slot), member
+	// commands found in delivered batches are folded into the schedule
+	// at their slot, and a joining service node baselines its delivery
+	// frontier at its own join slot instead of slot 0. Pair with the
+	// PaxosDynamic module so Synod quorums follow the same schedule.
+	View *member.View
 }
 
 // window is the effective pipeline width.
@@ -415,6 +441,22 @@ func (s *seqState) onFlush(cfg Config, slf msg.Loc, f Flush) []msg.Directive {
 }
 
 func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg.Directive {
+	// A joining service node must not wait forever for slots ordered
+	// before it existed: until it has delivered or proposed anything,
+	// it re-checks the epoch schedule and baselines its contiguous
+	// frontier at its own join slot (earlier slots belong to epochs it
+	// was never a learner of; the replicas got them from the members
+	// of those epochs).
+	if cfg.View != nil && s.next == 0 && s.propSlot < 0 {
+		if base := cfg.View.BaselineOf(slf); base > 0 {
+			s.next = base
+			for k := range s.decided {
+				if k < base {
+					delete(s.decided, k)
+				}
+			}
+		}
+	}
 	if _, dup := s.decided[inst]; dup || inst < s.next {
 		return nil // duplicate decision announcement
 	}
@@ -469,11 +511,32 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 		}
 		delete(s.decided, s.next)
 		s.markDelivered(slf, s.next, len(b))
+		// Fold membership commands into the epoch schedule at the slot
+		// that ordered them, before resolving this slot's fan-out (the
+		// commands only govern later slots; Apply is idempotent, so
+		// co-located components racing on the shared view are safe).
+		if cfg.View != nil {
+			for _, m := range b {
+				if cmd, ok := member.DecodeCommand(m.Payload); ok {
+					cfg.View.Apply(cmd, s.next)
+				}
+			}
+		}
 		d := Deliver{Slot: s.next, Msgs: b}
-		for _, sub := range cfg.Subscribers {
+		subs := cfg.Subscribers
+		locals := cfg.LocalSubscribers[slf]
+		if cfg.View != nil {
+			// Dynamic membership: the slot's epoch names the replicas.
+			// Full fan-out from every service node — replicas dedupe by
+			// slot — so a replica is never stranded behind a crashed
+			// service node it happened to be paired with.
+			subs = cfg.View.At(s.next).Replicas
+			locals = nil
+		}
+		for _, sub := range subs {
 			outs = append(outs, msg.Send(sub, msg.M(HdrDeliver, d)))
 		}
-		for _, sub := range cfg.LocalSubscribers[slf] {
+		for _, sub := range locals {
 			outs = append(outs, msg.Send(sub, msg.M(HdrDeliver, d)))
 		}
 		s.next++

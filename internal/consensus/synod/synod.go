@@ -189,10 +189,42 @@ type Config struct {
 	// itself from the store (see durability.go). Nil keeps acceptors
 	// volatile (the pre-durability behaviour).
 	Stable func(msg.Loc) store.Stable
+	// AcceptorsFor, when set, resolves the acceptor set per instance —
+	// the dynamic-membership hook (member.View.AcceptorsFor). A
+	// commander captures the set for its instance at spawn; a scout
+	// asks with inst = -1 for the newest set (it is electing for the
+	// whole future). Nil keeps the static Acceptors.
+	AcceptorsFor func(inst int) []msg.Loc
+	// LearnersFor, when set, resolves the Decide fan-out at decision
+	// time (member.View.Learners), so broadcast nodes joining the
+	// cluster start learning without a restart. Nil keeps the static
+	// Learners.
+	LearnersFor func() []msg.Loc
 }
 
-// Majority is the acceptor quorum size.
+// Majority is the static acceptor quorum size.
 func (c Config) Majority() int { return len(c.Acceptors)/2 + 1 }
+
+// acceptorsFor resolves the acceptor set governing inst (inst < 0 asks
+// for the newest set).
+func (c Config) acceptorsFor(inst int) []msg.Loc {
+	if c.AcceptorsFor != nil {
+		return c.AcceptorsFor(inst)
+	}
+	return c.Acceptors
+}
+
+// learnersNow resolves the current Decide fan-out.
+func (c Config) learnersNow() []msg.Loc {
+	if c.LearnersFor != nil {
+		return c.LearnersFor()
+	}
+	return c.Learners
+}
+
+// majorityOf is the quorum size of one resolved acceptor set: quorums
+// are per-epoch under dynamic membership, never mixed across sets.
+func majorityOf(accs []msg.Loc) int { return len(accs)/2 + 1 }
 
 func (c Config) backoff() time.Duration {
 	if c.Backoff > 0 {
@@ -361,7 +393,7 @@ func (s *leaderState) onPropose(cfg Config, slf msg.Loc, b Propose) []msg.Direct
 	if _, done := s.decided[b.Inst]; done {
 		// Already chosen: remind the learners (idempotent; they dedupe).
 		var outs []msg.Directive
-		for _, l := range cfg.Learners {
+		for _, l := range cfg.learnersNow() {
 			outs = append(outs, msg.Send(l, msg.M(HdrDecide, Decide{Inst: b.Inst, Val: s.decided[b.Inst]})))
 		}
 		return outs
@@ -499,12 +531,15 @@ type scoutState struct {
 }
 
 // scoutClass builds the sub-process for one ballot. Its spawn event is the
-// SpawnScout message itself, on which it emits the p1a round.
+// SpawnScout message itself, on which it emits the p1a round. The
+// acceptor set is resolved once, at spawn: a scout elects against the
+// newest configuration (inst -1 under dynamic membership).
 func scoutClass(cfg Config, b Ballot) loe.Class {
+	accs := cfg.acceptorsFor(-1)
 	in := loe.Parallel(loe.Base(HdrSpawnSct), loe.Base(HdrP1b))
 	init := func(msg.Loc) any {
-		w := make(map[msg.Loc]bool, len(cfg.Acceptors))
-		for _, a := range cfg.Acceptors {
+		w := make(map[msg.Loc]bool, len(accs))
+		for _, a := range accs {
 			w[a] = true
 		}
 		return &scoutState{waiting: w}
@@ -520,8 +555,8 @@ func scoutClass(cfg Config, b Ballot) loe.Class {
 				return s, nil
 			}
 			mScouts.Inc()
-			outs := make([]any, 0, len(cfg.Acceptors))
-			for _, a := range cfg.Acceptors {
+			outs := make([]any, 0, len(accs))
+			for _, a := range accs {
 				outs = append(outs, msg.Send(a, msg.M(HdrP1a, P1a{B: b, From: slf})))
 			}
 			return s, outs
@@ -535,7 +570,7 @@ func scoutClass(cfg Config, b Ballot) loe.Class {
 			}
 			delete(s.waiting, m.From)
 			s.accepted = append(s.accepted, m.Accepted...)
-			if len(cfg.Acceptors)-len(s.waiting) >= cfg.Majority() {
+			if len(accs)-len(s.waiting) >= majorityOf(accs) {
 				s.done = true
 				return s, []any{msg.Send(slf, msg.M(HdrAdopted, Adopted{B: b, Accepted: s.accepted})), loe.Done{}}
 			}
@@ -555,11 +590,15 @@ type commanderState struct {
 }
 
 // commanderClass builds the sub-process driving one pvalue to decision.
+// The acceptor set is captured at spawn, resolved for this instance:
+// under dynamic membership an instance's quorum comes from exactly the
+// epoch that governs it, never from a mixture of configurations.
 func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
+	accs := cfg.acceptorsFor(inst)
 	in := loe.Parallel(loe.Base(HdrSpawnCmd), loe.Base(HdrP2b))
 	init := func(msg.Loc) any {
-		w := make(map[msg.Loc]bool, len(cfg.Acceptors))
-		for _, a := range cfg.Acceptors {
+		w := make(map[msg.Loc]bool, len(accs))
+		for _, a := range accs {
 			w[a] = true
 		}
 		return &commanderState{waiting: w}
@@ -575,8 +614,8 @@ func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
 				return s, nil
 			}
 			mCommanders.Inc()
-			outs := make([]any, 0, len(cfg.Acceptors))
-			for _, a := range cfg.Acceptors {
+			outs := make([]any, 0, len(accs))
+			for _, a := range accs {
 				outs = append(outs, msg.Send(a, msg.M(HdrP2a, P2a{B: b, Inst: inst, Val: val, From: slf})))
 			}
 			return s, outs
@@ -592,12 +631,13 @@ func commanderClass(cfg Config, b Ballot, inst int, val string) loe.Class {
 				return s, nil
 			}
 			delete(s.waiting, m.From)
-			if len(cfg.Acceptors)-len(s.waiting) >= cfg.Majority() {
+			if len(accs)-len(s.waiting) >= majorityOf(accs) {
 				s.done = true
 				traceDecide(slf, b, inst)
 				d := Decide{Inst: inst, Val: val}
-				outs := make([]any, 0, len(cfg.Learners)+len(cfg.Leaders)+1)
-				for _, l := range cfg.Learners {
+				learners := cfg.learnersNow()
+				outs := make([]any, 0, len(learners)+len(cfg.Leaders)+1)
+				for _, l := range learners {
 					outs = append(outs, msg.Send(l, msg.M(HdrDecide, d)))
 				}
 				for _, l := range cfg.Leaders {

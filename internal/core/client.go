@@ -5,6 +5,7 @@ import (
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/netutil"
 )
 
 // Client drives transactions against a ShadowDB deployment. It is a
@@ -77,49 +78,16 @@ func (c *Client) retry() time.Duration {
 
 // backoff returns the retry-timer delay for the current attempt: the
 // base timeout on the first send, then doubling up to RetryCap with
-// deterministic ±25% jitter.
+// deterministic ±25% jitter, all delegated to the shared
+// netutil.Backoff policy so every retry loop in the system describes
+// its schedule the same way.
 func (c *Client) backoff() time.Duration {
-	base := c.retry()
-	if c.attempt == 0 {
-		return base
-	}
-	limit := c.RetryCap
-	if limit <= 0 {
-		limit = 16 * base
-	}
-	d := base
-	for i := 0; i < c.attempt && d < limit; i++ {
-		d *= 2
-	}
-	if d > limit {
-		d = limit
-	}
 	seed := c.JitterSeed
 	if seed == 0 {
-		seed = strseed(string(c.Slf))
+		seed = netutil.StrSeed(string(c.Slf))
 	}
-	h := mix64(seed ^ mix64(uint64(c.seq)) ^ mix64(uint64(c.attempt)))
-	frac := float64(h>>11) / float64(1<<53) // uniform [0,1)
-	return d + time.Duration((frac-0.5)*0.5*float64(d))
-}
-
-// mix64 is the splitmix64 finalizer; strseed is FNV-1a. Together they
-// give the client its own deterministic jitter stream without a shared
-// PRNG (which would make replays depend on scheduling order).
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-func strseed(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
+	b := netutil.Backoff{Base: c.retry(), Cap: c.RetryCap, Jitter: 0.5, Seed: seed}
+	return b.Delay(c.attempt, uint64(c.seq))
 }
 
 // Busy reports whether a transaction is outstanding.

@@ -26,6 +26,9 @@ var (
 	mCliRetries = obs.C("core.client.retries")
 	mCliBackoff = obs.C("core.client.backoff_ns")
 
+	// Dynamic membership: bootstrap snapshots pushed to joiners.
+	mSMRSnapshotsSent = obs.C("core.smr.member_snapshots")
+
 	lg = obs.L("core")
 )
 

@@ -9,6 +9,7 @@ import (
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/gpm"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
 	"shadowdb/internal/sqldb"
@@ -61,6 +62,10 @@ type SMRReplica struct {
 	pending        map[int]broadcast.Deliver
 	peers          []msg.Loc
 	recoveredLocal bool
+	// view, when set, is the shared membership epoch schedule: ordered
+	// member commands refresh the catch-up peer set and trigger the
+	// bootstrap snapshot push for replica joins (see onMemberCmd).
+	view *member.View
 }
 
 var _ gpm.Process = (*SMRReplica)(nil)
@@ -76,6 +81,28 @@ func NewJoiningSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry) *SMRReplica {
 	r := NewSMRReplica(slf, db, reg)
 	r.active = false
 	return r
+}
+
+// SetView attaches the shared membership epoch view. Ordered member
+// commands then keep the replica's catch-up peer set in sync with the
+// epoch schedule, and a replica join makes the deterministic proposer
+// push the bootstrap snapshot.
+func (r *SMRReplica) SetView(v *member.View) {
+	r.view = v
+	if v != nil {
+		r.refreshPeers(v.Current())
+	}
+}
+
+// refreshPeers derives the catch-up peer set from an epoch config.
+func (r *SMRReplica) refreshPeers(cfg member.Config) {
+	peers := make([]msg.Loc, 0, len(cfg.Replicas))
+	for _, l := range cfg.Replicas {
+		if l != r.slf {
+			peers = append(peers, l)
+		}
+	}
+	r.peers = peers
 }
 
 // Executor exposes the replica's executor.
@@ -117,6 +144,19 @@ func (r *SMRReplica) onDeliver(d broadcast.Deliver) []msg.Directive {
 	if d.Slot <= r.lastSlot {
 		return nil // duplicate notification from another service node
 	}
+	if !r.active && r.stable != nil {
+		// A durable joiner parks live deliveries by slot until the
+		// bootstrap snapshot lands; onSnapEnd then journals and applies
+		// them contiguously from the covered slot. (The volatile buffer
+		// below keeps arrival order, which can skip a slot when several
+		// service nodes fan out concurrently — tolerable without a
+		// journal, not with one.)
+		if r.pending == nil {
+			r.pending = make(map[int]broadcast.Deliver)
+		}
+		r.pending[d.Slot] = d
+		return nil
+	}
 	if r.active && r.stable != nil {
 		return r.durableDeliver(d)
 	}
@@ -157,6 +197,11 @@ func (r *SMRReplica) applyBatch(d broadcast.Deliver) []msg.Directive {
 			outs = append(outs, r.onAdd(add)...)
 			continue
 		}
+		if cmd, ok := member.DecodeCommand(b.Payload); ok {
+			flush()
+			outs = append(outs, r.onMemberCmd(cmd, d.Slot)...)
+			continue
+		}
 		req, err := DecodeTx(b.Payload)
 		if err != nil {
 			continue
@@ -188,6 +233,32 @@ func (r *SMRReplica) onAdd(add SMRAddReplica) []msg.Directive {
 	return r.pushSnapshot(add.New)
 }
 
+// onMemberCmd folds an ordered membership command into the shared
+// epoch view. Every replica applies the command at the same slot, so
+// they all refresh their catch-up peer sets identically, and for a
+// replica join exactly one of them — the deterministic proposer, the
+// first replica of the pre-join epoch — pushes the bootstrap snapshot
+// (reflecting every transaction up to and including this slot) to the
+// joiner. A removed replica simply stops being a fan-out target at the
+// next slot: it drains by running out of deliveries, no teardown
+// message needed. Apply is idempotent per slot, so a co-located
+// sequencer sharing the view may have folded the command first; the
+// proposer choice does not depend on who won that race.
+func (r *SMRReplica) onMemberCmd(cmd member.Command, slot int) []msg.Directive {
+	if r.view == nil {
+		return nil
+	}
+	prev := r.view.Current()
+	cfg, _ := r.view.Apply(cmd, slot)
+	r.refreshPeers(cfg)
+	if cmd.Op == member.AddReplica && cfg.HasReplica(cmd.Node) && cmd.Node != r.slf &&
+		r.slf == member.Proposer(prev, cmd.Node) {
+		mSMRSnapshotsSent.Inc()
+		return r.pushSnapshot(cmd.Node)
+	}
+	return nil
+}
+
 // pushSnapshot streams this replica's full state to a peer.
 func (r *SMRReplica) pushSnapshot(to msg.Loc) []msg.Directive {
 	dumps := r.exec.DB.Snapshot()
@@ -210,7 +281,14 @@ func (r *SMRReplica) pushSnapshot(to msg.Loc) []msg.Directive {
 			r.stepCost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
 		}
 	}
-	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{Order: int64(r.lastSlot), Batches: n})))
+	lastSeq := make(map[string]int64, len(r.exec.lastSeq))
+	for c, s := range r.exec.lastSeq {
+		lastSeq[c] = s
+	}
+	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{
+		Order: int64(r.lastSlot), Batches: n,
+		Executed: r.exec.Executed, LastSeq: lastSeq,
+	})))
 	return outs
 }
 
@@ -262,6 +340,14 @@ func (r *SMRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
 		r.snap.end = &end
 		return nil
 	}
+	if r.active && int(s.Order) <= r.lastSlot {
+		// A stale transfer — e.g. the answer to a catch-up request this
+		// replica has since outrun through live deliveries — must not
+		// roll an active replica back: every slot it covers is already
+		// applied locally.
+		r.snap = nil
+		return nil
+	}
 	dumps := make([]sqldb.TableDump, len(r.snap.schemas))
 	for i, sc := range r.snap.schemas {
 		dumps[i] = sqldb.TableDump{Schema: sc, Rows: r.snap.rows[sc.Name]}
@@ -271,7 +357,13 @@ func (r *SMRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
 		return nil
 	}
 	r.snap = nil
-	r.exec.InstallSnapshot(0)
+	// Adopt the sender's dedup horizon along with its state: retries of
+	// transactions already reflected in the transferred rows must be
+	// deduplicated here exactly as the established replicas do.
+	r.exec.InstallSnapshot(s.Executed)
+	for c, seq := range s.LastSeq {
+		r.exec.lastSeq[c] = seq
+	}
 	r.active = true
 	coveredSlot := int(s.Order)
 	var outs []msg.Directive

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
+	"shadowdb/internal/netutil"
 	"shadowdb/internal/sqldb"
 	"shadowdb/internal/store"
 )
@@ -68,6 +70,39 @@ func NewDurableSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry, st store.Stab
 	return r, nil
 }
 
+// NewJoiningDurableSMRReplica creates a durable replica that joins an
+// existing group: it stays inactive — parking deliveries by slot —
+// until the ordered add-replica command makes the configured proposer
+// push a bootstrap snapshot (onSnapEnd installs it, persists it as the
+// journal baseline, and drains the parked tail). The database starts
+// empty: schema and rows arrive with the transfer. A restarted joiner
+// that already bootstrapped once recovers like an established durable
+// replica.
+func NewJoiningDurableSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry, st store.Stable, peers []msg.Loc) (*SMRReplica, error) {
+	r := NewSMRReplica(slf, db, reg)
+	r.active = false
+	r.stable = st
+	r.snapSlot = -1
+	r.pending = make(map[int]broadcast.Deliver)
+	for _, p := range peers {
+		if p != slf {
+			r.peers = append(r.peers, p)
+		}
+	}
+	restored, err := r.recoverLocal()
+	if err != nil {
+		return nil, err
+	}
+	if restored {
+		// The previous incarnation finished (or at least began) its
+		// bootstrap: resume as an established durable replica.
+		r.active = true
+	}
+	// No baseline snapshot of the empty database: the bootstrap transfer
+	// provides the first durable baseline.
+	return r, nil
+}
+
 // Recovered reports whether the replica restored state from its store
 // (false when the store was fresh).
 func (r *SMRReplica) Recovered() bool { return r.recoveredLocal }
@@ -75,26 +110,27 @@ func (r *SMRReplica) Recovered() bool { return r.recoveredLocal }
 // LastSlot returns the highest contiguously applied slot.
 func (r *SMRReplica) LastSlot() int { return r.lastSlot }
 
-// recoveryRetryDelay is how long after the boot-time catch-up request a
-// restarted replica asks again. The first round can be lost without an
-// error on either side (peers may still hold connections to the dead
-// incarnation); peers answer idempotently and already-applied slots are
-// skipped, so the duplicate is free on the happy path.
-const recoveryRetryDelay = 2 * time.Second
+// recoveryBackoff is how long after the boot-time catch-up request a
+// restarted replica asks again (a flat 2s schedule expressed as the
+// shared netutil policy). The first round can be lost without an error
+// on either side (peers may still hold connections to the dead
+// incarnation); peers answer idempotently and already-applied slots
+// are skipped, so the duplicate is free on the happy path.
+var recoveryBackoff = netutil.Backoff{Base: 2 * time.Second, Cap: 2 * time.Second}
 
 // RecoveryDirectives returns the messages a restarted replica sends to
 // fetch the slots ordered during its downtime. The host injects them
 // once the replica is back on the network (the replica itself is
 // constructed outside any message flow). Each request is issued twice —
-// immediately and after recoveryRetryDelay — so a lost first round
-// cannot strand the replica behind until the next live delivery.
+// immediately and after one recoveryBackoff interval — so a lost first
+// round cannot strand the replica behind until the next live delivery.
 func (r *SMRReplica) RecoveryDirectives() []msg.Directive {
 	if r.stable == nil {
 		return nil
 	}
 	outs := r.requestCatchup()
 	for _, o := range r.requestCatchup() {
-		o.Delay = recoveryRetryDelay
+		o.Delay = recoveryBackoff.Delay(0, 0)
 		outs = append(outs, o)
 	}
 	return outs
@@ -239,7 +275,15 @@ func (r *SMRReplica) onSMRCatchupReq(q SMRCatchupReq) []msg.Directive {
 		}
 	}
 	// The journal no longer reaches back to After (or this replica is
-	// volatile): transfer the whole state instead.
+	// volatile): a full state transfer is needed. Under dynamic
+	// membership only the deterministic proposer pushes it — the
+	// requester asks every peer, and concurrent transfers from several
+	// of them would interleave their batches at the receiver. The other
+	// peers stay silent; the requester's delayed retry covers a lost
+	// push.
+	if r.view != nil && r.slf != member.Proposer(r.view.Current(), q.From) {
+		return nil
+	}
 	return r.pushSnapshot(q.From)
 }
 

@@ -204,12 +204,17 @@ type SnapBatch struct {
 
 // SnapEnd closes a state transfer. Batches lets the receiver detect that
 // some batches are still in flight (reordered or delayed) and defer
-// completion until they arrive.
+// completion until they arrive. Executed and LastSeq carry the sender's
+// dedup horizon on SMR transfers: without them a joiner would re-execute
+// a client retry that the established replicas deduplicate, silently
+// diverging from the group. PBR transfers leave them zero.
 type SnapEnd struct {
-	CfgSeq  int
-	Xfer    int64
-	Order   int64
-	Batches int
+	CfgSeq   int
+	Xfer     int64
+	Order    int64
+	Batches  int
+	Executed int64
+	LastSeq  map[string]int64
 }
 
 // Recovered signals a backup is in sync.

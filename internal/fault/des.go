@@ -27,7 +27,7 @@ func BindCluster(clu *des.Cluster, p Plan) *Injector {
 		v := inj.Judge(from, to, m.Hdr)
 		return des.FaultVerdict{Drop: v.Drop, Delay: v.Delay, Dup: v.Dup}
 	}
-	for _, c := range p.Crashes {
+	for _, c := range p.EffectiveCrashes() {
 		c := c
 		clu.Sim.At(c.At.D(), func() {
 			n := clu.Node(c.Node)

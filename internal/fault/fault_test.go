@@ -195,11 +195,62 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 		{Rules: []Rule{{From: Duration(2 * time.Second), To: Duration(time.Second), Drop: true}}},
 		{Partitions: []Partition{{A: []msg.Loc{"a"}}}},
 		{Crashes: []Crash{{At: Duration(time.Second)}}},
+		{Rolling: []Rolling{{Downtime: Duration(time.Second)}}},                                                          // no nodes
+		{Rolling: []Rolling{{Nodes: []msg.Loc{"r1"}}}},                                                                   // no downtime
+		{Rolling: []Rolling{{Nodes: []msg.Loc{"r1", "r2"}, Downtime: Duration(time.Second)}}},                            // zero stagger, many nodes
+		{Rolling: []Rolling{{Nodes: []msg.Loc{"r1"}, Downtime: Duration(time.Second), StartAt: Duration(-time.Second)}}}, // negative start
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
 			t.Errorf("plan %d should not validate", i)
 		}
+	}
+}
+
+func TestRollingExpansion(t *testing.T) {
+	p := Plan{
+		Crashes: []Crash{{At: Duration(time.Second), Node: "x", RestartAfter: Duration(time.Second)}},
+		Rolling: []Rolling{{
+			StartAt:  Duration(10 * time.Second),
+			Nodes:    []msg.Loc{"r1", "r2", "r3"},
+			Downtime: Duration(2 * time.Second),
+			Stagger:  Duration(5 * time.Second),
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cs := p.EffectiveCrashes()
+	if len(cs) != 4 {
+		t.Fatalf("EffectiveCrashes = %d entries, want 4", len(cs))
+	}
+	if cs[0].Node != "x" {
+		t.Errorf("explicit crash should come first, got %+v", cs[0])
+	}
+	for i, want := range []struct {
+		node msg.Loc
+		at   time.Duration
+	}{{"r1", 10 * time.Second}, {"r2", 15 * time.Second}, {"r3", 20 * time.Second}} {
+		c := cs[1+i]
+		if c.Node != want.node || c.At.D() != want.at || c.RestartAfter.D() != 2*time.Second {
+			t.Errorf("expanded crash %d = %+v, want node %s at %v downtime 2s", i, c, want.node, want.at)
+		}
+	}
+	// The sugar-free plan with the same expansion validates identically.
+	if err := (Plan{Crashes: cs}).Validate(); err != nil {
+		t.Fatalf("expanded crashes do not validate: %v", err)
+	}
+	// JSON round trip keeps the scenario.
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2 Plan
+	if err := json.Unmarshal(b, &p2); err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Rolling) != 1 || len(p2.EffectiveCrashes()) != 4 {
+		t.Fatalf("round trip lost the rolling scenario: %+v", p2)
 	}
 }
 

@@ -263,7 +263,7 @@ func StartNemesis(in *Injector) (stop func()) {
 		timers = append(timers, time.AfterFunc(d, fn))
 		mu.Unlock()
 	}
-	for _, c := range in.plan.Crashes {
+	for _, c := range in.plan.EffectiveCrashes() {
 		c := c
 		add(c.At.D(), func() { in.SetDown(c.Node, true) })
 		if c.RestartAfter > 0 {

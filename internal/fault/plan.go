@@ -196,6 +196,43 @@ type Crash struct {
 	CorruptTail bool `json:"corrupt_tail,omitempty"`
 }
 
+// Rolling is a first-class rolling-restart scenario: starting at
+// StartAt, the named nodes are killed one after another, Stagger apart,
+// each restarting after Downtime with its durable state retained. It is
+// sugar over Crash — EffectiveCrashes expands it deterministically — so
+// every binding (BindCluster, BindProcess, StartNemesis) and the
+// injection fingerprint treat a rolling restart exactly like the
+// equivalent hand-written crash schedule.
+type Rolling struct {
+	// StartAt is when the first node is killed.
+	StartAt Duration `json:"start_at"`
+	// Nodes are killed in list order.
+	Nodes []msg.Loc `json:"nodes"`
+	// Downtime is each node's time down before its restart.
+	Downtime Duration `json:"downtime"`
+	// Stagger separates consecutive kills. Stagger >= Downtime keeps at
+	// most one node down at a time (the classic rolling restart);
+	// smaller values overlap the windows deliberately.
+	Stagger Duration `json:"stagger"`
+	// CorruptTail flips the WAL tail of every restarted node (see
+	// Crash.CorruptTail).
+	CorruptTail bool `json:"corrupt_tail,omitempty"`
+}
+
+// Crashes expands the scenario into its Crash entries.
+func (r Rolling) Crashes() []Crash {
+	out := make([]Crash, 0, len(r.Nodes))
+	for i, n := range r.Nodes {
+		out = append(out, Crash{
+			At:           r.StartAt + Duration(int64(i))*r.Stagger,
+			Node:         n,
+			RestartAfter: r.Downtime,
+			CorruptTail:  r.CorruptTail,
+		})
+	}
+	return out
+}
+
 // Plan is a complete fault script.
 type Plan struct {
 	// Seed drives every probabilistic decision. Same plan + same seed =
@@ -207,6 +244,24 @@ type Plan struct {
 	Partitions []Partition `json:"partitions,omitempty"`
 	// Crashes are the node crash-restart events.
 	Crashes []Crash `json:"crashes,omitempty"`
+	// Rolling are rolling-restart scenarios, expanded into crashes by
+	// EffectiveCrashes.
+	Rolling []Rolling `json:"rolling,omitempty"`
+}
+
+// EffectiveCrashes returns the plan's explicit crashes followed by the
+// expansion of every rolling scenario, in declaration order. All crash
+// consumers (BindCluster, BindProcess, StartNemesis) schedule from this
+// list, so a Rolling behaves bit-identically to its expansion.
+func (p Plan) EffectiveCrashes() []Crash {
+	if len(p.Rolling) == 0 {
+		return p.Crashes
+	}
+	out := append([]Crash(nil), p.Crashes...)
+	for _, r := range p.Rolling {
+		out = append(out, r.Crashes()...)
+	}
+	return out
 }
 
 // Validate rejects nonsensical plans (negative windows, probabilities
@@ -276,6 +331,31 @@ func (p Plan) Validate() error {
 		}
 		if c.CorruptTail && c.RestartAfter == 0 {
 			return fmt.Errorf("fault: crash %d: corrupt_tail without a restart has no observable effect", i)
+		}
+	}
+	for i, r := range p.Rolling {
+		if len(r.Nodes) == 0 {
+			return fmt.Errorf("fault: rolling %d: no nodes", i)
+		}
+		for _, n := range r.Nodes {
+			if n == "" {
+				return fmt.Errorf("fault: rolling %d: empty node", i)
+			}
+			if err := wellFormedRef(string(n)); err != nil {
+				return fmt.Errorf("fault: rolling %d: node: %w", i, err)
+			}
+		}
+		if r.StartAt < 0 {
+			return fmt.Errorf("fault: rolling %d: negative start_at", i)
+		}
+		if r.Downtime <= 0 {
+			return fmt.Errorf("fault: rolling %d: downtime must be positive (a rolling restart restarts)", i)
+		}
+		if r.Stagger < 0 {
+			return fmt.Errorf("fault: rolling %d: negative stagger", i)
+		}
+		if len(r.Nodes) > 1 && r.Stagger == 0 {
+			return fmt.Errorf("fault: rolling %d: zero stagger with %d nodes is a mass restart, not a rolling one", i, len(r.Nodes))
 		}
 	}
 	return nil

@@ -54,7 +54,7 @@ func BindProcess(clu *des.Cluster, p Plan, hooks ProcessHooks) *Injector {
 	// schedule differs, so build the injector the same way but schedule
 	// the crashes ourselves.
 	inj := BindCluster(clu, Plan{Seed: p.Seed, Rules: p.Rules, Partitions: p.Partitions})
-	for _, c := range p.Crashes {
+	for _, c := range p.EffectiveCrashes() {
 		c := c
 		clu.Sim.At(c.At.D(), func() {
 			n := clu.Node(c.Node)

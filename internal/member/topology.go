@@ -1,0 +1,93 @@
+package member
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"shadowdb/internal/msg"
+)
+
+// Topology is the epoch-stamped cluster file that replaces the static
+// -cluster flag: a node id -> address directory plus the epoch it was
+// written at, so an operator (and the join/leave verbs) can tell which
+// generation of the cluster a file describes. Roles follow the id
+// prefix convention the binaries already use (b* broadcast, r*
+// replica, shard<k>-*/router for the sharded roles).
+type Topology struct {
+	Epoch int               `json:"epoch"`
+	Nodes map[string]string `json:"nodes"`
+}
+
+// LoadTopology reads and validates an epoch-stamped topology file.
+func LoadTopology(path string) (Topology, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("topology %s: %w", path, err)
+	}
+	if dec.More() {
+		return Topology{}, fmt.Errorf("topology %s: trailing data after document", path)
+	}
+	if t.Epoch < 0 {
+		return Topology{}, fmt.Errorf("topology %s: negative epoch %d", path, t.Epoch)
+	}
+	if len(t.Nodes) == 0 {
+		return Topology{}, fmt.Errorf("topology %s: no nodes", path)
+	}
+	for id, addr := range t.Nodes {
+		if id == "" || addr == "" {
+			return Topology{}, fmt.Errorf("topology %s: empty id or address (%q=%q)", path, id, addr)
+		}
+	}
+	return t, nil
+}
+
+// Save writes the topology atomically (tmp + rename), pretty-printed
+// with sorted keys so diffs across epochs read cleanly.
+func (t Topology) Save(path string) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}
+
+// Directory renders the node map in the form the transports take.
+func (t Topology) Directory() map[msg.Loc]string {
+	dir := make(map[msg.Loc]string, len(t.Nodes))
+	for id, addr := range t.Nodes {
+		dir[msg.Loc(id)] = addr
+	}
+	return dir
+}
+
+// IDs returns the node ids sorted, for stable role splitting.
+func (t Topology) IDs() []string {
+	ids := make([]string, 0, len(t.Nodes))
+	for id := range t.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

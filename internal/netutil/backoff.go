@@ -1,0 +1,87 @@
+// Package netutil holds the one retry/timeout policy shared by every
+// layer that re-sends anything: the client request path (exponential
+// backoff with deterministic jitter), the TCP transport redial loop
+// (bounded exponential, no jitter), and the SMR recovery re-request
+// (fixed interval). Before this package each site hand-rolled its own
+// doubling loop with subtly different caps; now they all describe the
+// same shape with a Backoff value.
+//
+// Determinism matters here: the simulator replays runs bit-for-bit, so
+// jitter must be a pure function of (seed, key, attempt), never of
+// wall-clock time or math/rand global state. Mix64/StrSeed provide the
+// hashing used everywhere a stable pseudo-random stream is derived
+// from identifiers.
+package netutil
+
+import "time"
+
+// Backoff describes a bounded exponential retry policy. The zero value
+// is not useful; construct with the fields you need:
+//
+//	Base   first delay (attempt 0). Required.
+//	Cap    upper bound for the doubled delay. 0 means 16*Base.
+//	Jitter width of the deterministic jitter band as a fraction of
+//	       the delay: the result is perturbed within ±Jitter/2 of the
+//	       schedule (0.5 => ±25%, the historical client policy).
+//	       0 disables jitter entirely.
+//	Seed   seed for the jitter stream; combined with the per-call key.
+type Backoff struct {
+	Base   time.Duration
+	Cap    time.Duration
+	Jitter float64
+	Seed   uint64
+}
+
+// cap returns the effective upper bound.
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 16 * b.Base
+}
+
+// Delay returns the delay before retry number attempt (attempt 0 is
+// the first retry). The un-jittered schedule is Base<<attempt clamped
+// to the cap; with Jitter > 0 the result is perturbed by a pure
+// function of (Seed, key, attempt) so concurrent retriers with
+// distinct keys spread out while replays stay deterministic.
+func (b Backoff) Delay(attempt int, key uint64) time.Duration {
+	d := b.Base
+	limit := b.cap()
+	for i := 0; i < attempt; i++ {
+		if d >= limit {
+			d = limit
+			break
+		}
+		d *= 2
+		if d > limit {
+			d = limit
+		}
+	}
+	if b.Jitter <= 0 || attempt == 0 {
+		return d
+	}
+	h := Mix64(b.Seed ^ Mix64(key) ^ Mix64(uint64(attempt)))
+	frac := float64(h>>11) / float64(uint64(1)<<53) // [0,1)
+	return d + time.Duration((frac-0.5)*b.Jitter*float64(d))
+}
+
+// Mix64 is the splitmix64 step: a cheap, well-distributed 64-bit
+// mixing function used to derive deterministic jitter streams.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StrSeed hashes a string to a 64-bit seed (FNV-1a). Locations and
+// client names become stable per-entity jitter streams.
+func StrSeed(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package netutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 3 * time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		3 * time.Second, 3 * time.Second, 3 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i, 0); got != w {
+			t.Fatalf("attempt %d: got %v want %v", i, got, w)
+		}
+	}
+	// Huge attempt counts must not overflow the shift.
+	if got := b.Delay(200, 0); got != 3*time.Second {
+		t.Fatalf("attempt 200: got %v want cap", got)
+	}
+}
+
+func TestDelayDefaultCap(t *testing.T) {
+	b := Backoff{Base: 2 * time.Second}
+	if got := b.Delay(10, 0); got != 32*time.Second {
+		t.Fatalf("default cap: got %v want 16*base", got)
+	}
+}
+
+func TestDelayCapBelowBase(t *testing.T) {
+	b := Backoff{Base: 2 * time.Second, Cap: time.Second}
+	if got := b.Delay(0, 0); got != 2*time.Second {
+		t.Fatalf("attempt 0 returns base untouched: got %v", got)
+	}
+	if got := b.Delay(3, 0); got != time.Second {
+		t.Fatalf("retries clamp to cap: got %v", got)
+	}
+}
+
+func TestDelayJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: time.Second, Jitter: 0.5, Seed: StrSeed("client3")}
+	// Attempt 0 is the un-jittered base: the first timeout is a policy
+	// constant, not a random variable.
+	if got := b.Delay(0, 7); got != time.Second {
+		t.Fatalf("attempt 0 jittered: %v", got)
+	}
+	for attempt := 1; attempt <= 5; attempt++ {
+		for key := uint64(0); key < 20; key++ {
+			d1 := b.Delay(attempt, key)
+			d2 := b.Delay(attempt, key)
+			if d1 != d2 {
+				t.Fatalf("nondeterministic delay at attempt=%d key=%d", attempt, key)
+			}
+			sched := b.Delay(attempt, key) // recompute bounds from the pure schedule
+			base := Backoff{Base: b.Base, Cap: b.Cap}.Delay(attempt, key)
+			lo := base - time.Duration(0.25*float64(base)) - 1
+			hi := base + time.Duration(0.25*float64(base)) + 1
+			if sched < lo || sched > hi {
+				t.Fatalf("attempt=%d key=%d delay %v outside ±25%% of %v", attempt, key, sched, base)
+			}
+		}
+	}
+	// Distinct keys must actually spread: all-equal jitter would mean a
+	// retry stampede from clients that failed together.
+	distinct := map[time.Duration]bool{}
+	for key := uint64(0); key < 16; key++ {
+		distinct[b.Delay(2, key)] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("jitter does not spread across keys: %d distinct of 16", len(distinct))
+	}
+}
+
+func TestStrSeedStable(t *testing.T) {
+	if StrSeed("r1") == StrSeed("r2") {
+		t.Fatal("distinct strings hash equal")
+	}
+	if StrSeed("r1") != StrSeed("r1") {
+		t.Fatal("unstable hash")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("mix collides on adjacent inputs")
+	}
+}

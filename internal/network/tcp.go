@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"shadowdb/internal/msg"
+	"shadowdb/internal/netutil"
 	"shadowdb/internal/obs"
 )
 
@@ -56,13 +57,11 @@ var _ Transport = (*TCP)(nil)
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// Redial backoff bounds: the delay doubles from redialBase per
-// consecutive dial failure, capped at redialCap so a restarted peer is
-// re-discovered within a few seconds.
-const (
-	redialBase = 50 * time.Millisecond
-	redialCap  = 3 * time.Second
-)
+// redialBackoff is the shared redial policy: the delay doubles from
+// 50ms per consecutive dial failure, capped at 3s so a restarted peer
+// is re-discovered within a few seconds. No jitter: redials are
+// per-peer and already desynchronized by traffic.
+var redialBackoff = netutil.Backoff{Base: 50 * time.Millisecond, Cap: 3 * time.Second}
 
 // redialState tracks consecutive dial failures to one peer.
 type redialState struct {
@@ -286,12 +285,7 @@ func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 			t.redial[to] = rs
 		}
 		rs.fails++
-		d := redialCap
-		if rs.fails <= 8 {
-			if doubled := redialBase << (rs.fails - 1); doubled < redialCap {
-				d = doubled
-			}
-		}
+		d := redialBackoff.Delay(rs.fails-1, 0)
 		rs.until = time.Now().Add(d)
 		if rs.fails == 1 {
 			// First failure in a streak: the transition into backoff is

@@ -27,6 +27,12 @@ type Options struct {
 	// across. Empty means infer them from the trace (every location a
 	// Deliver was sent to).
 	Subscribers []msg.Loc
+	// Joiners are locations that joined the cluster mid-run: their first
+	// observed delivery baselines the in-order-delivery frontier instead
+	// of being required to start at slot 0 (the slots before a joiner's
+	// activation arrive by state transfer, never as Deliver events).
+	// Everyone else is held to the strict gap-free-from-zero order.
+	Joiners []msg.Loc
 }
 
 // Suite builds a verify.Suite whose properties check the recorded trace.
@@ -52,7 +58,7 @@ func Suite(events []obs.Event, opt Options) *verify.Suite {
 		},
 		verify.Property{
 			Module: "Runtime", Name: "broadcast/in-order-delivery", Mode: verify.Manual,
-			Check: func() error { return checkInOrderDelivery(tr) },
+			Check: func() error { return checkInOrderDelivery(tr, opt.Joiners) },
 		},
 		verify.Property{
 			Module: "Runtime", Name: "consensus/single-value-per-slot", Mode: verify.Manual,
@@ -169,7 +175,15 @@ func batchFingerprint(msgs []broadcast.Bcast) string {
 // slots are fine — subscribers notified by several service nodes see
 // duplicates). This is the receiver-side complement of CheckTotalOrder,
 // and the property a reordered trace violates.
-func checkInOrderDelivery(tr []gpm.TraceEntry) error {
+//
+// A location named in joiners enters the slot order mid-stream: its
+// first observed delivery baselines the frontier, and gap-freedom is
+// enforced from there on. Everyone else must start at slot 0.
+func checkInOrderDelivery(tr []gpm.TraceEntry, joiners []msg.Loc) error {
+	joiner := make(map[msg.Loc]bool, len(joiners))
+	for _, j := range joiners {
+		joiner[j] = true
+	}
 	high := make(map[msg.Loc]int)
 	for _, e := range tr {
 		if e.In.Hdr != broadcast.HdrDeliver {
@@ -181,6 +195,10 @@ func checkInOrderDelivery(tr []gpm.TraceEntry) error {
 		}
 		h, seen := high[e.Loc]
 		if !seen {
+			if joiner[e.Loc] {
+				high[e.Loc] = d.Slot
+				continue
+			}
 			h = -1
 		}
 		if d.Slot > h+1 {

@@ -84,6 +84,40 @@ func TestBridgeSeededSMRRunPasses(t *testing.T) {
 	}
 }
 
+// A node that joined mid-run delivers from its bootstrap frontier, not
+// from slot 0. Its trace must fail the strict in-order check (a silent
+// partial trace is otherwise indistinguishable from a gap) and pass
+// once the location is declared a joiner.
+func TestBridgeJoinerBaseline(t *testing.T) {
+	events := seededSMREvents(t)
+	// Graft a joiner: r4 receives the same deliveries r1 received, but
+	// only from slot 1 on — the slots before its activation arrived by
+	// state transfer and never appear as Deliver events.
+	var grafted []obs.Event
+	for _, e := range events {
+		grafted = append(grafted, e)
+		if e.M == nil || e.M.Hdr != broadcast.HdrDeliver || e.Loc != "r1" {
+			continue
+		}
+		d, ok := e.M.Body.(broadcast.Deliver)
+		if !ok || d.Slot < 1 {
+			continue
+		}
+		je := e
+		je.Loc = "r4"
+		je.M = &msg.Msg{Hdr: broadcast.HdrDeliver, Body: d}
+		je.Outs = nil
+		grafted = append(grafted, je)
+	}
+	err := bridge.Check(grafted, bridge.Options{})
+	if err == nil || !strings.Contains(err.Error(), "r4") {
+		t.Fatalf("undeclared mid-run joiner accepted: %v", err)
+	}
+	if err := bridge.Check(grafted, bridge.Options{Joiners: []msg.Loc{"r4"}}); err != nil {
+		t.Fatalf("declared joiner rejected: %v", err)
+	}
+}
+
 func TestBridgeFlagsReorderedDelivery(t *testing.T) {
 	events := seededSMREvents(t)
 	// Corrupt the trace: at one replica, swap the payloads of two Deliver

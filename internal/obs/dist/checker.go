@@ -10,6 +10,7 @@ import (
 	"shadowdb/internal/consensus/synod"
 	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/core"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
 	"shadowdb/internal/shard"
@@ -82,9 +83,34 @@ type Checker struct {
 	// jump the per-node gap-free order: a crash-restarted node re-enters
 	// the slot stream at wherever the broadcast is now, recovering the
 	// missed range from its journal and quiet catch-up rather than
-	// through redelivery. Cleared on the next delivery (one re-baseline
-	// per announced restart).
+	// through redelivery. Cleared by the re-entry delivery (one
+	// re-baseline per announced restart); duplicates of already-seen
+	// slots leave it pending.
 	restarted map[msg.Loc]bool
+
+	// Dynamic membership (enabled by SetMembership; zero mAlpha = off).
+	// mviews is the canonical shadow view per group, derived from the
+	// member commands in the delivered order; locViews re-derives per
+	// location for locations with full delivery history, so a node that
+	// folds the same command stream into a different configuration is
+	// caught even though the batches matched.
+	mInitial member.Config
+	mAlpha   int
+	mviews   map[string]*member.View
+	locViews map[msg.Loc]*member.View
+	// baselined marks locations whose delivery stream has a hole the
+	// checker excused (restart or join): their per-location epoch
+	// derivation would start from a partial command history, so it is
+	// skipped and only the canonical view covers them.
+	baselined map[msg.Loc]bool
+	// epochFP fixes the first configuration fingerprint derived for each
+	// group\x00epoch; epochLoc remembers who established it.
+	epochFP  map[string]string
+	epochLoc map[string]msg.Loc
+	// p2b records, per deciding location and instance, the phase-2
+	// acknowledgements it received, by ballot — the certificate behind an
+	// outgoing Decide. Deleted once the decision is checked.
+	p2b map[string]map[string]map[msg.Loc]bool
 	// events counts fed events; violations collects flagged failures.
 	events     int64
 	violations []Violation
@@ -131,7 +157,45 @@ func NewChecker() *Checker {
 		xdec:      make(map[msg.Loc]map[string]bool),
 		xoutcome:  make(map[string]bool),
 		restarted: make(map[msg.Loc]bool),
+		mviews:    make(map[string]*member.View),
+		locViews:  make(map[msg.Loc]*member.View),
+		baselined: make(map[msg.Loc]bool),
+		epochFP:   make(map[string]string),
+		epochLoc:  make(map[string]msg.Loc),
+		p2b:       make(map[string]map[string]map[msg.Loc]bool),
 	}
+}
+
+// SetMembership enables the dynamic-membership properties: member
+// commands folded out of delivered batches derive numbered configuration
+// epochs from initial (member/epoch-config: one configuration per
+// epoch), and every observed Decide certificate is checked against the
+// acceptor set of the epoch governing its instance (member/stale-quorum:
+// no decision certified by a quorum of a superseded configuration).
+// alpha is the activation lag the cluster runs with. Call before feeding
+// events; in sharded deployments every group shares initial, which fits
+// the current single-group membership experiments.
+func (c *Checker) SetMembership(initial member.Config, alpha int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mInitial = initial
+	if alpha < 1 {
+		alpha = 1
+	}
+	c.mAlpha = alpha
+}
+
+// NoteJoin tells the checker that loc is a joiner bootstrapping into the
+// group mid-stream: exactly like a restart, its first delivery
+// re-baselines the in-order frontier (the slots before its activation
+// arrive by state transfer, not as Deliver events), and its per-location
+// epoch derivation is skipped — it never saw the early member commands.
+func (c *Checker) NoteJoin(loc msg.Loc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarted[loc] = true
+	c.baselined[loc] = true
+	delete(c.locViews, loc)
 }
 
 // SetGroupOf partitions the per-slot and per-instance invariant state by
@@ -368,9 +432,13 @@ func (c *Checker) checkIncoming(e obs.Event) {
 		}
 		if slot > h+1 {
 			if c.restarted[e.Loc] {
-				// Announced restart: the node re-enters the stream here.
+				// Announced restart or join: the node re-enters the stream
+				// here. Its delivery history now has a hole, so per-location
+				// epoch derivation is off for it from here on.
 				h = slot - 1
 				c.high[e.Loc] = h
+				c.baselined[e.Loc] = true
+				delete(c.locViews, e.Loc)
 			} else {
 				c.flag(e, "broadcast/in-order-delivery",
 					"%s received slot %d before slot %d", e.Loc, slot, h+1)
@@ -379,11 +447,22 @@ func (c *Checker) checkIncoming(e obs.Event) {
 		if slot == h+1 {
 			c.high[e.Loc] = slot
 		}
-		delete(c.restarted, e.Loc)
+		if slot >= h+1 {
+			// The excuse is consumed by the re-entry delivery itself (the
+			// re-baseline above, or a contiguous resume when nothing was
+			// missed) — not by a duplicate of an already-seen slot, which a
+			// healing partition can flush out just before the node actually
+			// re-enters the stream.
+			delete(c.restarted, e.Loc)
+		}
 
 		// Record the delivered transactions for durability, and the 2PC
 		// records for cross-shard atomicity.
 		for _, bc := range b.Msgs {
+			if cmd, ok := member.DecodeCommand(bc.Payload); ok {
+				c.noteMemberCmd(e, cmd, slot)
+				continue
+			}
 			if p, ok := shard.DecodePrepare(bc.Payload); ok {
 				if c.xprep[e.Loc] == nil {
 					c.xprep[e.Loc] = make(map[string]bool)
@@ -405,6 +484,22 @@ func (c *Checker) checkIncoming(e obs.Event) {
 			c.delivered[e.Loc][req.Key()] = true
 		}
 
+	case synod.P2b:
+		// The certificate material for member/stale-quorum: remember which
+		// acceptors acknowledged phase 2 to this location, per instance and
+		// ballot, until the decision is announced and checked.
+		if m.Hdr == synod.HdrP2b && c.mAlpha != 0 {
+			k := string(e.Loc) + "\x00" + itoa(int64(b.Inst))
+			if c.p2b[k] == nil {
+				c.p2b[k] = make(map[string]map[msg.Loc]bool)
+			}
+			bal := b.B.String()
+			if c.p2b[k][bal] == nil {
+				c.p2b[k][bal] = make(map[msg.Loc]bool)
+			}
+			c.p2b[k][bal][b.From] = true
+		}
+
 	case synod.Decide:
 		if m.Hdr == synod.HdrDecide {
 			c.noteDecide(e, "synod", int64(b.Inst), b.Val)
@@ -416,11 +511,60 @@ func (c *Checker) checkIncoming(e obs.Event) {
 	}
 }
 
+// noteMemberCmd folds one delivered membership command into the shadow
+// views and checks member/epoch-config: every derivation of an epoch —
+// canonical or by any full-history location — must produce the same
+// configuration fingerprint.
+func (c *Checker) noteMemberCmd(e obs.Event, cmd member.Command, slot int64) {
+	if c.mAlpha == 0 {
+		return
+	}
+	g := c.group(e.Loc)
+	gv := c.mviews[g]
+	if gv == nil {
+		gv = member.NewView(c.mInitial, c.mAlpha)
+		c.mviews[g] = gv
+	}
+	if cfg, ok := gv.Apply(cmd, int(slot)); ok {
+		c.noteEpoch(e, g, cfg)
+	}
+	// Per-location derivation only makes sense over a complete command
+	// history; joiners and restarted nodes are covered by the canonical
+	// view alone.
+	if c.baselined[e.Loc] {
+		return
+	}
+	lv := c.locViews[e.Loc]
+	if lv == nil {
+		lv = member.NewView(c.mInitial, c.mAlpha)
+		c.locViews[e.Loc] = lv
+	}
+	if cfg, ok := lv.Apply(cmd, int(slot)); ok {
+		c.noteEpoch(e, g, cfg)
+	}
+}
+
+// noteEpoch enforces one configuration per epoch: the first derivation
+// fingerprints the epoch, any later conflicting derivation is flagged.
+func (c *Checker) noteEpoch(e obs.Event, g string, cfg member.Config) {
+	k := g + "\x00" + itoa(int64(cfg.Epoch))
+	fp := cfg.Fingerprint()
+	if prev, ok := c.epochFP[k]; !ok {
+		c.epochFP[k] = fp
+		c.epochLoc[k] = e.Loc
+	} else if prev != fp {
+		c.flag(e, "member/epoch-config",
+			"%s derived config %q for epoch %d, conflicting with %q first derived at %s",
+			e.Loc, fp, cfg.Epoch, prev, c.epochLoc[k])
+	}
+}
+
 func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
 	switch b := o.M.Body.(type) {
 	case synod.Decide:
 		if o.M.Hdr == synod.HdrDecide {
 			c.noteDecide(e, "synod", int64(b.Inst), b.Val)
+			c.checkDecideQuorum(e, b.Inst)
 		}
 	case twothird.Decide:
 		if o.M.Hdr == twothird.HdrDecide {
@@ -444,6 +588,48 @@ func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
 				"%s acknowledged %s without an ordered delivery", e.Loc, key)
 		}
 	}
+}
+
+// checkDecideQuorum enforces member/stale-quorum: the first Decide a
+// location announces for an instance must be backed by phase-2
+// acknowledgements from a majority of the acceptor set of the epoch
+// governing that instance, within a single ballot. A certificate drawn
+// from a superseded configuration — a commander that kept counting a
+// quorum of the old acceptors after the epoch switched — is exactly the
+// split-brain hazard dynamic membership introduces. Locations that
+// re-announce a decision they learned (no recorded P2bs) are skipped;
+// the entry is deleted after the one check.
+func (c *Checker) checkDecideQuorum(e obs.Event, inst int) {
+	if c.mAlpha == 0 {
+		return
+	}
+	k := string(e.Loc) + "\x00" + itoa(int64(inst))
+	ballots, ok := c.p2b[k]
+	if !ok {
+		return
+	}
+	delete(c.p2b, k)
+	gv := c.mviews[c.group(e.Loc)]
+	if gv == nil {
+		// No member command delivered yet: the initial epoch governs.
+		gv = member.NewView(c.mInitial, c.mAlpha)
+	}
+	accs := gv.AcceptorsFor(inst)
+	maj := len(accs)/2 + 1
+	for _, senders := range ballots {
+		n := 0
+		for _, a := range accs {
+			if senders[a] {
+				n++
+			}
+		}
+		if n >= maj {
+			return
+		}
+	}
+	c.flag(e, "member/stale-quorum",
+		"%s decided instance %d without a single-ballot majority of epoch %d's acceptors %v",
+		e.Loc, inst, gv.EpochOf(inst).Epoch, accs)
 }
 
 // noteDecide enforces consensus/single-value-per-slot across sent and
