@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -27,7 +27,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|postmortem|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder postmortem bundles (chaos/recovery/membership/shard dump here on violation; postmortem writes here)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
@@ -48,10 +48,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "postmortem"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "postmortem":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -240,6 +240,26 @@ func run() int {
 				res.MixedBalanced, res.MixedReplicasEq,
 				len(res.ChaosViolations), res.ChaosOpen, res.ChaosInFlight,
 				res.ChaosBalanced, res.ChaosProgress, res.ChaosFinished, res.ChaosClients)
+			failed = true
+		}
+	}
+	if todo["readpath"] {
+		cfg := bench.DefaultReadPath()
+		if *quick {
+			cfg = bench.QuickReadPath()
+		}
+		cfg.FlightDir = *flightDir
+		res := bench.ReadPath(cfg)
+		bench.RenderReadPath(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportReadPath(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"readpath: certification failed: %d violations, serve_allocs=%.1f, speedup=%.2f, group_syncs=%d/%d replica appends, chaos(old_served=%d fenced=%v new_served=%d reacquired=%v finished=%d/%d)\n",
+				len(res.Violations), res.ServeAllocs, res.Speedup,
+				res.GroupSyncs, res.SMRAppends,
+				res.Chaos.OldServed, res.Chaos.OldFenced, res.Chaos.NewServed,
+				res.Chaos.Reacquired, res.Chaos.Finished, res.Chaos.Clients)
 			failed = true
 		}
 	}

@@ -4,6 +4,16 @@
 //	shadowdb-client -cluster "$DIR" -mode pbr -tx deposit -args 1,10 -n 100
 //	shadowdb-client -cluster "$DIR" -mode smr -tx balance -args 1
 //	shadowdb-client -cluster "$DIR" -mode shard -tx transfer -args 1,2,50
+//	shadowdb-client -cluster "$DIR" -mode smr -read lease -tx balance -args 1
+//	shadowdb-client -cluster "$DIR" -mode smr -read follower -read-target r3 -tx balance -args 1
+//
+// With -read the request bypasses the consensus path entirely: it is
+// served locally by -read-target (default: the first replica), which
+// answers only while it can prove the mode's guarantee — a valid
+// leader lease for -read lease, the staleness bound for -read
+// follower. The serving replicas must run with -lease. A rejected
+// read (no valid lease yet, holder handover, bound exceeded) is
+// retried automatically against the same target.
 //
 // PBR replicas answer over the client's own connection, so the client
 // needs no directory entry. SMR answers come from the replicas (the
@@ -48,6 +58,8 @@ func run() int {
 	tx := flag.String("tx", "deposit", "transaction type")
 	argsFlag := flag.String("args", "", "comma-separated transaction arguments (ints, floats, strings)")
 	n := flag.Int("n", 1, "how many times to run the transaction")
+	read := flag.String("read", "", "serve -tx as a local read in this mode: lease|follower (replicas must run with -lease; -tx then names a read procedure, e.g. balance)")
+	readTarget := flag.String("read-target", "", "replica that serves -read requests (default: first replica in the directory)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-transaction timeout")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	flag.Parse()
@@ -94,8 +106,38 @@ func run() int {
 	}
 	args := parseArgs(*argsFlag)
 
+	var readMode core.ReadMode
+	switch *read {
+	case "":
+	case "lease":
+		readMode = core.ReadLease
+	case "follower":
+		readMode = core.ReadFollower
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -read mode %q (lease|follower)\n", *read)
+		return 2
+	}
+	target := msg.Loc(*readTarget)
+	if readMode != 0 && target == "" {
+		if len(replicas) == 0 {
+			fmt.Fprintln(os.Stderr, "-read needs a replica in the -cluster directory")
+			return 2
+		}
+		target = replicas[0]
+	}
+
 	start := time.Now()
 	for i := 0; i < *n; i++ {
+		if readMode != 0 {
+			res, err := runOneRead(tr, cli, *tx, args, readMode, target, *timeout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			printReadResult(res)
+			core.ReleaseReadResult(res)
+			continue
+		}
 		res, err := runOne(tr, cli, *tx, args, *timeout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -104,8 +146,13 @@ func run() int {
 		printResult(res)
 	}
 	elapsed := time.Since(start)
-	lg.Infof("%d transactions in %v (%.0f tx/s, %d retries)",
-		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), cli.Retries)
+	if readMode != 0 {
+		lg.Infof("%d local reads in %v (%.0f reads/s, %d rejections)",
+			*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), cli.ReadsRejected)
+	} else {
+		lg.Infof("%d transactions in %v (%.0f tx/s, %d retries)",
+			*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), cli.Retries)
+	}
 	return 0
 }
 
@@ -141,6 +188,57 @@ func runOne(tr network.Transport, cli *core.Client, tx string, args []any, timeo
 			return core.TxResult{}, fmt.Errorf("transaction %s timed out after %v", tx, timeout)
 		}
 	}
+}
+
+// runOneRead submits one local read and waits for a served (not
+// rejected) answer; rejections are retried inside the client on its
+// retry-timer schedule until the timeout.
+func runOneRead(tr network.Transport, cli *core.Client, typ string, args []any, mode core.ReadMode, target msg.Loc, timeout time.Duration) (*core.ReadResult, error) {
+	emit := func(outs []msg.Directive) {
+		for _, o := range outs {
+			o := o
+			if o.Delay > 0 {
+				time.AfterFunc(o.Delay, func() {
+					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+				})
+				continue
+			}
+			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+		}
+	}
+	emit(cli.SubmitRead(typ, args, mode, target))
+	deadline := time.After(timeout)
+	for {
+		select {
+		case env, ok := <-tr.Receive():
+			if !ok {
+				return nil, fmt.Errorf("transport closed")
+			}
+			_, outs := cli.Handle(env.M)
+			emit(outs)
+			if res := cli.TakeRead(); res != nil {
+				if res.Err != "" {
+					err := fmt.Errorf("read %s: %s", typ, res.Err)
+					core.ReleaseReadResult(res)
+					return nil, err
+				}
+				return res, nil
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("read %s timed out after %v (%d rejections)", typ, timeout, cli.ReadsRejected)
+		}
+	}
+}
+
+func printReadResult(res *core.ReadResult) {
+	if len(res.Cols) > 0 {
+		fmt.Println(strings.Join(res.Cols, "\t"))
+	}
+	cells := make([]string, len(res.Vals))
+	for i, v := range res.Vals {
+		cells[i] = fmt.Sprint(v)
+	}
+	fmt.Println(strings.Join(cells, "\t"))
 }
 
 func printResult(res core.TxResult) {

@@ -116,6 +116,9 @@ func run() int {
 	joiner := flag.Bool("joiner", false, "this node is joining a running cluster: excluded from its own initial epoch, passive until the ordered add command admits it")
 	dataDir := flag.String("data-dir", "", "durable storage root: WAL + snapshots for this node's state, recovered on restart (empty = volatile); sharded roles use the per-shard layout <data-dir>/shard<k>/ and <data-dir>/router/")
 	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: always|batch|never")
+	lease := flag.Bool("lease", false, "smr role: enable lease-based local reads (DESIGN.md §13); must be set uniformly across the replica group, bank registry only")
+	leaseDur := flag.Duration("lease-dur", 2*time.Second, "lease duration with -lease; the holder proposes renewals every third of it")
+	maxStale := flag.Duration("max-stale", 0, "staleness bound for follower reads with -lease (0 = -lease-dur)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, trace, pprof), e.g. 127.0.0.1:7070")
 	trace := flag.Bool("trace", false, "start with causal trace recording enabled")
 	check := flag.Bool("check", false, "run the online invariant checker; serves /checker and /spans on -admin")
@@ -277,6 +280,8 @@ func run() int {
 		batch: *batch, batchDelay: *batchDelay, pipeline: *pipeline,
 		replicas: replicaLocs, bcast: bcastLocs, tr: tr, stable: prov, top: top,
 		view: view, joiner: *joiner,
+		lease: *lease, leaseDur: *leaseDur, maxStale: *maxStale,
+		groupCommit: groupWindow(*dataDir, *fsync, *pipeline),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -406,6 +411,53 @@ type buildConfig struct {
 	// joiner marks a node joining a running cluster: it stays passive
 	// until the ordered add command admits it.
 	joiner bool
+	// lease enables lease-based local reads on SMR replicas; leaseDur
+	// and maxStale parameterize the protocol (DESIGN.md §13).
+	lease    bool
+	leaseDur time.Duration
+	maxStale time.Duration
+	// groupCommit, when > 1, coalesces the SMR journal's fsyncs: acks
+	// park until one fsync covers up to this many ack-bearing slots.
+	groupCommit int
+}
+
+// groupWindow sizes the SMR group-commit window: with a durable store
+// under the batch sync policy, acks are parked until one fsync covers
+// the window. The window tracks the sequencer's pipeline (concurrent
+// slots arrive back to back) with a floor of 4.
+func groupWindow(dataDir, fsync string, pipeline int) int {
+	if dataDir == "" || fsync != "batch" {
+		return 0
+	}
+	if pipeline > 4 {
+		return pipeline
+	}
+	return 4
+}
+
+// enableLease wires lease-based local reads onto an SMR replica. Live
+// processes use wall-clock Unix time as the lease clock: issue
+// timestamps travel inside ordered renewals and are compared against
+// the local clock, so validity tolerates NTP-grade skew — keep
+// -lease-dur comfortably above the deployment's clock error bound.
+func enableLease(r *core.SMRReplica, c buildConfig) error {
+	if !c.lease {
+		return nil
+	}
+	if c.registry != "bank" {
+		return fmt.Errorf("-lease serves the bank read registry only (got -registry %q)", c.registry)
+	}
+	if len(c.bcast) == 0 {
+		return fmt.Errorf("-lease requires broadcast nodes in the topology")
+	}
+	// The fast-path registry keeps the ordered apply loop on the same
+	// allocation budget the readpath experiment certifies.
+	r.Executor().Fast = core.BankFastRegistry()
+	r.EnableLease(core.LeaseConfig{
+		Dur: c.leaseDur, MaxStale: c.maxStale, Bcast: c.bcast[0],
+		Now: func() time.Duration { return time.Duration(time.Now().UnixNano()) },
+	}, core.BankReadRegistry())
+	return nil
 }
 
 func buildHost(c buildConfig) (*runtime.Host, error) {
@@ -497,7 +549,12 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 				r = core.NewSMRReplica(c.id, db, reg)
 			}
 			r.SetView(c.view)
-			return runtime.NewHost(c.id, c.tr, r), nil
+			if err := enableLease(r, c); err != nil {
+				return nil, err
+			}
+			h := runtime.NewHost(c.id, c.tr, r)
+			h.Emit(r.LeaseDirectives())
+			return h, nil
 		}
 		st, err := c.stable.Open("smr-" + string(c.id))
 		if err != nil {
@@ -512,7 +569,14 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			return nil, err
 		}
 		r.SetView(c.view)
+		if c.groupCommit > 1 {
+			r.SetGroupCommit(c.groupCommit, 0)
+		}
+		if err := enableLease(r, c); err != nil {
+			return nil, err
+		}
 		h := runtime.NewHost(c.id, c.tr, r)
+		h.Emit(r.LeaseDirectives())
 		if r.Recovered() {
 			lg.Infof("%s: recovered durable state through slot %d; requesting downtime delta from peers",
 				c.id, r.LastSlot())

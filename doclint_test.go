@@ -1,0 +1,138 @@
+package shadowdb
+
+// Doc lint: every exported identifier of the audited packages must
+// carry a doc comment, and each package must have exactly one package
+// comment (in doc.go where one exists). The invariants these packages
+// maintain live in their godoc — an undocumented exported identifier
+// is an invariant someone will violate. CI runs this test; it is pure
+// stdlib (go/ast over the source tree, no build step).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// docLintPackages are the directories audited, relative to the repo
+// root. Grow this list as packages are brought up to the standard.
+var docLintPackages = []string{
+	"internal/member",
+	"internal/shard",
+	"internal/fault",
+	"internal/store",
+	"internal/obs/dist",
+}
+
+func TestDocLint(t *testing.T) {
+	for _, dir := range docLintPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			lintPackage(t, fset, dir, pkg)
+		}
+	}
+}
+
+func lintPackage(t *testing.T, fset *token.FileSet, dir string, pkg *ast.Package) {
+	t.Helper()
+	pkgComments := 0
+	for name, f := range pkg.Files {
+		if f.Doc != nil {
+			pkgComments++
+			if want := filepath.Join(dir, "doc.go"); name != want {
+				t.Errorf("%s: package comment should live in %s", name, want)
+			}
+		}
+		for _, decl := range f.Decls {
+			lintDecl(t, fset, decl)
+		}
+	}
+	if pkgComments != 1 {
+		t.Errorf("%s: %d package comments, want exactly 1 (in doc.go)", dir, pkgComments)
+	}
+}
+
+func lintDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return p.Filename + ":" + itoa(p.Line)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported %s %s has no doc comment", pos(d), kindOf(d), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					t.Errorf("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					// A doc comment on the grouped decl covers the block
+					// (idiomatic for const groups).
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						t.Errorf("%s: exported %s %s has no doc comment", pos(s), d.Tok, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is itself
+// exported: methods on unexported types are not package API.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -541,6 +541,18 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 		}
 		s.next++
 	}
+	// Covering fsync for the write-ahead contract: the journal appends
+	// above (this decision, and any earlier out-of-order ones now being
+	// delivered) must be stable before the Deliver fan-out leaves the
+	// node. One Sync covers the whole contiguous run — under the batch
+	// policy a full pipeline window of decisions costs one fsync here
+	// instead of one per slot (no-op under SyncAlways, where Append
+	// already synced; no-op under SyncNever by policy).
+	if s.st != nil && len(outs) > 0 {
+		if err := s.st.Sync(); err != nil {
+			panic(fmt.Sprintf("broadcast: sequencer sync: %v", err))
+		}
+	}
 	return append(outs, s.cut(cfg, slf, false)...)
 }
 

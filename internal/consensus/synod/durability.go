@@ -55,6 +55,13 @@ func (s *acceptorState) persist(pv *PValue) {
 	if err := s.st.Append(gobBytes(accRecord{B: s.ballot, PV: pv})); err != nil {
 		panic(fmt.Sprintf("synod: acceptor journal: %v", err))
 	}
+	// The reply is a durable promise, so the record must be on disk
+	// before it leaves. Under SyncAlways the Append already synced and
+	// this is free; under SyncBatch it is the covering fsync that makes
+	// batching sound for acceptors.
+	if err := s.st.Sync(); err != nil {
+		panic(fmt.Sprintf("synod: acceptor sync: %v", err))
+	}
 	s.sinceSnap++
 	if s.sinceSnap < accSnapEvery {
 		return

@@ -63,10 +63,21 @@ type Client struct {
 	home     int // broadcast node the SMR client currently uses
 	attempt  int // consecutive retries of the inflight request
 	inflight *TxRequest
+	// Local reads (lease/follower mode): the outstanding read, its
+	// target replica, and the last completed result (drained by
+	// TakeRead; the drainer owns releasing the pooled result).
+	inflightRead *ReadRequest
+	readTarget   msg.Loc
+	lastRead     *ReadResult
 	// Done counts completed transactions; Retries counts resends.
 	Done    int64
 	Retries int64
 	Aborted int64
+	// ReadsDone counts completed local reads; ReadsRejected counts
+	// serve refusals (no valid lease / staleness bound exceeded), each
+	// of which is retried on the normal backoff schedule.
+	ReadsDone     int64
+	ReadsRejected int64
 }
 
 func (c *Client) retry() time.Duration {
@@ -90,8 +101,8 @@ func (c *Client) backoff() time.Duration {
 	return b.Delay(c.attempt, uint64(c.seq))
 }
 
-// Busy reports whether a transaction is outstanding.
-func (c *Client) Busy() bool { return c.inflight != nil }
+// Busy reports whether a transaction or read is outstanding.
+func (c *Client) Busy() bool { return c.inflight != nil || c.inflightRead != nil }
 
 // Seq returns the last assigned sequence number.
 func (c *Client) Seq() int64 { return c.seq }
@@ -107,6 +118,39 @@ func (c *Client) Submit(txType string, args []any) []msg.Directive {
 	req := TxRequest{Client: c.Slf, Seq: c.seq, Type: txType, Args: args}
 	c.inflight = &req
 	return c.send(req)
+}
+
+// SubmitRead starts a local read against target (a replica, not a
+// broadcast node) in the given mode. Like Submit it panics when a
+// request is already outstanding. A rejected read — the target cannot
+// prove the mode's guarantee right now — is retried against the same
+// target on the retry-timer schedule; the caller drains completed
+// results with TakeRead.
+func (c *Client) SubmitRead(typ string, args []any, mode ReadMode, target msg.Loc) []msg.Directive {
+	if c.Busy() {
+		panic("core: client already has a request outstanding")
+	}
+	c.seq++
+	c.attempt = 0
+	req := ReadRequest{Client: c.Slf, Seq: c.seq, Type: typ, Args: args, Mode: mode}
+	c.inflightRead = &req
+	c.readTarget = target
+	return c.sendRead(req)
+}
+
+func (c *Client) sendRead(req ReadRequest) []msg.Directive {
+	return []msg.Directive{
+		msg.SendAfter(c.backoff(), c.Slf, msg.M(HdrClientRetry, ClientRetryBody{Seq: req.Seq})),
+		msg.Send(c.readTarget, msg.M(HdrRead, req)),
+	}
+}
+
+// TakeRead drains the last completed read result. The caller owns the
+// pooled result and must ReleaseReadResult it when done.
+func (c *Client) TakeRead() *ReadResult {
+	r := c.lastRead
+	c.lastRead = nil
+	return r
 }
 
 func (c *Client) send(req TxRequest) []msg.Directive {
@@ -134,6 +178,24 @@ func (c *Client) send(req TxRequest) []msg.Directive {
 // send.
 func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 	switch in.Hdr {
+	case HdrReadResult:
+		res := in.Body.(*ReadResult)
+		if c.inflightRead == nil || res.Seq != c.inflightRead.Seq {
+			return nil, nil // stale or duplicate answer
+		}
+		if res.Rejected {
+			// The target cannot serve this mode right now (lease not yet
+			// granted, holder transition, staleness bound exceeded): hold
+			// the request and let the retry timer resend it.
+			c.ReadsRejected++
+			ReleaseReadResult(res)
+			return nil, nil
+		}
+		c.inflightRead = nil
+		c.attempt = 0
+		c.ReadsDone++
+		c.lastRead = res
+		return nil, nil
 	case HdrTxResult:
 		res := in.Body.(TxResult)
 		if c.inflight == nil || res.Seq != c.inflight.Seq {
@@ -162,6 +224,12 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 		return nil, c.resend()
 	case HdrClientRetry:
 		body := in.Body.(ClientRetryBody)
+		if c.inflightRead != nil && body.Seq == c.inflightRead.Seq {
+			c.Retries++
+			c.attempt++
+			mCliRetries.Inc()
+			return nil, c.sendRead(*c.inflightRead)
+		}
 		if c.inflight == nil || body.Seq != c.inflight.Seq {
 			return nil, nil // the guarded request already completed
 		}

@@ -224,3 +224,61 @@ func BankRegistry() Registry {
 		},
 	}
 }
+
+// asInt64 widens a procedure argument the way the SQL layer does.
+func asInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// BankReadRegistry returns the read-only procedures served on the
+// local read path. "balance" answers through sqldb.PointGet into the
+// reusable result, so a steady-state serve allocates nothing.
+func BankReadRegistry() ReadRegistry {
+	return ReadRegistry{
+		"balance": func(db *sqldb.DB, args []any, res *ReadResult) error {
+			if len(args) != 1 {
+				return fmt.Errorf("balance wants (id)")
+			}
+			id, ok := asInt64(args[0])
+			if !ok {
+				return fmt.Errorf("balance wants an integer id")
+			}
+			v, ok := db.PointGet("accounts", id, "balance")
+			if !ok {
+				return fmt.Errorf("no account %d", id)
+			}
+			res.Vals = append(res.Vals, v)
+			return nil
+		},
+	}
+}
+
+// BankFastRegistry returns the allocation-lean variants of the hot
+// bank writes: "deposit" becomes a single in-place point increment
+// (identical semantics — a missing account deterministically aborts
+// before any mutation).
+func BankFastRegistry() FastRegistry {
+	return FastRegistry{
+		"deposit": func(db *sqldb.DB, args []any) (bool, error) {
+			if len(args) != 2 {
+				return false, fmt.Errorf("deposit wants (id, amount)")
+			}
+			id, ok1 := asInt64(args[0])
+			amt, ok2 := asInt64(args[1])
+			if !ok1 || !ok2 {
+				return false, fmt.Errorf("deposit wants integer (id, amount)")
+			}
+			ok, err := db.PointAddInt("accounts", id, "balance", amt)
+			if err != nil {
+				return false, err
+			}
+			return !ok, nil // unknown account: deterministic abort
+		},
+	}
+}

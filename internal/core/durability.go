@@ -81,10 +81,7 @@ func (e *Executor) Compact() error {
 	snap := execSnapshot{
 		Dumps:    e.DB.Snapshot(),
 		Executed: e.Executed,
-		LastSeq:  make(map[string]int64, len(e.lastSeq)),
-	}
-	for c, s := range e.lastSeq {
-		snap.LastSeq[c] = s
+		LastSeq:  e.LastSeqs(),
 	}
 	if err := e.st.SaveSnapshot(gobEnc(snap)); err != nil {
 		return err
@@ -115,7 +112,7 @@ func (e *Executor) Recover() (bool, error) {
 			}
 			e.InstallSnapshot(snap.Executed)
 			for c, s := range snap.LastSeq {
-				e.lastSeq[c] = s
+				e.SetLastSeq(c, s)
 			}
 			restored = true
 		}

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"shadowdb/internal/msg"
 	"shadowdb/internal/sqldb"
 	"shadowdb/internal/store"
 )
@@ -33,11 +35,39 @@ type ProcResult struct {
 // cannot travel in messages).
 type Registry map[string]Procedure
 
+// FastProc is an allocation-lean write procedure: a single-statement
+// mutation (e.g. a point increment through sqldb.PointAddInt) with no
+// result set. Because it cannot fail after mutating, the executor skips
+// the per-transaction savepoint — aborted=true requests a deterministic
+// abort before any mutation.
+type FastProc func(db *sqldb.DB, args []any) (aborted bool, err error)
+
+// FastRegistry maps transaction types to their fast variants. A type
+// present here shadows its Registry entry on the batch apply path.
+type FastRegistry map[string]FastProc
+
+// dedupWindow is how many recent results are kept per client. Results
+// older than the window answer retries with an empty duplicate marker,
+// exactly as the map-based cache did for results it had evicted.
+const dedupWindow = 8
+
+// clientState is the per-client dedup record: the last answered
+// sequence number and a ring of recent results keyed by seq%window.
+// Replacing the (key-string -> result) map removes the two per-apply
+// allocations (fmt.Sprintf key + map growth) from the steady state.
+type clientState struct {
+	lastSeq int64
+	recent  [dedupWindow]TxResult
+}
+
 // Executor owns a replica's database, its execution log cache, and the
 // per-client deduplication table.
 type Executor struct {
 	DB  *sqldb.DB
 	Reg Registry
+	// Fast, when set, provides allocation-lean variants of hot write
+	// procedures (see FastProc).
+	Fast FastRegistry
 	// Executed is the number of transactions applied (the election
 	// criterion of the recovery protocol).
 	Executed int64
@@ -47,8 +77,10 @@ type Executor struct {
 	CacheSize int
 	log       []Repl
 	logStart  int64 // order number of log[0]
-	dedup     map[string]TxResult
-	lastSeq   map[string]int64
+	cstates   map[string]*clientState
+	// resBuf is the reusable ApplyBatch result buffer; callers consume
+	// it before the next batch.
+	resBuf []TxResult
 	// Durability (durability.go): with st set, appendLog journals every
 	// ordered transaction and compacts the journal into a database
 	// snapshot every snapEvery transactions. replaying suppresses
@@ -64,8 +96,7 @@ func NewExecutor(db *sqldb.DB, reg Registry) *Executor {
 	return &Executor{
 		DB:      db,
 		Reg:     reg,
-		dedup:   make(map[string]TxResult),
-		lastSeq: make(map[string]int64),
+		cstates: make(map[string]*clientState),
 	}
 }
 
@@ -76,19 +107,91 @@ func (e *Executor) cacheSize() int {
 	return e.CacheSize
 }
 
+// state returns the dedup record for a client, creating it on first
+// contact (amortized: one allocation per client, ever).
+func (e *Executor) state(client msg.Loc) *clientState {
+	cs := e.cstates[string(client)]
+	if cs == nil {
+		cs = &clientState{}
+		e.cstates[string(client)] = cs
+	}
+	return cs
+}
+
 // Duplicate returns the cached result when the request was already
 // executed (exactly-once under client retry).
 func (e *Executor) Duplicate(req TxRequest) (TxResult, bool) {
-	if last, ok := e.lastSeq[string(req.Client)]; !ok || req.Seq > last {
+	cs := e.cstates[string(req.Client)]
+	if cs == nil || req.Seq > cs.lastSeq {
 		return TxResult{}, false
 	}
-	res, ok := e.dedup[req.Key()]
-	if !ok {
-		// Older than the last answered sequence number but not cached:
-		// answer with an empty duplicate marker (the client has moved on).
-		return TxResult{Client: req.Client, Seq: req.Seq}, true
+	if r := &cs.recent[req.Seq%dedupWindow]; r.Seq == req.Seq && r.Client == req.Client {
+		return *r, true
 	}
-	return res, true
+	// Older than the last answered sequence number but no longer cached:
+	// answer with an empty duplicate marker (the client has moved on).
+	return TxResult{Client: req.Client, Seq: req.Seq}, true
+}
+
+// record stores a result in the client's dedup ring and advances its
+// horizon.
+func (e *Executor) record(req TxRequest, res TxResult) {
+	cs := e.state(req.Client)
+	cs.recent[req.Seq%dedupWindow] = res
+	if req.Seq > cs.lastSeq {
+		cs.lastSeq = req.Seq
+	}
+}
+
+// RecentResults returns the newest cached result of every client,
+// ordered by client name so callers that re-emit them stay
+// deterministic. Clients known only through a transferred dedup
+// horizon (SetLastSeq) have no cached result and are skipped.
+func (e *Executor) RecentResults() []TxResult {
+	var out []TxResult
+	for _, cs := range e.cstates {
+		res := &cs.recent[cs.lastSeq%dedupWindow]
+		if res.Seq == cs.lastSeq && res.Client != "" {
+			out = append(out, *res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// AdoptRecent seeds the dedup ring with transferred results (the
+// counterpart of RecentResults on the receiving side of a snapshot or
+// state transfer). Without them a restarted lease holder could re-ack
+// only what it re-executed locally; with them it can answer for writes
+// that reached it inside a state transfer.
+func (e *Executor) AdoptRecent(results []TxResult) {
+	for _, res := range results {
+		cs := e.state(res.Client)
+		cs.recent[res.Seq%dedupWindow] = res
+		if res.Seq > cs.lastSeq {
+			cs.lastSeq = res.Seq
+		}
+	}
+}
+
+// LastSeqs returns a copy of the per-client dedup horizon (for
+// snapshots and state transfers).
+func (e *Executor) LastSeqs() map[string]int64 {
+	out := make(map[string]int64, len(e.cstates))
+	for c, cs := range e.cstates {
+		out[c] = cs.lastSeq
+	}
+	return out
+}
+
+// SetLastSeq adopts a transferred dedup horizon entry: retries at or
+// below seq are answered with a duplicate marker rather than
+// re-executed.
+func (e *Executor) SetLastSeq(client string, seq int64) {
+	cs := e.state(msg.Loc(client))
+	if seq > cs.lastSeq {
+		cs.lastSeq = seq
+	}
 }
 
 // Apply executes one ordered transaction and records it in the log cache
@@ -100,10 +203,7 @@ func (e *Executor) Apply(order int64, req TxRequest) (TxResult, error) {
 	res := e.run(req)
 	e.Executed = order
 	e.appendLog(Repl{Order: order, Req: req})
-	e.dedup[req.Key()] = res
-	if req.Seq > e.lastSeq[string(req.Client)] {
-		e.lastSeq[string(req.Client)] = req.Seq
-	}
+	e.record(req, res)
 	return res, nil
 }
 
@@ -119,9 +219,10 @@ func (e *Executor) run(req TxRequest) TxResult {
 // numbers are assigned sequentially from Executed+1 and the log,
 // deduplication, and result bookkeeping are identical to calling Apply
 // once per request, so primaries applying one-by-one and backups
-// applying a whole batch converge on the same state.
+// applying a whole batch converge on the same state. The returned
+// slice is reused by the next call; callers consume it immediately.
 func (e *Executor) ApplyBatch(reqs []TxRequest) []TxResult {
-	out := make([]TxResult, 0, len(reqs))
+	out := e.resBuf[:0]
 	if len(reqs) == 0 {
 		return out
 	}
@@ -135,6 +236,7 @@ func (e *Executor) ApplyBatch(reqs []TxRequest) []TxResult {
 			}
 			out = append(out, res)
 		}
+		e.resBuf = out
 		return out
 	}
 	for _, req := range reqs {
@@ -143,14 +245,23 @@ func (e *Executor) ApplyBatch(reqs []TxRequest) []TxResult {
 	if e.DB.InTx() {
 		_, _ = e.DB.Exec("COMMIT")
 	}
+	e.resBuf = out
 	return out
 }
 
 // applyInBatch executes one transaction of an open group-commit batch
 // under its own savepoint and records the same bookkeeping as Apply.
+// Fast procedures skip the savepoint: a single-statement mutation
+// cannot fail after mutating, so there is nothing to roll back to.
 func (e *Executor) applyInBatch(req TxRequest) TxResult {
 	out := TxResult{Client: req.Client, Seq: req.Seq}
-	if proc, ok := e.Reg[req.Type]; !ok {
+	if fp, ok := e.Fast[req.Type]; ok {
+		if aborted, err := fp(e.DB, req.Args); err != nil {
+			out.Err = err.Error()
+		} else if aborted {
+			out.Aborted = true
+		}
+	} else if proc, ok := e.Reg[req.Type]; !ok {
 		out.Err = fmt.Sprintf("unknown transaction type %q", req.Type)
 	} else if mark, err := e.DB.Savepoint(); err != nil {
 		out.Err = err.Error()
@@ -167,10 +278,7 @@ func (e *Executor) applyInBatch(req TxRequest) TxResult {
 	order := e.Executed + 1
 	e.Executed = order
 	e.appendLog(Repl{Order: order, Req: req})
-	e.dedup[req.Key()] = out
-	if req.Seq > e.lastSeq[string(req.Client)] {
-		e.lastSeq[string(req.Client)] = req.Seq
-	}
+	e.record(req, out)
 	return out
 }
 
@@ -216,8 +324,15 @@ func (e *Executor) appendLog(r Repl) {
 	}
 	e.log = append(e.log, r)
 	if len(e.log) > e.cacheSize() {
+		// Shift in place instead of reallocating: once the cache is full
+		// this runs on every append, and the old copy-to-fresh-slice made
+		// it a full-length allocation per transaction.
 		drop := len(e.log) - e.cacheSize()
-		e.log = append([]Repl(nil), e.log[drop:]...)
+		n := copy(e.log, e.log[drop:])
+		for i := n; i < len(e.log); i++ {
+			e.log[i] = Repl{} // release references held past the cache
+		}
+		e.log = e.log[:n]
 		e.logStart += int64(drop)
 	}
 }
@@ -246,6 +361,5 @@ func (e *Executor) InstallSnapshot(order int64) {
 	// The dedup table conservatively clears; duplicate suppression for
 	// older requests is re-established as clients resend with their
 	// latest sequence numbers.
-	e.dedup = make(map[string]TxResult)
-	e.lastSeq = make(map[string]int64)
+	e.cstates = make(map[string]*clientState)
 }

@@ -29,6 +29,17 @@ var (
 	// Dynamic membership: bootstrap snapshots pushed to joiners.
 	mSMRSnapshotsSent = obs.C("core.smr.member_snapshots")
 
+	// Lease-based local reads (lease.go).
+	mLeaseRenewals    = obs.C("core.lease.renewals")
+	mLeaseGrants      = obs.C("core.lease.grants")
+	mLeaseRefused     = obs.C("core.lease.refused")
+	mLeaseReacks      = obs.C("core.lease.reacks")
+	mSMRReads         = obs.C("core.smr.reads")
+	mSMRReadsRejected = obs.C("core.smr.reads_rejected")
+	mAcksSuppressed   = obs.C("core.smr.acks_suppressed")
+	mGroupSyncs       = obs.C("core.smr.group_syncs")
+	mSMRAppends       = obs.C("core.smr.journal_appends")
+
 	lg = obs.L("core")
 )
 
@@ -40,6 +51,11 @@ func init() {
 		case TxRequest:
 			f.Span = b.Key()
 		case TxResult:
+			f.Span = TxRequest{Client: b.Client, Seq: b.Seq}.Key()
+		case ReadRequest:
+			f.Span = TxRequest{Client: b.Client, Seq: b.Seq}.Key()
+		case *ReadResult:
+			f.Slot = int64(b.Slot)
 			f.Span = TxRequest{Client: b.Client, Seq: b.Seq}.Key()
 		case Repl:
 			f.Slot, f.Ballot, f.Span = b.Order, int64(b.CfgSeq), b.Req.Key()

@@ -66,6 +66,53 @@ type SMRReplica struct {
 	// member commands refresh the catch-up peer set and trigger the
 	// bootstrap snapshot push for replica joins (see onMemberCmd).
 	view *member.View
+	// Recovery runs in the constructor, before SetView can attach the
+	// view, so the epoch schedule restored from the durable snapshot
+	// (recEpochs/recJoined) and any member commands replayed from the
+	// journal tail (recCmds) are stashed here and folded in by SetView.
+	recEpochs []member.Config
+	recJoined map[msg.Loc]int
+	recCmds   []recMemberCmd
+	// Lease-based local reads (lease.go). lease is nil unless
+	// EnableLease ran; readReg holds the read-only procedures; readOuts
+	// is the reusable serve-path directive buffer (safe because the
+	// single-threaded runtime consumes directives before the next Step).
+	lease    *leaseState
+	readReg  ReadRegistry
+	readOuts []msg.Directive
+	// ackGap is set when ack gating suppressed a client reply (or quiet
+	// catch-up dropped one). The broadcast layer dedups client retries,
+	// so a suppressed ack can never be re-elicited by the client; the
+	// next time this replica holds a valid lease it re-emits the newest
+	// cached result per client instead (see reAck).
+	ackGap bool
+	// Group commit (smr_durable.go): with gcEvery > 1 client acks are
+	// parked until a covering fsync — one fsync per window instead of
+	// one per slot — released by count or by the HdrSyncTick timer.
+	// unsyncedSlots counts the ack-bearing slots of the open window;
+	// ack-free slots (renewals, suppressed replies) defer their fsync
+	// to the next ack-bearing window.
+	gcEvery       int
+	gcDelay       time.Duration
+	parked        []msg.Directive
+	unsyncedSlots int
+	syncTimer     bool
+	// Reusable apply-path buffers (applyBatch).
+	runBuf []TxRequest
+	inRun  map[ckey]bool
+}
+
+// ckey identifies a client request without string formatting.
+type ckey struct {
+	c msg.Loc
+	s int64
+}
+
+// recMemberCmd is a membership command replayed from the journal before
+// the view was attached (see SetView).
+type recMemberCmd struct {
+	cmd  member.Command
+	slot int
 }
 
 var _ gpm.Process = (*SMRReplica)(nil)
@@ -86,12 +133,27 @@ func NewJoiningSMRReplica(slf msg.Loc, db *sqldb.DB, reg Registry) *SMRReplica {
 // SetView attaches the shared membership epoch view. Ordered member
 // commands then keep the replica's catch-up peer set in sync with the
 // epoch schedule, and a replica join makes the deterministic proposer
-// push the bootstrap snapshot.
+// push the bootstrap snapshot. A freshly constructed view is first
+// brought up to the replica's recovered frontier: the epoch schedule
+// restored from the durable snapshot is adopted, then the member
+// commands replayed from the journal tail are re-applied in order.
+// Without this a restarted replica would execute epoch-N state under an
+// epoch-0 view — wrong catch-up peers, wrong snapshot proposer, and
+// (with leases) grants accepted from a deposed holder.
 func (r *SMRReplica) SetView(v *member.View) {
 	r.view = v
-	if v != nil {
-		r.refreshPeers(v.Current())
+	if v == nil {
+		return
 	}
+	if len(r.recEpochs) > 0 || len(r.recJoined) > 0 {
+		v.Adopt(r.recEpochs, r.recJoined)
+		r.recEpochs, r.recJoined = nil, nil
+	}
+	for _, rc := range r.recCmds {
+		v.Apply(rc.cmd, rc.slot)
+	}
+	r.recCmds = nil
+	r.refreshPeers(v.Current())
 }
 
 // refreshPeers derives the catch-up peer set from an epoch config.
@@ -135,6 +197,12 @@ func (r *SMRReplica) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 		outs = r.onSMRCatchupReq(in.Body.(SMRCatchupReq))
 	case HdrSMRCatchup:
 		outs = r.onSMRCatchup(in.Body.(SMRCatchup))
+	case HdrRead:
+		outs = r.onRead(in.Body.(ReadRequest))
+	case HdrLeaseTick:
+		outs = r.onLeaseTick()
+	case HdrSyncTick:
+		outs = r.onSyncTick()
 	}
 	r.stepCost += r.exec.DB.Engine().CostOf(r.exec.DB.Stats().Sub(before))
 	return r, outs
@@ -170,56 +238,105 @@ func (r *SMRReplica) onDeliver(d broadcast.Deliver) []msg.Directive {
 
 func (r *SMRReplica) applyBatch(d broadcast.Deliver) []msg.Directive {
 	var outs []msg.Directive
+	// ackOK gates client acks: with leases enabled only the valid
+	// holder answers, so every acknowledged write is in the holder's
+	// applied prefix and a local lease read is linearizable. Evaluated
+	// per flush because a membership command mid-slot can change it.
+	ackOK := func() bool {
+		if r.lease == nil {
+			return true
+		}
+		if !r.leaseValid() {
+			mAcksSuppressed.Inc()
+			r.ackGap = true
+			return false
+		}
+		return true
+	}
 	// Contiguous runs of plain transactions within the slot's batch are
 	// group-committed: one SQL-engine critical section for the whole run
 	// instead of a BEGIN..COMMIT per transaction. Reconfigurations ride
 	// the same total order but cut the run (they must observe the state
-	// up to their own position).
-	var run []TxRequest
-	inRun := make(map[string]bool)
+	// up to their own position). The run buffer and membership set are
+	// reused across slots to keep the steady-state apply loop quiet.
+	run := r.runBuf[:0]
+	if r.inRun == nil {
+		r.inRun = make(map[ckey]bool)
+	}
+	clear(r.inRun)
 	flush := func() {
 		if len(run) == 0 {
 			return
 		}
 		t0 := obs.Default.Now()
+		ack := ackOK()
 		for _, res := range r.exec.ApplyBatch(run) {
 			mSMRCommits.Inc()
-			outs = append(outs, msg.Send(res.Client, msg.M(HdrTxResult, res)))
+			if ack {
+				outs = append(outs, msg.Send(res.Client, msg.M(HdrTxResult, res)))
+			}
 		}
 		mSMRApplyNS.Observe(obs.Default.Now() - t0)
 		gExecuted.Set(r.exec.Executed)
-		run = nil
-		inRun = make(map[string]bool)
+		run = run[:0]
+		clear(r.inRun)
 	}
 	for _, b := range d.Msgs {
-		if add, ok := DecodeSMRAdd(b.Payload); ok {
-			flush()
-			outs = append(outs, r.onAdd(add)...)
-			continue
-		}
-		if cmd, ok := member.DecodeCommand(b.Payload); ok {
-			flush()
-			outs = append(outs, r.onMemberCmd(cmd, d.Slot)...)
-			continue
+		// Dispatch on the payload tag without splitting: the non-tx tags
+		// are all 4 bytes ("add|", "mbr|", "lse|"), and comparing against
+		// a constant does not allocate.
+		if len(b.Payload) >= 4 && b.Payload[3] == '|' {
+			switch string(b.Payload[:4]) {
+			case "add|":
+				if add, ok := DecodeSMRAdd(b.Payload); ok {
+					flush()
+					outs = append(outs, r.onAdd(add)...)
+					continue
+				}
+			case "mbr|":
+				if cmd, ok := member.DecodeCommand(b.Payload); ok {
+					flush()
+					outs = append(outs, r.onMemberCmd(cmd, d.Slot)...)
+					continue
+				}
+			case "lse|":
+				if ren, ok := DecodeLease(b.Payload); ok {
+					// The renewal must observe the prefix before its own
+					// slot position (earlier txs in this slot flush
+					// first), and later txs in the slot are acked under
+					// the new grant.
+					flush()
+					r.onLeaseGrant(ren, d.Slot)
+					continue
+				}
+			}
 		}
 		req, err := DecodeTx(b.Payload)
 		if err != nil {
 			continue
 		}
-		if inRun[req.Key()] {
+		k := ckey{req.Client, req.Seq}
+		if r.inRun[k] {
 			// A duplicate of a request already queued in this run: apply
 			// the run so the dedup table answers it, as one-by-one
 			// application would.
 			flush()
 		}
 		if res, dup := r.exec.Duplicate(req); dup {
-			outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
+			if ackOK() {
+				outs = append(outs, msg.Send(req.Client, msg.M(HdrTxResult, res)))
+			}
 			continue
 		}
 		run = append(run, req)
-		inRun[req.Key()] = true
+		r.inRun[k] = true
 	}
 	flush()
+	r.runBuf = run[:0]
+	if r.ackGap && r.leaseValid() {
+		r.ackGap = false
+		outs = r.reAck(outs)
+	}
 	return outs
 }
 
@@ -246,6 +363,9 @@ func (r *SMRReplica) onAdd(add SMRAddReplica) []msg.Directive {
 // proposer choice does not depend on who won that race.
 func (r *SMRReplica) onMemberCmd(cmd member.Command, slot int) []msg.Directive {
 	if r.view == nil {
+		// Journal replay runs before SetView attaches the view; stash the
+		// command so SetView can fold it in order.
+		r.recCmds = append(r.recCmds, recMemberCmd{cmd, slot})
 		return nil
 	}
 	prev := r.view.Current()
@@ -281,14 +401,16 @@ func (r *SMRReplica) pushSnapshot(to msg.Loc) []msg.Directive {
 			r.stepCost += time.Duration(len(batch.Rows)*cols) * eng.PerColSerialize
 		}
 	}
-	lastSeq := make(map[string]int64, len(r.exec.lastSeq))
-	for c, s := range r.exec.lastSeq {
-		lastSeq[c] = s
-	}
-	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, SnapEnd{
+	end := SnapEnd{
 		Order: int64(r.lastSlot), Batches: n,
-		Executed: r.exec.Executed, LastSeq: lastSeq,
-	})))
+		Executed: r.exec.Executed, LastSeq: r.exec.LastSeqs(),
+		Recent: r.exec.RecentResults(),
+	}
+	if r.view != nil {
+		end.Epochs = r.view.Epochs()
+		end.Joined = r.view.Joined()
+	}
+	outs = append(outs, msg.Send(to, msg.M(HdrSnapEnd, end)))
 	return outs
 }
 
@@ -362,7 +484,18 @@ func (r *SMRReplica) onSnapEnd(s SnapEnd) []msg.Directive {
 	// deduplicated here exactly as the established replicas do.
 	r.exec.InstallSnapshot(s.Executed)
 	for c, seq := range s.LastSeq {
-		r.exec.lastSeq[c] = seq
+		r.exec.SetLastSeq(c, seq)
+	}
+	r.exec.AdoptRecent(s.Recent)
+	if r.view != nil && (len(s.Epochs) > 0 || len(s.Joined) > 0) {
+		r.view.Adopt(s.Epochs, s.Joined)
+		r.refreshPeers(r.view.Current())
+	}
+	if r.lease != nil && len(s.Recent) > 0 {
+		// The transfer may cover writes whose acks were suppressed
+		// everywhere (no valid holder while they applied); re-emit the
+		// adopted results at the next valid grant.
+		r.ackGap = true
 	}
 	r.active = true
 	coveredSlot := int(s.Order)

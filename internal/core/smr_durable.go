@@ -31,12 +31,20 @@ type walDeliver struct {
 }
 
 // smrSnapshot is the compacted journal: the database, the slot frontier
-// it reflects, and the executor's dedup horizon.
+// it reflects, the executor's dedup horizon and recent results, and the
+// membership epoch schedule in force at the frontier. The schedule must
+// be here: a membership command compacted into the snapshot is never
+// replayed, so without it a restarted replica would recover the rows of
+// epoch N while believing itself in epoch 0 — and, with leases on,
+// grant renewals from a deposed holder that every live replica refuses.
 type smrSnapshot struct {
 	Dumps    []sqldb.TableDump
 	Slot     int
 	Executed int64
 	LastSeq  map[string]int64
+	Recent   []TxResult
+	Epochs   []member.Config
+	Joined   map[msg.Loc]int
 }
 
 // smrSnapEvery is how many journaled slots trigger a compaction.
@@ -149,8 +157,13 @@ func (r *SMRReplica) recoverLocal() (bool, error) {
 			}
 			r.exec.InstallSnapshot(snap.Executed)
 			for c, s := range snap.LastSeq {
-				r.exec.lastSeq[c] = s
+				r.exec.SetLastSeq(c, s)
 			}
+			r.exec.AdoptRecent(snap.Recent)
+			// The epoch schedule folds into the view at SetView time —
+			// the view is attached after construction, and recovery runs
+			// inside the constructor.
+			r.recEpochs, r.recJoined = snap.Epochs, snap.Joined
 			r.lastSlot = snap.Slot
 			r.snapSlot = snap.Slot
 			restored = true
@@ -192,6 +205,23 @@ func (r *SMRReplica) durableDeliver(d broadcast.Deliver) []msg.Directive {
 	return append(outs, r.drainPending()...)
 }
 
+// SetGroupCommit coalesces the journal fsyncs of up to every slots:
+// client acks are parked until a covering Sync, released when the
+// window fills or after delay at the latest (the HdrSyncTick timer).
+// The write-ahead contract is preserved exactly — an acknowledged
+// transaction is always covered by an fsync — while a full pipeline
+// window costs one fsync instead of one per slot. Catch-up traffic and
+// snapshot pushes are not promises of durability and pass immediately.
+func (r *SMRReplica) SetGroupCommit(every int, delay time.Duration) {
+	if every < 1 {
+		every = 1
+	}
+	if delay <= 0 {
+		delay = 2 * time.Millisecond
+	}
+	r.gcEvery, r.gcDelay = every, delay
+}
+
 // journalAndApply persists the slot, executes it, and compacts when
 // due. quiet drops the client replies — used for catch-up application,
 // where the transactions were already answered by live replicas.
@@ -199,18 +229,97 @@ func (r *SMRReplica) journalAndApply(d broadcast.Deliver, quiet bool) []msg.Dire
 	if err := r.stable.Append(gobEnc(walDeliver{Slot: d.Slot, Msgs: d.Msgs})); err != nil {
 		panic(fmt.Sprintf("core: smr journal: %v", err))
 	}
+	mSMRAppends.Inc()
 	r.lastSlot = d.Slot
 	outs := r.applyBatch(d)
 	if quiet {
-		outs = dropTxResults(outs)
+		trimmed := dropTxResults(outs)
+		if r.lease != nil && len(trimmed) < len(outs) {
+			// Quiet catch-up swallowed client replies; the re-ack path
+			// must still cover them once this replica holds a valid
+			// lease (they may include writes nobody else acknowledged).
+			r.ackGap = true
+		}
+		outs = trimmed
 	}
+	snapped := false
 	r.sinceSnap++
 	if r.sinceSnap >= smrSnapEvery {
 		if err := r.saveSMRSnapshot(); err != nil {
 			panic(fmt.Sprintf("core: smr snapshot: %v", err))
 		}
+		snapped = true
+	}
+	if r.gcEvery > 1 {
+		outs = r.groupCommit(outs, snapped)
 	}
 	return outs
+}
+
+// groupCommit parks the client acks of a freshly journaled slot until
+// a covering fsync. snapped means a snapshot was just saved — its own
+// fsync already covers everything, so parked acks release for free.
+// Only ack-bearing slots demand a covering sync at all: a slot whose
+// apply produced no client replies (lease renewals, suppressed acks,
+// quiet catch-up) promises nothing, so its journal append simply rides
+// until the next ack-bearing window — Sync flushes the whole appended
+// tail, so the deferred slots are covered by that later fsync.
+func (r *SMRReplica) groupCommit(outs []msg.Directive, snapped bool) []msg.Directive {
+	kept := outs[:0]
+	parked0 := len(r.parked)
+	for _, o := range outs {
+		if o.M.Hdr == HdrTxResult {
+			r.parked = append(r.parked, o)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	outs = kept
+	if snapped {
+		r.unsyncedSlots = 0
+		if len(r.parked) > 0 {
+			return append(outs, r.releaseParked(true)...)
+		}
+		return outs
+	}
+	if len(r.parked) == parked0 {
+		return outs // ack-free slot: nothing promised, no sync owed
+	}
+	r.unsyncedSlots++
+	if r.unsyncedSlots >= r.gcEvery {
+		return append(outs, r.releaseParked(false)...)
+	}
+	if !r.syncTimer {
+		r.syncTimer = true
+		outs = append(outs, msg.SendAfter(r.gcDelay, r.slf, msg.M(HdrSyncTick, SyncTick{})))
+	}
+	return outs
+}
+
+// releaseParked runs the covering fsync (unless one is already implied
+// by a snapshot save) and returns the parked acks.
+func (r *SMRReplica) releaseParked(covered bool) []msg.Directive {
+	if !covered {
+		if err := r.stable.Sync(); err != nil {
+			panic(fmt.Sprintf("core: smr group-commit sync: %v", err))
+		}
+	}
+	mGroupSyncs.Inc()
+	r.unsyncedSlots = 0
+	outs := r.parked
+	r.parked = nil
+	return outs
+}
+
+// onSyncTick is the group-commit deadline: whatever acks are parked
+// when it fires are released under one covering fsync. Nothing parked
+// (a snapshot's fsync released them first) means nothing is owed.
+func (r *SMRReplica) onSyncTick() []msg.Directive {
+	r.syncTimer = false
+	if len(r.parked) == 0 {
+		return nil
+	}
+	return r.releaseParked(false)
 }
 
 // drainPending applies parked deliveries that became contiguous.
@@ -232,10 +341,12 @@ func (r *SMRReplica) saveSMRSnapshot() error {
 		Dumps:    r.exec.DB.Snapshot(),
 		Slot:     r.lastSlot,
 		Executed: r.exec.Executed,
-		LastSeq:  make(map[string]int64, len(r.exec.lastSeq)),
+		LastSeq:  r.exec.LastSeqs(),
+		Recent:   r.exec.RecentResults(),
 	}
-	for c, s := range r.exec.lastSeq {
-		snap.LastSeq[c] = s
+	if r.view != nil {
+		snap.Epochs = r.view.Epochs()
+		snap.Joined = r.view.Joined()
 	}
 	if err := r.stable.SaveSnapshot(gobEnc(snap)); err != nil {
 		return err

@@ -23,9 +23,11 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/sqldb"
 )
@@ -68,6 +70,15 @@ const (
 	// transfer when its own journal no longer reaches back that far).
 	HdrSMRCatchupReq = "sdb.smr.catchupreq"
 	HdrSMRCatchup    = "sdb.smr.catchup"
+	// HdrRead is a client read served locally by a replica (lease or
+	// follower mode), skipping the consensus round; HdrReadResult is the
+	// answer. HdrLeaseTick is the lease holder's local renewal timer.
+	HdrRead       = "sdb.read"
+	HdrReadResult = "sdb.readresult"
+	HdrLeaseTick  = "sdb.leasetick"
+	// HdrSyncTick is the durable replica's group-commit timer: parked
+	// client acks are released once the covering fsync runs.
+	HdrSyncTick = "sdb.synctick"
 )
 
 // TxRequest is a typed transaction invocation.
@@ -96,6 +107,92 @@ type TxResult struct {
 	Cols []string
 	Rows [][]sqldb.Value
 }
+
+// ReadMode selects the consistency mode of a local read.
+type ReadMode int
+
+// The read modes.
+const (
+	// ReadLease is a linearizable read served by the lease holder without
+	// a consensus round: validity of the lease guarantees no other
+	// replica could have acknowledged a newer write.
+	ReadLease ReadMode = iota + 1
+	// ReadFollower is a bounded-staleness read served by any replica: the
+	// serving replica proves (via the last applied lease renewal, which
+	// doubles as an ordered clock beacon) that its state is at most
+	// MaxStale behind the acknowledged frontier.
+	ReadFollower
+)
+
+func (m ReadMode) String() string {
+	switch m {
+	case ReadLease:
+		return "lease"
+	case ReadFollower:
+		return "follower"
+	}
+	return fmt.Sprintf("ReadMode(%d)", int(m))
+}
+
+// ReadRequest is a typed read-only invocation sent directly to one
+// replica (no broadcast). Type names a registered read procedure.
+type ReadRequest struct {
+	Client msg.Loc
+	Seq    int64
+	Type   string
+	Args   []any
+	Mode   ReadMode
+}
+
+// ReadResult is the answer to a ReadRequest. It travels as a pointer
+// body (see AcquireReadResult) so the steady-state serve loop boxes no
+// values; Vals is the flat single-row result of a fast read procedure,
+// reusing its backing array across serves.
+type ReadResult struct {
+	Client msg.Loc
+	Seq    int64
+	Mode   ReadMode
+	// Slot is the replica's applied-slot frontier when the read was
+	// served — the evidence the staleness checker audits.
+	Slot int
+	// Issue is the issue timestamp (virtual ns) of the lease renewal
+	// covering this serve.
+	Issue int64
+	// Rejected reports that the replica declined to serve in the
+	// requested mode (no valid lease / staleness bound exceeded). The
+	// client retries or falls back to a consensus-path read.
+	Rejected bool
+	Err      string
+	Cols     []string
+	Vals     []sqldb.Value
+}
+
+var readResultPool = sync.Pool{New: func() any { return new(ReadResult) }}
+
+// AcquireReadResult returns a cleared ReadResult from the pool. The
+// serve path fills it and sends it as a pointer body; the consumer
+// calls ReleaseReadResult once done. In the single-threaded simulation
+// this makes the serve loop allocation-free after warm-up.
+func AcquireReadResult() *ReadResult {
+	r := readResultPool.Get().(*ReadResult)
+	r.Client, r.Seq, r.Mode, r.Slot, r.Issue = "", 0, 0, 0, 0
+	r.Rejected, r.Err, r.Cols = false, "", nil
+	r.Vals = r.Vals[:0]
+	return r
+}
+
+// ReleaseReadResult returns a consumed result to the pool.
+func ReleaseReadResult(r *ReadResult) {
+	if r != nil {
+		readResultPool.Put(r)
+	}
+}
+
+// LeaseTick is the lease renewal timer body.
+type LeaseTick struct{}
+
+// SyncTick is the group-commit timer body.
+type SyncTick struct{}
 
 // Redirect points a client at the current primary.
 type Redirect struct {
@@ -215,6 +312,16 @@ type SnapEnd struct {
 	Batches  int
 	Executed int64
 	LastSeq  map[string]int64
+	// Recent carries the sender's newest cached result per client, so a
+	// receiver that later becomes the lease holder can re-emit acks for
+	// writes it never executed locally (see SMRReplica.reAck).
+	Recent []TxResult
+	// Epochs and Joined carry the sender's membership schedule. A
+	// transfer that covers a membership command's slot is the only copy
+	// of that command the receiver will ever see — the slots it covers
+	// are never redelivered.
+	Epochs []member.Config
+	Joined map[msg.Loc]int
 }
 
 // Recovered signals a backup is in sync.
@@ -247,6 +354,7 @@ func RegisterWireTypes() {
 		TxRequest{}, TxResult{}, Redirect{}, Repl{}, ReplAck{}, Heartbeat{}, HBTick{},
 		NewConfig{}, Elect{}, Catchup{}, CatchupReq{}, SnapBegin{}, SnapBatch{}, SnapEnd{},
 		Recovered{}, ClientRetryBody{}, SMRCatchupReq{}, SMRCatchup{},
+		ReadRequest{}, &ReadResult{}, LeaseTick{}, SyncTick{},
 	} {
 		msg.RegisterBody(v)
 	}

@@ -31,8 +31,8 @@ var (
 // Seen reports whether the executor has executed (and remembered) the
 // request key — used by the durability validator.
 func (e *Executor) Seen(req TxRequest) bool {
-	last, ok := e.lastSeq[string(req.Client)]
-	return ok && req.Seq <= last
+	cs := e.cstates[string(req.Client)]
+	return cs != nil && req.Seq <= cs.lastSeq
 }
 
 // FullLog returns the whole cached log when it is complete (reaches back

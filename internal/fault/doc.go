@@ -1,0 +1,48 @@
+// Package fault is the deterministic fault-injection (nemesis) layer.
+// A Plan is a seedable script of message-level faults (drop, delay,
+// duplicate — and through delay, reorder), network partitions, and node
+// crash-restarts, applied over timed windows. One Plan drives all three
+// execution substrates the same way:
+//
+//   - the discrete-event simulator, through Cluster.Fault (BindCluster),
+//     where virtual time makes the whole injection schedule reproducible
+//     bit-for-bit;
+//   - the real transports, through the FaultyTransport decorator (Wrap)
+//     over network.Hub or network.TCP;
+//   - the verify fuzzer, whose schedule encoding gains drop/duplicate
+//     choices (Model.Drops / Model.Dups).
+//
+// # Invariants
+//
+//   - Determinism: every probabilistic decision is a pure hash of
+//     (plan seed, rule index, src, dst, header, occurrence number) — no
+//     shared PRNG stream — so the decision for the n-th matching message
+//     on an edge is independent of interleaving with other edges. Under
+//     the simulator, where message order is itself deterministic, the
+//     full injection log (see Injector.Fingerprint) reproduces exactly
+//     across runs of the same plan and seed.
+//   - Attributability: every injection is recorded as an obs trace
+//     event (layer "fault"), so a checker violation under chaos is
+//     attributable to the faults that preceded it.
+//   - Faults only remove, delay, or repeat messages — they never forge
+//     or mutate payloads, so any safety violation observed under a plan
+//     is the protocol's fault, not the nemesis's.
+//
+// The batched, pipelined broadcast hot path is covered explicitly:
+// batch_test.go drives partition-mid-batch and
+// crash-between-propose-and-decide schedules against the sequencer's
+// cut policy on the simulator. Because the service has no
+// retransmission layer, plans against it must keep the sequencer
+// connected to a quorum — a lost proposal stalls its instance rather
+// than violating safety.
+//
+// # Concurrency
+//
+// An Injector is safe for concurrent use: fault decisions are pure
+// functions of the message coordinates, and the occurrence counters and
+// injection log behind Fingerprint are guarded by one mutex.
+// FaultyTransport is as concurrent as the transport it wraps — Send may
+// be called from any goroutine; delayed redeliveries are re-timed onto
+// the receiver's channel by an internal pump goroutine that Close tears
+// down. Plans themselves are immutable once loaded.
+package fault

@@ -1,36 +1,3 @@
-// Package fault is the deterministic fault-injection (nemesis) layer.
-// A Plan is a seedable script of message-level faults (drop, delay,
-// duplicate — and through delay, reorder), network partitions, and node
-// crash-restarts, applied over timed windows. One Plan drives all three
-// execution substrates the same way:
-//
-//   - the discrete-event simulator, through Cluster.Fault (BindCluster),
-//     where virtual time makes the whole injection schedule reproducible
-//     bit-for-bit;
-//   - the real transports, through the FaultyTransport decorator (Wrap)
-//     over network.Hub or network.TCP;
-//   - the verify fuzzer, whose schedule encoding gains drop/duplicate
-//     choices (Model.Drops / Model.Dups).
-//
-// Determinism: every probabilistic decision is a pure hash of
-// (plan seed, rule index, src, dst, header, occurrence number) — no
-// shared PRNG stream — so the decision for the n-th matching message on
-// an edge is independent of interleaving with other edges. Under the
-// simulator, where message order is itself deterministic, the full
-// injection log (see Injector.Fingerprint) reproduces exactly across
-// runs of the same plan and seed.
-//
-// Every injection is recorded as an obs trace event (layer "fault"), so
-// a checker violation under chaos is attributable to the faults that
-// preceded it.
-//
-// The batched, pipelined broadcast hot path is covered explicitly:
-// batch_test.go drives partition-mid-batch and
-// crash-between-propose-and-decide schedules against the sequencer's
-// cut policy on the simulator. Because the service has no
-// retransmission layer, plans against it must keep the sequencer
-// connected to a quorum — a lost proposal stalls its instance rather
-// than violating safety.
 package fault
 
 import (

@@ -1,25 +1,3 @@
-// Package member implements consensus-driven dynamic membership as
-// ordered configuration epochs. Add/remove commands for replicas and
-// acceptors are not a side channel: they are proposed through the
-// total-order broadcast like any transaction, and every correct node
-// derives the identical epoch schedule from the identical delivered
-// prefix. Each epoch activates at a well-defined slot:
-//
-//   - acceptor-set changes (Synod quorums, sequencer learner fan-in)
-//     govern instances >= ActivateAt = command slot + alpha, where
-//     alpha exceeds the pipeline window so instances proposed
-//     concurrently with the command stay under the old quorum;
-//   - replica-set changes (delivery fan-out, SMR learner sets) take
-//     effect at ReplicasFrom = command slot + 1 — replicas are not
-//     part of any quorum, and a joiner must see every slot after the
-//     snapshot that bootstraps it, so there is nothing to delay.
-//
-// The View is the runtime home of the schedule: broadcast sequencers
-// resolve delivery targets per slot through it, Synod resolves
-// acceptor sets per instance through it, SMR replicas refresh their
-// catch-up peer lists from it, and the online checker derives its own
-// shadow copy per node to certify that no two nodes ever disagree on
-// what an epoch means.
 package member
 
 import (
@@ -361,4 +339,39 @@ func (v *View) BaselineOf(loc msg.Loc) int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return v.joined[loc]
+}
+
+// Joined returns a copy of the membership baselines (see BaselineOf),
+// for inclusion in snapshots and state transfers.
+func (v *View) Joined() map[msg.Loc]int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[msg.Loc]int, len(v.joined))
+	for l, s := range v.joined {
+		out[l] = s
+	}
+	return out
+}
+
+// Adopt merges a transferred epoch schedule — from a durable snapshot
+// or a state transfer — into this view. Epochs are derived by one
+// deterministic function from one total order, so any two schedules
+// agree on their common prefix; Adopt appends the epochs this view has
+// not derived yet and records baselines it has not seen. Commands the
+// adopting node later delivers for slots the schedule already covers
+// are no-ops (derive refuses, e.g., removing an already-absent member),
+// so Adopt is safe against replayed tails.
+func (v *View) Adopt(epochs []Config, joined map[msg.Loc]int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, c := range epochs {
+		if c.Epoch > v.epochs[len(v.epochs)-1].Epoch {
+			v.epochs = append(v.epochs, c)
+		}
+	}
+	for l, s := range joined {
+		if _, ok := v.joined[l]; !ok {
+			v.joined[l] = s
+		}
+	}
 }

@@ -84,11 +84,11 @@ func TestViewEpochDerivation(t *testing.T) {
 func TestViewNoOpCommands(t *testing.T) {
 	v := NewView(initial(), 4)
 	cases := []Command{
-		{Op: AddAcceptor, Node: "b2"},     // already present
-		{Op: AddReplica, Node: "r1"},      // already present
-		{Op: RemoveAcceptor, Node: "b9"},  // absent
-		{Op: RemoveReplica, Node: "r9"},   // absent
-		{Op: RemoveAcceptor, Node: "b1"},  // the sequencer
+		{Op: AddAcceptor, Node: "b2"},    // already present
+		{Op: AddReplica, Node: "r1"},     // already present
+		{Op: RemoveAcceptor, Node: "b9"}, // absent
+		{Op: RemoveReplica, Node: "r9"},  // absent
+		{Op: RemoveAcceptor, Node: "b1"}, // the sequencer
 	}
 	for i, c := range cases {
 		if cfg, ok := v.Apply(c, 10+i); ok {

@@ -150,7 +150,7 @@ func MergeTimeline(bundles ...*Bundle) []TimelineEntry {
 			}
 			out = append(out, TimelineEntry{
 				At: r.At, LC: r.LC, Node: node, Source: "log",
-				Text: "[" + r.Component + "] " + r.Msg,
+				Text:  "[" + r.Component + "] " + r.Msg,
 				Level: r.Level, Trace: r.Trace, seq: r.Seq,
 			})
 		}

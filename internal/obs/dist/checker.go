@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/consensus/synod"
@@ -111,6 +112,25 @@ type Checker struct {
 	// acknowledgements it received, by ballot — the certificate behind an
 	// outgoing Decide. Deleted once the decision is checked.
 	p2b map[string]map[string]map[msg.Loc]bool
+
+	// Lease-based local reads (enabled by SetLease; zero lDur = off).
+	// lDur and lMaxStale are the configured lease window and follower
+	// staleness bound, in the trace's nanoseconds.
+	lDur      int64
+	lMaxStale int64
+	// lIssue is, per location, the highest issue timestamp among lease
+	// renewals delivered there — the node's provable clock frontier,
+	// derived from ordered data rather than from anything the node
+	// claims about itself.
+	lIssue map[msg.Loc]int64
+	// txSlot records the slot each transaction was delivered in (keyed
+	// group\x00txkey): the frontier a read serve must cover to include
+	// that write.
+	txSlot map[string]int64
+	// ackedHist is, per group, the monotone history of acknowledged
+	// writes: (ack time, running max delivered slot of any acked tx).
+	// Appended per TxResult, binary-searched by the read-serve checks.
+	ackedHist map[string][]ackPoint
 	// events counts fed events; violations collects flagged failures.
 	events     int64
 	violations []Violation
@@ -141,6 +161,8 @@ type Violation struct {
 	Trace string `json:"trace,omitempty"`
 }
 
+// Error formats the violation as one line; Violation satisfies error
+// so a failed certification can flow through error-returning paths.
 func (v Violation) Error() string {
 	return fmt.Sprintf("%s at %s (t=%d): %s", v.Property, v.Loc, v.At, v.Detail)
 }
@@ -163,7 +185,42 @@ func NewChecker() *Checker {
 		epochFP:   make(map[string]string),
 		epochLoc:  make(map[string]msg.Loc),
 		p2b:       make(map[string]map[string]map[msg.Loc]bool),
+		lIssue:    make(map[msg.Loc]int64),
+		txSlot:    make(map[string]int64),
+		ackedHist: make(map[string][]ackPoint),
 	}
+}
+
+// ackPoint is one entry of a group's acknowledged-write history.
+type ackPoint struct {
+	at      int64
+	maxSlot int64
+}
+
+// SetLease enables the lease-read properties with the cluster's lease
+// duration and follower staleness bound. Call before feeding events.
+// Three properties are then checked on every served local read:
+//
+//	read/lease-linearizability  a lease-mode serve's slot frontier covers
+//	                            every write acknowledged strictly before
+//	                            the serve (local reads at the holder miss
+//	                            no acknowledged write)
+//	read/lease-expiry           a lease-mode serve happens within Dur of
+//	                            the last renewal DELIVERED to the serving
+//	                            node — a partitioned deposed holder, cut
+//	                            off from new renewals, must stop serving
+//	                            when its window runs out
+//	read/follower-staleness     a follower-mode serve's slot frontier
+//	                            covers every write acknowledged more than
+//	                            MaxStale before the serve
+func (c *Checker) SetLease(dur, maxStale time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lDur = int64(dur)
+	if maxStale <= 0 {
+		maxStale = dur
+	}
+	c.lMaxStale = int64(maxStale)
 }
 
 // SetMembership enables the dynamic-membership properties: member
@@ -463,6 +520,17 @@ func (c *Checker) checkIncoming(e obs.Event) {
 				c.noteMemberCmd(e, cmd, slot)
 				continue
 			}
+			if ren, ok := core.DecodeLease(bc.Payload); ok {
+				// Renewals are the ordered clock beacons: the highest
+				// issue delivered here bounds how far behind real time
+				// this node's applied state can be. >= so an issue of 0
+				// (a renewal proposed at the simulation epoch) still
+				// creates the map entry checkReadServe keys on.
+				if iss := int64(ren.Issue); iss >= c.lIssue[e.Loc] {
+					c.lIssue[e.Loc] = iss
+				}
+				continue
+			}
 			if p, ok := shard.DecodePrepare(bc.Payload); ok {
 				if c.xprep[e.Loc] == nil {
 					c.xprep[e.Loc] = make(map[string]bool)
@@ -478,10 +546,45 @@ func (c *Checker) checkIncoming(e obs.Event) {
 			if err != nil {
 				continue
 			}
-			if c.delivered[e.Loc] == nil {
-				c.delivered[e.Loc] = make(map[string]bool)
+			c.noteDeliveredTx(e.Loc, req.Key())
+			if c.lDur != 0 {
+				c.txSlot[c.group(e.Loc)+"\x00"+req.Key()] = slot
 			}
-			c.delivered[e.Loc][req.Key()] = true
+		}
+
+	case core.SMRCatchup:
+		// Catch-up deliveries are ordered slots served from a peer's
+		// journal: transactions applied through them are as delivered as
+		// the live ones, and a restarted lease holder may later
+		// acknowledge them (re-acks). Credit durability only — the
+		// ordering properties are checked against the live stream.
+		if m.Hdr == core.HdrSMRCatchup {
+			for _, d := range b.Delivers {
+				for _, bc := range d.Msgs {
+					if req, err := core.DecodeTx(bc.Payload); err == nil {
+						c.noteDeliveredTx(e.Loc, req.Key())
+						continue
+					}
+					if ren, ok := core.DecodeLease(bc.Payload); ok {
+						// A renewal applied through catch-up is the same
+						// ordered slot as a live one: it advances this
+						// node's clock beacon exactly like a Deliver.
+						if iss := int64(ren.Issue); iss >= c.lIssue[e.Loc] {
+							c.lIssue[e.Loc] = iss
+						}
+					}
+				}
+			}
+		}
+
+	case core.SnapEnd:
+		// A state transfer carries the sender's newest cached result per
+		// client; the receiver may re-acknowledge exactly those after
+		// becoming the lease holder.
+		if m.Hdr == core.HdrSnapEnd {
+			for _, res := range b.Recent {
+				c.noteDeliveredTx(e.Loc, core.TxRequest{Client: res.Client, Seq: res.Seq}.Key())
+			}
 		}
 
 	case synod.P2b:
@@ -509,6 +612,16 @@ func (c *Checker) checkIncoming(e obs.Event) {
 			c.noteDecide(e, "twothird", int64(b.Inst), b.Val)
 		}
 	}
+}
+
+// noteDeliveredTx records that loc received req (by key) in an ordered
+// delivery, a catch-up batch, or a state transfer — the justification
+// set for shadowdb/durability.
+func (c *Checker) noteDeliveredTx(loc msg.Loc, key string) {
+	if c.delivered[loc] == nil {
+		c.delivered[loc] = make(map[string]bool)
+	}
+	c.delivered[loc][key] = true
 }
 
 // noteMemberCmd folds one delivered membership command into the shadow
@@ -586,6 +699,88 @@ func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
 		if !set[key] {
 			c.flag(e, "shadowdb/durability",
 				"%s acknowledged %s without an ordered delivery", e.Loc, key)
+		}
+		if c.lDur != 0 {
+			c.noteAck(e, key)
+		}
+
+	case *core.ReadResult:
+		if o.M.Hdr == core.HdrReadResult {
+			c.checkReadServe(e, b)
+		}
+	}
+}
+
+// noteAck appends one acknowledged write to the group's ack history:
+// the running max of delivered slots among acked transactions, at the
+// acknowledgement's time. Entry times are kept monotone so the serve
+// checks can binary-search the history.
+func (c *Checker) noteAck(e obs.Event, key string) {
+	g := c.group(e.Loc)
+	slot, ok := c.txSlot[g+"\x00"+key]
+	if !ok {
+		return
+	}
+	hist := c.ackedHist[g]
+	at, mx := e.At, slot
+	if n := len(hist); n > 0 {
+		if hist[n-1].maxSlot > mx {
+			mx = hist[n-1].maxSlot
+		}
+		if hist[n-1].at > at {
+			at = hist[n-1].at
+		}
+	}
+	c.ackedHist[g] = append(hist, ackPoint{at: at, maxSlot: mx})
+}
+
+// maxAckedBefore returns the highest delivered slot among writes of
+// group g acknowledged strictly before time t (-1 when none).
+func (c *Checker) maxAckedBefore(g string, t int64) int64 {
+	hist := c.ackedHist[g]
+	// First entry with at >= t; the one before it is the latest ack
+	// strictly before t, and its maxSlot is the running maximum.
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].at >= t })
+	if i == 0 {
+		return -1
+	}
+	return hist[i-1].maxSlot
+}
+
+// checkReadServe audits one served local read against the lease
+// properties (see SetLease). Rejections and errors are not serves and
+// are out of scope — rejecting is always safe.
+func (c *Checker) checkReadServe(e obs.Event, b *core.ReadResult) {
+	if c.lDur == 0 || b.Rejected || b.Err != "" {
+		return
+	}
+	g := c.group(e.Loc)
+	switch b.Mode {
+	case core.ReadLease:
+		// read/lease-expiry: the serve must fall inside the window of a
+		// renewal this node demonstrably applied. A node partitioned
+		// away from the total order stops receiving renewals, so its
+		// delivered issue frontier freezes and this catches it the
+		// moment it overstays.
+		if iss, ok := c.lIssue[e.Loc]; !ok || e.At > iss+c.lDur {
+			c.flag(e, "read/lease-expiry",
+				"%s served a lease read at t=%d past its lease window (last delivered renewal issued %d, dur %d)",
+				e.Loc, e.At, iss, c.lDur)
+		}
+		// read/lease-linearizability: the serving state must include
+		// every write acknowledged before the serve.
+		if want := c.maxAckedBefore(g, e.At); int64(b.Slot) < want {
+			c.flag(e, "read/lease-linearizability",
+				"%s served a lease read at slot frontier %d, behind acknowledged write slot %d",
+				e.Loc, b.Slot, want)
+		}
+	case core.ReadFollower:
+		// read/follower-staleness: the serving state must include every
+		// write acknowledged more than MaxStale before the serve.
+		if want := c.maxAckedBefore(g, e.At-c.lMaxStale); int64(b.Slot) < want {
+			c.flag(e, "read/follower-staleness",
+				"%s served a follower read at slot frontier %d, missing write slot %d acknowledged more than %dns earlier",
+				e.Loc, b.Slot, want, c.lMaxStale)
 		}
 	}
 }

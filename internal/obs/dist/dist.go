@@ -1,30 +1,3 @@
-// Package dist is the cross-node half of the observability subsystem: it
-// correlates the per-node trace rings of a whole deployment into one
-// causal picture and checks it, live, against the formal properties.
-//
-//   - a Collector pulls trace rings from every node's admin endpoint (or
-//     takes them straight from in-process / simulated nodes), flags rings
-//     that overflowed mid-run, and merges the downloads into one causally
-//     ordered trace via the Lamport stamps the envelopes carry;
-//   - Spans reconstructs each client request's path through the stack
-//     (client submit → broadcast → consensus decide → ordered delivery →
-//     reply) and reports per-segment latencies;
-//   - a Checker subscribes to live event streams and incrementally
-//     evaluates the runtime properties of the verify registry (broadcast
-//     total order, in-order delivery, single-value-per-slot, durability),
-//     flagging violations as events arrive instead of via offline replay.
-//
-// This is the runtime-checking posture of "Specification and Runtime
-// Checking of Derecho" applied to the causal-history checking of
-// "Verifying Strong Eventual Consistency": global properties of the
-// replicated database are watched continuously under traffic, not only
-// in bounded model checking.
-//
-// The checker operates on broadcast.Deliver bodies — post-batching,
-// pre-unpacking — so the adaptive batching and pipelining of DESIGN.md
-// §8 is checked transparently: a multi-message slot is compared whole
-// across nodes, and the batch ablation (`cmd/bench -experiment batch`)
-// certifies every sweep point against it.
 package dist
 
 import (

@@ -1,0 +1,58 @@
+// Package dist is the cross-node half of the observability subsystem: it
+// correlates the per-node trace rings of a whole deployment into one
+// causal picture and checks it, live, against the formal properties.
+//
+//   - a Collector pulls trace rings from every node's admin endpoint (or
+//     takes them straight from in-process / simulated nodes), flags rings
+//     that overflowed mid-run, and merges the downloads into one causally
+//     ordered trace via the Lamport stamps the envelopes carry;
+//   - Spans reconstructs each client request's path through the stack
+//     (client submit → broadcast → consensus decide → ordered delivery →
+//     reply) and reports per-segment latencies;
+//   - a Checker subscribes to live event streams and incrementally
+//     evaluates the runtime properties of the verify registry (broadcast
+//     total order, in-order delivery, single-value-per-slot, durability),
+//     flagging violations as events arrive instead of via offline replay.
+//
+// This is the runtime-checking posture of "Specification and Runtime
+// Checking of Derecho" applied to the causal-history checking of
+// "Verifying Strong Eventual Consistency": global properties of the
+// replicated database are watched continuously under traffic, not only
+// in bounded model checking.
+//
+// # Invariants
+//
+// The Checker holds one shadow copy of the protocol state per node and
+// evaluates, incrementally:
+//
+//   - total order: the first batch fingerprint seen for a slot is the
+//     only one any node may deliver for that slot (per invariant
+//     group — one group per shard in sharded deployments);
+//   - gap-free in-order delivery per node;
+//   - single decided value per consensus instance;
+//   - durability: a node acknowledges a client only for transactions
+//     it received through an ordered path — live delivery, journal
+//     catch-up (SMRCatchup), or state transfer (SnapEnd carries the
+//     re-ackable results) — never from thin air;
+//   - epoch-config agreement: every node's derived membership schedule
+//     assigns the same meaning to each epoch;
+//   - lease exclusivity and staleness: at most one valid holder per
+//     lease window, reads stamped with a renewal issue time no staler
+//     than the mode's bound (DESIGN.md §13).
+//
+// The checker operates on broadcast.Deliver bodies — post-batching,
+// pre-unpacking — so the adaptive batching and pipelining of DESIGN.md
+// §8 is checked transparently: a multi-message slot is compared whole
+// across nodes, and the batch ablation (`cmd/bench -experiment batch`)
+// certifies every sweep point against it.
+//
+// # Concurrency
+//
+// The Checker is safe for concurrent feeding: events from any number
+// of per-node streams serialize on one internal mutex, and Violations
+// / Status return snapshots. Registered hooks (violation callbacks)
+// are guarded separately and must not block — they run on the feeding
+// goroutine. The Collector performs its ring downloads concurrently
+// but merge and span reconstruction are single-goroutine, offline
+// steps over the collected data.
+package dist

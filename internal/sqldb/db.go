@@ -18,6 +18,9 @@ type DB struct {
 	undo   []func()
 	cache  map[string]Stmt
 	stats  Stats
+	// keyBuf is the reusable PK-encoding scratch of the point-access
+	// fast paths (point.go); guarded by mu like everything else.
+	keyBuf []byte
 }
 
 // Stats counts work done, the input to the engines' virtual cost models.

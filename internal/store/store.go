@@ -1,28 +1,3 @@
-// Package store is the durability substrate of the replication stack: a
-// checksummed, fsync-policied write-ahead log plus atomic snapshot
-// files, behind the small Stable interface. The paper's safety argument
-// leans on state surviving crashes ("an acceptor never forgets a
-// promise"); store is where that obligation is discharged for every
-// layer that claims durability — Synod acceptor state, the broadcast
-// sequencer's decided-slot journal, and the SQL state behind core
-// replicas.
-//
-// Two implementations share the interface:
-//
-//   - Mem keeps everything in process memory. It preserves the repo's
-//     pre-durability behaviour (nothing outlives the process) while
-//     still surviving a *simulated* restart — the verify fuzzer and the
-//     DES model crash-restart by rebuilding a component from the same
-//     Stable, which is exactly what a real restart does with files.
-//   - Dir backs each component with a directory of length-prefixed,
-//     CRC32C-checksummed WAL segments plus an atomically renamed
-//     snapshot file. Torn tails are detected and truncated on open;
-//     saving a snapshot rotates the log and deletes the covered prefix.
-//
-// The write-ahead contract is the caller's: persist the mutation with
-// Append *before* emitting the message that reveals it (an acceptor
-// journals its promise before replying P1b). Replay yields, in append
-// order, every record not yet covered by a snapshot.
 package store
 
 import "fmt"

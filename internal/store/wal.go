@@ -242,7 +242,16 @@ func (w *walFile) syncLocked() error {
 	return nil
 }
 
+// Sync flushes any unsynced appends — the covering fsync callers issue
+// at an acknowledgement point (group commit, an acceptor reply). Under
+// SyncNever it is a no-op: that policy is an explicit opt-out of
+// durability, and an ack-point sync would silently reintroduce the
+// cost the caller asked to shed. Under SyncAlways nothing is ever
+// pending, so the call returns without touching the disk.
 func (w *walFile) Sync() error {
+	if w.pol == SyncNever {
+		return nil
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.syncLocked()
