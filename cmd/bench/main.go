@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
+//	bench -experiment fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|overload|all [-quick] [-json [-outdir DIR]] [-flight-dir DIR]
 //
 // With -json each experiment also writes a machine-readable
 // BENCH_<name>.json (metric name/value/unit, git SHA, timestamp) for CI
@@ -27,7 +27,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|all")
+	experiment := flag.String("experiment", "all", "fig8|fig9a|fig9b|fig10a|fig10b|table1|batch|spans|chaos|recovery|membership|shard|readpath|postmortem|overload|all")
 	quick := flag.Bool("quick", false, "reduced scales for a fast pass")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder postmortem bundles (chaos/recovery/membership/shard dump here on violation; postmortem writes here)")
 	admin := flag.String("admin", "", "admin HTTP address (metrics, pprof) while experiments run")
@@ -48,10 +48,10 @@ func run() int {
 	todo := map[string]bool{}
 	switch *experiment {
 	case "all":
-		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem"} {
+		for _, e := range []string{"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem", "overload"} {
 			todo[e] = true
 		}
-	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem":
+	case "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "table1", "ablations", "batch", "spans", "chaos", "recovery", "membership", "shard", "readpath", "postmortem", "overload":
 		todo[*experiment] = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -260,6 +260,23 @@ func run() int {
 				res.GroupSyncs, res.SMRAppends,
 				res.Chaos.OldServed, res.Chaos.OldFenced, res.Chaos.NewServed,
 				res.Chaos.Reacquired, res.Chaos.Finished, res.Chaos.Clients)
+			failed = true
+		}
+	}
+	if todo["overload"] {
+		cfg := bench.DefaultOverload()
+		if *quick {
+			cfg = bench.QuickOverload()
+		}
+		cfg.FlightDir = *flightDir
+		res := bench.Overload(cfg)
+		bench.RenderOverload(out, res)
+		fmt.Fprintln(out)
+		emit(bench.ReportOverload(res, *quick))
+		if !res.Certified() {
+			fmt.Fprintf(os.Stderr,
+				"overload: certification failed: %d violations, goodput_ratio=%.2f (floor %.2f), watchdog=%v, open_flows=%d\n",
+				len(res.Violations), res.GoodputRatio, res.FloorWant, res.WatchdogFired, res.OpenFlows)
 			failed = true
 		}
 	}

@@ -35,6 +35,7 @@ import (
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/core"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
 	"shadowdb/internal/obs"
@@ -61,6 +62,8 @@ func run() int {
 	read := flag.String("read", "", "serve -tx as a local read in this mode: lease|follower (replicas must run with -lease; -tx then names a read procedure, e.g. balance)")
 	readTarget := flag.String("read-target", "", "replica that serves -read requests (default: first replica in the directory)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-transaction timeout")
+	deadline := flag.Duration("deadline", 0, "per-request deadline stamped on every submission (DESIGN.md §14): hops refuse the request once it passes, and the client surfaces a terminal timeout instead of retrying forever (0 = none)")
+	retryBudget := flag.Float64("retry-budget", 0, "retry tokens per second: resends beyond the budget surface a terminal overload error instead of amplifying a retry storm (0 = unbounded)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	flag.Parse()
 
@@ -92,6 +95,16 @@ func run() int {
 	replicas, bcast := splitRoles(dir)
 	cli := &core.Client{
 		Slf: msg.Loc(*id), Replicas: replicas, BcastNodes: bcast, Retry: 2 * time.Second,
+	}
+	if *deadline > 0 || *retryBudget > 0 {
+		// Deadlines are absolute nanoseconds on the deployment clock:
+		// live processes use wall UnixNano, so the value the client
+		// stamps is comparable at every hop that enforces it.
+		cli.Now = func() time.Duration { return time.Duration(time.Now().UnixNano()) }
+		cli.Deadline = *deadline
+		if *retryBudget > 0 {
+			cli.Budget = &flow.RetryBudget{Rate: *retryBudget}
+		}
 	}
 	switch *mode {
 	case "smr":
@@ -164,11 +177,11 @@ func runOne(tr network.Transport, cli *core.Client, tx string, args []any, timeo
 			o := o
 			if o.Delay > 0 {
 				time.AfterFunc(o.Delay, func() {
-					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M, Deadline: msg.DeadlineOf(o.M)})
 				})
 				continue
 			}
-			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M, Deadline: msg.DeadlineOf(o.M)})
 		}
 	}
 	emit(cli.Submit(tx, args))
@@ -199,11 +212,11 @@ func runOneRead(tr network.Transport, cli *core.Client, typ string, args []any, 
 			o := o
 			if o.Delay > 0 {
 				time.AfterFunc(o.Delay, func() {
-					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+					_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M, Deadline: msg.DeadlineOf(o.M)})
 				})
 				continue
 			}
-			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M})
+			_ = tr.Send(msg.Envelope{From: cli.Slf, To: o.Dest, M: o.M, Deadline: msg.DeadlineOf(o.M)})
 		}
 	}
 	emit(cli.SubmitRead(typ, args, mode, target))

@@ -71,6 +71,7 @@ import (
 	"shadowdb/internal/consensus/twothird"
 	"shadowdb/internal/core"
 	"shadowdb/internal/fault"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/member"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/network"
@@ -125,6 +126,8 @@ func run() int {
 	faultPlan := flag.String("fault-plan", "", "JSON fault plan: inject its message faults, partitions, and crash (blackhole) windows on this node's transport")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	flightDir := flag.String("flight-dir", "", "postmortem bundle directory (default <data-dir>/flight when -data-dir is set; empty without it disables the recorder)")
+	maxInflight := flag.Int("max-inflight", 0, "admission bound (DESIGN.md §14): broadcast roles cap the sequencer's admission queue, the router role caps concurrent cross-shard transactions; excess work is answered with an explicit rejection. Also arms receive-side deadline enforcement on the transport. 0 = unbounded")
+	retryBudget := flag.Float64("retry-budget", 0, "router role: 2PC re-drive tokens per second (0 = unbounded)")
 	flag.Parse()
 
 	lv, err := obs.ParseLevel(*logLevel)
@@ -196,6 +199,12 @@ func run() int {
 		return 1
 	}
 	tr = tcp
+	if *maxInflight > 0 {
+		// With admission control on, expired work is refused at every
+		// hop: envelopes whose deadline already passed are dropped on
+		// receive before they cost protocol work.
+		tcp.EnforceDeadlines(func() int64 { return time.Now().UnixNano() })
+	}
 	if *faultPlan != "" {
 		plan, err := fault.Load(*faultPlan)
 		if err != nil {
@@ -282,6 +291,7 @@ func run() int {
 		view: view, joiner: *joiner,
 		lease: *lease, leaseDur: *leaseDur, maxStale: *maxStale,
 		groupCommit: groupWindow(*dataDir, *fsync, *pipeline),
+		maxInflight: *maxInflight, retryBudget: *retryBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -419,7 +429,22 @@ type buildConfig struct {
 	// groupCommit, when > 1, coalesces the SMR journal's fsyncs: acks
 	// park until one fsync covers up to this many ack-bearing slots.
 	groupCommit int
+	// maxInflight, when > 0, arms admission control: the sequencer's
+	// bounded admission queue (broadcast roles) or the router's bound on
+	// concurrent cross-shard transactions. Excess work is answered with
+	// an explicit flow.Reject instead of queueing without bound.
+	maxInflight int
+	// retryBudget, when > 0, is the router's 2PC re-drive token rate
+	// per second (DESIGN.md §14): re-drives beyond the budget wait for
+	// the next timer instead of amplifying an overload.
+	retryBudget float64
 }
+
+// wallClock is the live deployment clock deadlines are stamped on and
+// compared against: absolute wall nanoseconds, so every hop in the
+// deployment reads a comparable value (NTP-grade skew tolerated —
+// deadlines are hundreds of milliseconds, not microseconds).
+func wallClock() time.Duration { return time.Duration(time.Now().UnixNano()) }
 
 // groupWindow sizes the SMR group-commit window: with a durable store
 // under the batch sync policy, acks are parked until one fsync covers
@@ -478,6 +503,11 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			Nodes: c.bcast, Subscribers: c.replicas,
 			MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
 			View: c.view,
+		}
+		if c.maxInflight > 0 {
+			cfg.FlowLimit = c.maxInflight
+			cfg.Classify = core.FlowClass
+			cfg.FlowNow = wallClock
 		}
 		var stable func(msg.Loc) store.Stable
 		if c.stable != nil {
@@ -599,6 +629,11 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 				Nodes: c.top.Bcast[k], Subscribers: c.top.Replicas[k],
 				MaxBatch: c.batch, MaxDelay: c.batchDelay, Pipeline: c.pipeline,
 			}
+			if c.maxInflight > 0 {
+				cfg.FlowLimit = c.maxInflight
+				cfg.Classify = core.FlowClass
+				cfg.FlowNow = wallClock
+			}
 			if c.stable != nil {
 				cfg.Stable = c.openStable("seq")
 				cfg.Modules = []broadcast.Module{broadcast.PaxosDurable(c.pipeline, c.openStable("acc"))}
@@ -624,6 +659,13 @@ func buildHost(c buildConfig) (*runtime.Host, error) {
 			Part:   shard.NewHash(c.top.Shards),
 			App:    shard.Bank(),
 			Shards: c.top.Bcast,
+		}
+		if c.maxInflight > 0 || c.retryBudget > 0 {
+			rcfg.MaxInflight = c.maxInflight
+			rcfg.Now = wallClock
+			if c.retryBudget > 0 {
+				rcfg.Budget = &flow.RetryBudget{Rate: c.retryBudget}
+			}
 		}
 		if c.stable != nil {
 			st, err := c.stable.Open("journal")

@@ -25,6 +25,7 @@ var docLintPackages = []string{
 	"internal/fault",
 	"internal/store",
 	"internal/obs/dist",
+	"internal/flow",
 }
 
 func TestDocLint(t *testing.T) {

@@ -36,6 +36,7 @@ import (
 
 	"shadowdb/internal/consensus/synod"
 	"shadowdb/internal/consensus/twothird"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/interp"
 	"shadowdb/internal/loe"
@@ -62,6 +63,25 @@ type Bcast struct {
 	From    msg.Loc
 	Seq     int64
 	Payload []byte
+	// Deadline is the request's absolute deadline (nanoseconds on the
+	// deployment clock, 0 = none). Service nodes with a flow clock
+	// refuse expired messages on arrival and sweep expired pending
+	// messages before proposing them — doomed work never reaches
+	// consensus. Once proposed and decided, deadlines are ignored: the
+	// order is the order, and every replica applies the same prefix.
+	Deadline int64
+}
+
+func init() {
+	// Envelope deadline stamping: a send whose body is a Bcast carries
+	// the request's deadline, so wire transports can refuse expired
+	// frames without decoding payloads.
+	msg.RegisterDeadline(func(m msg.Msg) (int64, bool) {
+		if b, ok := m.Body.(Bcast); ok {
+			return b.Deadline, true
+		}
+		return 0, false
+	})
 }
 
 // key identifies a Bcast for deduplication. This runs once per message
@@ -90,6 +110,8 @@ func RegisterWireTypes() {
 	msg.RegisterBody(Flush{})
 	twothird.RegisterWireTypes()
 	synod.RegisterWireTypes()
+	// Rejects answer refused Bcasts, so they travel wherever Bcasts do.
+	flow.RegisterWireTypes()
 }
 
 // Mode selects the execution mode of the service — the three curves of
@@ -282,6 +304,27 @@ type Config struct {
 	// of re-deciding or re-proposing old slots. Nil keeps the sequencer
 	// volatile (the pre-durability behaviour).
 	Stable func(msg.Loc) store.Stable
+	// FlowLimit, when positive, bounds the sequencer's intake: each
+	// service node builds a flow.Queue of this capacity over everything
+	// it has admitted but not yet seen decided (pending + in-flight
+	// proposals), with nested class thresholds so reads shed first and
+	// control traffic last. An arrival that does not fit is answered
+	// with an explicit flow.Reject to its origin — never silently
+	// dropped — and is deliberately NOT remembered in the dedup set, so
+	// a budget-paid retry can be admitted once load drains. 0 disables
+	// admission control (the historical unbounded intake).
+	FlowLimit int
+	// Classify maps an ordered payload to its shed class. The service
+	// is payload-agnostic, so the layer that owns the payload format
+	// supplies this (core.FlowClass, shard.FlowClass). Nil classifies
+	// everything ClassWrite.
+	Classify flow.Classifier
+	// FlowNow is the deployment clock (virtual in simulation, wall
+	// live) for deadline enforcement: with it set, expired arrivals are
+	// refused on sight and expired pending messages are swept — with a
+	// flow.Reject each — before every proposal. Nil disables deadline
+	// enforcement at this layer.
+	FlowNow func() time.Duration
 	// View, when set, turns on dynamic membership: delivery fan-out is
 	// resolved per slot from the epoch schedule (replacing Subscribers
 	// and LocalSubscribers — every service node notifies every replica
@@ -343,11 +386,36 @@ type seqState struct {
 	gen      int64           // flush generation counter
 	propAt   map[int]int64   // slot -> propose timestamp (observability only)
 
+	// q is the admission queue over everything admitted but not yet
+	// decided (FlowLimit > 0 only); queued tracks which dedup keys hold
+	// a queue slot so decide-time release is exact.
+	q      *flow.Queue
+	queued map[string]flow.Class
+
 	// st journals decided slots write-ahead of their Deliver fan-out
 	// when durability is configured; sinceSnap counts records since the
 	// last journal compaction.
 	st        store.Stable
 	sinceSnap int
+}
+
+// classOf resolves a message's shed class through the configured
+// classifier.
+func classOf(cfg Config, b Bcast) flow.Class {
+	if cfg.Classify != nil {
+		return cfg.Classify(b.Payload)
+	}
+	return flow.ClassWrite
+}
+
+// reject answers a refused message with an explicit flow.Reject to its
+// origin: shedding is always client-visible.
+func reject(slf msg.Loc, b Bcast, class flow.Class, reason string, depth, qcap int) msg.Directive {
+	flow.MarkReject()
+	mRejects.Inc()
+	return msg.Send(b.From, msg.M(flow.HdrReject, flow.Reject{
+		From: slf, Seq: b.Seq, Class: class, Reason: reason, Depth: depth, Cap: qcap,
+	}))
 }
 
 // sequencerClass builds the batching/ordering class of one service node.
@@ -371,6 +439,13 @@ func sequencerClass(cfg Config) loe.Class {
 			decided:  make(map[int][]Bcast),
 			inflight: make(map[int][]Bcast),
 			propSlot: -1,
+		}
+		if cfg.FlowLimit > 0 {
+			// Per-node queue: only the sequencer node's ever fills (the
+			// others forward), but each node owns its own accounting so
+			// re-instantiation and failover start clean.
+			s.q = flow.NewQueue(cfg.FlowLimit)
+			s.queued = make(map[string]flow.Class)
 		}
 		if cfg.Stable != nil {
 			if st := cfg.Stable(slf); st != nil {
@@ -417,13 +492,32 @@ func (s *seqState) onBcast(cfg Config, slf msg.Loc, b Bcast) []msg.Directive {
 	if s.seen[b.key()] {
 		return nil
 	}
-	s.seen[b.key()] = true
+	if cfg.FlowNow != nil && flow.Expired(b.Deadline, int64(cfg.FlowNow())) {
+		// Expired on arrival (at forwarders too: no point burning a
+		// forward hop). A retry of an expired request is just as
+		// expired, so the key IS remembered.
+		s.seen[b.key()] = true
+		flow.MarkExpired()
+		return []msg.Directive{reject(slf, b, classOf(cfg, b), flow.ReasonDeadline, 0, 0)}
+	}
 	if seq := cfg.sequencer(); seq != slf {
 		// Non-sequencer nodes forward to the stable proposer; dueling
 		// proposers would otherwise preempt each other's ballots.
+		s.seen[b.key()] = true
 		markBcast(true)
 		return []msg.Directive{msg.Send(seq, msg.M(HdrBcast, b))}
 	}
+	if s.q != nil {
+		class := classOf(cfg, b)
+		if err := s.q.Admit(class); err != nil {
+			// Shed. The key is NOT marked seen: the client may spend
+			// retry budget to try again once the queue drains, and the
+			// dedup set must not swallow that retry.
+			return []msg.Directive{reject(slf, b, class, flow.ReasonOverload, s.q.Len(), s.q.Cap())}
+		}
+		s.queued[b.key()] = class
+	}
+	s.seen[b.key()] = true
 	markBcast(false)
 	s.pending = append(s.pending, b)
 	return s.cut(cfg, slf, false)
@@ -475,6 +569,12 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 	inBatch := make(map[string]bool, len(batch))
 	for _, b := range batch {
 		inBatch[b.key()] = true
+		// Decided is the terminal outcome admission waits for: free the
+		// queue slot of every message of ours this decision resolves.
+		if _, ok := s.queued[b.key()]; ok {
+			delete(s.queued, b.key())
+			s.q.Release()
+		}
 	}
 	// Reconcile the pipeline: the slot's in-flight batch is normally the
 	// decided one (single stable sequencer), but a competing proposer may
@@ -563,7 +663,7 @@ func (s *seqState) onDecide(cfg Config, slf msg.Loc, inst int, val string) []msg
 // oldest message, so no message waits longer than MaxDelay to be
 // proposed once the window has room.
 func (s *seqState) cut(cfg Config, slf msg.Loc, flush bool) []msg.Directive {
-	var outs []msg.Directive
+	outs := s.sweepExpired(cfg, slf)
 	for len(s.pending) > 0 && len(s.inflight) < cfg.window() {
 		full := cfg.MaxBatch > 0 && len(s.pending) >= cfg.MaxBatch
 		if cfg.MaxDelay > 0 && !full && !flush {
@@ -577,6 +677,39 @@ func (s *seqState) cut(cfg Config, slf msg.Loc, flush bool) []msg.Directive {
 		s.flushGen = s.gen
 		outs = append(outs, msg.SendAfter(cfg.MaxDelay, slf, msg.M(HdrFlush, Flush{Gen: s.gen})))
 	}
+	return outs
+}
+
+// sweepExpired drops pending messages whose deadline has passed before
+// they consume a consensus slot, answering each with a deadline
+// Reject. It runs at the head of every cut, so a message is checked
+// one last time right before it would be proposed; once in flight it
+// is past the point of no return (the decided order must be applied by
+// every replica regardless of deadlines).
+func (s *seqState) sweepExpired(cfg Config, slf msg.Loc) []msg.Directive {
+	if cfg.FlowNow == nil || len(s.pending) == 0 {
+		return nil
+	}
+	now := int64(cfg.FlowNow())
+	var outs []msg.Directive
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if !flow.Expired(p.Deadline, now) {
+			kept = append(kept, p)
+			continue
+		}
+		flow.MarkExpired()
+		depth, qcap := 0, 0
+		class := classOf(cfg, p)
+		if c, ok := s.queued[p.key()]; ok {
+			class = c
+			delete(s.queued, p.key())
+			s.q.Release()
+			depth, qcap = s.q.Len(), s.q.Cap()
+		}
+		outs = append(outs, reject(slf, p, class, flow.ReasonDeadline, depth, qcap))
+	}
+	s.pending = kept
 	return outs
 }
 

@@ -18,6 +18,7 @@ var (
 	mProposals = obs.C("broadcast.proposals")
 	mDecides   = obs.C("broadcast.decides")
 	mDelivers  = obs.C("broadcast.delivers")
+	mRejects   = obs.C("broadcast.rejects")
 	mBatchSize = obs.H("broadcast.batch_size")
 	mP2DNS     = obs.H("broadcast.propose_to_deliver_ns")
 

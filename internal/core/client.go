@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"shadowdb/internal/broadcast"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/netutil"
 )
@@ -57,6 +58,21 @@ type Client struct {
 	// a retry stampede at the recovering primary — while staying a pure
 	// function of (seed, seq, attempt) so simulated runs replay exactly.
 	JitterSeed uint64
+	// Deadline is the per-request time budget: Submit stamps each
+	// request with Now() + Deadline, every hop may refuse it once
+	// expired, and the client itself declares a terminal
+	// deadline-exceeded outcome when the budget runs out mid-retry. 0
+	// disables deadlines. Requires Now.
+	Deadline time.Duration
+	// Now is the deployment clock (virtual in simulation, wall live).
+	// Required when Deadline or Budget is set.
+	Now func() time.Duration
+	// Budget, when set, bounds retry volume: every resend — timer
+	// retries and overload-Reject retries alike — spends one token, and
+	// an empty bucket turns the request into a terminal overload error
+	// instead of amplifying the congestion that caused it. Nil keeps
+	// the historical unbounded-retry behavior.
+	Budget *flow.RetryBudget
 
 	seq      int64
 	primary  int
@@ -78,6 +94,19 @@ type Client struct {
 	// of which is retried on the normal backoff schedule.
 	ReadsDone     int64
 	ReadsRejected int64
+	// Shed counts flow.Reject answers received; Overloaded and Expired
+	// count requests that ended in a terminal overload / deadline
+	// outcome (each also counted in Done and Aborted).
+	Shed       int64
+	Overloaded int64
+	Expired    int64
+}
+
+func (c *Client) now() time.Duration {
+	if c.Now == nil {
+		return 0
+	}
+	return c.Now()
 }
 
 func (c *Client) retry() time.Duration {
@@ -116,6 +145,9 @@ func (c *Client) Submit(txType string, args []any) []msg.Directive {
 	c.seq++
 	c.attempt = 0
 	req := TxRequest{Client: c.Slf, Seq: c.seq, Type: txType, Args: args}
+	if c.Deadline > 0 && c.Now != nil {
+		req.Deadline = int64(c.Now() + c.Deadline)
+	}
 	c.inflight = &req
 	return c.send(req)
 }
@@ -165,7 +197,7 @@ func (c *Client) send(req TxRequest) []msg.Directive {
 		}
 		// One service node suffices (it forwards to the sequencer); the
 		// retry path rotates to another node in case it crashed.
-		b := broadcast.Bcast{From: c.Slf, Seq: req.Seq, Payload: payload}
+		b := broadcast.Bcast{From: c.Slf, Seq: req.Seq, Payload: payload, Deadline: req.Deadline}
 		outs = append(outs, msg.Send(c.BcastNodes[c.home%len(c.BcastNodes)], msg.M(broadcast.HdrBcast, b)))
 	default:
 		outs = append(outs, msg.Send(c.Replicas[c.primary%len(c.Replicas)], msg.M(HdrTx, req)))
@@ -222,6 +254,26 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 		// reset the backoff so only true unresponsiveness grows it.
 		c.attempt = 0
 		return nil, c.resend()
+	case flow.HdrReject:
+		rej := in.Body.(flow.Reject)
+		if c.inflight == nil || rej.Seq != c.inflight.Seq {
+			return nil, nil // stale rejection, request already resolved
+		}
+		c.Shed++
+		if rej.Reason == flow.ReasonDeadline {
+			// A retry cannot meet a deadline that has already passed:
+			// terminal, client-visible.
+			c.Expired++
+			return c.terminal("flow: deadline exceeded before ordering")
+		}
+		// Overload / breaker fast-fail: retryable — the armed retry
+		// timer will resend on its backoff schedule — but only while
+		// the retry budget holds out.
+		if c.Budget != nil && !c.Budget.Allow(c.now()) {
+			c.Overloaded++
+			return c.terminal(flow.ErrOverload.Error())
+		}
+		return nil, nil
 	case HdrClientRetry:
 		body := in.Body.(ClientRetryBody)
 		if c.inflightRead != nil && body.Seq == c.inflightRead.Seq {
@@ -232,6 +284,17 @@ func (c *Client) Handle(in msg.Msg) (*TxResult, []msg.Directive) {
 		}
 		if c.inflight == nil || body.Seq != c.inflight.Seq {
 			return nil, nil // the guarded request already completed
+		}
+		if c.Deadline > 0 && c.Now != nil && flow.Expired(c.inflight.Deadline, int64(c.Now())) {
+			// The deadline passed while retrying: declare the terminal
+			// outcome here rather than spinning. A late real result is
+			// dropped as stale (the sequence number has moved on).
+			c.Expired++
+			return c.terminal("flow: deadline exceeded")
+		}
+		if c.Budget != nil && !c.Budget.Allow(c.now()) {
+			c.Overloaded++
+			return c.terminal(flow.ErrOverload.Error())
 		}
 		c.Retries++
 		c.attempt++
@@ -254,4 +317,18 @@ func (c *Client) resend() []msg.Directive {
 		return nil
 	}
 	return c.send(*c.inflight)
+}
+
+// terminal resolves the outstanding transaction with a client-side
+// terminal error (deadline exceeded, retry budget exhausted). The
+// outcome is an aborted TxResult so drivers handle it on the same path
+// as a deterministic abort; the sequence number moves on, so a late
+// server answer for the request is dropped as stale.
+func (c *Client) terminal(errMsg string) (*TxResult, []msg.Directive) {
+	res := TxResult{Client: c.Slf, Seq: c.inflight.Seq, Aborted: true, Err: errMsg}
+	c.inflight = nil
+	c.attempt = 0
+	c.Done++
+	c.Aborted++
+	return &res, nil
 }

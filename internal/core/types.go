@@ -90,6 +90,13 @@ type TxRequest struct {
 	// Type names a registered procedure; Args are its parameters.
 	Type string
 	Args []any
+	// Deadline is the request's absolute deadline (nanoseconds on the
+	// deployment clock, 0 = none), stamped by the client. Non-replicated
+	// hops (router, sequencer intake) drop the request with an explicit
+	// flow.Reject once it expires; replicated hops apply regardless (the
+	// order is the order) but suppress the client ack. Gob omits zero
+	// fields, so deadline-free traffic pays no wire cost.
+	Deadline int64
 }
 
 // Key identifies the request for deduplication.

@@ -44,5 +44,16 @@ func BindCluster(clu *des.Cluster, p Plan) *Injector {
 			}
 		})
 	}
+	// Slow-disk windows change nothing in the cluster itself — costed
+	// handlers pull the factor through SlowFactor — but the edges are
+	// recorded as injections so the log (and the fingerprint) carries
+	// the gray-failure schedule.
+	for _, s := range p.SlowDisks {
+		s := s
+		clu.Sim.At(s.At.D(), func() { inj.NoteCrash(s.Node, "slowdisk") })
+		if s.Until > 0 {
+			clu.Sim.At(s.Until.D(), func() { inj.NoteCrash(s.Node, "heal") })
+		}
+	}
 	return inj
 }

@@ -185,6 +185,24 @@ func (in *Injector) SetDown(node msg.Loc, down bool) {
 	in.record(Injection{At: in.clock(), Kind: kind, Dst: node, Rule: -1})
 }
 
+// SlowFactor returns the execution-cost multiplier currently applied
+// to node: the product of every active SlowDisk window naming it, 1
+// when none. Costed simulator handlers multiply their reported cost by
+// it; the plan is immutable, so only the clock read needs the lock.
+func (in *Injector) SlowFactor(node msg.Loc) float64 {
+	f := 1.0
+	if len(in.plan.SlowDisks) == 0 {
+		return f
+	}
+	now := in.clock()
+	for _, s := range in.plan.SlowDisks {
+		if s.Node == node && s.active(now) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
 // NoteCrash records a crash or restart applied by the binding layer
 // (DES node crashes, nemesis down windows).
 func (in *Injector) NoteCrash(node msg.Loc, kind string) {

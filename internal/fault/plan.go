@@ -200,6 +200,27 @@ func (r Rolling) Crashes() []Crash {
 	return out
 }
 
+// SlowDisk degrades one node's execution inside [At, Until): every
+// costed handler step on the node reports Factor times its normal
+// cost. It models a dying or contended disk — the node stays up,
+// answers messages, and votes, but falls behind — the gray failure
+// that overload control must degrade through gracefully (a crash
+// removes load; a slow node keeps accepting it).
+type SlowDisk struct {
+	At    Duration `json:"at"`
+	Until Duration `json:"until"` // 0 = never heals
+	Node  msg.Loc  `json:"node"`
+	// Factor multiplies the node's execution cost (>= 1).
+	Factor float64 `json:"factor"`
+}
+
+func (s SlowDisk) active(now time.Duration) bool {
+	if now < s.At.D() {
+		return false
+	}
+	return s.Until == 0 || now < s.Until.D()
+}
+
 // Plan is a complete fault script.
 type Plan struct {
 	// Seed drives every probabilistic decision. Same plan + same seed =
@@ -214,6 +235,8 @@ type Plan struct {
 	// Rolling are rolling-restart scenarios, expanded into crashes by
 	// EffectiveCrashes.
 	Rolling []Rolling `json:"rolling,omitempty"`
+	// SlowDisks are timed execution-cost degradations (gray failures).
+	SlowDisks []SlowDisk `json:"slow_disks,omitempty"`
 }
 
 // EffectiveCrashes returns the plan's explicit crashes followed by the
@@ -323,6 +346,23 @@ func (p Plan) Validate() error {
 		}
 		if len(r.Nodes) > 1 && r.Stagger == 0 {
 			return fmt.Errorf("fault: rolling %d: zero stagger with %d nodes is a mass restart, not a rolling one", i, len(r.Nodes))
+		}
+	}
+	for i, s := range p.SlowDisks {
+		if s.Node == "" {
+			return fmt.Errorf("fault: slow_disk %d: missing node", i)
+		}
+		if err := wellFormedRef(string(s.Node)); err != nil {
+			return fmt.Errorf("fault: slow_disk %d: node: %w", i, err)
+		}
+		if s.At < 0 || s.Until < 0 {
+			return fmt.Errorf("fault: slow_disk %d: negative window bound", i)
+		}
+		if s.Until != 0 && s.Until < s.At {
+			return fmt.Errorf("fault: slow_disk %d: window ends before it starts", i)
+		}
+		if s.Factor < 1 {
+			return fmt.Errorf("fault: slow_disk %d: factor %v below 1 (a slow disk slows)", i, s.Factor)
 		}
 	}
 	return nil

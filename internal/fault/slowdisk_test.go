@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"shadowdb/internal/msg"
+)
+
+func TestSlowDiskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SlowDisk
+		want string // "" = valid
+	}{
+		{"ok", SlowDisk{At: Duration(time.Second), Until: Duration(2 * time.Second), Node: "r1", Factor: 8}, ""},
+		{"forever", SlowDisk{Node: "r1", Factor: 2}, ""},
+		{"no node", SlowDisk{Factor: 2}, "missing node"},
+		{"bad node", SlowDisk{Node: "r 1", Factor: 2}, "malformed"},
+		{"backwards", SlowDisk{At: Duration(2 * time.Second), Until: Duration(time.Second), Node: "r1", Factor: 2}, "ends before"},
+		{"speedup", SlowDisk{Node: "r1", Factor: 0.5}, "below 1"},
+		{"zero factor", SlowDisk{Node: "r1"}, "below 1"},
+	}
+	for _, c := range cases {
+		err := Plan{SlowDisks: []SlowDisk{c.s}}.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSlowFactorWindowsAndStacking(t *testing.T) {
+	plan := Plan{SlowDisks: []SlowDisk{
+		{At: Duration(time.Second), Until: Duration(3 * time.Second), Node: "r1", Factor: 4},
+		{At: Duration(2 * time.Second), Node: "r1", Factor: 2}, // never heals
+		{At: 0, Until: Duration(10 * time.Second), Node: "r2", Factor: 16},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	clock, now := fixedClock()
+	in := NewInjector(plan, clock)
+
+	at := func(d time.Duration, node string, want float64) {
+		t.Helper()
+		*now = d
+		if got := in.SlowFactor(msg.Loc(node)); got != want {
+			t.Errorf("SlowFactor(%s) at %v = %v, want %v", node, d, got, want)
+		}
+	}
+	at(0, "r1", 1)                     // before the window
+	at(1500*time.Millisecond, "r1", 4) // first window only
+	at(2500*time.Millisecond, "r1", 8) // both active: factors multiply
+	at(5*time.Second, "r1", 2)         // first healed, unbounded one persists
+	at(5*time.Second, "r2", 16)
+	at(5*time.Second, "r3", 1) // unnamed node unaffected
+}

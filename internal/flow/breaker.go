@@ -1,0 +1,133 @@
+package flow
+
+import "time"
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows, failures are counted.
+	BreakerClosed = "closed"
+	// BreakerOpen: traffic fails fast until the cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: one probe is in flight; its outcome closes or
+	// re-opens the breaker.
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker. Threshold
+// consecutive failures open it; while open, Allow fails fast (no work
+// is sent at a target that is saturated or unreachable). After
+// Cooldown, exactly one probe is allowed through (half-open); the
+// probe's Success closes the breaker, its Failure re-opens it for
+// another cooldown. The clock is injected through Allow/Failure so the
+// simulator replays breaker trips deterministically.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker. 0 means 5.
+	Threshold int
+	// Cooldown is how long an open breaker fails fast before allowing
+	// a probe. 0 means one second.
+	Cooldown time.Duration
+
+	state    string
+	fails    int
+	openedAt time.Duration
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// Allow reports whether work may be sent at time now. While open it
+// returns false (fail fast) until the cooldown elapses, then admits a
+// single half-open probe. A nil breaker always allows.
+func (b *Breaker) Allow(now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case BreakerOpen:
+		if now-b.openedAt >= b.cooldown() {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		mBreakerFastFails.Inc()
+		return false
+	case BreakerHalfOpen:
+		// One probe at a time; further traffic still fails fast until
+		// the probe resolves.
+		mBreakerFastFails.Inc()
+		return false
+	}
+	return true
+}
+
+// Ready reports, without changing state, whether Allow would admit
+// work at time now: closed always, open only once the cooldown has
+// elapsed (the would-be probe), half-open never (a probe is already
+// out). Callers gating one request on several breakers check Ready on
+// all of them first, then call Allow on each — so an early refusal
+// cannot strand an earlier breaker half-open with no probe in flight.
+func (b *Breaker) Ready(now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case BreakerOpen:
+		return now-b.openedAt >= b.cooldown()
+	case BreakerHalfOpen:
+		return false
+	}
+	return true
+}
+
+// Success records a successful outcome: resets the failure streak and
+// closes a half-open breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.fails = 0
+	b.state = BreakerClosed
+}
+
+// Failure records a failed outcome at time now: re-opens a half-open
+// breaker immediately, and opens a closed one once the consecutive
+// streak reaches the threshold.
+func (b *Breaker) Failure(now time.Duration) {
+	if b == nil {
+		return
+	}
+	if b.state == "" {
+		b.state = BreakerClosed
+	}
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		mBreakerOpens.Inc()
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = now
+		mBreakerOpens.Inc()
+	}
+}
+
+// State returns the breaker's current state name.
+func (b *Breaker) State() string {
+	if b == nil || b.state == "" {
+		return BreakerClosed
+	}
+	return b.state
+}

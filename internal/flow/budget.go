@@ -1,0 +1,63 @@
+package flow
+
+import "time"
+
+// RetryBudget is a deterministic token-bucket bound on retry volume.
+// Every retry spends one token; tokens refill at Rate per second up to
+// Burst. When the bucket is empty the retry is denied and the caller
+// must surface a terminal error instead of re-sending — retries beyond
+// the budget only amplify the overload that caused them (retry storms).
+//
+// The clock is passed into Allow explicitly (virtual in simulation,
+// wall live), so budget decisions replay deterministically.
+type RetryBudget struct {
+	// Rate is the token refill rate per second. Required (> 0).
+	Rate float64
+	// Burst is the bucket capacity and initial fill. 0 means Rate
+	// (one second of refill).
+	Burst float64
+
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+// Allow reports whether one retry may be spent at time now, consuming
+// a token when it may. A nil budget always allows (feature off).
+func (b *RetryBudget) Allow(now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	burst := b.Burst
+	if burst <= 0 {
+		burst = b.Rate
+	}
+	if !b.primed {
+		b.tokens = burst
+		b.last = now
+		b.primed = true
+	}
+	if now > b.last {
+		b.tokens += b.Rate * (now - b.last).Seconds()
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		mBudgetSpent.Inc()
+		return true
+	}
+	mBudgetDenied.Inc()
+	return false
+}
+
+// Tokens returns the current token count (after the last Allow; it
+// does not advance the clock).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.tokens
+}

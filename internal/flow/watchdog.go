@@ -1,0 +1,96 @@
+package flow
+
+import "shadowdb/internal/obs"
+
+// Watchdog detects sustained overload from windowed metric rates and
+// fires a callback — typically a flight-recorder postmortem dump — so
+// brownouts leave the same forensic trail as checker violations. It
+// watches the per-window delta of one counter (by default the shed
+// counter this package maintains) and fires when the delta meets the
+// threshold for Windows consecutive windows. The caller ticks the
+// underlying Rates (wall ticker live, virtual-time ticks in the
+// simulator) and calls Check after each tick.
+type Watchdog struct {
+	// Rates is the windowed-delta tracker to read. Required.
+	Rates *obs.Rates
+	// Metric is the counter whose per-window delta is evaluated.
+	// "" means "flow.shed".
+	Metric string
+	// Threshold is the per-window delta that counts as overload.
+	// 0 means 1 (any shedding at all).
+	Threshold int64
+	// Windows is how many consecutive over-threshold windows arm the
+	// callback. 0 means 3.
+	Windows int
+	// OnSustained runs once per sustained episode, with the length of
+	// the over-threshold streak. Re-arms only after Reset.
+	OnSustained func(streak int)
+
+	lastTo int64
+	streak int
+	fired  bool
+}
+
+func (w *Watchdog) metric() string {
+	if w.Metric != "" {
+		return w.Metric
+	}
+	return "flow.shed"
+}
+
+func (w *Watchdog) threshold() int64 {
+	if w.Threshold > 0 {
+		return w.Threshold
+	}
+	return 1
+}
+
+func (w *Watchdog) windows() int {
+	if w.Windows > 0 {
+		return w.Windows
+	}
+	return 3
+}
+
+// Check folds any windows closed since the last call into the streak
+// and fires OnSustained when the streak first reaches the configured
+// length. It returns true on the call that fires.
+func (w *Watchdog) Check() bool {
+	if w == nil || w.Rates == nil {
+		return false
+	}
+	name, thr := w.metric(), w.threshold()
+	for _, win := range w.Rates.Windows() {
+		if win.To <= w.lastTo {
+			continue
+		}
+		w.lastTo = win.To
+		if win.Counters[name] >= thr {
+			w.streak++
+		} else {
+			w.streak = 0
+		}
+	}
+	if w.fired || w.streak < w.windows() {
+		return false
+	}
+	w.fired = true
+	mWatchdogFired.Inc()
+	if w.OnSustained != nil {
+		w.OnSustained(w.streak)
+	}
+	return true
+}
+
+// Reset re-arms the watchdog for the next sustained episode and clears
+// the streak.
+func (w *Watchdog) Reset() {
+	if w == nil {
+		return
+	}
+	w.fired = false
+	w.streak = 0
+}
+
+// Fired reports whether the watchdog has fired since the last Reset.
+func (w *Watchdog) Fired() bool { return w != nil && w.fired }

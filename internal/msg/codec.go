@@ -48,6 +48,15 @@ type Envelope struct {
 	// LC is the sender's Lamport clock at the send event (0 when the
 	// sender keeps no clock).
 	LC int64
+	// Deadline is the absolute deadline (nanoseconds on the deployment
+	// clock, 0 = none) of the request this send serves, extracted from
+	// the body via RegisterDeadline when the host stamps the envelope.
+	// Transports may drop an expired envelope instead of delivering it:
+	// work that can no longer meet its deadline should not consume
+	// receive, decode, or apply capacity. Like Trace/LC it gob-encodes
+	// to nothing when zero, so deadline-free deployments pay no wire
+	// overhead.
+	Deadline int64
 }
 
 // Frame tags: the first byte of every encoded frame.

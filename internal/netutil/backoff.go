@@ -1,8 +1,8 @@
 // Package netutil holds the one retry/timeout policy shared by every
 // layer that re-sends anything: the client request path (exponential
-// backoff with deterministic jitter), the TCP transport redial loop
-// (bounded exponential, no jitter), and the SMR recovery re-request
-// (fixed interval). Before this package each site hand-rolled its own
+// backoff with deterministic band jitter), the TCP transport redial
+// loop (bounded exponential with full jitter), and the SMR recovery
+// re-request (fixed interval). Before this package each site hand-rolled its own
 // doubling loop with subtly different caps; now they all describe the
 // same shape with a Backoff value.
 //
@@ -23,12 +23,22 @@ import "time"
 //	Jitter width of the deterministic jitter band as a fraction of
 //	       the delay: the result is perturbed within ±Jitter/2 of the
 //	       schedule (0.5 => ±25%, the historical client policy).
-//	       0 disables jitter entirely.
+//	       0 disables jitter entirely. Ignored when Full is set.
+//	Full   full-jitter mode: the delay is drawn uniformly from
+//	       [Base, sched], where sched is the exponential schedule
+//	       Base<<attempt clamped to the cap. Full jitter decorrelates
+//	       synchronized retriers far better than band jitter — after a
+//	       shared failure event, band jitter keeps everyone within
+//	       ±Jitter/2 of the same schedule point, while full jitter
+//	       spreads them across the whole window (the AWS architecture
+//	       blog result). The floor is Base, not 0, so a retry never
+//	       fires immediately into the failure it is backing off from.
 //	Seed   seed for the jitter stream; combined with the per-call key.
 type Backoff struct {
 	Base   time.Duration
 	Cap    time.Duration
 	Jitter float64
+	Full   bool
 	Seed   uint64
 }
 
@@ -58,12 +68,24 @@ func (b Backoff) Delay(attempt int, key uint64) time.Duration {
 			d = limit
 		}
 	}
+	if b.Full {
+		if attempt == 0 || d <= b.Base {
+			return d
+		}
+		frac := b.frac(attempt, key)
+		return b.Base + time.Duration(frac*float64(d-b.Base))
+	}
 	if b.Jitter <= 0 || attempt == 0 {
 		return d
 	}
+	return d + time.Duration((b.frac(attempt, key)-0.5)*b.Jitter*float64(d))
+}
+
+// frac derives the deterministic jitter fraction in [0,1) for one
+// (seed, key, attempt) coordinate.
+func (b Backoff) frac(attempt int, key uint64) float64 {
 	h := Mix64(b.Seed ^ Mix64(key) ^ Mix64(uint64(attempt)))
-	frac := float64(h>>11) / float64(uint64(1)<<53) // [0,1)
-	return d + time.Duration((frac-0.5)*b.Jitter*float64(d))
+	return float64(h>>11) / float64(uint64(1)<<53)
 }
 
 // Mix64 is the splitmix64 step: a cheap, well-distributed 64-bit

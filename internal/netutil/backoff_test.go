@@ -74,6 +74,107 @@ func TestDelayJitterDeterministicAndBounded(t *testing.T) {
 	}
 }
 
+// Full-jitter mode: table-driven bounds check. For every (policy,
+// attempt) row the delay must be deterministic, land in [Base, sched]
+// where sched is the exponential schedule clamped to the cap, keep the
+// schedule's upper envelope monotone non-decreasing in attempt, and
+// never exceed the cap.
+func TestDelayFullJitterBoundsAndMonotoneCap(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		// maxSched[i] is the expected un-jittered envelope at attempt i.
+		maxSched []time.Duration
+	}{
+		{
+			name: "redial-shape",
+			b:    Backoff{Base: 50 * time.Millisecond, Cap: 3 * time.Second, Full: true, Seed: StrSeed("peerA")},
+			maxSched: []time.Duration{
+				50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+				400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+				3 * time.Second, 3 * time.Second,
+			},
+		},
+		{
+			name: "default-cap",
+			b:    Backoff{Base: time.Second, Full: true, Seed: 7},
+			maxSched: []time.Duration{
+				time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+				16 * time.Second, 16 * time.Second, 16 * time.Second,
+			},
+		},
+		{
+			name: "cap-below-base",
+			b:    Backoff{Base: 2 * time.Second, Cap: time.Second, Full: true, Seed: 3},
+			maxSched: []time.Duration{
+				2 * time.Second, time.Second, time.Second,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prevEnv := time.Duration(0)
+			for attempt, sched := range tc.maxSched {
+				if env := (Backoff{Base: tc.b.Base, Cap: tc.b.Cap}).Delay(attempt, 0); env != sched {
+					t.Fatalf("attempt %d: schedule envelope %v, want %v", attempt, env, sched)
+				}
+				// Monotone cap behavior: the envelope never decreases
+				// past attempt 0 and saturates at the cap.
+				if attempt > 1 && sched < prevEnv {
+					t.Fatalf("attempt %d: envelope %v < previous %v", attempt, sched, prevEnv)
+				}
+				if attempt > 0 {
+					prevEnv = sched
+				}
+				for key := uint64(0); key < 50; key++ {
+					d := tc.b.Delay(attempt, key)
+					if d != tc.b.Delay(attempt, key) {
+						t.Fatalf("nondeterministic at attempt=%d key=%d", attempt, key)
+					}
+					if attempt == 0 {
+						if d != sched {
+							t.Fatalf("attempt 0 must be the unjittered base: got %v", d)
+						}
+						continue
+					}
+					lo := tc.b.Base
+					if sched < lo {
+						lo = sched // cap below base: schedule is the floor too
+					}
+					if d < lo || d > sched {
+						t.Fatalf("attempt=%d key=%d: %v outside [%v, %v]", attempt, key, d, lo, sched)
+					}
+				}
+			}
+			// Distribution actually spreads across the window: with 50
+			// keys at a wide attempt, expect many distinct values and
+			// coverage of both the lower and upper half of [Base, sched].
+			attempt := len(tc.maxSched) - 1
+			sched := (Backoff{Base: tc.b.Base, Cap: tc.b.Cap}).Delay(attempt, 0)
+			if sched > tc.b.Base {
+				distinct := map[time.Duration]bool{}
+				low, high := 0, 0
+				mid := tc.b.Base + (sched-tc.b.Base)/2
+				for key := uint64(0); key < 50; key++ {
+					d := tc.b.Delay(attempt, key)
+					distinct[d] = true
+					if d < mid {
+						low++
+					} else {
+						high++
+					}
+				}
+				if len(distinct) < 25 {
+					t.Fatalf("full jitter barely spreads: %d distinct of 50", len(distinct))
+				}
+				if low == 0 || high == 0 {
+					t.Fatalf("full jitter not covering the window: low=%d high=%d", low, high)
+				}
+			}
+		})
+	}
+}
+
 func TestStrSeedStable(t *testing.T) {
 	if StrSeed("r1") == StrSeed("r2") {
 		t.Fatal("distinct strings hash equal")

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"shadowdb/internal/flow"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/netutil"
 	"shadowdb/internal/obs"
@@ -29,23 +30,36 @@ type TCP struct {
 	conns   map[msg.Loc]net.Conn
 	inbound map[net.Conn]bool
 	redial  map[msg.Loc]*redialState
-	done    chan struct{}
-	wg      sync.WaitGroup
-	once    sync.Once
+	// dialing holds, per peer with a dial currently in flight, a channel
+	// closed when that dial resolves. Dials run outside mu (a 2s dial
+	// timeout must never stall senders to healthy peers) and at most one
+	// dial per peer is in flight: concurrent senders to the same peer
+	// wait on the channel instead of stacking up redundant dials, and
+	// once a failure has stamped the redial backoff window they fail
+	// fast until it expires.
+	dialing map[msg.Loc]chan struct{}
+	// clock, when set via EnforceDeadlines, drops inbound envelopes
+	// whose Deadline has already passed (nil = no enforcement).
+	clock func() int64
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
 
 	// Metrics handles, cached once at construction (obs.Default registry).
-	framesIn  *obs.Counter
-	framesOut *obs.Counter
-	bytesIn   *obs.Counter
-	bytesOut  *obs.Counter
-	dials     *obs.Counter
-	accepts   *obs.Counter
-	drops     *obs.Counter
-	connDrops *obs.Counter
-	backoffs  *obs.Counter
-	gConnsOut *obs.Gauge
-	gConnsIn  *obs.Gauge
-	gInbox    *obs.Gauge
+	framesIn     *obs.Counter
+	framesOut    *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	dials        *obs.Counter
+	accepts      *obs.Counter
+	drops        *obs.Counter
+	connDrops    *obs.Counter
+	backoffs     *obs.Counter
+	expiredDrops *obs.Counter
+	gConnsOut    *obs.Gauge
+	gConnsIn     *obs.Gauge
+	gInbox       *obs.Gauge
+	gDialing     *obs.Gauge
 
 	// lg logs connection lifecycle (dial failures, backoff, dead-conn
 	// drops) under the transport's own node id.
@@ -59,9 +73,11 @@ const maxFrame = 64 << 20
 
 // redialBackoff is the shared redial policy: the delay doubles from
 // 50ms per consecutive dial failure, capped at 3s so a restarted peer
-// is re-discovered within a few seconds. No jitter: redials are
-// per-peer and already desynchronized by traffic.
-var redialBackoff = netutil.Backoff{Base: 50 * time.Millisecond, Cap: 3 * time.Second}
+// is re-discovered within a few seconds. Full jitter (keyed per peer)
+// spreads the redial windows of many transports that lost the same
+// peer at the same moment — e.g. every node of a cluster watching one
+// replica restart — instead of hammering it in lockstep.
+var redialBackoff = netutil.Backoff{Base: 50 * time.Millisecond, Cap: 3 * time.Second, Full: true}
 
 // redialState tracks consecutive dial failures to one peer.
 type redialState struct {
@@ -92,20 +108,23 @@ func NewTCP(self msg.Loc, directory map[msg.Loc]string) (*TCP, error) {
 		conns:     make(map[msg.Loc]net.Conn),
 		inbound:   make(map[net.Conn]bool),
 		redial:    make(map[msg.Loc]*redialState),
+		dialing:   make(map[msg.Loc]chan struct{}),
 		done:      make(chan struct{}),
 
-		framesIn:  obs.C("net.frames_in"),
-		framesOut: obs.C("net.frames_out"),
-		bytesIn:   obs.C("net.bytes_in"),
-		bytesOut:  obs.C("net.bytes_out"),
-		dials:     obs.C("net.dials"),
-		accepts:   obs.C("net.accepts"),
-		drops:     obs.C("net.send_drops"),
-		connDrops: obs.C("net.conn_drops"),
-		backoffs:  obs.C("net.dial_backoffs"),
-		gConnsOut: obs.G("net.conns_out"),
-		gConnsIn:  obs.G("net.conns_in"),
-		gInbox:    obs.G("net.inbox_depth"),
+		framesIn:     obs.C("net.frames_in"),
+		framesOut:    obs.C("net.frames_out"),
+		bytesIn:      obs.C("net.bytes_in"),
+		bytesOut:     obs.C("net.bytes_out"),
+		dials:        obs.C("net.dials"),
+		accepts:      obs.C("net.accepts"),
+		drops:        obs.C("net.send_drops"),
+		connDrops:    obs.C("net.conn_drops"),
+		backoffs:     obs.C("net.dial_backoffs"),
+		expiredDrops: obs.C("net.expired_drops"),
+		gConnsOut:    obs.G("net.conns_out"),
+		gConnsIn:     obs.G("net.conns_in"),
+		gInbox:       obs.G("net.inbox_depth"),
+		gDialing:     obs.G("net.dial.inflight"),
 
 		lg: obs.L("net").WithNode(self),
 	}
@@ -123,6 +142,21 @@ func (t *TCP) SetPeer(l msg.Loc, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.directory[l] = addr
+}
+
+// EnforceDeadlines arms receive-side deadline enforcement: inbound
+// envelopes whose Deadline (absolute nanoseconds on the deployment
+// clock) has passed according to clock are dropped at the transport,
+// before any handler spends work on them. The caller must supply the
+// same clock that stamped the deadlines — in a live deployment that is
+// wall time since the Unix epoch on every node. nil disables
+// enforcement (the default; deployments without a shared clock base
+// still enforce deadlines at the protocol hops, which use injected
+// per-process clocks).
+func (t *TCP) EnforceDeadlines(clock func() int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
 }
 
 // Send implements Transport. Connection failures drop the message (crash
@@ -251,41 +285,91 @@ func (t *TCP) Close() error {
 }
 
 func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
+	for {
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			t.mu.Unlock()
+			return nil, ErrClosed
+		default:
+		}
+		if c, ok := t.conns[to]; ok {
+			t.mu.Unlock()
+			return c, nil
+		}
+		addr, ok := t.directory[to]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("network: unknown destination %q", to)
+		}
+		// Bounded redial backoff: a peer that just refused a dial is not
+		// dialed again until its window expires, so a crashed replica costs
+		// senders a map lookup instead of a 2s dial timeout per message.
+		if rs := t.redial[to]; rs != nil && time.Now().Before(rs.until) {
+			t.backoffs.Inc()
+			t.mu.Unlock()
+			return nil, fmt.Errorf("network: %q in redial backoff", to)
+		}
+		ch, inflight := t.dialing[to]
+		if !inflight {
+			// Dial semaphore: this sender takes the peer's single dial
+			// slot; the dial itself runs outside mu so a slow dial stalls
+			// neither other senders nor traffic to healthy peers.
+			ch = make(chan struct{})
+			t.dialing[to] = ch
+			t.gDialing.Add(1)
+			t.mu.Unlock()
+			return t.finishDial(to, addr, ch)
+		}
+		t.mu.Unlock()
+		// Another sender is already dialing this peer: wait for its
+		// outcome instead of stacking a redundant dial, then re-check
+		// (the dial either registered a connection or stamped a backoff
+		// window, so this loop terminates).
+		select {
+		case <-ch:
+		case <-t.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// finishDial completes the single in-flight dial to one peer: it runs
+// the dial outside mu, registers the connection (or the redial backoff
+// window on failure), and wakes every sender waiting on ch.
+func (t *TCP) finishDial(to msg.Loc, addr string, ch chan struct{}) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	delete(t.dialing, to)
+	t.gDialing.Add(-1)
+	// Waiters woken by the close re-acquire mu before reading, so they
+	// always observe the outcome registered below.
+	defer close(ch)
 	// Re-check done under mu: Close sweeps t.conns under this same lock,
-	// so a dial registered here either happens before the sweep (and is
-	// closed by it) or observes done closed and aborts. Without this a
-	// Send racing Close could spawn a readLoop on a connection nobody
-	// closes, and Close's wg.Wait would hang forever.
+	// so a connection registered here either happens before the sweep
+	// (and is closed by it) or observes done closed and aborts. Without
+	// this a Send racing Close could spawn a readLoop on a connection
+	// nobody closes, and Close's wg.Wait would hang forever.
 	select {
 	case <-t.done:
+		if c != nil {
+			_ = c.Close()
+		}
 		return nil, ErrClosed
 	default:
 	}
-	if c, ok := t.conns[to]; ok {
-		return c, nil
-	}
-	addr, ok := t.directory[to]
-	if !ok {
-		return nil, fmt.Errorf("network: unknown destination %q", to)
-	}
-	// Bounded redial backoff: a peer that just refused a dial is not
-	// dialed again until its window expires, so a crashed replica costs
-	// senders a map lookup instead of a 2s dial timeout per message.
 	rs := t.redial[to]
-	if rs != nil && time.Now().Before(rs.until) {
-		t.backoffs.Inc()
-		return nil, fmt.Errorf("network: %q in redial backoff", to)
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		if rs == nil {
 			rs = &redialState{}
 			t.redial[to] = rs
 		}
 		rs.fails++
-		d := redialBackoff.Delay(rs.fails-1, 0)
+		// Full jitter keyed per peer: transports that lost the same peer
+		// together spread their redial windows apart.
+		d := redialBackoff.Delay(rs.fails-1, netutil.StrSeed(string(t.self)+"->"+string(to)))
 		rs.until = time.Now().Add(d)
 		if rs.fails == 1 {
 			// First failure in a streak: the transition into backoff is
@@ -295,6 +379,12 @@ func (t *TCP) conn(to msg.Loc) (net.Conn, error) {
 			t.lg.Debugf("dial %s failed %d times, backoff %v", to, rs.fails, d)
 		}
 		return nil, err
+	}
+	if cur, ok := t.conns[to]; ok {
+		// An inbound connection from the peer registered itself while we
+		// dialed; keep it and discard ours (one connection per peer).
+		_ = c.Close()
+		return cur, nil
 	}
 	if rs != nil {
 		t.lg.Infof("reconnected to %s after %d failed dials", to, rs.fails)
@@ -378,7 +468,19 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // corrupt frame: skip
 		}
+		t.mu.Lock()
+		clock := t.clock
+		t.mu.Unlock()
 		for _, env := range envs {
+			if clock != nil && flow.Expired(env.Deadline, clock()) {
+				// Enforced deadline: the work is already late, so the
+				// cheapest place to shed it is before the handler. The
+				// sender's own deadline check is what turns this into a
+				// terminal client outcome; here it is pure load shedding.
+				t.expiredDrops.Inc()
+				flow.MarkExpired()
+				continue
+			}
 			// Learn the return route: peers not in the directory (clients
 			// on ephemeral ports) are answered over their own inbound
 			// connection. TCP is bidirectional; the first sender wins.

@@ -33,6 +33,15 @@ import (
 //	shard/cross-atomicity        one outcome per distributed transaction,
 //	                             never a commit at an unprepared shard
 //
+// Overload runs additionally enable (SetFlow, flowcheck.go):
+//
+//	flow/terminal-outcome        every submitted request ends in a result,
+//	                             an explicit rejection, or a deadline
+//	flow/queue-bound             no admission queue reports occupancy over
+//	                             its configured bound
+//	flow/goodput-floor           completed work under overload stays above
+//	                             a floor fraction of the baseline rate
+//
 // In sharded deployments several independent broadcast/consensus groups
 // run side by side, each with its own slot numbering and instance space.
 // SetGroupOf partitions the per-slot and per-instance state by group so
@@ -131,6 +140,16 @@ type Checker struct {
 	// writes: (ack time, running max delivered slot of any acked tx).
 	// Appended per TxResult, binary-searched by the read-serve checks.
 	ackedHist map[string][]ackPoint
+	// End-to-end flow accounting (enabled by SetFlow; see flowcheck.go).
+	// flows maps an open request key (client/seq) to its deadline and
+	// submission phase; phases is the load-phase timeline the overload
+	// bench marks out, in declaration order.
+	flowOn   bool
+	flowMax  int
+	flows    map[string]flowEntry
+	phases   []*FlowPhase
+	phaseIdx map[string]*FlowPhase
+
 	// events counts fed events; violations collects flagged failures.
 	events     int64
 	violations []Violation
@@ -673,6 +692,9 @@ func (c *Checker) noteEpoch(e obs.Event, g string, cfg member.Config) {
 }
 
 func (c *Checker) checkOutgoing(e obs.Event, o msg.Directive) {
+	if c.flowOn {
+		c.flowOutgoing(e, o)
+	}
 	switch b := o.M.Body.(type) {
 	case synod.Decide:
 		if o.M.Hdr == synod.HdrDecide {

@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"shadowdb/internal/broadcast"
+	"shadowdb/internal/core"
+	"shadowdb/internal/flow"
+	"shadowdb/internal/msg"
+	"shadowdb/internal/obs"
+)
+
+// Flow accounting: the overload properties. Every request a watched
+// client submits opens a flow (keyed client/seq); an observed TxResult
+// or flow.Reject addressed to that client closes it. At drain time
+// FinishFlow flags every flow still open whose deadline has not passed
+// — admitted work that simply vanished — as flow/terminal-outcome. A
+// flow whose deadline HAS passed is excused: the client's own retry
+// path deterministically declares the terminal deadline outcome
+// locally, which produces no message for the checker to see.
+//
+// Every observed flow.Reject is additionally audited against the
+// rejecting queue's self-reported coordinates (flow/queue-bound), and
+// completions are bucketed into load phases the driving bench marks
+// out with NoteFlowPhase, so CheckGoodputFloor can certify graceful
+// degradation (flow/goodput-floor) from ordered evidence rather than
+// from the bench's own bookkeeping.
+
+// flowEntry is one open (submitted, unresolved) request.
+type flowEntry struct {
+	deadline int64
+	phase    *FlowPhase
+}
+
+// FlowPhase is one marked load phase with its completion accounting.
+// Requests credit the phase they were SUBMITTED in, so work spilling
+// past a phase boundary still counts against the load that created it.
+type FlowPhase struct {
+	// Name is the bench's label for the phase (e.g. "1x", "16x").
+	Name string `json:"name"`
+	// From/To bound the phase on the trace clock (To set when the next
+	// phase is marked, or by FinishFlow for the last one).
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Submitted counts distinct requests first submitted in the phase.
+	Submitted int64 `json:"submitted"`
+	// Completed counts successful results; Aborted counts unsuccessful
+	// ones (including deterministic aborts and terminal overload
+	// answers); Shed counts explicit flow.Reject answers.
+	Completed int64 `json:"completed"`
+	Aborted   int64 `json:"aborted"`
+	Shed      int64 `json:"shed"`
+}
+
+// SetFlow enables the flow properties. maxQueue, when nonzero, pins
+// the largest admission-queue bound configured anywhere in the
+// deployment: a Reject reporting a bigger Cap means a queue was built
+// outside the certified configuration. Call before feeding events.
+func (c *Checker) SetFlow(maxQueue int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flowOn = true
+	c.flowMax = maxQueue
+	if c.flows == nil {
+		c.flows = make(map[string]flowEntry)
+		c.phaseIdx = make(map[string]*FlowPhase)
+	}
+}
+
+// NoteFlowPhase marks the start of a named load phase at trace time
+// at, closing the previous phase. Subsequent submissions credit the
+// new phase.
+func (c *Checker) NoteFlowPhase(name string, at int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.phases); n > 0 && c.phases[n-1].To == 0 {
+		c.phases[n-1].To = at
+	}
+	p := &FlowPhase{Name: name, From: at}
+	c.phases = append(c.phases, p)
+	c.phaseIdx[name] = p
+}
+
+// FlowPhases snapshots the phase accounting (bench reports).
+func (c *Checker) FlowPhases() []FlowPhase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FlowPhase, len(c.phases))
+	for i, p := range c.phases {
+		out[i] = *p
+	}
+	return out
+}
+
+// OpenFlows counts submitted requests without an observed terminal
+// outcome yet.
+func (c *Checker) OpenFlows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flows)
+}
+
+// FinishFlow runs the drain check at trace time now: it closes the
+// last phase and flags flow/terminal-outcome for every flow still open
+// whose deadline has not passed (no deadline, or one still in the
+// future — either way the request neither completed nor was rejected
+// nor can the client have self-expired it).
+func (c *Checker) FinishFlow(now int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.phases); n > 0 && c.phases[n-1].To == 0 {
+		c.phases[n-1].To = now
+	}
+	for _, key := range sortedFlowKeys(c.flows) {
+		f := c.flows[key]
+		if f.deadline > 0 && now >= f.deadline {
+			continue // client self-declared the deadline outcome locally
+		}
+		c.flag(obs.Event{Loc: flowClient(key), At: now}, "flow/terminal-outcome",
+			"request %s was submitted but reached no terminal outcome (deadline %d, drained at %d)",
+			key, f.deadline, now)
+	}
+}
+
+// CheckGoodputFloor certifies graceful degradation: the completion
+// rate of phase load must be at least floor times the completion rate
+// of phase base. A violation is flagged as flow/goodput-floor; the
+// comparison is skipped (no flag) when either phase is unknown or has
+// a degenerate window.
+func (c *Checker) CheckGoodputFloor(base, load string, floor float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bp, lp := c.phaseIdx[base], c.phaseIdx[load]
+	if bp == nil || lp == nil || bp.To <= bp.From || lp.To <= lp.From {
+		return
+	}
+	baseRate := float64(bp.Completed) / float64(bp.To-bp.From)
+	loadRate := float64(lp.Completed) / float64(lp.To-lp.From)
+	if loadRate < floor*baseRate {
+		c.flag(obs.Event{Loc: "checker", At: lp.To}, "flow/goodput-floor",
+			"phase %q completed %.3g/s, below %.0f%% of phase %q's %.3g/s — overload collapsed goodput instead of degrading it",
+			load, loadRate*1e9, floor*100, base, baseRate*1e9)
+	}
+}
+
+// flowOutgoing folds one outgoing directive into the flow accounting
+// (callers hold mu and have checked flowOn).
+func (c *Checker) flowOutgoing(e obs.Event, o msg.Directive) {
+	switch b := o.M.Body.(type) {
+	case broadcast.Bcast:
+		// A Bcast leaving its own originator with a transaction payload
+		// is a client submission; forwards and 2PC/control records are
+		// not (wrong origin or non-tx payload).
+		if o.M.Hdr != broadcast.HdrBcast || b.From != e.Loc {
+			return
+		}
+		if _, err := core.DecodeTx(b.Payload); err != nil {
+			return
+		}
+		c.openFlow(string(b.From)+"/"+itoa(b.Seq), b.Deadline)
+	case core.TxRequest:
+		if o.M.Hdr == core.HdrTx && b.Client == e.Loc {
+			c.openFlow(b.Key(), b.Deadline)
+		}
+	case flow.Reject:
+		if o.M.Hdr != flow.HdrReject {
+			return
+		}
+		// flow/queue-bound: the rejecting queue reports its own
+		// occupancy and bound; occupancy over the bound (or a bound over
+		// the certified configuration) means admission accounting leaked.
+		if b.Cap > 0 && b.Depth > b.Cap {
+			c.flag(e, "flow/queue-bound",
+				"%s rejected %d with queue depth %d over its bound %d", e.Loc, b.Seq, b.Depth, b.Cap)
+		}
+		if c.flowMax > 0 && b.Cap > c.flowMax {
+			c.flag(e, "flow/queue-bound",
+				"%s reports a queue bound %d above the configured maximum %d", e.Loc, b.Cap, c.flowMax)
+		}
+		c.closeFlow(string(o.Dest)+"/"+itoa(b.Seq), false, true)
+	case core.TxResult:
+		if o.M.Hdr == core.HdrTxResult {
+			c.closeFlow(string(b.Client)+"/"+itoa(b.Seq), !b.Aborted && b.Err == "", false)
+		}
+	}
+}
+
+// openFlow records a submission (idempotent across retransmissions:
+// the first open fixes the crediting phase).
+func (c *Checker) openFlow(key string, deadline int64) {
+	if _, open := c.flows[key]; open {
+		return
+	}
+	var p *FlowPhase
+	if n := len(c.phases); n > 0 {
+		p = c.phases[n-1]
+	}
+	c.flows[key] = flowEntry{deadline: deadline, phase: p}
+	if p != nil {
+		p.Submitted++
+	}
+}
+
+// closeFlow resolves a flow with an observed terminal outcome. Late
+// duplicates (retransmitted results for an already-closed flow) are
+// ignored so retries do not double-count completions.
+func (c *Checker) closeFlow(key string, completed, shed bool) {
+	f, open := c.flows[key]
+	if !open {
+		return
+	}
+	delete(c.flows, key)
+	if f.phase == nil {
+		return
+	}
+	switch {
+	case shed:
+		f.phase.Shed++
+	case completed:
+		f.phase.Completed++
+	default:
+		f.phase.Aborted++
+	}
+}
+
+// flowClient extracts the client location from a flow key.
+func flowClient(key string) msg.Loc {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return msg.Loc(key[:i])
+		}
+	}
+	return msg.Loc(key)
+}
+
+// sortedFlowKeys orders the open-flow map for deterministic flagging.
+func sortedFlowKeys(m map[string]flowEntry) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

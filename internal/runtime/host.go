@@ -96,14 +96,14 @@ func (h *Host) emit(outs []msg.Directive, trace string) {
 				if j-i > 1 {
 					envs := make([]msg.Envelope, 0, j-i)
 					for _, d := range outs[i:j] {
-						envs = append(envs, msg.Envelope{From: h.self, To: d.Dest, M: d.M, Trace: trace, LC: h.Obs.Tick()})
+						envs = append(envs, msg.Envelope{From: h.self, To: d.Dest, M: d.M, Trace: trace, LC: h.Obs.Tick(), Deadline: msg.DeadlineOf(d.M)})
 					}
 					_ = bs.SendBatch(envs)
 					i = j - 1
 					continue
 				}
 			}
-			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick()})
+			_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick(), Deadline: msg.DeadlineOf(o.M)})
 			continue
 		}
 		// The callback reads the timer pointer under timerMu, and the
@@ -121,7 +121,7 @@ func (h *Host) emit(outs []msg.Directive, trace string) {
 			select {
 			case <-h.done:
 			default:
-				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick()})
+				_ = h.tr.Send(msg.Envelope{From: h.self, To: o.Dest, M: o.M, Trace: trace, LC: h.Obs.Tick(), Deadline: msg.DeadlineOf(o.M)})
 			}
 		})
 		if h.timers == nil { // closed: stop immediately

@@ -1,0 +1,25 @@
+package shard
+
+import (
+	"shadowdb/internal/core"
+	"shadowdb/internal/flow"
+)
+
+// FlowClass extends core.FlowClass with the 2PC record prefixes this
+// package submits into shard orders: decisions are ClassControl — a
+// shed decision strands prepared participants holding reservations, so
+// a saturated sequencer must order them last of all — while prepares
+// are ClassWrite, since refusing a prepare before any participant
+// prepared degrades into a clean client-visible retry. Everything else
+// defers to the core classifier.
+func FlowClass(payload []byte) flow.Class {
+	if len(payload) >= 4 {
+		switch string(payload[:4]) {
+		case decMark:
+			return flow.ClassControl
+		case prepMark:
+			return flow.ClassWrite
+		}
+	}
+	return core.FlowClass(payload)
+}

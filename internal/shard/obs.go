@@ -10,6 +10,7 @@ import "shadowdb/internal/obs"
 
 var (
 	mRouterForwards  = obs.C("shard.router.forwards")
+	mRouterRejects   = obs.C("shard.router.rejects")
 	m2PCBegins       = obs.C("shard.2pc.begins")
 	m2PCCommits      = obs.C("shard.2pc.commits")
 	m2PCAborts       = obs.C("shard.2pc.aborts")

@@ -8,6 +8,7 @@ import (
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/core"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/gpm"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/obs"
@@ -35,6 +36,41 @@ type Config struct {
 	// so a restarted router drives every open transaction to its decided
 	// outcome instead of leaving participants half-prepared.
 	Stable store.Stable
+	// MaxInflight bounds concurrent cross-shard transactions the
+	// coordinator holds open (0 = unlimited). An arrival over the bound
+	// is answered with an explicit flow.Reject (ReasonOverload) — never
+	// silently dropped — and an admitted transaction always runs to its
+	// decided outcome, so the bound caps coordinator memory and the
+	// blast radius of a 2PC stall without ever abandoning prepared
+	// participants. Single-shard forwards are not counted here: they are
+	// bounded by the owning shard's own sequencer admission queue.
+	MaxInflight int
+	// Now is the deployment clock (virtual in simulation, wall live).
+	// Required for deadline checks, breakers, and the retry budget.
+	Now func() time.Duration
+	// Budget, when set, throttles 2PC re-drive rounds: each retry-timer
+	// retransmission spends one token, and an empty bucket skips that
+	// round (the timer stays armed — the transaction is never
+	// abandoned). This keeps coordinator retransmissions from amplifying
+	// the congestion that delayed the votes in the first place.
+	Budget *flow.RetryBudget
+	// BreakTrips enables a per-shard circuit breaker: after BreakTrips
+	// consecutive re-drive rounds in which a shard owed a vote or ack
+	// and sent none, new cross-shard transactions touching that shard
+	// fail fast with a flow.Reject (ReasonBreaker) until BreakCool
+	// (0 = 1s) admits a probe transaction. 0 disables breakers.
+	// Requires Now. Already-admitted transactions keep re-driving
+	// through an open breaker — run-to-completion outranks fail-fast.
+	BreakTrips int
+	// BreakCool is the open-breaker cooldown before a probe (0 = 1s).
+	BreakCool time.Duration
+}
+
+func (c Config) now() time.Duration {
+	if c.Now == nil {
+		return 0
+	}
+	return c.Now()
 }
 
 func (c Config) retry() time.Duration {
@@ -68,6 +104,11 @@ type Router struct {
 	// fwd rotates the target broadcast node per single-shard request key,
 	// so a client retry through the router probes another service node.
 	fwd map[string]int
+	// q bounds admitted-but-undecided cross-shard transactions (nil when
+	// Config.MaxInflight is 0); brk holds the per-shard circuit breakers
+	// (nil when Config.BreakTrips is 0).
+	q   *flow.Queue
+	brk map[int]*flow.Breaker
 	// lg logs coordinator lifecycle under the router's own node id.
 	lg *obs.Logger
 }
@@ -84,6 +125,11 @@ type txState struct {
 	commit  bool
 	acked   map[int]bool
 	res     core.TxResult
+	// admitted records that this transaction holds a flow.Queue slot
+	// (released when it completes). Not journaled: replay re-admits
+	// recovered transactions best-effort, and only slots actually taken
+	// are released.
+	admitted bool
 }
 
 var _ gpm.Process = (*Router)(nil)
@@ -123,6 +169,23 @@ func NewRouter(cfg Config) (*Router, error) {
 		fwd:     make(map[string]int),
 		lg:      obs.L("shard.router").WithNode(cfg.Slf),
 	}
+	if cfg.MaxInflight > 0 {
+		// Only writes are admitted here (cross-shard begins); the nested
+		// thresholds still need readCap < writeCap < cap, so the write
+		// bound is MaxInflight with one control slot of headroom above it.
+		m := cfg.MaxInflight
+		if m < 2 {
+			m = 2
+		}
+		rc := m / 2
+		if rc < 1 {
+			rc = 1
+		}
+		r.q = flow.NewQueueCaps(m+1, rc, m)
+	}
+	if cfg.BreakTrips > 0 {
+		r.brk = make(map[int]*flow.Breaker)
+	}
 	if cfg.Stable != nil {
 		if err := r.replay(); err != nil {
 			return nil, err
@@ -152,10 +215,14 @@ func (r *Router) replay() error {
 		}
 		switch jr.Kind {
 		case "begin":
+			// Recovered transactions re-occupy admission slots best-effort:
+			// they must be driven to completion even when more were open at
+			// the crash than the (possibly reconfigured) bound now allows.
 			r.txs[jr.TxID] = &txState{
 				req: jr.Req, subs: jr.Subs,
 				att:   make(map[int]int),
 				votes: make(map[int]bool), acked: make(map[int]bool),
+				admitted: r.q != nil && r.q.Admit(flow.ClassWrite) == nil,
 			}
 		case "decide":
 			tx, ok := r.txs[jr.TxID]
@@ -251,6 +318,12 @@ func (r *Router) Step(in msg.Msg) (gpm.Process, []msg.Directive) {
 // single-shard → forward into the owning shard's order, cross-shard →
 // coordinate 2PC.
 func (r *Router) onTx(req core.TxRequest) []msg.Directive {
+	if r.cfg.Now != nil && flow.Expired(req.Deadline, int64(r.cfg.now())) {
+		// Expired on arrival: refuse before any shard does work on it.
+		// Terminal for the client — a retry cannot meet the deadline.
+		flow.MarkExpired()
+		return r.reject(req, flow.ClassWrite, flow.ReasonDeadline, 0, 0)
+	}
 	keys, err := r.cfg.App.Keys(req)
 	if err != nil {
 		return []msg.Directive{msg.Send(req.Client, msg.M(core.HdrTxResult, core.TxResult{
@@ -284,8 +357,34 @@ func (r *Router) forward(s int, req core.TxRequest) []msg.Directive {
 	att := r.fwd[req.Key()]
 	r.fwd[req.Key()] = att + 1
 	mRouterForwards.Inc()
-	b := broadcast.Bcast{From: req.Client, Seq: req.Seq, Payload: payload}
+	b := broadcast.Bcast{From: req.Client, Seq: req.Seq, Payload: payload, Deadline: req.Deadline}
 	return []msg.Directive{msg.Send(nodes[att%len(nodes)], msg.M(broadcast.HdrBcast, b))}
+}
+
+// reject answers a refused request with an explicit flow.Reject so the
+// client observes the refusal (and the checker can audit it) instead
+// of timing out against silence.
+func (r *Router) reject(req core.TxRequest, class flow.Class, reason string, depth, qcap int) []msg.Directive {
+	flow.MarkReject()
+	mRouterRejects.Inc()
+	r.lg.Logf(obs.LevelWarn, req.Key(), "refused client request: %s (depth=%d cap=%d)", reason, depth, qcap)
+	return []msg.Directive{msg.Send(req.Client, msg.M(flow.HdrReject, flow.Reject{
+		From: r.cfg.Slf, Seq: req.Seq, Class: class, Reason: reason, Depth: depth, Cap: qcap,
+	}))}
+}
+
+// breaker returns shard s's circuit breaker, creating it lazily (nil
+// when breakers are disabled — every Breaker method handles nil).
+func (r *Router) breaker(s int) *flow.Breaker {
+	if r.brk == nil {
+		return nil
+	}
+	b, ok := r.brk[s]
+	if !ok {
+		b = &flow.Breaker{Threshold: r.cfg.BreakTrips, Cooldown: r.cfg.BreakCool}
+		r.brk[s] = b
+	}
+	return b
 }
 
 // onCrossShard starts (or re-drives) 2PC for a multi-shard request.
@@ -306,10 +405,35 @@ func (r *Router) onCrossShard(req core.TxRequest) []msg.Directive {
 			Client: req.Client, Seq: req.Seq, Aborted: true, Err: err.Error(),
 		}))}
 	}
+	// Admission gates only NEW transactions — everything below is
+	// pre-prepare, so a refusal here never strands a participant. The
+	// non-mutating Ready pass runs before Admit and Allow so a refusal
+	// partway through cannot leak a queue slot or strand a breaker
+	// half-open with no probe in flight.
+	if r.brk != nil {
+		for _, s := range sortedShards(subs) {
+			if !r.breaker(s).Ready(r.cfg.now()) {
+				return r.reject(req, flow.ClassWrite, flow.ReasonBreaker, 0, 0)
+			}
+		}
+	}
+	admitted := false
+	if r.q != nil {
+		if r.q.Admit(flow.ClassWrite) != nil {
+			return r.reject(req, flow.ClassWrite, flow.ReasonOverload, r.q.Len(), r.q.Cap())
+		}
+		admitted = true
+	}
+	if r.brk != nil {
+		for _, s := range sortedShards(subs) {
+			r.breaker(s).Allow(r.cfg.now()) // take the half-open probe slot
+		}
+	}
 	tx := &txState{
 		req: req, subs: subs,
 		att:   make(map[int]int),
 		votes: make(map[int]bool), acked: make(map[int]bool),
+		admitted: admitted,
 	}
 	r.txs[id] = tx
 	// Write-ahead: the begin record hits the journal before any prepare
@@ -382,6 +506,9 @@ func (r *Router) onVote(v Vote) []msg.Directive {
 	if _, have := tx.votes[v.Shard]; have {
 		return nil
 	}
+	// Any vote — commit or abort — proves the shard is ordering and
+	// executing; the breaker measures reachability, not commit rate.
+	r.breaker(v.Shard).Success()
 	tx.votes[v.Shard] = v.OK
 	if !v.OK {
 		return r.decide(v.TxID, tx, false)
@@ -433,9 +560,13 @@ func (r *Router) onAck(a Ack) []msg.Directive {
 	if _, isPart := tx.subs[a.Shard]; !isPart {
 		return nil
 	}
+	r.breaker(a.Shard).Success()
 	tx.acked[a.Shard] = true
 	if len(tx.acked) < len(tx.subs) {
 		return nil
+	}
+	if tx.admitted {
+		r.q.Release()
 	}
 	r.doneRes[a.TxID] = tx.res
 	delete(r.txs, a.TxID)
@@ -457,6 +588,26 @@ func (r *Router) onRetry(t RetryBody) []msg.Directive {
 	tx, ok := r.txs[t.TxID]
 	if !ok {
 		return nil
+	}
+	if r.cfg.Budget != nil && !r.cfg.Budget.Allow(r.cfg.now()) {
+		// Retry budget empty: skip this re-drive round but keep the timer
+		// armed. The budget throttles retransmission volume under
+		// congestion; the transaction itself is never abandoned.
+		return []msg.Directive{r.armRetry(t.TxID)}
+	}
+	if r.brk != nil {
+		// A full retry period elapsed with votes or acks still owed:
+		// count one failure against each shard that stayed silent.
+		now := r.cfg.now()
+		for _, s := range sortedShards(tx.subs) {
+			if _, voted := tx.votes[s]; !tx.decided && voted {
+				continue
+			}
+			if tx.decided && tx.acked[s] {
+				continue
+			}
+			r.breaker(s).Failure(now)
+		}
 	}
 	m2PCRetransmits.Inc()
 	r.lg.Logf(obs.LevelWarn, t.TxID, "retry timer fired, re-driving (decided=%v, votes=%d/%d, acks=%d/%d)",

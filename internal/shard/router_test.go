@@ -7,6 +7,7 @@ import (
 
 	"shadowdb/internal/broadcast"
 	"shadowdb/internal/core"
+	"shadowdb/internal/flow"
 	"shadowdb/internal/msg"
 	"shadowdb/internal/sqldb"
 )
@@ -404,5 +405,140 @@ func TestReplicaInterleavesPlainAndTwoPC(t *testing.T) {
 	// Duplicate Deliver from a second service node: fully ignored.
 	if outs := deliver(t, r, 0, dep); outs != nil {
 		t.Fatalf("duplicate slot produced output: %v", outs)
+	}
+}
+
+// ------------------------------------------------------------------- flow --
+
+// flowRouter builds a router with overload control armed and a
+// test-owned clock.
+func flowRouter(t *testing.T, cfg Config) (*Router, *time.Duration) {
+	t.Helper()
+	now := new(time.Duration)
+	cfg.Slf, cfg.Part, cfg.App = RouterLoc, modPart{2}, Bank()
+	cfg.Shards = [][]msg.Loc{{"s0b1"}, {"s1b1"}}
+	cfg.Retry = 100 * time.Millisecond
+	cfg.Now = func() time.Duration { return *now }
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, now
+}
+
+func rejectOf(t *testing.T, outs []msg.Directive) flow.Reject {
+	t.Helper()
+	if len(outs) != 1 || outs[0].M.Hdr != flow.HdrReject {
+		t.Fatalf("want exactly one flow.Reject, got %v", outs)
+	}
+	return outs[0].M.Body.(flow.Reject)
+}
+
+func transfer(seq int64) core.TxRequest {
+	return core.TxRequest{Client: "c1", Seq: seq, Type: "transfer", Args: []any{0, 1, 10}}
+}
+
+func finish(t *testing.T, r *Router, req core.TxRequest) {
+	t.Helper()
+	id := req.Key()
+	step(t, r, HdrVote, Vote{TxID: id, Shard: 0, From: "s0r1", OK: true})
+	step(t, r, HdrVote, Vote{TxID: id, Shard: 1, From: "s1r1", OK: true})
+	step(t, r, HdrAck, Ack{TxID: id, Shard: 0, From: "s0r1"})
+	step(t, r, HdrAck, Ack{TxID: id, Shard: 1, From: "s1r1"})
+}
+
+func TestRouterShedsOverMaxInflight(t *testing.T) {
+	r, _ := flowRouter(t, Config{MaxInflight: 2})
+	a, b, c := transfer(1), transfer(2), transfer(3)
+	step(t, r, core.HdrTx, a)
+	step(t, r, core.HdrTx, b)
+	if r.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", r.InFlight())
+	}
+	// The third arrival is refused explicitly — a Reject, not silence.
+	rej := rejectOf(t, step(t, r, core.HdrTx, c))
+	if rej.Reason != flow.ReasonOverload || rej.Seq != 3 {
+		t.Fatalf("reject = %+v, want overload for seq 3", rej)
+	}
+	if rej.Depth != 2 || rej.Cap != 3 {
+		t.Fatalf("reject audit fields depth=%d cap=%d, want 2/3", rej.Depth, rej.Cap)
+	}
+	if r.InFlight() != 2 {
+		t.Fatalf("shed arrival changed InFlight to %d", r.InFlight())
+	}
+	// Completing one transaction frees its slot; the retry is admitted.
+	finish(t, r, a)
+	if bc, _ := bcastsIn(step(t, r, core.HdrTx, c)); len(bc) != 2 {
+		t.Fatalf("retry after drain sent %d prepares, want 2", len(bc))
+	}
+	if r.InFlight() != 2 {
+		t.Fatalf("InFlight after readmission = %d, want 2", r.InFlight())
+	}
+}
+
+func TestRouterRejectsExpiredDeadline(t *testing.T) {
+	r, now := flowRouter(t, Config{})
+	*now = 100 * time.Millisecond
+	req := transfer(1)
+	req.Deadline = int64(50 * time.Millisecond)
+	rej := rejectOf(t, step(t, r, core.HdrTx, req))
+	if rej.Reason != flow.ReasonDeadline {
+		t.Fatalf("reject reason %q, want deadline", rej.Reason)
+	}
+	if r.InFlight() != 0 {
+		t.Fatalf("expired request entered 2PC: InFlight = %d", r.InFlight())
+	}
+}
+
+func TestRouterBreakerFailsFastThenProbes(t *testing.T) {
+	r, now := flowRouter(t, Config{BreakTrips: 2, BreakCool: time.Second})
+	a := transfer(1)
+	step(t, r, core.HdrTx, a)
+	// Two full retry periods with both shards silent: breakers open.
+	step(t, r, HdrRetry, RetryBody{TxID: a.Key()})
+	step(t, r, HdrRetry, RetryBody{TxID: a.Key()})
+	// New transactions now fail fast...
+	rej := rejectOf(t, step(t, r, core.HdrTx, transfer(2)))
+	if rej.Reason != flow.ReasonBreaker {
+		t.Fatalf("reject reason %q, want breaker", rej.Reason)
+	}
+	// ...while the admitted one keeps re-driving through the open breaker.
+	if bc, _ := bcastsIn(step(t, r, HdrRetry, RetryBody{TxID: a.Key()})); len(bc) != 2 {
+		t.Fatalf("open breaker blocked re-drive of an admitted transaction")
+	}
+	// After the cooldown one probe transaction is admitted...
+	*now = 2 * time.Second
+	probe := transfer(3)
+	if bc, _ := bcastsIn(step(t, r, core.HdrTx, probe)); len(bc) != 2 {
+		t.Fatalf("probe after cooldown not admitted")
+	}
+	// ...and further traffic still fails fast until the probe resolves.
+	rej = rejectOf(t, step(t, r, core.HdrTx, transfer(4)))
+	if rej.Reason != flow.ReasonBreaker {
+		t.Fatalf("half-open breaker admitted extra traffic: %+v", rej)
+	}
+	// The probe's votes close the breakers; traffic flows again.
+	finish(t, r, probe)
+	if bc, _ := bcastsIn(step(t, r, core.HdrTx, transfer(5))); len(bc) != 2 {
+		t.Fatalf("breaker did not close after a successful probe")
+	}
+}
+
+func TestRouterBudgetThrottlesRedrive(t *testing.T) {
+	r, _ := flowRouter(t, Config{Budget: &flow.RetryBudget{Rate: 1, Burst: 1}})
+	a := transfer(1)
+	step(t, r, core.HdrTx, a)
+	// The first re-drive spends the only token...
+	if bc, _ := bcastsIn(step(t, r, HdrRetry, RetryBody{TxID: a.Key()})); len(bc) != 2 {
+		t.Fatalf("budgeted re-drive did not retransmit")
+	}
+	// ...the second round is skipped but the timer stays armed: the
+	// transaction is throttled, never abandoned.
+	outs := step(t, r, HdrRetry, RetryBody{TxID: a.Key()})
+	if len(outs) != 1 || outs[0].M.Hdr != HdrRetry || outs[0].Delay <= 0 {
+		t.Fatalf("empty budget should re-arm only, got %v", outs)
+	}
+	if r.InFlight() != 1 {
+		t.Fatalf("throttled transaction abandoned: InFlight = %d", r.InFlight())
 	}
 }
